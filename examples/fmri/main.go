@@ -1,0 +1,123 @@
+// FMRI: carrying preoperative functional data through the computed
+// deformation.
+//
+// The paper's motivating scenario: functional MRI "cannot be acquired
+// intraoperatively", so the only way to keep functional information
+// usable during surgery is to warp it by the simulated volumetric
+// deformation into alignment with the intraoperative morphology. This
+// example builds a synthetic activation map in the preoperative frame
+// (two "eloquent cortex" blobs near the craniotomy), runs the pipeline,
+// warps the activation with the recovered field, and measures how much
+// of the activation would have been mislocalized had the surgeon relied
+// on rigid registration alone.
+//
+//	go run ./examples/fmri
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/phantom"
+	"repro/internal/render"
+	"repro/internal/volume"
+)
+
+func main() {
+	c := phantom.Generate(phantom.DefaultParams(48))
+
+	// Synthetic fMRI: two activation blobs just under the brain surface
+	// near the craniotomy (where shift is largest and localization
+	// matters most).
+	g := c.Grid
+	activation := volume.NewScalar(g)
+	half := g.Extent().X / 2
+	blobs := []geom.Vec3{
+		g.Center().Add(geom.V(0.25*half, 0.55*half, 0.1*half)),
+		g.Center().Add(geom.V(-0.3*half, 0.5*half, -0.05*half)),
+	}
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				p := g.World(i, j, k)
+				v := 0.0
+				for _, b := range blobs {
+					v += 100 * math.Exp(-p.Sub(b).NormSq()/18)
+				}
+				if v > 1 {
+					activation.Set(i, j, k, v)
+				}
+			}
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.SkipRigid = true
+	res, err := core.New(cfg).Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warp the activation into the intraoperative configuration.
+	warped := res.Backward.WarpScalar(activation)
+
+	// Ground-truth location of the activation in the intraop frame.
+	truthWarped := c.Truth.WarpScalar(activation)
+
+	// Localization error: intensity-weighted centroid displacement.
+	centroid := func(s *volume.Scalar) geom.Vec3 {
+		var sum geom.Vec3
+		total := 0.0
+		for k := 0; k < g.NZ; k++ {
+			for j := 0; j < g.NY; j++ {
+				for i := 0; i < g.NX; i++ {
+					v := s.At(i, j, k)
+					if v <= 1 {
+						continue
+					}
+					sum = sum.Add(g.World(i, j, k).Scale(v))
+					total += v
+				}
+			}
+		}
+		if total == 0 {
+			return geom.Vec3{}
+		}
+		return sum.Scale(1 / total)
+	}
+	truthC := centroid(truthWarped)
+	rigidErr := centroid(activation).Dist(truthC)
+	biomechErr := centroid(warped).Dist(truthC)
+
+	fmt.Println("Functional MRI localization during surgery (48^3 case)")
+	fmt.Printf("  activation centroid error, rigid registration only: %6.2f mm\n", rigidErr)
+	fmt.Printf("  activation centroid error, biomechanical warp:      %6.2f mm\n", biomechErr)
+	if biomechErr < rigidErr {
+		fmt.Printf("  -> the simulated deformation recovers %.0f%% of the functional mislocalization\n",
+			(rigidErr-biomechErr)/rigidErr*100)
+	}
+
+	// Visualization: intraop slice + warped activation heat overlay.
+	k := g.NZ / 2
+	lo, hi := c.Intraop.MinMax()
+	im, err := render.GraySlice(c.Intraop, render.AxisZ, k, lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Reuse the field-magnitude overlay machinery by treating the
+	// activation as a synthetic displacement magnitude.
+	act := volume.NewField(g)
+	for i := range act.DX {
+		act.DX[i] = warped.Data[i] / 10
+	}
+	if err := render.OverlayFieldMagnitude(im, act, render.AxisZ, k, 10, 0.3, 0.6); err != nil {
+		log.Fatal(err)
+	}
+	if err := im.SavePPM("fmri_overlay.ppm"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  wrote fmri_overlay.ppm (warped activation on the intraoperative scan)")
+}

@@ -1,0 +1,71 @@
+// Materials: the ablation the paper's discussion motivates.
+//
+// The paper observes "a small misregistration of the lateral ventricles
+// ... because our biomechanical model treats the brain as a homogeneous
+// material, but the cerebral falx ... and the cerebrospinal fluid
+// inside the lateral ventricles are not well approximated by this
+// homogeneous model", and proposes a refined material model as future
+// work. This example runs both models on the same case and compares the
+// recovered deformation per tissue, including the ventricle region
+// specifically.
+//
+//	go run ./examples/materials
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+func main() {
+	p := phantom.DefaultParams(48)
+	c := phantom.Generate(p)
+
+	type outcome struct {
+		name              string
+		brainRMS, ventRMS float64
+		boundary          float64
+	}
+	var results []outcome
+
+	for _, mt := range []struct {
+		name string
+		tab  fem.Table
+	}{
+		{"homogeneous (paper's model)", fem.HomogeneousBrain()},
+		{"heterogeneous (falx+ventricles)", fem.HeterogeneousBrain()},
+	} {
+		cfg := core.DefaultConfig()
+		cfg.SkipRigid = true
+		cfg.Materials = mt.tab
+		res, err := core.New(cfg).Run(c.Preop, c.PreopLabels, c.Intraop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ventMask := c.PreopLabels.Mask(volume.LabelVentricle)
+		brainRMS, err := res.Backward.RMSDifference(c.Truth, c.BrainMask)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ventRMS, err := res.Backward.RMSDifference(c.Truth, ventMask)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, outcome{mt.name, brainRMS, ventRMS, res.MatchMeanAbsDiff})
+	}
+
+	fmt.Println("Material model ablation (48^3 case, deformation RMS error vs ground truth)")
+	fmt.Printf("%-34s %12s %16s %14s\n", "model", "brain (mm)", "ventricles (mm)", "boundary diff")
+	for _, r := range results {
+		fmt.Printf("%-34s %12.3f %16.3f %14.3f\n", r.name, r.brainRMS, r.ventRMS, r.boundary)
+	}
+	fmt.Println()
+	fmt.Println("The paper notes the homogeneous model misregisters the ventricles on")
+	fmt.Println("the side opposite the resection; assigning the falx a high stiffness")
+	fmt.Println("and the ventricles near-incompressible softness is its proposed fix.")
+}

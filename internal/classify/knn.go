@@ -1,0 +1,376 @@
+// Package classify implements the paper's intraoperative tissue
+// classification: k-nearest-neighbor classification of each voxel in a
+// multichannel feature space combining intraoperative MR intensity with
+// the spatially varying anatomical localization model (saturated
+// distance transforms of the preoperative segmentation).
+//
+// The statistical model is encoded implicitly by prototype voxels of
+// known tissue class (selected once with a few minutes of interaction
+// in the paper; sampled from the warped preoperative segmentation
+// here). The spatial locations of the prototypes are recorded so the
+// model can be refreshed automatically when later intraoperative scans
+// arrive, exactly as the paper describes.
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/volume"
+)
+
+// Prototype is a labeled sample point in feature space.
+type Prototype struct {
+	Features []float64
+	Label    volume.Label
+	// VoxelIndex is the linear index of the voxel the prototype was
+	// taken from, recorded so features can be re-read from new scans.
+	VoxelIndex int
+}
+
+// Classifier is a k-NN classifier over multichannel voxel features.
+type Classifier struct {
+	K          int
+	Prototypes []Prototype
+	// Weights scales each feature channel before distance computation;
+	// nil means all channels weigh 1. Distance-transform channels are
+	// typically down-weighted relative to intensity.
+	Weights []float64
+	// Workers is the parallelism degree; 0 means GOMAXPROCS. The paper
+	// runs classification in parallel alongside the FEM solver on the
+	// same hardware (its SC'98 companion paper).
+	Workers int
+}
+
+// channelsToFeatures reads the feature vector of voxel idx from the
+// channel volumes.
+func channelsToFeatures(channels []*volume.Scalar, idx int, out []float64) {
+	for c, ch := range channels {
+		out[c] = float64(ch.Data[idx])
+	}
+}
+
+// validateChannels checks all channels share one grid shape.
+func validateChannels(channels []*volume.Scalar) error {
+	if len(channels) == 0 {
+		return fmt.Errorf("classify: no feature channels")
+	}
+	g := channels[0].Grid
+	for i, ch := range channels[1:] {
+		if !ch.Grid.SameShape(g) {
+			return fmt.Errorf("classify: channel %d shape %v != channel 0 shape %v",
+				i+1, ch.Grid, g)
+		}
+	}
+	return nil
+}
+
+// SamplePrototypes draws up to perClass prototype voxels for every label
+// present in labels (excluding classes in skip), reading their feature
+// vectors from channels. Sampling is deterministic for a given seed.
+func SamplePrototypes(labels *volume.Labels, channels []*volume.Scalar,
+	perClass int, seed int64, skip ...volume.Label) ([]Prototype, error) {
+	if err := validateChannels(channels); err != nil {
+		return nil, err
+	}
+	if !labels.Grid.SameShape(channels[0].Grid) {
+		return nil, fmt.Errorf("classify: labels shape %v != channels shape %v",
+			labels.Grid, channels[0].Grid)
+	}
+	skipSet := map[volume.Label]bool{}
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := map[volume.Label][]int{}
+	for idx, lab := range labels.Data {
+		if skipSet[lab] {
+			continue
+		}
+		byClass[lab] = append(byClass[lab], idx)
+	}
+	// Deterministic class order.
+	classes := make([]volume.Label, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
+
+	var protos []Prototype
+	nc := len(channels)
+	for _, c := range classes {
+		idxs := byClass[c]
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		n := perClass
+		if n > len(idxs) {
+			n = len(idxs)
+		}
+		for _, idx := range idxs[:n] {
+			p := Prototype{
+				Features:   make([]float64, nc),
+				Label:      c,
+				VoxelIndex: idx,
+			}
+			channelsToFeatures(channels, idx, p.Features)
+			protos = append(protos, p)
+		}
+	}
+	if len(protos) == 0 {
+		return nil, fmt.Errorf("classify: no prototypes could be sampled")
+	}
+	return protos, nil
+}
+
+// RefreshFeatures re-reads every prototype's feature vector from a new
+// set of channel volumes at the recorded voxel locations — the paper's
+// automatic statistical model update for subsequent intraoperative
+// scans.
+func (c *Classifier) RefreshFeatures(channels []*volume.Scalar) error {
+	if err := validateChannels(channels); err != nil {
+		return err
+	}
+	n := channels[0].Grid.Len()
+	for i := range c.Prototypes {
+		p := &c.Prototypes[i]
+		if p.VoxelIndex < 0 || p.VoxelIndex >= n {
+			return fmt.Errorf("classify: prototype %d voxel index %d out of range", i, p.VoxelIndex)
+		}
+		if len(p.Features) != len(channels) {
+			p.Features = make([]float64, len(channels))
+		}
+		channelsToFeatures(channels, p.VoxelIndex, p.Features)
+	}
+	return nil
+}
+
+// RefreshFeaturesRobust refreshes the prototype features from new
+// channel volumes like RefreshFeatures, then discards prototypes whose
+// refreshed intensity (channel 0) is an outlier within their class —
+// deviating from the class median by more than maxDev median absolute
+// deviations. Such prototypes sit where the tissue itself changed
+// between scans (resection cavity, brain-shift gap) and would poison
+// the statistical model; a human expert would simply not pick them. At
+// least minKeep prototypes per class are always retained (the nearest
+// to the median), so a class can never vanish from the model.
+func (c *Classifier) RefreshFeaturesRobust(channels []*volume.Scalar, maxDev float64, minKeep int) error {
+	if err := c.RefreshFeatures(channels); err != nil {
+		return err
+	}
+	if maxDev <= 0 {
+		maxDev = 4
+	}
+	if minKeep < 1 {
+		minKeep = 1
+	}
+	byClass := map[volume.Label][]int{}
+	for i, p := range c.Prototypes {
+		byClass[p.Label] = append(byClass[p.Label], i)
+	}
+	drop := make([]bool, len(c.Prototypes))
+	for _, idxs := range byClass {
+		vals := make([]float64, len(idxs))
+		for k, i := range idxs {
+			vals[k] = c.Prototypes[i].Features[0]
+		}
+		med := median(vals)
+		devs := make([]float64, len(vals))
+		for k, v := range vals {
+			devs[k] = abs64(v - med)
+		}
+		mad := median(devs)
+		if mad < 1e-9 {
+			mad = 1e-9
+		}
+		// Candidates to drop, most deviant first; stop before dropping
+		// below minKeep.
+		type cand struct {
+			idx int
+			dev float64
+		}
+		var cands []cand
+		for k, i := range idxs {
+			if devs[k] > maxDev*mad {
+				cands = append(cands, cand{i, devs[k]})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dev > cands[b].dev })
+		allowed := len(idxs) - minKeep
+		if allowed < 0 {
+			allowed = 0
+		}
+		if len(cands) > allowed {
+			cands = cands[:allowed]
+		}
+		for _, cd := range cands {
+			drop[cd.idx] = true
+		}
+	}
+	kept := c.Prototypes[:0]
+	for i, p := range c.Prototypes {
+		if !drop[i] {
+			kept = append(kept, p)
+		}
+	}
+	c.Prototypes = kept
+	return nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Classify labels every voxel of the channel volumes by majority vote
+// among the K nearest prototypes in (weighted) Euclidean feature space.
+// Ties break toward the nearer prototype set (first encountered in
+// ascending distance order).
+func (c *Classifier) Classify(channels []*volume.Scalar) (*volume.Labels, error) {
+	if err := validateChannels(channels); err != nil {
+		return nil, err
+	}
+	if len(c.Prototypes) == 0 {
+		return nil, fmt.Errorf("classify: classifier has no prototypes")
+	}
+	k := c.K
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(c.Prototypes) {
+		k = len(c.Prototypes)
+	}
+	nc := len(channels)
+	for i, p := range c.Prototypes {
+		if len(p.Features) != nc {
+			return nil, fmt.Errorf("classify: prototype %d has %d features, want %d",
+				i, len(p.Features), nc)
+		}
+	}
+	weights := c.Weights
+	if weights == nil {
+		weights = make([]float64, nc)
+		for i := range weights {
+			weights[i] = 1
+		}
+	} else if len(weights) != nc {
+		return nil, fmt.Errorf("classify: %d weights for %d channels", len(weights), nc)
+	}
+
+	g := channels[0].Grid
+	out := volume.NewLabels(g)
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Partition voxels into contiguous ranges, one goroutine per range.
+	nvox := g.Len()
+	chunk := (nvox + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > nvox {
+			hi = nvox
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			feat := make([]float64, nc)
+			bestD := make([]float64, k)
+			bestL := make([]volume.Label, k)
+			for idx := lo; idx < hi; idx++ {
+				channelsToFeatures(channels, idx, feat)
+				c.nearest(feat, weights, k, bestD, bestL)
+				out.Data[idx] = vote(bestL, bestD)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// nearest fills bestD/bestL with the k nearest prototypes to feat, in
+// ascending distance order, using insertion into a fixed-size sorted
+// buffer (k is small).
+func (c *Classifier) nearest(feat, weights []float64, k int, bestD []float64, bestL []volume.Label) {
+	for i := range bestD {
+		bestD[i] = 1e300
+		bestL[i] = 0
+	}
+	for pi := range c.Prototypes {
+		p := &c.Prototypes[pi]
+		d := 0.0
+		for f := range feat {
+			diff := (feat[f] - p.Features[f]) * weights[f]
+			d += diff * diff
+			if d >= bestD[k-1] {
+				break
+			}
+		}
+		if d >= bestD[k-1] {
+			continue
+		}
+		// Insert into sorted position.
+		pos := k - 1
+		for pos > 0 && bestD[pos-1] > d {
+			bestD[pos] = bestD[pos-1]
+			bestL[pos] = bestL[pos-1]
+			pos--
+		}
+		bestD[pos] = d
+		bestL[pos] = p.Label
+	}
+}
+
+// vote returns the majority label among the neighbors; ties go to the
+// label whose nearest representative is closest.
+func vote(labels []volume.Label, dists []float64) volume.Label {
+	var count [256]int
+	var nearestDist [256]float64
+	for i := range nearestDist {
+		nearestDist[i] = 1e300
+	}
+	for i, l := range labels {
+		if dists[i] >= 1e300 {
+			continue
+		}
+		count[l]++
+		if dists[i] < nearestDist[l] {
+			nearestDist[l] = dists[i]
+		}
+	}
+	best := volume.Label(0)
+	bestCount := -1
+	bestDist := 1e300
+	for l := 0; l < 256; l++ {
+		if count[l] == 0 {
+			continue
+		}
+		if count[l] > bestCount || (count[l] == bestCount && nearestDist[l] < bestDist) {
+			best = volume.Label(l)
+			bestCount = count[l]
+			bestDist = nearestDist[l]
+		}
+	}
+	return best
+}

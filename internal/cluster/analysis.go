@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpeedupPoint is one point of a speedup curve.
+type SpeedupPoint struct {
+	CPUs       int
+	Time       float64
+	Speedup    float64
+	Efficiency float64
+}
+
+// SpeedupCurve converts (cpus, time) pairs into speedup and parallel
+// efficiency relative to the smallest CPU count present (normally 1).
+// Points must be ordered by increasing CPU count.
+func SpeedupCurve(cpus []int, times []float64) ([]SpeedupPoint, error) {
+	if len(cpus) != len(times) || len(cpus) == 0 {
+		return nil, fmt.Errorf("cluster: %d cpu counts vs %d times", len(cpus), len(times))
+	}
+	base := times[0] * float64(cpus[0])
+	out := make([]SpeedupPoint, len(cpus))
+	for i := range cpus {
+		if cpus[i] <= 0 || times[i] <= 0 {
+			return nil, fmt.Errorf("cluster: non-positive point (%d, %g)", cpus[i], times[i])
+		}
+		if i > 0 && cpus[i] <= cpus[i-1] {
+			return nil, fmt.Errorf("cluster: CPU counts not increasing at %d", i)
+		}
+		sp := base / times[i]
+		out[i] = SpeedupPoint{
+			CPUs:       cpus[i],
+			Time:       times[i],
+			Speedup:    sp,
+			Efficiency: sp / float64(cpus[i]),
+		}
+	}
+	return out, nil
+}
+
+// FitAmdahl estimates the serial fraction s of Amdahl's law
+// T(p) = T1 (s + (1-s)/p) by least squares over the measured curve,
+// returning s in [0, 1]. A small s means the workload is nearly
+// perfectly parallel; the paper's assembly and solve imbalances show up
+// as an effective serial fraction.
+func FitAmdahl(points []SpeedupPoint) (serialFraction float64, err error) {
+	if len(points) < 2 {
+		return 0, fmt.Errorf("cluster: need at least 2 points")
+	}
+	// T(p)/T1 = s + (1-s)/p  =>  y_i = s (1 - 1/p_i) + 1/p_i where
+	// y_i = T(p_i)/T1. Least squares for s over x_i = (1 - 1/p_i):
+	// s = sum x_i (y_i - 1/p_i) / sum x_i^2.
+	t1 := points[0].Time * float64(points[0].CPUs) // normalize to 1-CPU time
+	var num, den float64
+	for _, pt := range points {
+		p := float64(pt.CPUs)
+		x := 1 - 1/p
+		y := pt.Time / t1
+		num += x * (y - 1/p)
+		den += x * x
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("cluster: degenerate fit (single CPU count)")
+	}
+	s := num / den
+	return math.Max(0, math.Min(1, s)), nil
+}
+
+// FormatSpeedup renders a speedup table.
+func FormatSpeedup(points []SpeedupPoint) string {
+	out := fmt.Sprintf("%6s %10s %10s %12s\n", "CPUs", "time(s)", "speedup", "efficiency")
+	for _, p := range points {
+		out += fmt.Sprintf("%6d %10.2f %10.2f %11.0f%%\n",
+			p.CPUs, p.Time, p.Speedup, p.Efficiency*100)
+	}
+	return out
+}

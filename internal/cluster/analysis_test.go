@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpeedupCurvePerfectScaling(t *testing.T) {
+	cpus := []int{1, 2, 4, 8}
+	times := []float64{80, 40, 20, 10}
+	pts, err := SpeedupCurve(cpus, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if math.Abs(p.Speedup-float64(cpus[i])) > 1e-12 {
+			t.Errorf("cpus=%d speedup=%v", p.CPUs, p.Speedup)
+		}
+		if math.Abs(p.Efficiency-1) > 1e-12 {
+			t.Errorf("cpus=%d efficiency=%v", p.CPUs, p.Efficiency)
+		}
+	}
+}
+
+func TestSpeedupCurveBaseNotOne(t *testing.T) {
+	// Curves that start at 2 CPUs normalize to an implied 1-CPU time.
+	pts, err := SpeedupCurve([]int{2, 4}, []float64{40, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pts[0].Speedup-2) > 1e-12 || math.Abs(pts[1].Speedup-4) > 1e-12 {
+		t.Errorf("speedups = %v, %v", pts[0].Speedup, pts[1].Speedup)
+	}
+}
+
+func TestSpeedupCurveErrors(t *testing.T) {
+	if _, err := SpeedupCurve([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SpeedupCurve(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := SpeedupCurve([]int{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing CPUs accepted")
+	}
+	if _, err := SpeedupCurve([]int{1, 2}, []float64{1, -2}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestFitAmdahlRecoversKnownFraction(t *testing.T) {
+	for _, s := range []float64{0, 0.05, 0.2, 0.5} {
+		t1 := 100.0
+		var cpus []int
+		var times []float64
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			cpus = append(cpus, p)
+			times = append(times, t1*(s+(1-s)/float64(p)))
+		}
+		pts, err := SpeedupCurve(cpus, times)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FitAmdahl(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-s) > 1e-9 {
+			t.Errorf("FitAmdahl = %v, want %v", got, s)
+		}
+	}
+}
+
+func TestFitAmdahlErrors(t *testing.T) {
+	if _, err := FitAmdahl(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := FitAmdahl([]SpeedupPoint{{CPUs: 1, Time: 1}}); err == nil {
+		t.Error("single-point fit accepted")
+	}
+}
+
+func TestFormatSpeedup(t *testing.T) {
+	pts, _ := SpeedupCurve([]int{1, 4}, []float64{40, 12})
+	s := FormatSpeedup(pts)
+	for _, want := range []string{"CPUs", "speedup", "efficiency", "3.33"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, s)
+		}
+	}
+}

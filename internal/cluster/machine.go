@@ -1,0 +1,235 @@
+// Package cluster models the three parallel architectures of the
+// paper's evaluation — the "Deep Flow" Alpha/Linux cluster (its Figure
+// 3), the Sun Ultra HPC 6000 SMP, and the pair of Ultra 80 servers on
+// Fast Ethernet — and converts measured per-rank work and communication
+// counts into predicted wall-clock times. This is the substitution for
+// hardware we cannot run: the *shape* of the scaling figures is driven
+// by the real per-rank operation counts produced by the instrumented
+// assembly and solver, while the hardware constants below set the
+// absolute scale.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link models a communication path with a per-message latency and a
+// sustained bandwidth.
+type Link struct {
+	LatencySec  float64
+	BytesPerSec float64
+}
+
+// Transfer returns the time to move n bytes as one message.
+func (l Link) Transfer(bytes float64) float64 {
+	if l.BytesPerSec <= 0 {
+		return l.LatencySec
+	}
+	return l.LatencySec + bytes/l.BytesPerSec
+}
+
+// NodeSpec records the paper's Figure 3 hardware description of a
+// cluster node (reproduced for the Deep Flow machine).
+type NodeSpec struct {
+	CPU         string
+	Motherboard string
+	Memory      string
+	Disk        string
+	Network     string
+	OS          string
+}
+
+// Machine is an analytic performance model of one of the paper's
+// platforms.
+type Machine struct {
+	Name    string
+	MaxCPUs int
+	// CPUsPerNode groups ranks into shared-memory nodes; ranks in the
+	// same node communicate over Intra, others over Inter.
+	CPUsPerNode int
+	// FlopRate is the sustained flop/s of one CPU on sparse FEM kernels
+	// (far below peak: these kernels are memory-bound).
+	FlopRate float64
+	// InsertCost is the time to accumulate one matrix entry during
+	// assembly (the MatSetValues-equivalent overhead that dominates
+	// 1990s assembly times).
+	InsertCost float64
+	Intra      Link
+	Inter      Link
+	// InitTime models the serial initialization (mesh setup, matrix
+	// preallocation) included in the paper's Figure 7 "sum" curve.
+	InitTime float64
+	// Spec optionally carries the Figure 3 node description.
+	Spec *NodeSpec
+}
+
+// sameNode reports whether ranks a and b share a shared-memory node.
+func (m Machine) sameNode(a, b int) bool {
+	if m.CPUsPerNode <= 0 {
+		return true
+	}
+	return a/m.CPUsPerNode == b/m.CPUsPerNode
+}
+
+// linkBetween returns the link connecting two ranks.
+func (m Machine) linkBetween(a, b int) Link {
+	if m.sameNode(a, b) {
+		return m.Intra
+	}
+	return m.Inter
+}
+
+// worstLink returns the slowest link any pair of the first p ranks
+// uses (Inter when the job spans nodes, Intra otherwise).
+func (m Machine) worstLink(p int) Link {
+	if m.CPUsPerNode > 0 && p > m.CPUsPerNode {
+		return m.Inter
+	}
+	return m.Intra
+}
+
+// DeepFlow returns the model of the 16-node Alpha 21164A 533MHz Linux
+// cluster with Fast Ethernet (paper Figure 3). The flop rate and
+// insertion cost are calibrated so the single-CPU assembly and solve of
+// the 77,511-equation system land in the paper's measured range and the
+// full cluster completes in under ten seconds (the headline claim).
+func DeepFlow() Machine {
+	return Machine{
+		Name:        "Deep Flow (16x Alpha 21164A 533MHz, Fast Ethernet)",
+		MaxCPUs:     16,
+		CPUsPerNode: 1,
+		FlopRate:    80e6,
+		InsertCost:  1.6e-6,
+		Intra:       Link{LatencySec: 2e-6, BytesPerSec: 400e6},
+		Inter:       Link{LatencySec: 120e-6, BytesPerSec: 11.5e6},
+		InitTime:    1.5,
+		Spec: &NodeSpec{
+			CPU:         "Compaq Alpha 21164A (ev56) 533MHz w/ 8KB+8KB L1 and 96K L2 on chip caches",
+			Motherboard: "Microway Screamer LX w/ 2MB L3 9ns SRAM cache and a 128-bit wide 83MHz memory bus",
+			Memory:      "768 MB, 128 bit ECC unbuffered SDRAM 100MHz (1.3 GBytes/sec peak transfer rate)",
+			Disk:        "2.1 GB Seagate Medalist 2132 (ST32132A) IDE",
+			Network:     "Compaq DE500 Ethernet 10/100Mbps RJ45 full duplex",
+			OS:          "RedHat Linux 6.1",
+		},
+	}
+}
+
+// UltraHPC6000 returns the model of the Sun Ultra HPC 6000 symmetric
+// multiprocessor: 20 UltraSPARC-II 250MHz CPUs, 5 GB RAM, Gigaplane
+// shared interconnect.
+func UltraHPC6000() Machine {
+	return Machine{
+		Name:        "Sun Ultra HPC 6000 (20x UltraSPARC-II 250MHz SMP)",
+		MaxCPUs:     20,
+		CPUsPerNode: 0, // single shared-memory node
+		FlopRate:    45e6,
+		InsertCost:  2.6e-6,
+		Intra:       Link{LatencySec: 3e-6, BytesPerSec: 300e6},
+		Inter:       Link{LatencySec: 3e-6, BytesPerSec: 300e6},
+		InitTime:    2.5,
+	}
+}
+
+// Ultra80Pair returns the model of two Sun Ultra 80 servers (4x
+// UltraSPARC-II 450MHz each) networked with Fast Ethernet: a hybrid
+// SMP/cluster topology with at most 8 CPUs.
+func Ultra80Pair() Machine {
+	return Machine{
+		Name:        "2x Sun Ultra 80 (4x UltraSPARC-II 450MHz each, Fast Ethernet)",
+		MaxCPUs:     8,
+		CPUsPerNode: 4,
+		FlopRate:    80e6,
+		InsertCost:  1.5e-6,
+		Intra:       Link{LatencySec: 3e-6, BytesPerSec: 300e6},
+		Inter:       Link{LatencySec: 120e-6, BytesPerSec: 11.5e6},
+		InitTime:    1.8,
+	}
+}
+
+// Fig3Table renders the Deep Flow node specification table (the paper's
+// Figure 3).
+func Fig3Table() string {
+	s := DeepFlow().Spec
+	return fmt.Sprintf(`Item         Description
+CPU          %s
+Motherboard  %s
+Memory       %s
+Hard disk    %s
+Network Card %s
+OS           %s
+`, s.CPU, s.Motherboard, s.Memory, s.Disk, s.Network, s.OS)
+}
+
+// AssemblyWork is the per-rank footprint of the matrix assembly phase.
+type AssemblyWork struct {
+	FlopsPerRank   []float64
+	EntriesPerRank []float64
+}
+
+// AssemblyTime predicts the wall-clock time of the assembly phase: the
+// critical path over ranks of compute plus insertion cost. Assembly
+// needs no communication (each rank owns its rows).
+func (m Machine) AssemblyTime(w AssemblyWork) float64 {
+	t := 0.0
+	for r := range w.FlopsPerRank {
+		rt := w.FlopsPerRank[r]/m.FlopRate + w.EntriesPerRank[r]*m.InsertCost
+		if rt > t {
+			t = rt
+		}
+	}
+	return t
+}
+
+// SolveWork is the per-rank footprint of the iterative solve phase,
+// built from the matrix partition statistics and the actual iteration
+// counts of the Krylov solver.
+type SolveWork struct {
+	RowsPerRank      []float64
+	NNZPerRank       []float64
+	BlockNNZPerRank  []float64
+	HaloInPerRank    []float64
+	HaloPeersPerRank []float64
+	// Iteration counts from solver.Stats.
+	MatVecs, PCApplies, DotProducts, AXPYs int
+}
+
+// SolveTime predicts the wall-clock time of the solve: per-rank compute
+// critical path, plus halo exchanges per matrix-vector product, plus
+// tree allreduces per dot product.
+func (m Machine) SolveTime(w SolveWork) float64 {
+	p := len(w.RowsPerRank)
+	compute := 0.0
+	comm := 0.0
+	for r := 0; r < p; r++ {
+		// SpMV and triangular solves cost ~2 flops per stored entry;
+		// vector kernels ~2 flops per row.
+		flops := float64(w.MatVecs)*2*w.NNZPerRank[r] +
+			float64(w.PCApplies)*2*w.BlockNNZPerRank[r] +
+			float64(w.DotProducts+w.AXPYs)*2*w.RowsPerRank[r]
+		if t := flops / m.FlopRate; t > compute {
+			compute = t
+		}
+		// Halo exchange before every matvec.
+		link := m.worstLink(p)
+		ct := float64(w.MatVecs) * (w.HaloPeersPerRank[r]*link.LatencySec +
+			8*w.HaloInPerRank[r]/nonZero(link.BytesPerSec))
+		if ct > comm {
+			comm = ct
+		}
+	}
+	// Allreduce per dot product: tree of depth log2(p), 8-byte payload.
+	if p > 1 {
+		link := m.worstLink(p)
+		depth := math.Ceil(math.Log2(float64(p)))
+		comm += float64(w.DotProducts) * 2 * depth * link.Transfer(8)
+	}
+	return compute + comm
+}
+
+func nonZero(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func evenWork(total float64, p int) []float64 {
+	w := make([]float64, p)
+	for i := range w {
+		w[i] = total / float64(p)
+	}
+	return w
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := Link{LatencySec: 1e-4, BytesPerSec: 1e7}
+	if got := l.Transfer(1e7); got != 1.0001 {
+		t.Errorf("Transfer = %v", got)
+	}
+	zero := Link{LatencySec: 5e-6}
+	if got := zero.Transfer(100); got != 5e-6 {
+		t.Errorf("zero-bandwidth Transfer = %v", got)
+	}
+}
+
+func TestMachinesHaveSaneSpecs(t *testing.T) {
+	for _, m := range []Machine{DeepFlow(), UltraHPC6000(), Ultra80Pair()} {
+		if m.MaxCPUs <= 0 || m.FlopRate <= 0 || m.InsertCost <= 0 {
+			t.Errorf("%s: bad spec %+v", m.Name, m)
+		}
+	}
+	if DeepFlow().MaxCPUs != 16 {
+		t.Error("Deep Flow has 16 nodes in the paper")
+	}
+	if UltraHPC6000().MaxCPUs != 20 {
+		t.Error("Ultra 6000 has 20 CPUs in the paper")
+	}
+	if Ultra80Pair().MaxCPUs != 8 {
+		t.Error("Ultra 80 pair has 8 CPUs in the paper")
+	}
+}
+
+func TestFig3TableContent(t *testing.T) {
+	tab := Fig3Table()
+	for _, want := range []string{"Alpha 21164A", "533MHz", "768 MB", "RedHat Linux 6.1", "DE500"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("Fig3 table missing %q", want)
+		}
+	}
+}
+
+func TestAssemblyTimeScalesWithRanks(t *testing.T) {
+	m := DeepFlow()
+	totalFlops := 1e8
+	totalEntries := 1e7
+	t1 := m.AssemblyTime(AssemblyWork{
+		FlopsPerRank:   evenWork(totalFlops, 1),
+		EntriesPerRank: evenWork(totalEntries, 1),
+	})
+	t8 := m.AssemblyTime(AssemblyWork{
+		FlopsPerRank:   evenWork(totalFlops, 8),
+		EntriesPerRank: evenWork(totalEntries, 8),
+	})
+	if t8 >= t1 {
+		t.Errorf("assembly did not speed up: %v -> %v", t1, t8)
+	}
+	if ratio := t1 / t8; ratio < 7 || ratio > 9 {
+		t.Errorf("perfectly balanced work should scale ~8x, got %vx", ratio)
+	}
+}
+
+func TestAssemblyTimeDominatedByCriticalPath(t *testing.T) {
+	m := DeepFlow()
+	// One overloaded rank: time must follow the max, not the mean.
+	w := AssemblyWork{
+		FlopsPerRank:   []float64{1e8, 1e6, 1e6, 1e6},
+		EntriesPerRank: []float64{0, 0, 0, 0},
+	}
+	if got := m.AssemblyTime(w); got < 1e8/m.FlopRate {
+		t.Errorf("assembly time %v below critical path", got)
+	}
+}
+
+func solveWorkEven(p int, rows, nnz float64, iters int) SolveWork {
+	halo := make([]float64, p)
+	peers := make([]float64, p)
+	for r := 0; r < p; r++ {
+		if p > 1 {
+			halo[r] = 200
+			peers[r] = 2
+		}
+	}
+	return SolveWork{
+		RowsPerRank:      evenWork(rows, p),
+		NNZPerRank:       evenWork(nnz, p),
+		BlockNNZPerRank:  evenWork(nnz*0.9, p),
+		HaloInPerRank:    halo,
+		HaloPeersPerRank: peers,
+		MatVecs:          iters,
+		PCApplies:        iters,
+		DotProducts:      iters * 10,
+		AXPYs:            iters * 10,
+	}
+}
+
+func TestSolveTimeScalesWithRanks(t *testing.T) {
+	m := UltraHPC6000()
+	t1 := m.SolveTime(solveWorkEven(1, 77511, 4.6e6, 100))
+	t16 := m.SolveTime(solveWorkEven(16, 77511, 4.6e6, 100))
+	if t16 >= t1 {
+		t.Errorf("solve did not speed up: %v -> %v", t1, t16)
+	}
+	if t1/t16 < 4 {
+		t.Errorf("solve speedup only %vx at 16 CPUs", t1/t16)
+	}
+}
+
+func TestEthernetCommCostExceedsSMP(t *testing.T) {
+	// Same work on Deep Flow (Ethernet) vs Ultra 6000 (SMP), same flop
+	// rate forced, 8 ranks: the Ethernet machine must pay more for
+	// communication.
+	df := DeepFlow()
+	smp := UltraHPC6000()
+	smp.FlopRate = df.FlopRate
+	smp.InsertCost = df.InsertCost
+	w := solveWorkEven(8, 77511, 4.6e6, 100)
+	if df.SolveTime(w) <= smp.SolveTime(w) {
+		t.Errorf("Ethernet solve (%v) not slower than SMP solve (%v)",
+			df.SolveTime(w), smp.SolveTime(w))
+	}
+}
+
+func TestUltra80PairTopology(t *testing.T) {
+	m := Ultra80Pair()
+	if !m.sameNode(0, 3) {
+		t.Error("ranks 0 and 3 share a node")
+	}
+	if m.sameNode(3, 4) {
+		t.Error("ranks 3 and 4 are on different nodes")
+	}
+	if m.linkBetween(0, 1) != m.Intra {
+		t.Error("intra-node link wrong")
+	}
+	if m.linkBetween(0, 5) != m.Inter {
+		t.Error("inter-node link wrong")
+	}
+	// Within one node the worst link is Intra; spanning nodes it's Inter.
+	if m.worstLink(4) != m.Intra {
+		t.Error("4 CPUs fit one node")
+	}
+	if m.worstLink(5) != m.Inter {
+		t.Error("5 CPUs span nodes")
+	}
+}
+
+func TestSolveImbalanceSlowsSolve(t *testing.T) {
+	m := UltraHPC6000()
+	p := 4
+	balanced := solveWorkEven(p, 80000, 4e6, 100)
+	imbalanced := solveWorkEven(p, 80000, 4e6, 100)
+	// Concentrate constrained (trivial) rows on rank 3: its nnz drops,
+	// rank 0 keeps full work — the paper's boundary-condition imbalance.
+	imbalanced.NNZPerRank = []float64{1.5e6, 1.3e6, 1.0e6, 0.2e6}
+	tb := m.SolveTime(balanced)
+	ti := m.SolveTime(imbalanced)
+	if ti <= tb {
+		t.Errorf("imbalanced solve (%v) not slower than balanced (%v)", ti, tb)
+	}
+}
+
+func TestDeepFlowHeadlineUnderTenSeconds(t *testing.T) {
+	// Calibration sanity: a 77,511-equation system with realistic work
+	// distribution must assemble+solve in < 10 s at 16 CPUs and take
+	// tens of seconds at 1 CPU on the Deep Flow model (paper Figure 7).
+	m := DeepFlow()
+	nnz := 4.6e6
+	aw1 := AssemblyWork{FlopsPerRank: evenWork(1.2e8, 1), EntriesPerRank: evenWork(1.9e7, 1)}
+	aw16 := AssemblyWork{FlopsPerRank: evenWork(1.3e8, 16), EntriesPerRank: evenWork(2.1e7, 16)}
+	sw1 := solveWorkEven(1, 77511, nnz, 120)
+	sw16 := solveWorkEven(16, 77511, nnz, 160)
+	t1 := m.AssemblyTime(aw1) + m.SolveTime(sw1)
+	t16 := m.AssemblyTime(aw16) + m.SolveTime(sw16)
+	if t16 >= 10 {
+		t.Errorf("16-CPU total %v s, want < 10 (headline claim)", t16)
+	}
+	if t1 < 15 || t1 > 300 {
+		t.Errorf("1-CPU total %v s, want tens of seconds like the paper", t1)
+	}
+	if t1/t16 < 3 {
+		t.Errorf("speedup %vx too low", t1/t16)
+	}
+}

@@ -1,0 +1,436 @@
+// Package core orchestrates the paper's intraoperative registration
+// pipeline (its Figure 1): rigid MI registration of the intraoperative
+// scan to the preoperative frame, k-NN tissue classification with the
+// spatially varying localization model, active-surface correspondence
+// detection between the two brain surfaces, biomechanical FEM
+// simulation of the implied volumetric deformation, and resampling of
+// the preoperative data into the intraoperative configuration. Each
+// stage is timed, producing the timeline of the paper's Figure 6, and
+// match-quality metrics quantify what the paper shows visually in its
+// Figures 4 and 5.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/edt"
+	"repro/internal/fem"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/register"
+	"repro/internal/solver"
+	"repro/internal/surface"
+	"repro/internal/transform"
+	"repro/internal/volume"
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// MeshCellSize is the tetrahedral mesh resolution in voxels.
+	MeshCellSize int
+	// Materials is the biomechanical constitutive model.
+	Materials fem.Table
+	// Ranks is the parallelism degree for assembly and solve (the
+	// paper's CPU count).
+	Ranks int
+	// Register configures the rigid MI registration.
+	Register register.Options
+	// Surface configures the active surface evolution.
+	Surface surface.Options
+	// Solver configures the GMRES solve.
+	Solver solver.Options
+	// KNN, PrototypesPerClass and EDTSaturation configure the tissue
+	// classification stage.
+	KNN                int
+	PrototypesPerClass int
+	EDTSaturation      float64
+	// UseBCCMesh selects the body-centered-cubic mesher (the paper's
+	// proposed "more regular connectivity" lattice) instead of the Kuhn
+	// marching-tetrahedra split.
+	UseBCCMesh bool
+	// SnapMesh conforms the mesh's brain-surface nodes to the smooth
+	// segmentation boundary (removing the marching-tetrahedra voxel
+	// staircase from the FEM geometry) and re-smooths the interior.
+	SnapMesh bool
+	// SkipRigid bypasses the rigid registration (for scan pairs already
+	// in one frame, or when benchmarking later stages in isolation).
+	SkipRigid bool
+	Seed      int64
+}
+
+// DefaultConfig returns the configuration used throughout the
+// reproduction's experiments.
+func DefaultConfig() Config {
+	return Config{
+		MeshCellSize:       2,
+		Materials:          fem.HomogeneousBrain(),
+		Ranks:              4,
+		Register:           register.DefaultOptions(),
+		Surface:            surface.DefaultOptions(),
+		Solver:             solver.DefaultOptions(),
+		KNN:                5,
+		PrototypesPerClass: 30,
+		EDTSaturation:      10,
+		Seed:               1,
+	}
+}
+
+// StageTiming records the wall-clock time of one pipeline stage — one
+// bar of the paper's Figure 6 timeline.
+type StageTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// Result is the output of one intraoperative registration.
+type Result struct {
+	// Rigid is the estimated scanner-frame alignment.
+	Rigid transform.Rigid
+	// RigidDiag reports the MI registration diagnostics.
+	RigidDiag register.Result
+	// IntraopLabels is the intraoperative tissue classification.
+	IntraopLabels *volume.Labels
+	// Surface is the active-surface correspondence result.
+	Surface *surface.Result
+	// SolveStats reports the FEM solver behaviour.
+	SolveStats solver.Stats
+	// NodeDisplacements is the solved volumetric deformation at the
+	// mesh nodes (forward: preop position -> intraop position).
+	NodeDisplacements []geom.Vec3
+	// Mesh is the tetrahedral model of the (aligned) preoperative head.
+	Mesh *mesh.Mesh
+	// Forward is the dense forward displacement field.
+	Forward *volume.Field
+	// Backward is its inverse in the backward-warp convention: warping
+	// the aligned preop scan with it produces the simulated match to
+	// the intraoperative scan (the paper's Figure 4c).
+	Backward *volume.Field
+	// Warped is the aligned preoperative scan deformed into the
+	// intraoperative configuration.
+	Warped *volume.Scalar
+	// AlignedPreop is the rigidly aligned preoperative scan (the
+	// rigid-only baseline the paper compares against).
+	AlignedPreop *volume.Scalar
+	// Timings is the per-stage timeline (Figure 6).
+	Timings []StageTiming
+
+	// Match-quality metrics inside the brain mask (Figure 4d analogue):
+	// mean absolute intensity difference to the intraoperative scan
+	// after rigid alignment only, and after the biomechanical match.
+	RigidMeanAbsDiff float64
+	MatchMeanAbsDiff float64
+
+	// PeakVonMises and MeanVonMises summarize the tissue stress implied
+	// by the recovered deformation (Pa) — the "quantitative monitoring
+	// of treatment progress" the paper's introduction promises.
+	PeakVonMises float64
+	MeanVonMises float64
+}
+
+// TotalTime returns the summed stage time.
+func (r *Result) TotalTime() time.Duration {
+	var t time.Duration
+	for _, s := range r.Timings {
+		t += s.Elapsed
+	}
+	return t
+}
+
+// Timeline renders the Figure 6 analogue as text.
+func (r *Result) Timeline() string {
+	out := "Timeline of intraoperative image processing\n"
+	for _, s := range r.Timings {
+		out += fmt.Sprintf("  %-28s %10.3fs\n", s.Name, s.Elapsed.Seconds())
+	}
+	out += fmt.Sprintf("  %-28s %10.3fs\n", "TOTAL", r.TotalTime().Seconds())
+	return out
+}
+
+// Pipeline runs intraoperative registrations against one preoperative
+// preparation.
+type Pipeline struct {
+	cfg Config
+}
+
+// New creates a pipeline with the given configuration.
+func New(cfg Config) *Pipeline {
+	if cfg.MeshCellSize <= 0 {
+		cfg.MeshCellSize = 2
+	}
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	if cfg.KNN <= 0 {
+		cfg.KNN = 5
+	}
+	if cfg.PrototypesPerClass <= 0 {
+		cfg.PrototypesPerClass = 30
+	}
+	if cfg.EDTSaturation <= 0 {
+		cfg.EDTSaturation = 10
+	}
+	return &Pipeline{cfg: cfg}
+}
+
+// brainSet reports whether a label belongs to the intracranial tissues
+// deformed by the biomechanical model.
+func brainSet(lab volume.Label) bool {
+	switch lab {
+	case volume.LabelBrain, volume.LabelVentricle, volume.LabelTumor,
+		volume.LabelFalx, volume.LabelResection:
+		return true
+	}
+	return false
+}
+
+// Run executes the full intraoperative pipeline: preop and preopLabels
+// are the preoperative preparation; intraop is the newly acquired scan.
+func (p *Pipeline) Run(preop *volume.Scalar, preopLabels *volume.Labels, intraop *volume.Scalar) (*Result, error) {
+	res, _, err := p.run(preop, preopLabels, intraop, nil)
+	return res, err
+}
+
+// run is the shared implementation: when cl is non-nil its prototypes
+// are refreshed from the new scan (the paper's automatic statistical
+// model update for successive intraoperative acquisitions) instead of
+// sampling fresh ones.
+func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
+	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
+	if preop == nil || preopLabels == nil || intraop == nil {
+		return nil, nil, fmt.Errorf("core: nil input volume")
+	}
+	if !preop.Grid.SameShape(preopLabels.Grid) {
+		return nil, nil, fmt.Errorf("core: preop scan %v and labels %v differ in shape",
+			preop.Grid, preopLabels.Grid)
+	}
+	cfg := p.cfg
+	res := &Result{}
+	timed := func(name string, fn func() error) error {
+		t0 := time.Now()
+		err := fn()
+		res.Timings = append(res.Timings, StageTiming{Name: name, Elapsed: time.Since(t0)})
+		return err
+	}
+
+	// Stage 1: rigid registration. The preoperative data is aligned to
+	// the intraoperative frame by MI maximization.
+	alignedPreop := preop
+	alignedLabels := preopLabels
+	if err := timed("rigid registration (MI)", func() error {
+		if cfg.SkipRigid {
+			res.Rigid = transform.Identity(intraop.Grid.Center())
+			return nil
+		}
+		init := register.CenterOfMassInit(intraop, preop, cfg.Register.Threshold)
+		diag, err := register.Align(intraop, preop, init, cfg.Register)
+		if err != nil {
+			return err
+		}
+		res.Rigid = diag.Transform
+		res.RigidDiag = diag
+		alignedPreop = transform.ResampleScalar(preop, diag.Transform, intraop.Grid)
+		alignedLabels = transform.ResampleLabels(preopLabels, diag.Transform, intraop.Grid)
+		return nil
+	}); err != nil {
+		return nil, nil, fmt.Errorf("core: rigid registration: %w", err)
+	}
+	if cfg.SkipRigid {
+		// Even without rigid alignment the downstream stages need the
+		// preop data on the intraop grid.
+		if !preop.Grid.SameShape(intraop.Grid) {
+			return nil, nil, fmt.Errorf("core: SkipRigid requires matching grids, got %v vs %v",
+				preop.Grid, intraop.Grid)
+		}
+	}
+	res.AlignedPreop = alignedPreop
+
+	// Stage 2: tissue classification of the intraoperative scan: k-NN
+	// over intensity + spatial localization channels derived from the
+	// aligned preoperative segmentation.
+	var intraLabels *volume.Labels
+	if err := timed("tissue classification (k-NN)", func() error {
+		channels := []*volume.Scalar{
+			intraop,
+			edt.Saturated(alignedLabels, volume.LabelBrain, cfg.EDTSaturation),
+			edt.Saturated(alignedLabels, volume.LabelVentricle, cfg.EDTSaturation),
+			edt.Saturated(alignedLabels, volume.LabelCSF, cfg.EDTSaturation),
+		}
+		if cl == nil {
+			// First scan: build the statistical model. Prototype
+			// features must come from the same modality as the scan
+			// being classified: read intensity from the aligned preop
+			// scan at the prototype voxels, localization channels as-is.
+			protoChannels := []*volume.Scalar{alignedPreop, channels[1], channels[2], channels[3]}
+			protos, err := classify.SamplePrototypes(alignedLabels, protoChannels,
+				cfg.PrototypesPerClass, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			cl = &classify.Classifier{
+				K:          cfg.KNN,
+				Prototypes: protos,
+				Weights:    []float64{1, 8, 8, 8},
+				Workers:    cfg.Ranks,
+			}
+		} else {
+			// Subsequent scan: the recorded prototype locations update
+			// the statistical model automatically from the new image
+			// (the paper's model-refresh mechanism). Prototypes whose
+			// tissue changed between scans (resection, shift gap) are
+			// rejected as per-class outliers.
+			if err := cl.RefreshFeaturesRobust(channels, 4, 5); err != nil {
+				return err
+			}
+			cl.Workers = cfg.Ranks
+		}
+		var err error
+		// The k-d tree wins once the prototype set is large; below that
+		// the brute-force scan's cache behaviour is better.
+		if len(cl.Prototypes) >= 128 {
+			intraLabels, err = cl.ClassifyKD(channels)
+		} else {
+			intraLabels, err = cl.Classify(channels)
+		}
+		return err
+	}); err != nil {
+		return nil, nil, fmt.Errorf("core: classification: %w", err)
+	}
+	res.IntraopLabels = intraLabels
+
+	// Stage 3: mesh the aligned preoperative anatomy (this could be
+	// precomputed preoperatively; it is timed here for completeness).
+	var m *mesh.Mesh
+	var brainSurf *mesh.TriMesh
+	if err := timed("mesh generation", func() error {
+		var err error
+		mesher := mesh.FromLabels
+		if cfg.UseBCCMesh {
+			mesher = mesh.FromLabelsBCC
+		}
+		m, err = mesher(alignedLabels, mesh.Options{
+			CellSize: cfg.MeshCellSize,
+			Include:  brainSet,
+		})
+		if err != nil {
+			return err
+		}
+		brainSurf, err = m.ExtractSurface(brainSet)
+		if err != nil {
+			return err
+		}
+		if cfg.SnapMesh {
+			// Conform the FEM geometry to the smooth preoperative brain
+			// boundary, then relax the interior lattice.
+			phiPre := edt.SignedOfSet(alignedLabels, brainSet, 0)
+			m.SnapToLevelSet(brainSurf.NodeID, phiPre, float64(cfg.MeshCellSize))
+			m.Smooth(3, 0.5)
+			// Re-extract so the surface carries the snapped positions.
+			brainSurf, err = m.ExtractSurface(brainSet)
+		}
+		return err
+	}); err != nil {
+		return nil, nil, fmt.Errorf("core: meshing: %w", err)
+	}
+	res.Mesh = m
+
+	// Stage 4: surface displacement: deform the preoperative brain
+	// surface onto the intraoperative brain surface.
+	var surfRes *surface.Result
+	if err := timed("surface displacement", func() error {
+		// The marching-tetrahedra surface is a voxel staircase; relax it
+		// onto the smooth preoperative brain boundary first so that this
+		// sub-voxel discretization correction does not contaminate the
+		// measured intraoperative motion. Both distance fields are
+		// lightly smoothed so their level sets do not inherit the voxel
+		// (or thick-slice) staircase of the label maps, which would
+		// otherwise make the evolution oscillate on anisotropic grids.
+		phiPre := edt.SignedOfSet(alignedLabels, brainSet, 0).SmoothGaussian(1.0)
+		relaxed, err := surface.Evolve(brainSurf, surface.SignedDistanceForce{Phi: phiPre}, cfg.Surface)
+		if err != nil {
+			return err
+		}
+		// Now deform the relaxed preoperative surface onto the
+		// classified intraoperative brain: these displacements are the
+		// physical surface correspondences.
+		phiIntra := edt.SignedOfSet(intraLabels, brainSet, 0).SmoothGaussian(1.0)
+		surfRes, err = surface.Evolve(relaxed.Final, surface.SignedDistanceForce{Phi: phiIntra}, cfg.Surface)
+		return err
+	}); err != nil {
+		return nil, nil, fmt.Errorf("core: active surface: %w", err)
+	}
+	res.Surface = surfRes
+
+	// Stage 5: biomechanical simulation: solve for the volumetric
+	// deformation with the surface displacements as boundary conditions.
+	var sys *fem.System
+	var solveRes *fem.SolveResult
+	if err := timed("biomechanical simulation", func() error {
+		var err error
+		sys, err = fem.Assemble(m, cfg.Materials, par.Even(m.NumNodes(), cfg.Ranks))
+		if err != nil {
+			return err
+		}
+		if err := sys.ApplyDirichlet(surfRes.BoundaryConditions()); err != nil {
+			return err
+		}
+		solveRes, err = sys.Solve(cfg.Solver)
+		return err
+	}); err != nil {
+		return nil, nil, fmt.Errorf("core: biomechanical simulation: %w", err)
+	}
+	res.SolveStats = solveRes.Stats
+	res.NodeDisplacements = solveRes.NodeU
+	// Tissue stress summary from the solved deformation.
+	if strains, err := sys.Strains(solveRes.NodeU); err == nil {
+		if stresses, err := sys.Stresses(strains, cfg.Materials); err == nil {
+			sum := 0.0
+			for _, st := range stresses {
+				vm := st.VonMises()
+				sum += vm
+				if vm > res.PeakVonMises {
+					res.PeakVonMises = vm
+				}
+			}
+			if len(stresses) > 0 {
+				res.MeanVonMises = sum / float64(len(stresses))
+			}
+		}
+	}
+
+	// Stage 6: resample the preoperative data through the computed
+	// volumetric deformation (the paper's ~0.5 s display step).
+	if err := timed("resampling", func() error {
+		res.Forward = sys.DisplacementField(solveRes.NodeU, intraop.Grid)
+		res.Backward = res.Forward.Invert(4)
+		res.Warped = res.Backward.WarpScalar(alignedPreop)
+		return nil
+	}); err != nil {
+		return nil, nil, fmt.Errorf("core: resampling: %w", err)
+	}
+
+	// Match-quality metrics (Figure 4d analogue). The paper judges the
+	// match "by the very small intensity differences at the boundary of
+	// the simulated deformed brain and the air gap inside the skull":
+	// accordingly the metric is computed over a band around the
+	// intraoperative brain boundary, where residual differences are
+	// attributable to misregistration rather than to resected tissue
+	// (whose intensity no deformation can reproduce).
+	phi := edt.SignedOfSet(intraLabels, brainSet, 0)
+	band := make([]bool, intraop.Grid.Len())
+	const bandWidth = 3.0 // mm
+	for i, v := range phi.Data {
+		if v >= -bandWidth && v <= bandWidth {
+			band[i] = true
+		}
+	}
+	if d, err := alignedPreop.AbsDiff(intraop); err == nil {
+		res.RigidMeanAbsDiff = d.ComputeStats(band).Mean
+	}
+	if d, err := res.Warped.AbsDiff(intraop); err == nil {
+		res.MatchMeanAbsDiff = d.ComputeStats(band).Mean
+	}
+	return res, cl, nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+// testCase generates a small neurosurgery case for pipeline tests.
+func testCase(n int) *phantom.Case {
+	p := phantom.DefaultParams(n)
+	p.NoiseStd = 2
+	p.ShiftMagnitude = 6
+	return phantom.Generate(p)
+}
+
+// fastConfig shrinks optimizer budgets for test-sized volumes.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SkipRigid = true // phantom pairs share a frame
+	cfg.Surface.MaxIter = 300
+	cfg.Surface.Tol = 0.001
+	cfg.Solver.Tol = 1e-6
+	cfg.Ranks = 2
+	return cfg
+}
+
+func TestPipelineEndToEndImprovesOnRigid(t *testing.T) {
+	c := testCase(32)
+	pl := New(fastConfig())
+	res, err := pl.Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headline quality claim (Figure 4): "the quality of the match is
+	// significantly better than can be obtained through rigid
+	// registration alone."
+	if res.MatchMeanAbsDiff >= res.RigidMeanAbsDiff {
+		t.Errorf("biomechanical match (%v) did not improve on rigid alone (%v)",
+			res.MatchMeanAbsDiff, res.RigidMeanAbsDiff)
+	}
+	improvement := (res.RigidMeanAbsDiff - res.MatchMeanAbsDiff) / res.RigidMeanAbsDiff
+	if improvement < 0.1 {
+		t.Errorf("improvement only %.0f%%, want significant (>= 10%%)", 100*improvement)
+	}
+	if !res.SolveStats.Converged {
+		t.Error("FEM solve did not converge")
+	}
+	if res.Surface.MaxDisp <= 0 {
+		t.Error("no surface displacement recovered")
+	}
+}
+
+func TestPipelineRecoversDeformationDirection(t *testing.T) {
+	c := testCase(32)
+	pl := New(fastConfig())
+	res, err := pl.Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered backward field should correlate with the ground
+	// truth: compare mean displacement vectors inside the brain.
+	g := c.Grid
+	var truthSum, gotSum float64
+	var n int
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				idx := g.Index(i, j, k)
+				if !c.BrainMask[idx] {
+					continue
+				}
+				tr := c.Truth.At(i, j, k)
+				got := res.Backward.At(i, j, k)
+				if tr.Norm() < 0.5 {
+					continue
+				}
+				truthSum += tr.Y // shift is along +y (craniotomy dir)
+				gotSum += got.Y
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no displaced brain voxels")
+	}
+	meanTruth := truthSum / float64(n)
+	meanGot := gotSum / float64(n)
+	if meanTruth <= 0 {
+		t.Fatalf("test setup: truth mean y-displacement %v not positive", meanTruth)
+	}
+	if meanGot < 0.3*meanTruth || meanGot > 2*meanTruth {
+		t.Errorf("recovered mean y-displacement %v vs truth %v: wrong magnitude", meanGot, meanTruth)
+	}
+}
+
+func TestPipelineStressMonitoring(t *testing.T) {
+	c := testCase(32)
+	pl := New(fastConfig())
+	res, err := pl.Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakVonMises <= 0 {
+		t.Error("no peak stress computed")
+	}
+	if res.MeanVonMises <= 0 || res.MeanVonMises > res.PeakVonMises {
+		t.Errorf("mean stress %v inconsistent with peak %v", res.MeanVonMises, res.PeakVonMises)
+	}
+	// A few-millimetre shift over a ~10mm lever in 3kPa tissue should
+	// produce stresses in the tens-to-thousands of Pa, not megapascals.
+	if res.PeakVonMises > 1e6 {
+		t.Errorf("peak stress %v Pa implausibly high", res.PeakVonMises)
+	}
+}
+
+func TestPipelineTimingsCoverAllStages(t *testing.T) {
+	c := testCase(24)
+	pl := New(fastConfig())
+	res, err := pl.Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{
+		"rigid registration (MI)",
+		"tissue classification (k-NN)",
+		"mesh generation",
+		"surface displacement",
+		"biomechanical simulation",
+		"resampling",
+	}
+	if len(res.Timings) != len(wantStages) {
+		t.Fatalf("timings = %d stages, want %d", len(res.Timings), len(wantStages))
+	}
+	for i, want := range wantStages {
+		if res.Timings[i].Name != want {
+			t.Errorf("stage %d = %q, want %q", i, res.Timings[i].Name, want)
+		}
+	}
+	if res.TotalTime() <= 0 {
+		t.Error("zero total time")
+	}
+	tl := res.Timeline()
+	for _, want := range append(wantStages, "TOTAL") {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+}
+
+func TestPipelineClassificationQuality(t *testing.T) {
+	c := testCase(32)
+	pl := New(fastConfig())
+	res, err := pl.Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dice, err := res.IntraopLabels.DiceCoefficient(c.IntraopLabels, volume.LabelBrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dice < 0.8 {
+		t.Errorf("intraoperative brain Dice = %v, want >= 0.8", dice)
+	}
+}
+
+func TestPipelineWithRigidMisalignment(t *testing.T) {
+	// Shift the intraop scan rigidly: the pipeline's MI stage must
+	// absorb the misalignment and the match must still beat rigid-only.
+	c := testCase(32)
+	cfg := fastConfig()
+	cfg.SkipRigid = false
+	cfg.Register.Levels = []int{2}
+	cfg.Register.MaxIter = 4
+	pl := New(cfg)
+	res, err := pl.Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchMeanAbsDiff >= res.RigidMeanAbsDiff {
+		t.Errorf("match (%v) did not improve on rigid (%v) with MI stage enabled",
+			res.MatchMeanAbsDiff, res.RigidMeanAbsDiff)
+	}
+}
+
+func TestPipelineInputValidation(t *testing.T) {
+	c := testCase(24)
+	pl := New(fastConfig())
+	if _, err := pl.Run(nil, c.PreopLabels, c.Intraop); err == nil {
+		t.Error("nil preop accepted")
+	}
+	if _, err := pl.Run(c.Preop, nil, c.Intraop); err == nil {
+		t.Error("nil labels accepted")
+	}
+	if _, err := pl.Run(c.Preop, c.PreopLabels, nil); err == nil {
+		t.Error("nil intraop accepted")
+	}
+	other := volume.NewLabels(volume.NewGrid(8, 8, 8, 1))
+	if _, err := pl.Run(c.Preop, other, c.Intraop); err == nil {
+		t.Error("mismatched label shape accepted")
+	}
+	// SkipRigid with different grids must fail.
+	smallIntraop := volume.NewScalar(volume.NewGrid(8, 8, 8, 1))
+	if _, err := pl.Run(c.Preop, c.PreopLabels, smallIntraop); err == nil {
+		t.Error("SkipRigid with mismatched grids accepted")
+	}
+}
+
+func TestPipelineRanksInvariance(t *testing.T) {
+	// The registration result must not depend on the parallelism degree.
+	c := testCase(24)
+	cfg1 := fastConfig()
+	cfg1.Ranks = 1
+	cfg4 := fastConfig()
+	cfg4.Ranks = 4
+	r1, err := New(cfg1).Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := New(cfg4).Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := r1.Backward.RMSDifference(r4.Backward, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block Jacobi with different block counts converges to the same
+	// solution within solver tolerance.
+	if rms > 0.05 {
+		t.Errorf("rank count changed the deformation field: RMS %v mm", rms)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/volume"
+)
+
+// Session manages the succession of intraoperative scans acquired over
+// the course of one surgery ("several volumetric MRI scans were carried
+// out during surgery ... other scans were acquired as the surgeon
+// checked the progress of tumor resection"). The statistical tissue
+// model is built on the first scan; for every later scan the recorded
+// prototype voxel locations update it automatically, exactly as the
+// paper describes.
+type Session struct {
+	pipeline    *Pipeline
+	preop       *volume.Scalar
+	preopLabels *volume.Labels
+	classifier  *classify.Classifier
+	results     []*Result
+}
+
+// NewSession prepares a surgical session from the preoperative data.
+func NewSession(cfg Config, preop *volume.Scalar, preopLabels *volume.Labels) (*Session, error) {
+	if preop == nil || preopLabels == nil {
+		return nil, fmt.Errorf("core: nil preoperative data")
+	}
+	if !preop.Grid.SameShape(preopLabels.Grid) {
+		return nil, fmt.Errorf("core: preop scan %v and labels %v differ in shape",
+			preop.Grid, preopLabels.Grid)
+	}
+	return &Session{
+		pipeline:    New(cfg),
+		preop:       preop,
+		preopLabels: preopLabels,
+	}, nil
+}
+
+// RegisterScan registers one newly acquired intraoperative scan against
+// the preoperative preparation and returns the registration result. The
+// first call builds the tissue statistical model; later calls refresh
+// it from the new image at the recorded prototype locations.
+func (s *Session) RegisterScan(intraop *volume.Scalar) (*Result, error) {
+	res, cl, err := s.pipeline.run(s.preop, s.preopLabels, intraop, s.classifier)
+	if err != nil {
+		return nil, err
+	}
+	s.classifier = cl
+	s.results = append(s.results, res)
+	return res, nil
+}
+
+// ScanCount returns the number of scans registered so far.
+func (s *Session) ScanCount() int { return len(s.results) }
+
+// Results returns all registration results in acquisition order.
+func (s *Session) Results() []*Result { return s.results }
+
+// PrototypeCount returns the size of the shared statistical model (0
+// before the first scan).
+func (s *Session) PrototypeCount() int {
+	if s.classifier == nil {
+		return 0
+	}
+	return len(s.classifier.Prototypes)
+}

@@ -1,0 +1,204 @@
+package demons
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+// shiftedPair builds a structured volume and a copy translated by d.
+func shiftedPair(n int, d geom.Vec3) (fixed, moving *volume.Scalar) {
+	g := volume.NewGrid(n, n, n, 1)
+	fixed = volume.NewScalar(g)
+	c := g.Center()
+	render := func(s *volume.Scalar, offset geom.Vec3) {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					p := g.World(i, j, k).Sub(offset)
+					r := p.Dist(c)
+					v := 0.0
+					switch {
+					case r < float64(n)/5:
+						v = 120
+					case r < float64(n)/3:
+						v = 60
+					}
+					s.Set(i, j, k, v)
+				}
+			}
+		}
+	}
+	render(fixed, geom.Vec3{})
+	moving = volume.NewScalar(g)
+	render(moving, d)
+	return
+}
+
+func TestRegisterRecoversTranslation(t *testing.T) {
+	// moving = fixed shifted by +2mm in x. The recovered backward field
+	// should be ~(-2, 0, 0)... careful with conventions: moving content
+	// sits at +2; warping moving by u must reproduce fixed, so
+	// moving(p + u(p)) = fixed(p) => u ~ +d.
+	d := geom.V(2, 0, 0)
+	fixed, moving := shiftedPair(24, d)
+	opts := DefaultOptions()
+	opts.Levels = []int{2, 1}
+	opts.Iterations = 30
+	res, err := Register(fixed, moving, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the recovered displacement near the object boundary (where
+	// there is gradient information).
+	g := fixed.Grid
+	c := g.Center()
+	var sum geom.Vec3
+	n := 0
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				p := g.World(i, j, k)
+				r := p.Dist(c)
+				if r > float64(24)/5-2 && r < float64(24)/5+2 {
+					sum = sum.Add(res.Field.At(i, j, k))
+					n++
+				}
+			}
+		}
+	}
+	mean := sum.Scale(1 / float64(n))
+	if math.Abs(mean.X-d.X) > 1.0 {
+		t.Errorf("mean recovered x-displacement %v, want ~%v", mean.X, d.X)
+	}
+	if math.Abs(mean.Y) > 0.5 || math.Abs(mean.Z) > 0.5 {
+		t.Errorf("spurious lateral displacement: %v", mean)
+	}
+	// Registration must reduce the intensity mismatch.
+	before := mseFor(t, fixed, moving)
+	if res.FinalMSE >= before {
+		t.Errorf("MSE did not improve: %v -> %v", before, res.FinalMSE)
+	}
+}
+
+func mseFor(t *testing.T, a, b *volume.Scalar) float64 {
+	t.Helper()
+	return mse(a, b)
+}
+
+func TestRegisterIdenticalIsNearZero(t *testing.T) {
+	fixed, _ := shiftedPair(20, geom.Vec3{})
+	opts := DefaultOptions()
+	opts.Levels = []int{2}
+	opts.Iterations = 10
+	res, err := Register(fixed, fixed.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.Field.MaxMagnitude(); m > 0.1 {
+		t.Errorf("identical volumes produced %v mm displacement", m)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	fixed, _ := shiftedPair(12, geom.Vec3{})
+	other := volume.NewScalar(volume.NewGrid(8, 8, 8, 1))
+	if _, err := Register(fixed, other, DefaultOptions()); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	bad := &volume.Scalar{Grid: volume.Grid{}}
+	if _, err := Register(bad, bad, DefaultOptions()); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}
+
+func TestJacobianOfIdentityIsOne(t *testing.T) {
+	u := volume.NewField(volume.NewGrid(8, 8, 8, 1))
+	dets := JacobianDeterminants(u)
+	for _, v := range dets.Data {
+		if math.Abs(float64(v)-1) > 1e-6 {
+			t.Fatalf("identity Jacobian = %v", v)
+		}
+	}
+	if f := FoldedFraction(u, nil); f != 0 {
+		t.Errorf("identity folded fraction = %v", f)
+	}
+	if m := MeanAbsLogJacobian(u, nil); m > 1e-6 {
+		t.Errorf("identity |log J| = %v", m)
+	}
+}
+
+func TestJacobianOfUniformScale(t *testing.T) {
+	// u(p) = 0.1 p gives J = det(1.1 I) = 1.331 everywhere (interior).
+	g := volume.NewGrid(10, 10, 10, 1)
+	u := volume.NewField(g)
+	for k := 0; k < 10; k++ {
+		for j := 0; j < 10; j++ {
+			for i := 0; i < 10; i++ {
+				u.Set(i, j, k, g.World(i, j, k).Scale(0.1))
+			}
+		}
+	}
+	dets := JacobianDeterminants(u)
+	want := 1.1 * 1.1 * 1.1
+	if v := float64(dets.At(5, 5, 5)); math.Abs(v-want) > 1e-3 {
+		t.Errorf("scale Jacobian = %v, want %v", v, want)
+	}
+}
+
+func TestFoldingDetected(t *testing.T) {
+	// A displacement that reverses x locally: u_x = -2x around center.
+	g := volume.NewGrid(12, 12, 12, 1)
+	u := volume.NewField(g)
+	for k := 0; k < 12; k++ {
+		for j := 0; j < 12; j++ {
+			for i := 0; i < 12; i++ {
+				p := g.World(i, j, k)
+				u.Set(i, j, k, geom.V(-2*(p.X-6), 0, 0))
+			}
+		}
+	}
+	if f := FoldedFraction(u, nil); f < 0.5 {
+		t.Errorf("folding fraction = %v, want most of the volume", f)
+	}
+}
+
+// TestDemonsDeformsRigidStructures demonstrates the baseline's failure
+// mode the paper built the biomechanical model to avoid: an intensity-
+// driven field has no notion of material properties, so it displaces
+// the (rigid, immobile) skull wherever intensity mismatch or field
+// smoothing reaches it — "it is not possible to effectively model the
+// different material properties of different structures in the head".
+// The ground-truth (physical) deformation keeps the skull exactly
+// fixed, as does the biomechanical pipeline, whose model only deforms
+// intracranial tissue.
+func TestDemonsDeformsRigidStructures(t *testing.T) {
+	p := phantom.DefaultParams(32)
+	p.NoiseStd = 1
+	c := phantom.Generate(p)
+	opts := DefaultOptions()
+	opts.Levels = []int{2, 1}
+	opts.Iterations = 30
+	res, err := Register(c.Intraop, c.Preop, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skullMask := c.PreopLabels.Mask(volume.LabelSkull)
+	truthSkull := c.Truth.MeanMagnitude(skullMask)
+	demonsSkull := res.Field.MeanMagnitude(skullMask)
+	if truthSkull != 0 {
+		t.Fatalf("test setup: physical truth moves the skull by %v", truthSkull)
+	}
+	if demonsSkull < 0.05 {
+		t.Errorf("demons skull displacement %v mm — expected the baseline to (wrongly) move rigid anatomy", demonsSkull)
+	}
+	// And the baseline must at least be doing its job on intensity:
+	warped := res.Field.WarpScalar(c.Preop)
+	before, after := mse(c.Intraop, c.Preop), mse(c.Intraop, warped)
+	if after >= before {
+		t.Errorf("demons failed to reduce intensity mismatch: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,46 @@
+package edt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/volume"
+)
+
+func benchLabels(n int, seed int64) *volume.Labels {
+	rng := rand.New(rand.NewSource(seed))
+	g := volume.NewGrid(n, n, n, 1)
+	l := volume.NewLabels(g)
+	for i := range l.Data {
+		if rng.Float64() < 0.3 {
+			l.Data[i] = volume.LabelBrain
+		}
+	}
+	return l
+}
+
+func BenchmarkSquaredFromMask64(b *testing.B) {
+	l := benchLabels(64, 1)
+	mask := l.Mask(volume.LabelBrain)
+	b.SetBytes(int64(l.Grid.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredFromMask(l.Grid, mask)
+	}
+}
+
+func BenchmarkSaturated64(b *testing.B) {
+	l := benchLabels(64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Saturated(l, volume.LabelBrain, 10)
+	}
+}
+
+func BenchmarkSigned64(b *testing.B) {
+	l := benchLabels(64, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Signed(l, volume.LabelBrain, 0)
+	}
+}

@@ -1,0 +1,206 @@
+// Package edt implements exact Euclidean distance transforms of 3D
+// binary masks and label volumes.
+//
+// The paper converts each preoperative tissue-class segmentation into an
+// explicit spatially varying localization model by computing a
+// *saturated distance transform* (Ragnemalm 1993): voxels inside the
+// structure carry distance 0 (or negative interior distance), voxels
+// outside carry their Euclidean distance to the structure, clamped at a
+// saturation radius so that far-away anatomy does not dominate the
+// feature space used for k-NN classification.
+//
+// We compute exact Euclidean distances with the separable lower-envelope
+// algorithm of Felzenszwalb & Huttenlocher (2012), which matches
+// Ragnemalm's exact-EDT output while being simpler to implement in
+// arbitrary dimension, and then apply the saturation.
+package edt
+
+import (
+	"math"
+
+	"repro/internal/volume"
+)
+
+// inf is a large sentinel for "no feature found yet". Using a finite
+// value keeps the parabola arithmetic well-defined.
+const inf = 1e20
+
+// distanceTransform1D computes the 1D squared-distance transform of
+// f (sampled at integer positions with the given spacing) using the
+// lower envelope of parabolas. The result is written into d, which must
+// have the same length as f. v and z are scratch slices of length n and
+// n+1 respectively.
+func distanceTransform1D(f, d []float64, v []int, z []float64, spacing float64) {
+	n := len(f)
+	if n == 0 {
+		return
+	}
+	sp2 := spacing * spacing
+	k := 0
+	v[0] = 0
+	z[0] = -inf
+	z[1] = inf
+	for q := 1; q < n; q++ {
+		var s float64
+		for {
+			p := v[k]
+			// Intersection of parabolas rooted at p and q (in grid
+			// units, scaled by spacing^2).
+			s = (f[q] + sp2*float64(q*q) - f[p] - sp2*float64(p*p)) /
+				(2 * sp2 * float64(q-p))
+			if s > z[k] {
+				break
+			}
+			k--
+		}
+		k++
+		v[k] = q
+		z[k] = s
+		z[k+1] = inf
+	}
+	k = 0
+	for q := 0; q < n; q++ {
+		for z[k+1] < float64(q) {
+			k++
+		}
+		dq := float64(q - v[k])
+		d[q] = sp2*dq*dq + f[v[k]]
+	}
+}
+
+// SquaredFromMask returns the exact squared Euclidean distance (in world
+// units, respecting anisotropic spacing) from every voxel to the nearest
+// voxel where mask is true. Voxels inside the mask get 0. When the mask
+// is empty every voxel gets +inf (represented as a value >= 1e19).
+func SquaredFromMask(g volume.Grid, mask []bool) []float64 {
+	n := g.Len()
+	d := make([]float64, n)
+	for i := range d {
+		if mask[i] {
+			d[i] = 0
+		} else {
+			d[i] = inf
+		}
+	}
+
+	maxDim := g.NX
+	if g.NY > maxDim {
+		maxDim = g.NY
+	}
+	if g.NZ > maxDim {
+		maxDim = g.NZ
+	}
+	f := make([]float64, maxDim)
+	out := make([]float64, maxDim)
+	v := make([]int, maxDim)
+	z := make([]float64, maxDim+1)
+
+	// Pass along x.
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			base := g.Index(0, j, k)
+			for i := 0; i < g.NX; i++ {
+				f[i] = d[base+i]
+			}
+			distanceTransform1D(f[:g.NX], out[:g.NX], v, z, g.Spacing.X)
+			for i := 0; i < g.NX; i++ {
+				d[base+i] = out[i]
+			}
+		}
+	}
+	// Pass along y.
+	for k := 0; k < g.NZ; k++ {
+		for i := 0; i < g.NX; i++ {
+			for j := 0; j < g.NY; j++ {
+				f[j] = d[g.Index(i, j, k)]
+			}
+			distanceTransform1D(f[:g.NY], out[:g.NY], v, z, g.Spacing.Y)
+			for j := 0; j < g.NY; j++ {
+				d[g.Index(i, j, k)] = out[j]
+			}
+		}
+	}
+	// Pass along z.
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			for k := 0; k < g.NZ; k++ {
+				f[k] = d[g.Index(i, j, k)]
+			}
+			distanceTransform1D(f[:g.NZ], out[:g.NZ], v, z, g.Spacing.Z)
+			for k := 0; k < g.NZ; k++ {
+				d[g.Index(i, j, k)] = out[k]
+			}
+		}
+	}
+	return d
+}
+
+// FromMask returns the exact Euclidean distance (mm) from every voxel to
+// the nearest mask voxel, as a scalar volume.
+func FromMask(g volume.Grid, mask []bool) *volume.Scalar {
+	sq := SquaredFromMask(g, mask)
+	s := volume.NewScalar(g)
+	for i, v := range sq {
+		s.Data[i] = float32(math.Sqrt(v))
+	}
+	return s
+}
+
+// Saturated returns the saturated distance transform of the given tissue
+// class: distance to the nearest voxel of that class, clamped to
+// saturation (mm). This is the paper's spatially varying tissue
+// localization model used as a k-NN feature channel.
+func Saturated(l *volume.Labels, class volume.Label, saturation float64) *volume.Scalar {
+	s := FromMask(l.Grid, l.Mask(class))
+	sat := float32(saturation)
+	for i, v := range s.Data {
+		if v > sat {
+			s.Data[i] = sat
+		}
+		_ = v
+	}
+	return s
+}
+
+// Signed returns the signed Euclidean distance to the boundary of the
+// given class: negative inside the structure, positive outside, clamped
+// to +/- saturation when saturation > 0. Structures can then be compared
+// by level sets of this function.
+func Signed(l *volume.Labels, class volume.Label, saturation float64) *volume.Scalar {
+	return SignedOfSet(l, func(lab volume.Label) bool { return lab == class }, saturation)
+}
+
+// SignedOfSet is Signed generalized to a set of labels: the structure
+// is the union of all classes for which inSet returns true (e.g. the
+// whole intracranial compartment).
+func SignedOfSet(l *volume.Labels, inSet func(volume.Label) bool, saturation float64) *volume.Scalar {
+	mask := make([]bool, len(l.Data))
+	for i, lab := range l.Data {
+		mask[i] = inSet(lab)
+	}
+	outside := SquaredFromMask(l.Grid, mask)
+	inv := make([]bool, len(mask))
+	for i, m := range mask {
+		inv[i] = !m
+	}
+	inside := SquaredFromMask(l.Grid, inv)
+	s := volume.NewScalar(l.Grid)
+	for i := range s.Data {
+		var d float64
+		if mask[i] {
+			d = -math.Sqrt(inside[i])
+		} else {
+			d = math.Sqrt(outside[i])
+		}
+		if saturation > 0 {
+			if d > saturation {
+				d = saturation
+			}
+			if d < -saturation {
+				d = -saturation
+			}
+		}
+		s.Data[i] = float32(d)
+	}
+	return s
+}

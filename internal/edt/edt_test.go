@@ -1,0 +1,176 @@
+package edt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// bruteForce computes the exact EDT by exhaustive search, for checking.
+func bruteForce(g volume.Grid, mask []bool) []float64 {
+	type pt struct{ x, y, z float64 }
+	var feats []pt
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				if mask[g.Index(i, j, k)] {
+					feats = append(feats, pt{
+						float64(i) * g.Spacing.X,
+						float64(j) * g.Spacing.Y,
+						float64(k) * g.Spacing.Z,
+					})
+				}
+			}
+		}
+	}
+	d := make([]float64, g.Len())
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				p := pt{float64(i) * g.Spacing.X, float64(j) * g.Spacing.Y, float64(k) * g.Spacing.Z}
+				best := math.Inf(1)
+				for _, f := range feats {
+					dx, dy, dz := p.x-f.x, p.y-f.y, p.z-f.z
+					if dd := dx*dx + dy*dy + dz*dz; dd < best {
+						best = dd
+					}
+				}
+				d[g.Index(i, j, k)] = best
+			}
+		}
+	}
+	return d
+}
+
+func TestSquaredMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		g := volume.NewGrid(7+rng.Intn(4), 5+rng.Intn(4), 4+rng.Intn(3), 1)
+		mask := make([]bool, g.Len())
+		for i := range mask {
+			mask[i] = rng.Float64() < 0.08
+		}
+		// Ensure at least one feature voxel.
+		mask[rng.Intn(len(mask))] = true
+		got := SquaredFromMask(g, mask)
+		want := bruteForce(g, mask)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("trial %d: voxel %d: got %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAnisotropicSpacing(t *testing.T) {
+	g := volume.Grid{NX: 9, NY: 5, NZ: 5, Spacing: geom.V(1, 2, 3)}
+	mask := make([]bool, g.Len())
+	mask[g.Index(4, 2, 2)] = true
+	got := SquaredFromMask(g, mask)
+	want := bruteForce(g, mask)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("voxel %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyMaskSaturates(t *testing.T) {
+	g := volume.NewGrid(4, 4, 4, 1)
+	mask := make([]bool, g.Len())
+	d := SquaredFromMask(g, mask)
+	for i, v := range d {
+		if v < 1e19 {
+			t.Fatalf("voxel %d: empty mask distance %v, want >= 1e19", i, v)
+		}
+	}
+}
+
+func TestFromMaskIsZeroInside(t *testing.T) {
+	g := volume.NewGrid(6, 6, 6, 1)
+	mask := make([]bool, g.Len())
+	idx := g.Index(3, 3, 3)
+	mask[idx] = true
+	s := FromMask(g, mask)
+	if s.Data[idx] != 0 {
+		t.Errorf("inside distance = %v, want 0", s.Data[idx])
+	}
+	// Neighbor at unit spacing has distance 1.
+	if v := s.At(4, 3, 3); math.Abs(v-1) > 1e-6 {
+		t.Errorf("neighbor distance = %v, want 1", v)
+	}
+	// Diagonal neighbor distance sqrt(3).
+	if v := s.At(4, 4, 4); math.Abs(v-math.Sqrt(3)) > 1e-5 {
+		t.Errorf("diagonal distance = %v, want sqrt(3)", v)
+	}
+}
+
+func TestSaturatedClamps(t *testing.T) {
+	g := volume.NewGrid(20, 3, 3, 1)
+	l := volume.NewLabels(g)
+	l.Set(0, 1, 1, volume.LabelBrain)
+	s := Saturated(l, volume.LabelBrain, 5)
+	if v := s.At(19, 1, 1); v != 5 {
+		t.Errorf("far distance = %v, want saturated 5", v)
+	}
+	if v := s.At(3, 1, 1); math.Abs(v-3) > 1e-5 {
+		t.Errorf("near distance = %v, want 3", v)
+	}
+}
+
+func TestSignedDistance(t *testing.T) {
+	g := volume.NewGrid(11, 11, 11, 1)
+	l := volume.NewLabels(g)
+	// 5x5x5 cube of brain centered at (5,5,5).
+	for k := 3; k <= 7; k++ {
+		for j := 3; j <= 7; j++ {
+			for i := 3; i <= 7; i++ {
+				l.Set(i, j, k, volume.LabelBrain)
+			}
+		}
+	}
+	s := Signed(l, volume.LabelBrain, 0)
+	if v := s.At(5, 5, 5); v >= 0 {
+		t.Errorf("center signed distance = %v, want negative", v)
+	}
+	if v := s.At(0, 5, 5); v <= 0 {
+		t.Errorf("outside signed distance = %v, want positive", v)
+	}
+	// Outside distance at (0,5,5) is 3 voxels from the face at i=3.
+	if v := s.At(0, 5, 5); math.Abs(float64(v)-3) > 1e-5 {
+		t.Errorf("outside distance = %v, want 3", v)
+	}
+	// Saturation clamps both signs.
+	sat := Signed(l, volume.LabelBrain, 1.5)
+	if v := sat.At(0, 5, 5); v != 1.5 {
+		t.Errorf("saturated outside = %v, want 1.5", v)
+	}
+	if v := sat.At(5, 5, 5); v != -1.5 {
+		t.Errorf("saturated inside = %v, want -1.5", v)
+	}
+}
+
+// Distance transform metric property: |d(p) - d(q)| <= dist(p, q).
+func TestLipschitzProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := volume.NewGrid(10, 10, 10, 1)
+	mask := make([]bool, g.Len())
+	for i := 0; i < 15; i++ {
+		mask[rng.Intn(len(mask))] = true
+	}
+	s := FromMask(g, mask)
+	for trial := 0; trial < 500; trial++ {
+		i1, j1, k1 := rng.Intn(10), rng.Intn(10), rng.Intn(10)
+		i2, j2, k2 := rng.Intn(10), rng.Intn(10), rng.Intn(10)
+		d1 := s.At(i1, j1, k1)
+		d2 := s.At(i2, j2, k2)
+		dx, dy, dz := float64(i1-i2), float64(j1-j2), float64(k1-k2)
+		sep := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if math.Abs(d1-d2) > sep+1e-6 {
+			t.Fatalf("Lipschitz violated: |%v-%v| > %v", d1, d2, sep)
+		}
+	}
+}

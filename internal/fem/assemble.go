@@ -1,0 +1,258 @@
+package fem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/sparse"
+)
+
+// elementStiffness computes the 12x12 stiffness of a linear tetrahedral
+// element as 3x3 nodal blocks:
+//
+//	K_ab[i][j] = V ( lambda g_a[i] g_b[j] + mu g_a[j] g_b[i]
+//	                 + mu delta_ij (g_a . g_b) )
+//
+// where g_a is the gradient of shape function a (constant over the
+// element) — the closed form of B^T D B for isotropic elasticity.
+func elementStiffness(t geom.Tet, mat Material) ([4][4][3][3]float64, error) {
+	var k [4][4][3][3]float64
+	sc, err := t.Shape()
+	if err != nil {
+		return k, err
+	}
+	vol := t.Volume()
+	lambda, mu := mat.Lame()
+	var g [4][3]float64
+	for a := 0; a < 4; a++ {
+		g[a][0] = sc.B[a]
+		g[a][1] = sc.C[a]
+		g[a][2] = sc.D[a]
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			dotAB := g[a][0]*g[b][0] + g[a][1]*g[b][1] + g[a][2]*g[b][2]
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					v := lambda*g[a][i]*g[b][j] + mu*g[a][j]*g[b][i]
+					if i == j {
+						v += mu * dotAB
+					}
+					k[a][b][i][j] = vol * v
+				}
+			}
+		}
+	}
+	return k, nil
+}
+
+// elementStiffnessFlops estimates the floating point work of one
+// element stiffness computation, for the performance counters.
+const elementStiffnessFlops = 600
+
+// System is an assembled linear elastic system K u = f over the mesh
+// DOFs (3 per node: node n owns DOFs 3n..3n+2).
+type System struct {
+	Mesh   *mesh.Mesh
+	K      *sparse.CSR
+	F      []float64
+	NumDOF int
+	// NodePart is the node partition used for assembly; the DOF
+	// partition used by the solver is its 3x expansion.
+	NodePart par.Partition
+	// Assembly holds per-rank assembly work counters.
+	Assembly *par.Counters
+	// AssemblyTime is the measured wall-clock assembly time.
+	AssemblyTime time.Duration
+	// Constrained marks DOFs fixed by Dirichlet conditions.
+	Constrained []bool
+}
+
+// DOFPartition returns the row partition of the 3N-dimensional system
+// corresponding to the node partition (contiguous, nodes*3).
+func (s *System) DOFPartition() par.Partition {
+	pt := s.NodePart
+	starts := make([]int, pt.P+1)
+	for i := range starts {
+		starts[i] = pt.Starts[i] * 3
+	}
+	return par.Partition{N: pt.N * 3, P: pt.P, Starts: starts}
+}
+
+// Assemble builds the global stiffness matrix in parallel across the
+// node partition. Each rank assembles the matrix rows of the nodes it
+// owns; an element spanning nodes of several ranks is visited by each
+// of them (this duplicated element work, plus the varying node
+// connectivity, is the paper's assembly load imbalance — it emerges
+// from the data rather than being injected).
+func Assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
+	if err := mats.Validate(); err != nil {
+		return nil, err
+	}
+	if pt.N != m.NumNodes() {
+		return nil, fmt.Errorf("fem: partition over %d nodes, mesh has %d", pt.N, m.NumNodes())
+	}
+	nDOF := 3 * m.NumNodes()
+	// Element lists per rank: an element belongs to every rank owning at
+	// least one of its nodes.
+	elems := make([][]int32, pt.P)
+	for e, t := range m.Tets {
+		var ranks [4]int
+		nr := 0
+		for _, node := range t {
+			r := pt.Owner(int(node))
+			dup := false
+			for i := 0; i < nr; i++ {
+				if ranks[i] == r {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ranks[nr] = r
+				nr++
+			}
+		}
+		for i := 0; i < nr; i++ {
+			elems[ranks[i]] = append(elems[ranks[i]], int32(e))
+		}
+	}
+
+	counters := par.NewCounters(pt.P)
+	builders := make([]*sparse.Builder, pt.P)
+	rhs := make([]float64, nDOF)
+	errs := make([]error, pt.P)
+	start := time.Now()
+	pt.ForEachRank(func(r int) {
+		lo, hi := pt.Range(r)
+		b := sparse.NewBuilder(nDOF)
+		builders[r] = b
+		for _, e := range elems[r] {
+			t := m.Tets[e]
+			ke, err := elementStiffness(m.TetGeom(int(e)), mats.For(m.TetLabel[e]))
+			if err != nil {
+				errs[r] = fmt.Errorf("fem: element %d: %w", e, err)
+				return
+			}
+			counters.AddFlops(r, elementStiffnessFlops)
+			for a := 0; a < 4; a++ {
+				na := int(t[a])
+				if na < lo || na >= hi {
+					continue // row owned by another rank
+				}
+				for bn := 0; bn < 4; bn++ {
+					nb := int(t[bn])
+					for i := 0; i < 3; i++ {
+						for j := 0; j < 3; j++ {
+							v := ke[a][bn][i][j]
+							if v != 0 {
+								b.Add(3*na+i, 3*nb+j, v)
+							}
+						}
+					}
+					counters.AddFlops(r, 9)
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Merge per-rank builders; in the distributed original this is free
+	// (each rank keeps its rows), here it is a serial concatenation.
+	global := builders[0]
+	for _, b := range builders[1:] {
+		if err := global.Merge(b); err != nil {
+			return nil, err
+		}
+	}
+	k := global.Build()
+	sys := &System{
+		Mesh:         m,
+		K:            k,
+		F:            rhs,
+		NumDOF:       nDOF,
+		NodePart:     pt,
+		Assembly:     counters,
+		AssemblyTime: time.Since(start),
+		Constrained:  make([]bool, nDOF),
+	}
+	return sys, nil
+}
+
+// ApplyDirichlet constrains the three DOFs of each listed node to the
+// given displacement. Rows of constrained DOFs are replaced by identity
+// equations, and their coupling is moved to the right-hand side of the
+// remaining equations ("substituting known values for equations in the
+// original system", as the paper puts it). The stiffness matrix is
+// rebuilt; call once with all conditions.
+func (s *System) ApplyDirichlet(bc map[int32]geom.Vec3) error {
+	if len(bc) == 0 {
+		return fmt.Errorf("fem: no boundary conditions given; system would be singular")
+	}
+	val := make([]float64, s.NumDOF)
+	for node, d := range bc {
+		if node < 0 || int(node) >= s.Mesh.NumNodes() {
+			return fmt.Errorf("fem: boundary node %d out of range", node)
+		}
+		for i := 0; i < 3; i++ {
+			dof := 3*int(node) + i
+			s.Constrained[dof] = true
+		}
+		val[3*int(node)+0] = d.X
+		val[3*int(node)+1] = d.Y
+		val[3*int(node)+2] = d.Z
+	}
+	k := s.K
+	nb := sparse.NewBuilder(s.NumDOF)
+	for i := 0; i < s.NumDOF; i++ {
+		if s.Constrained[i] {
+			nb.Add(i, i, 1)
+			s.F[i] = val[i]
+			continue
+		}
+		for p := k.RowPtr[i]; p < k.RowPtr[i+1]; p++ {
+			j := int(k.Col[p])
+			if s.Constrained[j] {
+				s.F[i] -= k.Val[p] * val[j]
+			} else {
+				nb.Add(i, j, k.Val[p])
+			}
+		}
+	}
+	s.K = nb.Build()
+	return nil
+}
+
+// ConstrainedPerRank returns, for the DOF partition, how many of each
+// rank's rows are Dirichlet-constrained — the paper's second load
+// imbalance ("the distribution of surface displacements is not equal
+// across CPUs").
+func (s *System) ConstrainedPerRank() []int {
+	pt := s.DOFPartition()
+	out := make([]int, pt.P)
+	for r := 0; r < pt.P; r++ {
+		lo, hi := pt.Range(r)
+		for i := lo; i < hi; i++ {
+			if s.Constrained[i] {
+				out[r]++
+			}
+		}
+	}
+	return out
+}
+
+// NodeDisplacements reshapes a DOF solution vector into per-node
+// displacement vectors.
+func (s *System) NodeDisplacements(u []float64) []geom.Vec3 {
+	out := make([]geom.Vec3, s.Mesh.NumNodes())
+	for n := range out {
+		out[n] = geom.V(u[3*n], u[3*n+1], u[3*n+2])
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package fem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/solver"
+	"repro/internal/volume"
+)
+
+func benchMesh(b *testing.B, n int) *mesh.Mesh {
+	b.Helper()
+	g := volume.NewGrid(n, n, n, 1)
+	l := volume.NewLabels(g)
+	for i := range l.Data {
+		l.Data[i] = volume.LabelBrain
+	}
+	m, err := mesh.FromLabels(l, mesh.Options{CellSize: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkElementStiffness(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tet := randTet(rng)
+	mat := Material{E: 3000, Nu: 0.45}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := elementStiffness(tet, mat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssembleSerial(b *testing.B) {
+	m := benchMesh(b, 12)
+	mats := HomogeneousBrain()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(m, mats, par.Even(m.NumNodes(), 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssembleParallel4(b *testing.B) {
+	m := benchMesh(b, 12)
+	mats := HomogeneousBrain()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(m, mats, par.Even(m.NumNodes(), 4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssemblyWorkModel(b *testing.B) {
+	m := benchMesh(b, 16)
+	pt := par.Even(m.NumNodes(), 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AssemblyWorkModel(m, pt)
+	}
+}
+
+func BenchmarkSolveSmallSystem(b *testing.B) {
+	m := benchMesh(b, 10)
+	sys, err := Assemble(m, HomogeneousBrain(), par.Even(m.NumNodes(), 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	surf, err := m.ExtractSurface(func(volume.Label) bool { return true })
+	if err != nil {
+		b.Fatal(err)
+	}
+	bc := map[int32]geom.Vec3{}
+	for _, node := range surf.NodeID {
+		bc[node] = geom.V(0.5, 0, 0)
+	}
+	if err := sys.ApplyDirichlet(bc); err != nil {
+		b.Fatal(err)
+	}
+	opts := solver.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Solve(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDisplacementField(b *testing.B) {
+	m := benchMesh(b, 12)
+	sys, err := Assemble(m, HomogeneousBrain(), par.Even(m.NumNodes(), 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodeU := make([]geom.Vec3, m.NumNodes())
+	for n, p := range m.Nodes {
+		nodeU[n] = geom.V(0.02*p.X, 0, 0)
+	}
+	g := volume.NewGrid(12, 12, 12, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.DisplacementField(nodeU, g)
+	}
+}

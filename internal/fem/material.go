@@ -1,0 +1,96 @@
+// Package fem implements the paper's biomechanical model: linear
+// elastic finite elements on an unstructured tetrahedral mesh. The
+// potential energy of the elastic body (paper eq. 1) is minimized by
+// solving K u = f, with the element stiffness built from linear
+// tetrahedral shape functions (paper eqs. 2-3, Zienkiewicz & Taylor),
+// surface displacements from the active surface applied as Dirichlet
+// boundary conditions, and the system solved with GMRES + block Jacobi
+// (package solver). Assembly is parallelized by distributing
+// approximately equal numbers of mesh nodes to each rank, the paper's
+// decomposition.
+package fem
+
+import (
+	"fmt"
+
+	"repro/internal/volume"
+)
+
+// Material is an isotropic linear elastic material.
+type Material struct {
+	// E is Young's modulus (Pa).
+	E float64
+	// Nu is Poisson's ratio (dimensionless, < 0.5).
+	Nu float64
+}
+
+// Lame returns the Lamé parameters (lambda, mu).
+func (m Material) Lame() (lambda, mu float64) {
+	lambda = m.E * m.Nu / ((1 + m.Nu) * (1 - 2*m.Nu))
+	mu = m.E / (2 * (1 + m.Nu))
+	return
+}
+
+// Validate rejects non-physical parameters.
+func (m Material) Validate() error {
+	if m.E <= 0 {
+		return fmt.Errorf("fem: Young's modulus must be positive, got %g", m.E)
+	}
+	if m.Nu < 0 || m.Nu >= 0.5 {
+		return fmt.Errorf("fem: Poisson ratio must be in [0, 0.5), got %g", m.Nu)
+	}
+	return nil
+}
+
+// Table maps tissue labels to materials. Labels not present fall back
+// to the Default material.
+type Table struct {
+	Default   Material
+	PerTissue map[volume.Label]Material
+}
+
+// For returns the material of a tissue label.
+func (t Table) For(lab volume.Label) Material {
+	if m, ok := t.PerTissue[lab]; ok {
+		return m
+	}
+	return t.Default
+}
+
+// Validate checks every material in the table.
+func (t Table) Validate() error {
+	if err := t.Default.Validate(); err != nil {
+		return fmt.Errorf("fem: default material: %w", err)
+	}
+	for lab, m := range t.PerTissue {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("fem: material for %s: %w", volume.LabelName(lab), err)
+		}
+	}
+	return nil
+}
+
+// HomogeneousBrain returns the paper's material model: the brain
+// treated as a single homogeneous linear elastic solid (the paper notes
+// the falx and ventricles are not well approximated by this — see
+// HeterogeneousBrain for the refinement it proposes as future work).
+// Values follow the brain-tissue literature of the period (E ~ 3 kPa,
+// nu ~ 0.45).
+func HomogeneousBrain() Table {
+	return Table{Default: Material{E: 3000, Nu: 0.45}}
+}
+
+// HeterogeneousBrain returns the refined material model the paper's
+// discussion proposes: a stiff falx membrane and near-incompressible,
+// very soft ventricles (CSF), with ordinary brain parenchyma elsewhere.
+func HeterogeneousBrain() Table {
+	return Table{
+		Default: Material{E: 3000, Nu: 0.45},
+		PerTissue: map[volume.Label]Material{
+			volume.LabelFalx:      {E: 60000, Nu: 0.45},
+			volume.LabelVentricle: {E: 500, Nu: 0.49},
+			volume.LabelCSF:       {E: 500, Nu: 0.49},
+			volume.LabelTumor:     {E: 9000, Nu: 0.45},
+		},
+	}
+}

@@ -1,0 +1,103 @@
+package fem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestQuickStiffnessInvariances checks fundamental element-stiffness
+// properties over random tetrahedra and materials: symmetry, zero
+// row-sums (translation invariance), and non-negative strain energy.
+func TestQuickStiffnessInvariances(t *testing.T) {
+	f := func(seed int64, eRaw, nuRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tet := randTet(rng)
+		mat := Material{
+			E:  500 + float64(eRaw)*50,
+			Nu: 0.05 + 0.4*float64(nuRaw)/255,
+		}
+		k, err := elementStiffness(tet, mat)
+		if err != nil {
+			return false
+		}
+		// Symmetry.
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						if math.Abs(k[a][b][i][j]-k[b][a][j][i]) > 1e-6*mat.E {
+							return false
+						}
+					}
+				}
+			}
+		}
+		// Uniform translation produces no force.
+		var u [4]geom.Vec3
+		tr := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		for a := range u {
+			u[a] = tr
+		}
+		for _, fv := range applyElementK(k, u) {
+			if fv.MaxAbs() > 1e-6*mat.E {
+				return false
+			}
+		}
+		// Energy non-negative for random displacement.
+		for a := range u {
+			u[a] = geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		}
+		fs := applyElementK(k, u)
+		energy := 0.0
+		for a := range u {
+			energy += u[a].Dot(fs[a])
+		}
+		return energy >= -1e-8*mat.E
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStiffnessScaleInvariance: scaling the element geometry by s
+// scales the stiffness by s (K ~ V * grad^2 ~ s^3 * s^-2).
+func TestQuickStiffnessScaleInvariance(t *testing.T) {
+	f := func(seed int64, sRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tet := randTet(rng)
+		s := 0.5 + 3*float64(sRaw)/255
+		mat := Material{E: 3000, Nu: 0.45}
+		k1, err := elementStiffness(tet, mat)
+		if err != nil {
+			return false
+		}
+		var scaled geom.Tet
+		for i := range tet.P {
+			scaled.P[i] = tet.P[i].Scale(s)
+		}
+		k2, err := elementStiffness(scaled, mat)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						want := k1[a][b][i][j] * s
+						if math.Abs(k2[a][b][i][j]-want) > 1e-6*(1+math.Abs(want)) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

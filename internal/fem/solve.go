@@ -1,0 +1,153 @@
+package fem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/solver"
+	"repro/internal/volume"
+)
+
+// SolveResult bundles the solved displacement field with performance
+// data for the scaling analysis.
+type SolveResult struct {
+	// U is the raw DOF solution.
+	U []float64
+	// NodeU is the per-node displacement.
+	NodeU []geom.Vec3
+	// Stats reports Krylov iteration counts.
+	Stats solver.Stats
+	// SolveTime is the measured wall-clock solve time.
+	SolveTime time.Duration
+	// PCSetupTime is the block Jacobi factorization time.
+	PCSetupTime time.Duration
+}
+
+// Solve runs the paper's solver configuration — GMRES with block Jacobi
+// preconditioning, one block per rank — on the assembled, constrained
+// system.
+func (s *System) Solve(opts solver.Options) (*SolveResult, error) {
+	anyBC := false
+	for _, c := range s.Constrained {
+		if c {
+			anyBC = true
+			break
+		}
+	}
+	if !anyBC {
+		return nil, fmt.Errorf("fem: solving without boundary conditions; system is singular")
+	}
+	pt := s.DOFPartition()
+	if opts.Partition.P == 0 {
+		opts.Partition = pt
+	}
+	pcStart := time.Now()
+	pc, err := solver.NewBlockJacobiILU0(s.K, opts.Partition)
+	if err != nil {
+		return nil, fmt.Errorf("fem: preconditioner setup: %w", err)
+	}
+	pcTime := time.Since(pcStart)
+	start := time.Now()
+	u, stats, err := solver.GMRES(s.K, s.F, nil, pc, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fem: solve: %w", err)
+	}
+	return &SolveResult{
+		U:           u,
+		NodeU:       s.NodeDisplacements(u),
+		Stats:       stats,
+		SolveTime:   time.Since(start),
+		PCSetupTime: pcTime,
+	}, nil
+}
+
+// DisplacementField rasterizes the solved nodal displacements onto a
+// dense backward-warp field on grid g: each voxel inside the mesh gets
+// the shape-function interpolation of its element's nodal
+// displacements; voxels outside the mesh get zero. This is the field
+// used to resample preoperative data into the intraoperative
+// configuration (the paper's ~0.5 s resampling step).
+func (s *System) DisplacementField(nodeU []geom.Vec3, g volume.Grid) *volume.Field {
+	f := volume.NewField(g)
+	// Locate the element containing each voxel by rasterizing elements:
+	// iterating voxels-in-element is far cheaper than point-locating
+	// every voxel in an unstructured mesh.
+	m := s.Mesh
+	for e := range m.Tets {
+		t := m.TetGeom(e)
+		sc, err := t.Shape()
+		if err != nil {
+			continue // degenerate element contributes nothing
+		}
+		// Voxel bounding box of the element.
+		lo := t.P[0]
+		hi := t.P[0]
+		for _, p := range t.P[1:] {
+			if p.X < lo.X {
+				lo.X = p.X
+			}
+			if p.Y < lo.Y {
+				lo.Y = p.Y
+			}
+			if p.Z < lo.Z {
+				lo.Z = p.Z
+			}
+			if p.X > hi.X {
+				hi.X = p.X
+			}
+			if p.Y > hi.Y {
+				hi.Y = p.Y
+			}
+			if p.Z > hi.Z {
+				hi.Z = p.Z
+			}
+		}
+		vlo := g.Voxel(lo)
+		vhi := g.Voxel(hi)
+		i0, j0, k0 := int(vlo.X), int(vlo.Y), int(vlo.Z)
+		i1, j1, k1 := int(vhi.X)+1, int(vhi.Y)+1, int(vhi.Z)+1
+		nodes := m.Tets[e]
+		for k := maxInt(k0, 0); k <= minInt(k1, g.NZ-1); k++ {
+			for j := maxInt(j0, 0); j <= minInt(j1, g.NY-1); j++ {
+				for i := maxInt(i0, 0); i <= minInt(i1, g.NX-1); i++ {
+					p := g.World(i, j, k)
+					// Barycentric test with a small tolerance so shared
+					// faces are covered by at least one element.
+					var w [4]float64
+					inside := true
+					for a := 0; a < 4; a++ {
+						w[a] = sc.Eval(a, p)
+						if w[a] < -1e-9 {
+							inside = false
+							break
+						}
+					}
+					if !inside {
+						continue
+					}
+					var d geom.Vec3
+					for a := 0; a < 4; a++ {
+						d = d.Add(nodeU[nodes[a]].Scale(w[a]))
+					}
+					f.Set(i, j, k, d)
+				}
+			}
+		}
+	}
+	return f
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

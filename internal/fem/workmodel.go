@@ -1,0 +1,48 @@
+package fem
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/par"
+)
+
+// AssemblyWorkModel computes, without assembling anything, the per-rank
+// floating-point work and matrix-entry insertion counts of a parallel
+// assembly under the given node partition. It reproduces exactly the
+// distribution Assemble produces: an element is processed by every rank
+// owning at least one of its nodes, and a rank inserts the 3x3 blocks of
+// the rows it owns. This lets the cluster performance model sweep rank
+// counts cheaply.
+func AssemblyWorkModel(m *mesh.Mesh, pt par.Partition) (flops, entries []float64) {
+	flops = make([]float64, pt.P)
+	entries = make([]float64, pt.P)
+	for _, t := range m.Tets {
+		var ranks [4]int
+		var owned [4]int // nodes of this element owned per rank slot
+		nr := 0
+		for _, node := range t {
+			r := pt.Owner(int(node))
+			found := false
+			for i := 0; i < nr; i++ {
+				if ranks[i] == r {
+					owned[i]++
+					found = true
+					break
+				}
+			}
+			if !found {
+				ranks[nr] = r
+				owned[nr] = 1
+				nr++
+			}
+		}
+		for i := 0; i < nr; i++ {
+			r := ranks[i]
+			flops[r] += elementStiffnessFlops
+			// Each owned node contributes 4 nodal blocks of 9 entries.
+			e := float64(owned[i] * 4 * 9)
+			entries[r] += e
+			flops[r] += e
+		}
+	}
+	return flops, entries
+}

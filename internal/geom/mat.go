@@ -1,0 +1,230 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a 3x3 matrix in row-major order.
+type Mat3 [9]float64
+
+// Identity3 returns the 3x3 identity matrix.
+func Identity3() Mat3 {
+	return Mat3{1, 0, 0, 0, 1, 0, 0, 0, 1}
+}
+
+// At returns the element at row i, column j.
+func (m Mat3) At(i, j int) float64 { return m[3*i+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat3) Set(i, j int, v float64) { m[3*i+j] = v }
+
+// MulVec returns m * v.
+func (m Mat3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		m[3]*v.X + m[4]*v.Y + m[5]*v.Z,
+		m[6]*v.X + m[7]*v.Y + m[8]*v.Z,
+	}
+}
+
+// Mul returns the matrix product m * n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += m[3*i+k] * n[3*k+j]
+			}
+			r[3*i+j] = s
+		}
+	}
+	return r
+}
+
+// Transpose returns the transpose of m.
+func (m Mat3) Transpose() Mat3 {
+	return Mat3{
+		m[0], m[3], m[6],
+		m[1], m[4], m[7],
+		m[2], m[5], m[8],
+	}
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	return m[0]*(m[4]*m[8]-m[5]*m[7]) -
+		m[1]*(m[3]*m[8]-m[5]*m[6]) +
+		m[2]*(m[3]*m[7]-m[4]*m[6])
+}
+
+// Inverse returns the inverse of m. It returns an error when m is
+// numerically singular.
+func (m Mat3) Inverse() (Mat3, error) {
+	d := m.Det()
+	if math.Abs(d) < 1e-300 {
+		return Mat3{}, fmt.Errorf("geom: singular 3x3 matrix (det=%g)", d)
+	}
+	inv := 1 / d
+	return Mat3{
+		(m[4]*m[8] - m[5]*m[7]) * inv,
+		(m[2]*m[7] - m[1]*m[8]) * inv,
+		(m[1]*m[5] - m[2]*m[4]) * inv,
+		(m[5]*m[6] - m[3]*m[8]) * inv,
+		(m[0]*m[8] - m[2]*m[6]) * inv,
+		(m[2]*m[3] - m[0]*m[5]) * inv,
+		(m[3]*m[7] - m[4]*m[6]) * inv,
+		(m[1]*m[6] - m[0]*m[7]) * inv,
+		(m[0]*m[4] - m[1]*m[3]) * inv,
+	}, nil
+}
+
+// RotX returns the rotation matrix about the x axis by angle a (radians).
+func RotX(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{
+		1, 0, 0,
+		0, c, -s,
+		0, s, c,
+	}
+}
+
+// RotY returns the rotation matrix about the y axis by angle a (radians).
+func RotY(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{
+		c, 0, s,
+		0, 1, 0,
+		-s, 0, c,
+	}
+}
+
+// RotZ returns the rotation matrix about the z axis by angle a (radians).
+func RotZ(a float64) Mat3 {
+	c, s := math.Cos(a), math.Sin(a)
+	return Mat3{
+		c, -s, 0,
+		s, c, 0,
+		0, 0, 1,
+	}
+}
+
+// EulerZYX composes rotations Rz(rz) * Ry(ry) * Rx(rx), the convention
+// used by the rigid registration parameterization.
+func EulerZYX(rx, ry, rz float64) Mat3 {
+	return RotZ(rz).Mul(RotY(ry)).Mul(RotX(rx))
+}
+
+// Mat4 is a 4x4 matrix in row-major order, used for homogeneous affine
+// transforms between voxel and world coordinates.
+type Mat4 [16]float64
+
+// Identity4 returns the 4x4 identity matrix.
+func Identity4() Mat4 {
+	return Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, 1,
+	}
+}
+
+// At returns the element at row i, column j.
+func (m Mat4) At(i, j int) float64 { return m[4*i+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat4) Set(i, j int, v float64) { m[4*i+j] = v }
+
+// Mul returns the matrix product m * n.
+func (m Mat4) Mul(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			s := 0.0
+			for k := 0; k < 4; k++ {
+				s += m[4*i+k] * n[4*k+j]
+			}
+			r[4*i+j] = s
+		}
+	}
+	return r
+}
+
+// Apply transforms the point v by m assuming homogeneous coordinate 1.
+func (m Mat4) Apply(v Vec3) Vec3 {
+	return Vec3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z + m[3],
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z + m[7],
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z + m[11],
+	}
+}
+
+// ApplyDir transforms a direction (no translation) by m.
+func (m Mat4) ApplyDir(v Vec3) Vec3 {
+	return Vec3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		m[4]*v.X + m[5]*v.Y + m[6]*v.Z,
+		m[8]*v.X + m[9]*v.Y + m[10]*v.Z,
+	}
+}
+
+// FromRT builds the homogeneous transform with rotation r and
+// translation t.
+func FromRT(r Mat3, t Vec3) Mat4 {
+	return Mat4{
+		r[0], r[1], r[2], t.X,
+		r[3], r[4], r[5], t.Y,
+		r[6], r[7], r[8], t.Z,
+		0, 0, 0, 1,
+	}
+}
+
+// Inverse returns the inverse of m via Gaussian elimination with partial
+// pivoting. It returns an error when m is numerically singular.
+func (m Mat4) Inverse() (Mat4, error) {
+	// Augment [m | I] and reduce.
+	var a [4][8]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a[i][j] = m[4*i+j]
+		}
+		a[i][4+i] = 1
+	}
+	for col := 0; col < 4; col++ {
+		// Partial pivot.
+		p := col
+		for r := col + 1; r < 4; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-300 {
+			return Mat4{}, fmt.Errorf("geom: singular 4x4 matrix")
+		}
+		a[col], a[p] = a[p], a[col]
+		piv := a[col][col]
+		for j := 0; j < 8; j++ {
+			a[col][j] /= piv
+		}
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 8; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	var inv Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			inv[4*i+j] = a[i][4+j]
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mat3AlmostEq(a, b Mat3, tol float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMat3Identity(t *testing.T) {
+	id := Identity3()
+	v := V(1, 2, 3)
+	if got := id.MulVec(v); got != v {
+		t.Errorf("I*v = %v", got)
+	}
+	m := RotZ(0.7)
+	if got := id.Mul(m); !mat3AlmostEq(got, m, 1e-15) {
+		t.Errorf("I*M != M")
+	}
+}
+
+func TestMat3Inverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		var m Mat3
+		for i := range m {
+			m[i] = rng.Float64()*4 - 2
+		}
+		if math.Abs(m.Det()) < 1e-3 {
+			continue
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		if got := m.Mul(inv); !mat3AlmostEq(got, Identity3(), 1e-9) {
+			t.Fatalf("M*M^-1 != I: %v", got)
+		}
+	}
+}
+
+func TestMat3SingularInverse(t *testing.T) {
+	m := Mat3{1, 2, 3, 2, 4, 6, 0, 0, 1} // row2 = 2*row1
+	if _, err := m.Inverse(); err == nil {
+		t.Error("expected error inverting singular matrix")
+	}
+}
+
+func TestRotationsAreOrthonormal(t *testing.T) {
+	for _, a := range []float64{0, 0.3, -1.2, math.Pi / 2, 3} {
+		for _, r := range []Mat3{RotX(a), RotY(a), RotZ(a)} {
+			if got := r.Mul(r.Transpose()); !mat3AlmostEq(got, Identity3(), 1e-12) {
+				t.Errorf("R*R^T != I for angle %v", a)
+			}
+			if d := r.Det(); math.Abs(d-1) > 1e-12 {
+				t.Errorf("det(R) = %v, want 1", d)
+			}
+		}
+	}
+}
+
+func TestRotZQuarterTurn(t *testing.T) {
+	r := RotZ(math.Pi / 2)
+	got := r.MulVec(V(1, 0, 0))
+	if !vecAlmostEq(got, V(0, 1, 0), 1e-12) {
+		t.Errorf("RotZ(pi/2)*(1,0,0) = %v, want (0,1,0)", got)
+	}
+}
+
+func TestEulerZYXComposition(t *testing.T) {
+	rx, ry, rz := 0.1, -0.2, 0.3
+	want := RotZ(rz).Mul(RotY(ry)).Mul(RotX(rx))
+	if got := EulerZYX(rx, ry, rz); !mat3AlmostEq(got, want, 1e-15) {
+		t.Error("EulerZYX composition mismatch")
+	}
+}
+
+func TestMat4Inverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		r := EulerZYX(rng.Float64(), rng.Float64(), rng.Float64())
+		tr := randVec(rng, 5)
+		m := FromRT(r, tr)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		prod := m.Mul(inv)
+		id := Identity4()
+		for i := range prod {
+			if math.Abs(prod[i]-id[i]) > 1e-10 {
+				t.Fatalf("M*M^-1 != I at %d: %v", i, prod[i])
+			}
+		}
+	}
+}
+
+func TestMat4ApplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := FromRT(EulerZYX(0.2, 0.4, -0.1), V(1, -2, 3))
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := randVec(rng, 20)
+		back := inv.Apply(m.Apply(p))
+		if !vecAlmostEq(back, p, 1e-10) {
+			t.Fatalf("round trip failed: %v -> %v", p, back)
+		}
+	}
+}
+
+func TestMat4SingularInverse(t *testing.T) {
+	var m Mat4 // all zeros
+	if _, err := m.Inverse(); err == nil {
+		t.Error("expected error inverting zero matrix")
+	}
+}
+
+func TestMat4ApplyDirIgnoresTranslation(t *testing.T) {
+	m := FromRT(Identity3(), V(10, 20, 30))
+	if got := m.ApplyDir(V(1, 1, 1)); got != V(1, 1, 1) {
+		t.Errorf("ApplyDir = %v, want (1,1,1)", got)
+	}
+}

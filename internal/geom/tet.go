@@ -1,0 +1,144 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tet is a tetrahedron given by its four vertices. Vertex ordering
+// determines orientation: a positively oriented tetrahedron has positive
+// signed volume.
+type Tet struct {
+	P [4]Vec3
+}
+
+// SignedVolume returns the signed volume of t. Positive when the vertex
+// ordering is positively oriented (right-handed).
+func (t Tet) SignedVolume() float64 {
+	a := t.P[1].Sub(t.P[0])
+	b := t.P[2].Sub(t.P[0])
+	c := t.P[3].Sub(t.P[0])
+	return a.Cross(b).Dot(c) / 6
+}
+
+// Volume returns the absolute volume of t.
+func (t Tet) Volume() float64 { return math.Abs(t.SignedVolume()) }
+
+// Centroid returns the barycenter of t.
+func (t Tet) Centroid() Vec3 {
+	return t.P[0].Add(t.P[1]).Add(t.P[2]).Add(t.P[3]).Scale(0.25)
+}
+
+// ShapeCoeffs holds the coefficients of the four linear shape functions
+// of a tetrahedral element: N_i(x,y,z) = (A[i] + B[i]x + C[i]y + D[i]z).
+// The coefficients already include the 1/(6V) normalization, so that
+// sum_i N_i = 1 everywhere and N_i(P_j) = delta_ij.
+//
+// The spatial gradients of the shape functions, grad N_i = (B[i], C[i],
+// D[i]), are the quantities entering the finite element strain matrix
+// (Zienkiewicz & Taylor, ch. 6).
+type ShapeCoeffs struct {
+	A, B, C, D [4]float64
+	Vol6       float64 // 6 * signed volume
+}
+
+// Shape computes the linear shape function coefficients of t. It returns
+// an error for degenerate (near zero volume) tetrahedra.
+//
+// The coefficients of node i are the i-th column of M^{-1}, where M has
+// rows [1, x_j, y_j, z_j]: by construction N_i(P_j) = delta_ij and the
+// four functions sum to one everywhere.
+func (t Tet) Shape() (ShapeCoeffs, error) {
+	var sc ShapeCoeffs
+	v6 := t.SignedVolume() * 6
+	if math.Abs(v6) < 1e-300 {
+		return sc, fmt.Errorf("geom: degenerate tetrahedron (6V=%g)", v6)
+	}
+	sc.Vol6 = v6
+	var m Mat4
+	for j := 0; j < 4; j++ {
+		m[4*j+0] = 1
+		m[4*j+1] = t.P[j].X
+		m[4*j+2] = t.P[j].Y
+		m[4*j+3] = t.P[j].Z
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		return sc, fmt.Errorf("geom: degenerate tetrahedron: %w", err)
+	}
+	for i := 0; i < 4; i++ {
+		sc.A[i] = inv.At(0, i)
+		sc.B[i] = inv.At(1, i)
+		sc.C[i] = inv.At(2, i)
+		sc.D[i] = inv.At(3, i)
+	}
+	return sc, nil
+}
+
+// Eval returns the value of shape function i at point p.
+func (sc ShapeCoeffs) Eval(i int, p Vec3) float64 {
+	return sc.A[i] + sc.B[i]*p.X + sc.C[i]*p.Y + sc.D[i]*p.Z
+}
+
+// Barycentric returns the barycentric coordinates of p with respect to t.
+func (t Tet) Barycentric(p Vec3) ([4]float64, error) {
+	sc, err := t.Shape()
+	if err != nil {
+		return [4]float64{}, err
+	}
+	var b [4]float64
+	for i := 0; i < 4; i++ {
+		b[i] = sc.Eval(i, p)
+	}
+	return b, nil
+}
+
+// Contains reports whether p lies inside (or on the boundary of) t,
+// within tolerance tol on the barycentric coordinates.
+func (t Tet) Contains(p Vec3, tol float64) bool {
+	b, err := t.Barycentric(p)
+	if err != nil {
+		return false
+	}
+	for i := 0; i < 4; i++ {
+		if b[i] < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// AspectQuality returns a scale-invariant quality measure in (0, 1]:
+// the ratio of the inscribed-sphere radius to the circumscribing measure
+// longest-edge/ (2*sqrt(6)), which is 1 for a regular tetrahedron and
+// approaches 0 for slivers.
+func (t Tet) AspectQuality() float64 {
+	vol := t.Volume()
+	if vol <= 0 {
+		return 0
+	}
+	// Surface area of the four faces.
+	area := 0.0
+	faces := [4][3]int{{1, 2, 3}, {0, 3, 2}, {0, 1, 3}, {0, 2, 1}}
+	for _, f := range faces {
+		a := t.P[f[1]].Sub(t.P[f[0]])
+		b := t.P[f[2]].Sub(t.P[f[0]])
+		area += a.Cross(b).Norm() / 2
+	}
+	inradius := 3 * vol / area
+	// Longest edge.
+	longest := 0.0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if d := t.P[i].Dist(t.P[j]); d > longest {
+				longest = d
+			}
+		}
+	}
+	if longest == 0 {
+		return 0
+	}
+	// Normalize so a regular tetrahedron scores 1.
+	// For a regular tet with edge L: inradius = L / (2 sqrt(6)).
+	return inradius * 2 * math.Sqrt(6) / longest
+}

@@ -1,0 +1,93 @@
+// Package geom provides small dense linear algebra and 3D geometric
+// primitives used throughout the registration and finite element code:
+// 3-vectors, 3x3 and 4x4 matrices, tetrahedron geometry, and a compact
+// LU factorization for the small dense systems that arise in element
+// coefficient computation and rigid transform estimation.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3D space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s * a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the inner product a . b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a x b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns the Euclidean length of a.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// NormSq returns the squared Euclidean length of a.
+func (a Vec3) NormSq() float64 { return a.Dot(a) }
+
+// Normalized returns a unit vector in the direction of a, or the zero
+// vector when a is (numerically) zero.
+func (a Vec3) Normalized() Vec3 {
+	n := a.Norm()
+	if n < 1e-300 {
+		return Vec3{}
+	}
+	return a.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between a and b.
+func (a Vec3) Dist(b Vec3) float64 { return a.Sub(b).Norm() }
+
+// Mul returns the componentwise product of a and b.
+func (a Vec3) Mul(b Vec3) Vec3 { return Vec3{a.X * b.X, a.Y * b.Y, a.Z * b.Z} }
+
+// Lerp linearly interpolates between a (t=0) and b (t=1).
+func (a Vec3) Lerp(b Vec3, t float64) Vec3 {
+	return Vec3{
+		a.X + t*(b.X-a.X),
+		a.Y + t*(b.Y-a.Y),
+		a.Z + t*(b.Z-a.Z),
+	}
+}
+
+// String implements fmt.Stringer.
+func (a Vec3) String() string { return fmt.Sprintf("(%g, %g, %g)", a.X, a.Y, a.Z) }
+
+// IsFinite reports whether all components are finite numbers.
+func (a Vec3) IsFinite() bool {
+	return !math.IsNaN(a.X) && !math.IsInf(a.X, 0) &&
+		!math.IsNaN(a.Y) && !math.IsInf(a.Y, 0) &&
+		!math.IsNaN(a.Z) && !math.IsInf(a.Z, 0)
+}
+
+// MaxAbs returns the largest absolute component of a (infinity norm).
+func (a Vec3) MaxAbs() float64 {
+	m := math.Abs(a.X)
+	if v := math.Abs(a.Y); v > m {
+		m = v
+	}
+	if v := math.Abs(a.Z); v > m {
+		m = v
+	}
+	return m
+}

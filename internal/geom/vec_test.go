@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return a.Sub(b).MaxAbs() <= tol
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Mul(b); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V(math.Mod(ax, 100), math.Mod(ay, 100), math.Mod(az, 100))
+		b := V(math.Mod(bx, 100), math.Mod(by, 100), math.Mod(bz, 100))
+		c := a.Cross(b)
+		scale := (a.Norm() + 1) * (b.Norm() + 1)
+		return math.Abs(c.Dot(a)) < 1e-9*scale*scale && math.Abs(c.Dot(b)) < 1e-9*scale*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := V(3, 4, 0).Normalized(); !vecAlmostEq(got, V(0.6, 0.8, 0), 1e-15) {
+		t.Errorf("Normalized = %v", got)
+	}
+	if got := (Vec3{}).Normalized(); got != (Vec3{}) {
+		t.Errorf("Normalized zero = %v, want zero", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(2, 4, 6)
+	if got := a.Lerp(b, 0.5); got != V(1, 2, 3) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := V(-5, 2, 3).MaxAbs(); got != 5 {
+		t.Errorf("MaxAbs = %v, want 5", got)
+	}
+	if got := V(1, -7, 3).MaxAbs(); got != 7 {
+		t.Errorf("MaxAbs = %v, want 7", got)
+	}
+	if got := V(1, 2, -9).MaxAbs(); got != 9 {
+		t.Errorf("MaxAbs = %v, want 9", got)
+	}
+}
+
+func randVec(rng *rand.Rand, scale float64) Vec3 {
+	return V(
+		(rng.Float64()*2-1)*scale,
+		(rng.Float64()*2-1)*scale,
+		(rng.Float64()*2-1)*scale,
+	)
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b := randVec(rng, 10), randVec(rng, 10)
+		if a.Add(b).Norm() > a.Norm()+b.Norm()+1e-12 {
+			t.Fatalf("triangle inequality violated for %v, %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+func TestBCCSolidCubeConsistent(t *testing.T) {
+	l := solidCube(8)
+	m, err := FromLabelsBCC(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// 4x4x4 cells: interior faces 3 directions x 3*4*4 = 144 -> 4 tets
+	// each; boundary faces 6*16 = 96 -> 2 tets each: 144*4+96*2 = 768.
+	if m.NumTets() != 768 {
+		t.Errorf("tets = %d, want 768", m.NumTets())
+	}
+	// Nodes: 5^3 corners + 4^3 centers = 189.
+	if m.NumNodes() != 189 {
+		t.Errorf("nodes = %d, want 189", m.NumNodes())
+	}
+	// The BCC decomposition tiles the cube exactly.
+	want := 343.0 // (2*3+1)^3 with the clamped last plane
+	if v := m.TotalVolume(); v < want-1e-6 || v > want+1e-6 {
+		t.Errorf("volume = %v, want %v", v, want)
+	}
+}
+
+func TestBCCQualityBeatsKuhn(t *testing.T) {
+	l := solidCube(12)
+	kuhn, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcc, err := FromLabelsBCC(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qk := kuhn.Quality()
+	qb := bcc.Quality()
+	if qb.MeanQuality <= qk.MeanQuality {
+		t.Errorf("BCC mean quality %v not better than Kuhn %v", qb.MeanQuality, qk.MeanQuality)
+	}
+	if qb.Degenerate != 0 {
+		t.Errorf("%d degenerate BCC elements", qb.Degenerate)
+	}
+}
+
+// TestBCCConnectivityMoreRegular verifies the paper's future-work
+// claim: the BCC lattice narrows the node-connectivity spread that
+// drives the Kuhn mesh's assembly imbalance.
+func TestBCCConnectivityMoreRegular(t *testing.T) {
+	l := solidCube(12)
+	spread := func(m *Mesh) float64 {
+		adj := m.NodeAdjacency()
+		// Interior spread: compare the most- and least-connected nodes
+		// among those with full stencils (exclude boundary effects by
+		// using the ratio of max to median valence).
+		counts := map[int]int{}
+		for _, nb := range adj {
+			counts[len(nb)]++
+		}
+		minV, maxV := 1<<30, 0
+		for v := range counts {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		return float64(maxV) / float64(minV)
+	}
+	kuhn, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcc, err := FromLabelsBCC(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb, sk := spread(bcc), spread(kuhn); sb > sk {
+		t.Errorf("BCC valence spread %v wider than Kuhn %v", sb, sk)
+	}
+}
+
+func TestBCCPhantomMesh(t *testing.T) {
+	p := phantom.DefaultParams(24)
+	g := volume.NewGrid(p.N, p.N, p.N, p.Spacing)
+	l := phantom.GenerateLabels(g, p)
+	m, err := FromLabelsBCC(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// No background-labeled elements survive.
+	for e, lab := range m.TetLabel {
+		if lab == volume.LabelBackground {
+			t.Fatalf("element %d has background label", e)
+		}
+	}
+	vols := m.LabelVolumes()
+	if vols[volume.LabelBrain] == 0 {
+		t.Error("no brain elements")
+	}
+	// Surface extraction works on the BCC mesh too.
+	s, err := m.ExtractSurface(func(lab volume.Label) bool { return lab == volume.LabelBrain })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTris() == 0 {
+		t.Error("empty brain surface")
+	}
+}
+
+func TestBCCErrors(t *testing.T) {
+	bad := &volume.Labels{Grid: volume.Grid{}}
+	if _, err := FromLabelsBCC(bad, Options{}); err == nil {
+		t.Error("invalid grid accepted")
+	}
+	l := solidCube(4)
+	if _, err := FromLabelsBCC(l, Options{CellSize: 99}); err == nil {
+		t.Error("oversized cell accepted")
+	}
+	if _, err := FromLabelsBCC(l, Options{CellSize: 2, Include: func(volume.Label) bool { return false }}); err == nil {
+		t.Error("empty include accepted")
+	}
+}
+
+// TestBCCReducesAssemblyImbalance ties the regular connectivity to the
+// quantity the paper cares about: the per-rank assembly work imbalance
+// under the equal-node-count decomposition.
+func TestBCCReducesAssemblyImbalance(t *testing.T) {
+	p := phantom.DefaultParams(32)
+	g := volume.NewGrid(p.N, p.N, p.N, p.Spacing)
+	l := phantom.GenerateLabels(g, p)
+	imb := func(m *Mesh) float64 {
+		// Inline the fem.AssemblyWorkModel accounting to avoid an
+		// import cycle (fem imports mesh): per-rank flops proportional
+		// to elements touched.
+		pcount := 8
+		pt := par.Even(m.NumNodes(), pcount)
+		flops := make([]float64, pcount)
+		for _, tet := range m.Tets {
+			var ranks [4]int
+			nr := 0
+			for _, node := range tet {
+				r := pt.Owner(int(node))
+				dup := false
+				for i := 0; i < nr; i++ {
+					if ranks[i] == r {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					ranks[nr] = r
+					nr++
+				}
+			}
+			for i := 0; i < nr; i++ {
+				flops[ranks[i]]++
+			}
+		}
+		max, sum := 0.0, 0.0
+		for _, f := range flops {
+			if f > max {
+				max = f
+			}
+			sum += f
+		}
+		return max / (sum / float64(pcount))
+	}
+	kuhn, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcc, err := FromLabelsBCC(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ik, ib := imb(kuhn), imb(bcc)
+	t.Logf("assembly imbalance: Kuhn %.3f, BCC %.3f", ik, ib)
+	if ib > ik*1.15 {
+		t.Errorf("BCC imbalance %v materially worse than Kuhn %v", ib, ik)
+	}
+}

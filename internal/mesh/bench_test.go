@@ -1,0 +1,65 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+func benchPhantomLabels(n int) *volume.Labels {
+	p := phantom.DefaultParams(n)
+	g := volume.NewGrid(n, n, n, p.Spacing)
+	return phantom.GenerateLabels(g, p)
+}
+
+func BenchmarkFromLabels48(b *testing.B) {
+	l := benchPhantomLabels(48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromLabels(l, Options{CellSize: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractSurface(b *testing.B) {
+	l := benchPhantomLabels(48)
+	m, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inBrain := func(lab volume.Label) bool { return lab == volume.LabelBrain }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ExtractSurface(inBrain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeAdjacency(b *testing.B) {
+	l := benchPhantomLabels(40)
+	m, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NodeAdjacency()
+	}
+}
+
+func BenchmarkCheckConsistency(b *testing.B) {
+	l := benchPhantomLabels(40)
+	m, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.CheckConsistency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

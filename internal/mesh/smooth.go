@@ -1,0 +1,164 @@
+package mesh
+
+import (
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// FixedNodes returns the set of nodes that anatomy-preserving mesh
+// smoothing must not move: nodes on the mesh boundary and nodes on
+// interfaces between differently-labeled regions. Moving these would
+// change the segmented geometry the FEM model represents.
+func (m *Mesh) FixedNodes() []bool {
+	fixed := make([]bool, len(m.Nodes))
+	type rec struct {
+		count int
+		label int16 // -1 after seeing two different labels
+	}
+	faces := make(map[faceKey]*rec)
+	for e, t := range m.Tets {
+		lab := int16(m.TetLabel[e])
+		for _, f := range tetFaces {
+			key := makeFaceKey(t[f[0]], t[f[1]], t[f[2]])
+			r := faces[key]
+			if r == nil {
+				faces[key] = &rec{count: 1, label: lab}
+				continue
+			}
+			r.count++
+			if r.label != lab {
+				r.label = -1
+			}
+		}
+	}
+	for key, r := range faces {
+		// Boundary face (count 1) or inter-tissue face (label -1).
+		if r.count == 1 || r.label == -1 {
+			for _, n := range key {
+				fixed[n] = true
+			}
+		}
+	}
+	return fixed
+}
+
+// SnapToLevelSet moves the listed nodes onto the zero level set of the
+// signed distance volume phi (negative inside the structure), walking
+// each node along the distance gradient. Nodes farther than maxDist
+// from the level set are left alone, and any move that would invert an
+// incident element is rolled back. Snapping the brain-surface nodes of
+// a marching-tetrahedra mesh onto the smooth segmentation boundary
+// removes the voxel staircase from the FEM geometry; follow with
+// Smooth to re-equilibrate the interior.
+//
+// It returns the number of nodes moved.
+func (m *Mesh) SnapToLevelSet(nodes []int32, phi *volume.Scalar, maxDist float64) int {
+	if maxDist <= 0 {
+		maxDist = 2
+	}
+	incident := make([][]int32, len(m.Nodes))
+	for e, t := range m.Tets {
+		for _, n := range t {
+			incident[n] = append(incident[n], int32(e))
+		}
+	}
+	moved := 0
+	for _, n := range nodes {
+		if n < 0 || int(n) >= len(m.Nodes) {
+			continue
+		}
+		p := m.Nodes[n]
+		d := phi.SampleWorld(p)
+		if d == 0 || d < -maxDist || d > maxDist {
+			continue
+		}
+		// Damped Newton walk to the zero level set: the trilinear
+		// distance field is only piecewise smooth, so several short
+		// steps beat one full-length step.
+		newPos := p
+		for step := 0; step < 5; step++ {
+			dv := phi.SampleWorld(newPos)
+			grad := phi.GradientWorld(newPos)
+			if grad.NormSq() < 1e-12 {
+				break
+			}
+			newPos = newPos.Sub(grad.Scale(0.8 * dv / grad.NormSq()))
+			if dv < 0.05 && dv > -0.05 {
+				break
+			}
+		}
+		m.Nodes[n] = newPos
+		ok := true
+		for _, e := range incident[n] {
+			if m.TetGeom(int(e)).SignedVolume() < 1e-9 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			m.Nodes[n] = p
+			continue
+		}
+		moved++
+	}
+	return moved
+}
+
+// Smooth performs safeguarded Laplacian smoothing: every non-fixed node
+// moves a fraction lambda toward the centroid of its neighbors, and any
+// move that would invert or degenerate an incident element is rolled
+// back. It addresses the paper's future-work observation that "a
+// tetrahedral mesh with a more regular connectivity pattern would allow
+// better scaling" — the Kuhn lattice is regular in connectivity but its
+// elements are far from equilateral; smoothing raises element quality
+// without changing topology or anatomy.
+//
+// It returns the number of node moves applied across all iterations.
+func (m *Mesh) Smooth(iterations int, lambda float64) int {
+	if iterations <= 0 || lambda <= 0 {
+		return 0
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	fixed := m.FixedNodes()
+	adj := m.NodeAdjacency()
+	// Incident elements per node, for the inversion safeguard.
+	incident := make([][]int32, len(m.Nodes))
+	for e, t := range m.Tets {
+		for _, n := range t {
+			incident[n] = append(incident[n], int32(e))
+		}
+	}
+	moved := 0
+	for it := 0; it < iterations; it++ {
+		for n := range m.Nodes {
+			if fixed[n] || len(adj[n]) == 0 {
+				continue
+			}
+			var c geom.Vec3
+			for _, nb := range adj[n] {
+				c = c.Add(m.Nodes[nb])
+			}
+			c = c.Scale(1 / float64(len(adj[n])))
+			oldPos := m.Nodes[n]
+			newPos := oldPos.Lerp(c, lambda)
+			m.Nodes[n] = newPos
+			// Safeguard: roll back if any incident element inverts or
+			// drops below a volume floor.
+			ok := true
+			for _, e := range incident[n] {
+				if m.TetGeom(int(e)).SignedVolume() < 1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				m.Nodes[n] = oldPos
+				continue
+			}
+			moved++
+		}
+	}
+	return moved
+}

@@ -1,0 +1,161 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+func phantomMesh(t *testing.T, n int) *Mesh {
+	t.Helper()
+	p := phantom.DefaultParams(n)
+	g := volume.NewGrid(n, n, n, p.Spacing)
+	l := phantom.GenerateLabels(g, p)
+	m, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFixedNodesIncludeBoundary(t *testing.T) {
+	m := phantomMesh(t, 24)
+	fixed := m.FixedNodes()
+	surf, err := m.ExtractSurface(func(volume.Label) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range surf.NodeID {
+		if !fixed[node] {
+			t.Fatalf("boundary node %d not fixed", node)
+		}
+	}
+	// Some interior nodes must be free (otherwise smoothing is a no-op).
+	free := 0
+	for _, f := range fixed {
+		if !f {
+			free++
+		}
+	}
+	if free == 0 {
+		t.Error("no free nodes")
+	}
+}
+
+func TestFixedNodesIncludeTissueInterfaces(t *testing.T) {
+	// Two-material cube split at x=4: the interface plane nodes are
+	// fixed.
+	g := volume.NewGrid(8, 8, 8, 1)
+	l := volume.NewLabels(g)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				if i < 4 {
+					l.Set(i, j, k, volume.LabelBrain)
+				} else {
+					l.Set(i, j, k, volume.LabelCSF)
+				}
+			}
+		}
+	}
+	m, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := m.FixedNodes()
+	for n, p := range m.Nodes {
+		if p.X == 4 && !fixed[n] {
+			t.Fatalf("interface node %d at %v not fixed", n, p)
+		}
+	}
+}
+
+func TestSmoothImprovesJitteredQuality(t *testing.T) {
+	// The pristine Kuhn lattice is already at the Laplacian equilibrium
+	// (every interior node sits at its neighbors' centroid), so smooth a
+	// mesh whose interior nodes were displaced — the situation produced
+	// by boundary snapping or by meshing deformed anatomy.
+	m := phantomMesh(t, 32)
+	fixed := m.FixedNodes()
+	rng := rand.New(rand.NewSource(71))
+	for n := range m.Nodes {
+		if fixed[n] {
+			continue
+		}
+		m.Nodes[n] = m.Nodes[n].Add(geom.V(
+			rng.Float64()*0.8-0.4, rng.Float64()*0.8-0.4, rng.Float64()*0.8-0.4))
+	}
+	before := m.Quality()
+	moved := m.Smooth(10, 0.5)
+	if moved == 0 {
+		t.Fatal("smoothing moved nothing")
+	}
+	after := m.Quality()
+	if after.MeanQuality <= before.MeanQuality {
+		t.Errorf("mean quality did not improve: %v -> %v", before.MeanQuality, after.MeanQuality)
+	}
+	if after.MinQuality < before.MinQuality {
+		t.Errorf("min quality degraded: %v -> %v", before.MinQuality, after.MinQuality)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatalf("smoothing broke the mesh: %v", err)
+	}
+}
+
+func TestSmoothIsStationaryOnRegularLattice(t *testing.T) {
+	// On the uniform lattice smoothing must not change node positions
+	// (each interior node is already its neighbors' centroid).
+	m := phantomMesh(t, 24)
+	before := append([]geom.Vec3(nil), m.Nodes...)
+	m.Smooth(3, 0.5)
+	for n := range m.Nodes {
+		if m.Nodes[n].Sub(before[n]).MaxAbs() > 1e-9 {
+			t.Fatalf("node %d moved on a regular lattice", n)
+		}
+	}
+}
+
+func TestSmoothPreservesVolumeApproximately(t *testing.T) {
+	m := phantomMesh(t, 24)
+	before := m.TotalVolume()
+	m.Smooth(5, 0.5)
+	after := m.TotalVolume()
+	if math.Abs(after-before)/before > 0.02 {
+		t.Errorf("smoothing changed total volume %v -> %v", before, after)
+	}
+}
+
+func TestSmoothKeepsBoundaryNodes(t *testing.T) {
+	m := phantomMesh(t, 24)
+	fixed := m.FixedNodes()
+	var savedIdx int = -1
+	for n, f := range fixed {
+		if f {
+			savedIdx = n
+			break
+		}
+	}
+	if savedIdx < 0 {
+		t.Fatal("no fixed nodes")
+	}
+	saved := m.Nodes[savedIdx]
+	m.Smooth(5, 0.5)
+	if m.Nodes[savedIdx] != saved {
+		t.Error("fixed node moved")
+	}
+}
+
+func TestSmoothNoOpCases(t *testing.T) {
+	m := phantomMesh(t, 16)
+	if m.Smooth(0, 0.5) != 0 {
+		t.Error("0 iterations should be a no-op")
+	}
+	if m.Smooth(3, 0) != 0 {
+		t.Error("lambda 0 should be a no-op")
+	}
+}

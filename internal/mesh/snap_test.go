@@ -1,0 +1,104 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/edt"
+	"repro/internal/volume"
+)
+
+// sphereMesh builds a mesh of a sphere-labeled volume and returns the
+// mesh, its brain-surface, and the sphere's signed distance field.
+func sphereMesh(t *testing.T, n int, radius float64) (*Mesh, *TriMesh, *volume.Scalar) {
+	t.Helper()
+	g := volume.NewGrid(n, n, n, 1)
+	l := volume.NewLabels(g)
+	c := g.Center()
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if g.World(i, j, k).Dist(c) <= radius {
+					l.Set(i, j, k, volume.LabelBrain)
+				}
+			}
+		}
+	}
+	m, err := FromLabels(l, Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ExtractSurface(func(lab volume.Label) bool { return lab == volume.LabelBrain })
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := edt.Signed(l, volume.LabelBrain, 0)
+	return m, s, phi
+}
+
+func meanRadialError(m *Mesh, nodes []int32, center float64, radius float64) float64 {
+	sum := 0.0
+	for _, n := range nodes {
+		p := m.Nodes[n]
+		r := math.Sqrt((p.X-center)*(p.X-center) + (p.Y-center)*(p.Y-center) + (p.Z-center)*(p.Z-center))
+		sum += math.Abs(r - radius)
+	}
+	return sum / float64(len(nodes))
+}
+
+func TestSnapToLevelSetReducesStaircase(t *testing.T) {
+	n, radius := 32, 11.0
+	m, s, phi := sphereMesh(t, n, radius)
+	c := float64(n-1) / 2
+	before := meanRadialError(m, s.NodeID, c, radius)
+	moved := m.SnapToLevelSet(s.NodeID, phi, 2)
+	if moved == 0 {
+		t.Fatal("snapping moved nothing")
+	}
+	after := meanRadialError(m, s.NodeID, c, radius)
+	if after >= before {
+		t.Errorf("radial error did not improve: %v -> %v", before, after)
+	}
+	if after > 0.4 {
+		t.Errorf("post-snap radial error %v, want < 0.4 voxels", after)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatalf("snapping broke the mesh: %v", err)
+	}
+}
+
+func TestSnapThenSmoothKeepsQuality(t *testing.T) {
+	_, _, _ = sphereMesh(t, 24, 8) // warm path
+	m, s, phi := sphereMesh(t, 32, 11)
+	m.SnapToLevelSet(s.NodeID, phi, 2)
+	q := m.Quality()
+	if q.Degenerate > 0 {
+		t.Fatalf("%d degenerate elements after snapping", q.Degenerate)
+	}
+	m.Smooth(5, 0.5)
+	q2 := m.Quality()
+	if q2.Degenerate > 0 {
+		t.Fatalf("%d degenerate elements after smoothing", q2.Degenerate)
+	}
+	if q2.MeanQuality < q.MeanQuality-1e-9 {
+		t.Errorf("smoothing after snap degraded mean quality: %v -> %v", q.MeanQuality, q2.MeanQuality)
+	}
+	if err := m.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapRespectsMaxDist(t *testing.T) {
+	m, s, phi := sphereMesh(t, 24, 8)
+	// With a tiny maxDist nothing beyond the tolerance moves; with 0 it
+	// defaults to 2.
+	before := append([]int32(nil), s.NodeID...)
+	movedTiny := m.SnapToLevelSet(before, phi, 1e-9)
+	if movedTiny != 0 {
+		t.Errorf("maxDist ~0 moved %d nodes", movedTiny)
+	}
+	// Out-of-range node ids are skipped, not panicking.
+	if m.SnapToLevelSet([]int32{-1, 1 << 30}, phi, 1) != 0 {
+		t.Error("bogus node ids moved something")
+	}
+}

@@ -1,0 +1,189 @@
+// Package par provides the reproduction's parallel runtime: a
+// rank-based decomposition in the style of the paper's MPI/PETSc
+// implementation, executed with goroutines. Work is split into
+// contiguous index ranges ("partitions"), one per rank; per-rank
+// counters record the floating-point work and communication volume each
+// rank performs, which both drives real goroutine parallelism and feeds
+// the cluster performance model (package cluster) that regenerates the
+// paper's scaling figures.
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Partition divides the index range [0, N) into P contiguous ranges.
+// Range r is [Starts[r], Starts[r+1]). The paper's decomposition sends
+// "approximately equal numbers of mesh nodes to each CPU"; Even
+// reproduces that scheme, and the resulting imbalance in actual work
+// (element connectivity, boundary conditions) is exactly the imbalance
+// the paper discusses.
+type Partition struct {
+	N      int
+	P      int
+	Starts []int
+}
+
+// Even partitions n items into p nearly equal contiguous ranges.
+// It panics when n < 0 or p <= 0.
+func Even(n, p int) Partition {
+	if n < 0 || p <= 0 {
+		panic(fmt.Sprintf("par: invalid partition n=%d p=%d", n, p))
+	}
+	starts := make([]int, p+1)
+	base := n / p
+	rem := n % p
+	pos := 0
+	for r := 0; r < p; r++ {
+		starts[r] = pos
+		pos += base
+		if r < rem {
+			pos++
+		}
+	}
+	starts[p] = n
+	return Partition{N: n, P: p, Starts: starts}
+}
+
+// Weighted partitions n items into p contiguous ranges of approximately
+// equal total weight. Weights must be non-negative and len(weights)==n.
+func Weighted(weights []float64, p int) Partition {
+	n := len(weights)
+	if p <= 0 {
+		panic(fmt.Sprintf("par: invalid partition p=%d", p))
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	starts := make([]int, p+1)
+	starts[p] = n
+	if total == 0 {
+		return Even(n, p)
+	}
+	target := total / float64(p)
+	acc := 0.0
+	rank := 1
+	for i := 0; i < n && rank < p; i++ {
+		acc += weights[i]
+		if acc >= target*float64(rank) {
+			starts[rank] = i + 1
+			rank++
+		}
+	}
+	// Any unassigned trailing ranks start at n (empty ranges).
+	for ; rank < p; rank++ {
+		starts[rank] = n
+	}
+	return Partition{N: n, P: p, Starts: starts}
+}
+
+// Range returns the [lo, hi) index range of rank r.
+func (pt Partition) Range(r int) (lo, hi int) {
+	return pt.Starts[r], pt.Starts[r+1]
+}
+
+// Size returns the number of items owned by rank r.
+func (pt Partition) Size(r int) int {
+	return pt.Starts[r+1] - pt.Starts[r]
+}
+
+// Owner returns the rank owning index i. It panics for out-of-range i.
+func (pt Partition) Owner(i int) int {
+	if i < 0 || i >= pt.N {
+		panic(fmt.Sprintf("par: index %d out of range [0,%d)", i, pt.N))
+	}
+	// Binary search over the starts.
+	lo, hi := 0, pt.P-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pt.Starts[mid+1] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ForEachRank runs fn(rank) concurrently for every rank and waits for
+// completion.
+func (pt Partition) ForEachRank(fn func(rank int)) {
+	var wg sync.WaitGroup
+	wg.Add(pt.P)
+	for r := 0; r < pt.P; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Counters records per-rank work during a parallel phase. All numbers
+// are accumulated by the rank itself (no locking needed: one writer per
+// slot) and read after the phase completes.
+type Counters struct {
+	P int
+	// Flops counts floating-point operations per rank.
+	Flops []float64
+	// BytesSent counts communication volume per rank (halo exchanges,
+	// reductions) under a distributed-memory interpretation.
+	BytesSent []float64
+	// Messages counts discrete messages per rank (latency term).
+	Messages []float64
+}
+
+// NewCounters allocates counters for p ranks.
+func NewCounters(p int) *Counters {
+	return &Counters{
+		P:         p,
+		Flops:     make([]float64, p),
+		BytesSent: make([]float64, p),
+		Messages:  make([]float64, p),
+	}
+}
+
+// AddFlops accumulates floating-point work for a rank.
+func (c *Counters) AddFlops(rank int, n float64) { c.Flops[rank] += n }
+
+// AddComm accumulates one message of the given byte size for a rank.
+func (c *Counters) AddComm(rank int, bytes float64) {
+	c.BytesSent[rank] += bytes
+	c.Messages[rank]++
+}
+
+// MaxFlops returns the largest per-rank flop count — the critical path
+// of a bulk-synchronous phase.
+func (c *Counters) MaxFlops() float64 {
+	m := 0.0
+	for _, f := range c.Flops {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// TotalFlops returns the summed flop count across ranks.
+func (c *Counters) TotalFlops() float64 {
+	t := 0.0
+	for _, f := range c.Flops {
+		t += f
+	}
+	return t
+}
+
+// Imbalance returns max/mean of per-rank flops (1.0 = perfectly
+// balanced). Zero work returns 1.
+func (c *Counters) Imbalance() float64 {
+	if c.P == 0 {
+		return 1
+	}
+	mean := c.TotalFlops() / float64(c.P)
+	if mean == 0 {
+		return 1
+	}
+	return c.MaxFlops() / mean
+}

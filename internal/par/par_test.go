@@ -1,0 +1,155 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvenCoversAllIndices(t *testing.T) {
+	f := func(n, p uint8) bool {
+		np := int(n)
+		pp := int(p)%16 + 1
+		pt := Even(np, pp)
+		// Ranges are contiguous, non-overlapping, and cover [0, n).
+		if pt.Starts[0] != 0 || pt.Starts[pp] != np {
+			return false
+		}
+		for r := 0; r < pp; r++ {
+			if pt.Starts[r] > pt.Starts[r+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvenBalanced(t *testing.T) {
+	pt := Even(10, 3)
+	sizes := []int{pt.Size(0), pt.Size(1), pt.Size(2)}
+	if sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Fatalf("sizes %v don't sum to 10", sizes)
+	}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Errorf("size %d not in [3,4]", s)
+		}
+	}
+}
+
+func TestEvenPanicsOnInvalid(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{-1, 2}, {5, 0}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Even(%d,%d) did not panic", c.n, c.p)
+				}
+			}()
+			Even(c.n, c.p)
+		}()
+	}
+}
+
+func TestOwnerConsistentWithRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		p := 1 + rng.Intn(12)
+		pt := Even(n, p)
+		for i := 0; i < n; i++ {
+			r := pt.Owner(i)
+			lo, hi := pt.Range(r)
+			if i < lo || i >= hi {
+				t.Fatalf("Owner(%d)=%d but range is [%d,%d)", i, r, lo, hi)
+			}
+		}
+	}
+}
+
+func TestOwnerPanicsOutOfRange(t *testing.T) {
+	pt := Even(5, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	pt.Owner(5)
+}
+
+func TestWeightedBalancesWork(t *testing.T) {
+	// First half of items have weight 9, second half weight 1: the
+	// even split would give rank 0 90% of the work; the weighted split
+	// must do much better.
+	n := 100
+	w := make([]float64, n)
+	for i := range w {
+		if i < n/2 {
+			w[i] = 9
+		} else {
+			w[i] = 1
+		}
+	}
+	pt := Weighted(w, 2)
+	work := func(r int) float64 {
+		lo, hi := pt.Range(r)
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += w[i]
+		}
+		return s
+	}
+	w0, w1 := work(0), work(1)
+	total := w0 + w1
+	if w0 > 0.6*total || w1 > 0.6*total {
+		t.Errorf("weighted partition imbalanced: %v vs %v", w0, w1)
+	}
+}
+
+func TestWeightedZeroWeightsFallsBackToEven(t *testing.T) {
+	pt := Weighted(make([]float64, 10), 2)
+	if pt.Size(0) != 5 || pt.Size(1) != 5 {
+		t.Errorf("zero-weight split = %d/%d, want 5/5", pt.Size(0), pt.Size(1))
+	}
+}
+
+func TestForEachRankRunsAll(t *testing.T) {
+	pt := Even(100, 7)
+	var visited int64
+	pt.ForEachRank(func(r int) {
+		atomic.AddInt64(&visited, 1<<uint(r))
+	})
+	if visited != (1<<7)-1 {
+		t.Errorf("visited mask = %b, want all 7 ranks", visited)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters(3)
+	c.AddFlops(0, 100)
+	c.AddFlops(1, 200)
+	c.AddFlops(2, 300)
+	if c.TotalFlops() != 600 {
+		t.Errorf("TotalFlops = %v", c.TotalFlops())
+	}
+	if c.MaxFlops() != 300 {
+		t.Errorf("MaxFlops = %v", c.MaxFlops())
+	}
+	if got := c.Imbalance(); got != 1.5 {
+		t.Errorf("Imbalance = %v, want 1.5", got)
+	}
+	c.AddComm(1, 4096)
+	if c.BytesSent[1] != 4096 || c.Messages[1] != 1 {
+		t.Error("AddComm did not record")
+	}
+}
+
+func TestCountersEmpty(t *testing.T) {
+	c := NewCounters(2)
+	if c.Imbalance() != 1 {
+		t.Errorf("empty Imbalance = %v, want 1", c.Imbalance())
+	}
+}

@@ -1,0 +1,165 @@
+package register
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+func TestHistogramMarginalsAndTotal(t *testing.T) {
+	h := NewHistogram2D(4, 0, 4, 0, 4)
+	h.Add(0.5, 0.5)
+	h.Add(1.5, 2.5)
+	h.Add(3.9, 0.1)
+	if h.Total() != 3 {
+		t.Errorf("Total = %v", h.Total())
+	}
+	if got := h.Counts[0*4+0]; got != 1 {
+		t.Errorf("count(0,0) = %v", got)
+	}
+	if got := h.Counts[1*4+2]; got != 1 {
+		t.Errorf("count(1,2) = %v", got)
+	}
+	h.Reset()
+	if h.Total() != 0 || h.MutualInformation() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram2D(4, 0, 1, 0, 1)
+	h.Add(-5, 99)
+	if h.Counts[0*4+3] != 1 {
+		t.Error("out-of-range values not clamped to edge bins")
+	}
+}
+
+func TestMIOfIndependentVariablesIsZero(t *testing.T) {
+	// Uniform independent pairs: MI should approach 0.
+	rng := rand.New(rand.NewSource(51))
+	h := NewHistogram2D(8, 0, 1, 0, 1)
+	for i := 0; i < 200000; i++ {
+		h.Add(rng.Float64(), rng.Float64())
+	}
+	if mi := h.MutualInformation(); mi > 0.01 {
+		t.Errorf("independent MI = %v, want ~0", mi)
+	}
+}
+
+func TestMIOfIdenticalVariablesEqualsEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	h := NewHistogram2D(8, 0, 1, 0, 1)
+	for i := 0; i < 100000; i++ {
+		v := rng.Float64()
+		h.Add(v, v)
+	}
+	mi := h.MutualInformation()
+	ha := h.EntropyA()
+	if math.Abs(mi-ha) > 1e-9 {
+		t.Errorf("MI = %v, H(A) = %v: identical variables should give MI = H", mi, ha)
+	}
+	// For 8 equal bins, H ~ log(8).
+	if math.Abs(ha-math.Log(8)) > 0.01 {
+		t.Errorf("H(A) = %v, want ~log 8 = %v", ha, math.Log(8))
+	}
+}
+
+func TestMINonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram2D(6, 0, 1, 0, 1)
+		n := 100 + rng.Intn(1000)
+		for i := 0; i < n; i++ {
+			a := rng.Float64()
+			b := 0.5*a + 0.5*rng.Float64() // correlated
+			h.Add(a, b)
+		}
+		if mi := h.MutualInformation(); mi < -1e-12 {
+			t.Fatalf("MI = %v < 0", mi)
+		}
+	}
+}
+
+func TestJointEntropyBounds(t *testing.T) {
+	// H(A,B) >= max(H(A), H(B)) and H(A,B) <= H(A)+H(B).
+	rng := rand.New(rand.NewSource(54))
+	h := NewHistogram2D(6, 0, 1, 0, 1)
+	for i := 0; i < 50000; i++ {
+		a := rng.Float64()
+		h.Add(a, math.Mod(a+0.2*rng.Float64(), 1))
+	}
+	je := h.JointEntropy()
+	ha, hb := h.EntropyA(), h.EntropyB()
+	if je < math.Max(ha, hb)-1e-9 {
+		t.Errorf("H(A,B)=%v < max(H(A)=%v, H(B)=%v)", je, ha, hb)
+	}
+	if je > ha+hb+1e-9 {
+		t.Errorf("H(A,B)=%v > H(A)+H(B)=%v", je, ha+hb)
+	}
+}
+
+func TestNMIOfIdenticalIsTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	h := NewHistogram2D(8, 0, 1, 0, 1)
+	for i := 0; i < 50000; i++ {
+		v := rng.Float64()
+		h.Add(v, v)
+	}
+	if nmi := h.NormalizedMutualInformation(); math.Abs(nmi-2) > 0.01 {
+		t.Errorf("NMI of identical = %v, want 2", nmi)
+	}
+}
+
+// testVolume builds a structured volume with intensity gradients that
+// make MI sensitive to misalignment.
+func testVolume(n int, seed int64) *volume.Scalar {
+	rng := rand.New(rand.NewSource(seed))
+	g := volume.NewGrid(n, n, n, 1)
+	s := volume.NewScalar(g)
+	c := g.Center()
+	// Two off-center blobs break rotational symmetry so that MI is
+	// sensitive to all six rigid parameters.
+	blobA := c.Add(geom.V(float64(n)/5, float64(n)/8, 0))
+	blobB := c.Add(geom.V(-float64(n)/6, 0, float64(n)/7))
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				p := g.World(i, j, k)
+				r := p.Dist(c)
+				v := 0.0
+				switch {
+				case r < float64(n)/5:
+					v = 150
+				case r < float64(n)/3:
+					v = 90
+				case r < float64(n)/2.2:
+					v = 40
+				}
+				if p.Dist(blobA) < float64(n)/8 {
+					v = 220
+				}
+				if p.Dist(blobB) < float64(n)/10 {
+					v = 60
+				}
+				v += rng.NormFloat64() * 2
+				s.Set(i, j, k, v)
+			}
+		}
+	}
+	return s
+}
+
+func TestMIMetricPeaksAtIdentityForSelfRegistration(t *testing.T) {
+	s := testVolume(24, 61)
+	m := NewMIMetric(s, s)
+	identity := func(p geom.Vec3) geom.Vec3 { return p }
+	miID := m.Evaluate(identity)
+	shift := func(p geom.Vec3) geom.Vec3 { return p.Add(geom.V(3, 0, 0)) }
+	miShift := m.Evaluate(shift)
+	if miID <= miShift {
+		t.Errorf("MI at identity (%v) not greater than shifted (%v)", miID, miShift)
+	}
+}

@@ -1,0 +1,206 @@
+package register
+
+import (
+	"math"
+)
+
+// Powell maximizes an objective function over R^n with Powell's
+// direction-set method: repeated one-dimensional line maximizations
+// along a set of directions that is updated to follow the overall
+// direction of progress. It needs no gradients, which suits the
+// histogram-based MI objective (piecewise-constant in the parameters).
+type Powell struct {
+	// StepSizes sets the initial bracketing step for each parameter —
+	// effectively the parameter scaling (radians vs millimetres).
+	StepSizes []float64
+	// Tol is the relative improvement below which an iteration is
+	// considered converged.
+	Tol float64
+	// MaxIter bounds the number of full direction-set sweeps.
+	MaxIter int
+	// Order, when non-nil, gives the order in which the initial
+	// coordinate directions are searched within each sweep (e.g.
+	// translations before rotations for rigid registration).
+	Order []int
+	// Evals counts objective evaluations (for performance reporting).
+	Evals int
+}
+
+// NewPowell returns an optimizer with the given per-parameter steps.
+func NewPowell(steps []float64) *Powell {
+	s := make([]float64, len(steps))
+	copy(s, steps)
+	return &Powell{StepSizes: s, Tol: 1e-5, MaxIter: 20}
+}
+
+// Maximize runs the optimization from x0 and returns the best point and
+// value found.
+func (pw *Powell) Maximize(f func([]float64) float64, x0 []float64) ([]float64, float64) {
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	// Initial direction set: coordinate axes scaled by step sizes, in
+	// the requested search order.
+	order := pw.Order
+	if len(order) != n {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	dirs := make([][]float64, n)
+	for i := range dirs {
+		axis := order[i]
+		dirs[i] = make([]float64, n)
+		step := 1.0
+		if axis < len(pw.StepSizes) {
+			step = pw.StepSizes[axis]
+		}
+		dirs[i][axis] = step
+	}
+	eval := func(p []float64) float64 {
+		pw.Evals++
+		return f(p)
+	}
+	fx := eval(x)
+	for iter := 0; iter < pw.MaxIter; iter++ {
+		fStart := fx
+		xStart := append([]float64(nil), x...)
+		biggestGain := 0.0
+		biggestIdx := 0
+		for d := 0; d < n; d++ {
+			fBefore := fx
+			x, fx = pw.lineMaximize(eval, x, dirs[d], fx)
+			if gain := fx - fBefore; gain > biggestGain {
+				biggestGain = gain
+				biggestIdx = d
+			}
+		}
+		// Try the average direction of this sweep.
+		avg := make([]float64, n)
+		nonzero := false
+		for i := range avg {
+			avg[i] = x[i] - xStart[i]
+			if avg[i] != 0 {
+				nonzero = true
+			}
+		}
+		if nonzero {
+			var fNew float64
+			x, fNew = pw.lineMaximize(eval, x, avg, fx)
+			if fNew > fx {
+				fx = fNew
+				// Replace the direction of largest gain with the average
+				// direction (Powell's update), keeping the set spanning.
+				dirs[biggestIdx] = avg
+			}
+		}
+		if fx-fStart <= pw.Tol*(math.Abs(fStart)+1e-12) {
+			break
+		}
+	}
+	return x, fx
+}
+
+// lineMaximize performs a bracketing + golden-section search for the
+// maximum of f along x + t*dir, starting from t=0 with f(x)=fx known.
+func (pw *Powell) lineMaximize(f func([]float64) float64, x, dir []float64, fx float64) ([]float64, float64) {
+	probe := func(t float64) float64 {
+		p := make([]float64, len(x))
+		for i := range p {
+			p[i] = x[i] + t*dir[i]
+		}
+		return f(p)
+	}
+	// Bracket a maximum around t=0.
+	a, b, c, fb := bracketMax(probe, fx)
+	if b == 0 && fb <= fx {
+		return x, fx
+	}
+	// Golden-section refinement on [a, c].
+	t, ft := goldenMax(probe, a, b, c, fb, 30)
+	if ft <= fx {
+		return x, fx
+	}
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = x[i] + t*dir[i]
+	}
+	return out, ft
+}
+
+// bracketMax finds a triple a < b < c with f(b) >= f(a), f(b) >= f(c),
+// starting from t=0 where f(0)=f0. Growth is bounded (both in number of
+// expansions and in requiring strict improvement) so that plateaus or
+// spurious far-field maxima of a mutual-information objective cannot
+// drag the search arbitrarily far from the current estimate.
+func bracketMax(f func(float64) float64, f0 float64) (a, b, c, fb float64) {
+	const (
+		grow    = 1.6
+		maxGrow = 6
+		eps     = 1e-12
+	)
+	step := 1.0
+	fPlus := f(step)
+	fMinus := f(-step)
+	if fPlus <= f0+eps && fMinus <= f0+eps {
+		// f(0) is the local max of the three: bracket is [-step, 0, step].
+		return -step, 0, step, f0
+	}
+	dir := 1.0
+	fb = fPlus
+	if fMinus > fPlus {
+		dir = -1
+		fb = fMinus
+	}
+	// Work in s = dir*t coordinates so the improving direction is +s.
+	g := func(s float64) float64 { return f(dir * s) }
+	sa, sb := 0.0, step
+	inc := step
+	sc := sb
+	for i := 0; i < maxGrow; i++ {
+		inc *= grow
+		sc = sb + inc
+		fc := g(sc)
+		if fc <= fb+eps {
+			break
+		}
+		sa, sb, fb = sb, sc, fc
+		sc = sb + inc*grow
+	}
+	if dir > 0 {
+		return sa, sb, sc, fb
+	}
+	return -sc, -sb, -sa, fb
+}
+
+// goldenMax refines a bracketed maximum by golden-section search.
+func goldenMax(f func(float64) float64, a, b, c, fb float64, iters int) (float64, float64) {
+	if a > c {
+		a, c = c, a
+	}
+	const phi = 0.6180339887498949
+	lo, hi := a, c
+	best, fBest := b, fb
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < iters && hi-lo > 1e-6; i++ {
+		if f1 > f2 {
+			hi = x2
+			x2, f2 = x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = f(x1)
+		} else {
+			lo = x1
+			x1, f1 = x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = f(x2)
+		}
+	}
+	for _, cand := range []struct{ t, ft float64 }{{x1, f1}, {x2, f2}} {
+		if cand.ft > fBest {
+			best, fBest = cand.t, cand.ft
+		}
+	}
+	return best, fBest
+}

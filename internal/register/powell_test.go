@@ -1,0 +1,84 @@
+package register
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowellQuadratic(t *testing.T) {
+	// Maximize -(x-3)^2 - (y+1)^2: maximum at (3, -1).
+	f := func(p []float64) float64 {
+		return -(p[0]-3)*(p[0]-3) - (p[1]+1)*(p[1]+1)
+	}
+	pw := NewPowell([]float64{1, 1})
+	x, fx := pw.Maximize(f, []float64{0, 0})
+	if math.Abs(x[0]-3) > 1e-3 || math.Abs(x[1]+1) > 1e-3 {
+		t.Errorf("optimum at %v, want (3,-1)", x)
+	}
+	if fx < -1e-5 {
+		t.Errorf("optimum value %v, want ~0", fx)
+	}
+	if pw.Evals == 0 {
+		t.Error("no evaluations counted")
+	}
+}
+
+func TestPowellCorrelatedQuadratic(t *testing.T) {
+	// Strongly correlated objective exercises the direction-set update.
+	f := func(p []float64) float64 {
+		u := p[0] + p[1]
+		v := p[0] - p[1]
+		return -(u-2)*(u-2)*10 - v*v
+	}
+	pw := NewPowell([]float64{0.5, 0.5})
+	pw.MaxIter = 50
+	x, _ := pw.Maximize(f, []float64{5, -5})
+	if math.Abs(x[0]+x[1]-2) > 1e-2 || math.Abs(x[0]-x[1]) > 1e-2 {
+		t.Errorf("optimum at %v, want (1,1)", x)
+	}
+}
+
+func TestPowellStartsAtOptimum(t *testing.T) {
+	f := func(p []float64) float64 { return -p[0] * p[0] }
+	pw := NewPowell([]float64{1})
+	x, fx := pw.Maximize(f, []float64{0})
+	if math.Abs(x[0]) > 1e-6 || fx < -1e-12 {
+		t.Errorf("moved away from optimum: %v, %v", x, fx)
+	}
+}
+
+func TestPowellRespectsMaxIter(t *testing.T) {
+	calls := 0
+	f := func(p []float64) float64 {
+		calls++
+		return -p[0] * p[0]
+	}
+	pw := NewPowell([]float64{1})
+	pw.MaxIter = 1
+	pw.Maximize(f, []float64{10})
+	if calls > 200 {
+		t.Errorf("too many evaluations for MaxIter=1: %d", calls)
+	}
+}
+
+func TestBracketMaxFindsBracket(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 7) * (x - 7) }
+	a, b, c, fb := bracketMax(f, f(0))
+	if !(a < b && b < c) {
+		t.Fatalf("not a bracket: %v %v %v", a, b, c)
+	}
+	if fb < f(a) || fb < f(c) {
+		t.Errorf("f(b)=%v not the bracket max (f(a)=%v f(c)=%v)", fb, f(a), f(c))
+	}
+}
+
+func TestGoldenMaxRefines(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 2.5) * (x - 2.5) }
+	x, fx := goldenMax(f, 0, 2, 6, f(2), 60)
+	if math.Abs(x-2.5) > 1e-4 {
+		t.Errorf("golden max at %v, want 2.5", x)
+	}
+	if fx < -1e-8 {
+		t.Errorf("golden max value %v", fx)
+	}
+}

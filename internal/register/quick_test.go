@@ -1,0 +1,91 @@
+package register
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMISymmetry: I(A;B) == I(B;A) for any sample set.
+func TestQuickMISymmetry(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + int(nRaw)
+		h1 := NewHistogram2D(8, 0, 1, 0, 1)
+		h2 := NewHistogram2D(8, 0, 1, 0, 1)
+		for i := 0; i < n; i++ {
+			a := rng.Float64()
+			b := math.Mod(a+0.3*rng.Float64(), 1)
+			h1.Add(a, b)
+			h2.Add(b, a)
+		}
+		return math.Abs(h1.MutualInformation()-h2.MutualInformation()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMIBoundedByEntropies: I(A;B) <= min(H(A), H(B)).
+func TestQuickMIBoundedByEntropies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram2D(6, 0, 1, 0, 1)
+		n := 100 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			h.Add(rng.Float64(), rng.Float64()*rng.Float64())
+		}
+		mi := h.MutualInformation()
+		return mi <= h.EntropyA()+1e-9 && mi <= h.EntropyB()+1e-9 && mi >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMIInvariantToIntensityScaling: MI is invariant to affine
+// rescaling of either variable when the histogram window rescales with
+// it (the property that makes MI the multi-modality metric of choice).
+func TestQuickMIInvariantToIntensityScaling(t *testing.T) {
+	f := func(seed int64, scaleRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := 0.5 + 4*float64(scaleRaw)/255
+		h1 := NewHistogram2D(8, 0, 1, 0, 1)
+		h2 := NewHistogram2D(8, 0, 1, 0, scale)
+		for i := 0; i < 500; i++ {
+			a := rng.Float64()
+			b := math.Mod(a+0.2*rng.Float64(), 1)
+			h1.Add(a, b)
+			h2.Add(a, b*scale)
+		}
+		return math.Abs(h1.MutualInformation()-h2.MutualInformation()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPowellNeverWorsens: the optimizer's result is never worse
+// than its starting value, for arbitrary quadratic objectives.
+func TestQuickPowellNeverWorsens(t *testing.T) {
+	f := func(seed int64, a, b, c int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random concave quadratic: -(x-p)^2*|a| - (y-q)^2*|b| + c.
+		p := rng.NormFloat64() * 3
+		q := rng.NormFloat64() * 3
+		ca := math.Abs(float64(a))/32 + 0.1
+		cb := math.Abs(float64(b))/32 + 0.1
+		obj := func(x []float64) float64 {
+			return -ca*(x[0]-p)*(x[0]-p) - cb*(x[1]-q)*(x[1]-q) + float64(c)
+		}
+		start := []float64{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+		f0 := obj(start)
+		pw := NewPowell([]float64{1, 1})
+		_, fBest := pw.Maximize(obj, start)
+		return fBest >= f0-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package render
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+// brainTriMesh builds a phantom brain surface for rendering tests.
+func brainTriMesh(t *testing.T, n int) *mesh.TriMesh {
+	t.Helper()
+	p := phantom.DefaultParams(n)
+	g := volume.NewGrid(n, n, n, p.Spacing)
+	l := phantom.GenerateLabels(g, p)
+	m, err := mesh.FromLabels(l, mesh.Options{CellSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole head: a solid closed surface (the brain-only surface has
+	// a crack at the falx midplane).
+	s, err := m.ExtractSurface(func(lab volume.Label) bool { return lab != volume.LabelBackground })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRenderSurfaceProducesPixels(t *testing.T) {
+	s := brainTriMesh(t, 24)
+	im, err := RenderSurface(s, nil, Camera{Dir: geom.V(0, -1, 0), Up: geom.V(0, 0, 1)}, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := 0
+	for _, p := range im.Pix {
+		if p != (RGB{}) {
+			lit++
+		}
+	}
+	// The sphere-ish brain should cover a solid fraction of the frame.
+	if frac := float64(lit) / float64(len(im.Pix)); frac < 0.2 || frac > 0.95 {
+		t.Errorf("lit fraction = %v, want a solid silhouette", frac)
+	}
+	// Background stays black, center of the silhouette is lit.
+	if im.At(0, 0) != (RGB{}) {
+		t.Error("corner pixel lit")
+	}
+	if im.At(32, 32) == (RGB{}) {
+		t.Error("center pixel unlit")
+	}
+}
+
+func TestRenderSurfaceVertexColors(t *testing.T) {
+	s := brainTriMesh(t, 24)
+	// All vertices hot red: lit pixels should be predominantly red.
+	colors := make([]RGB, s.NumVerts())
+	for i := range colors {
+		colors[i] = RGB{255, 0, 0}
+	}
+	im, err := RenderSurface(s, colors, Camera{Dir: geom.V(1, 0, 0)}, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range im.Pix {
+		if p == (RGB{}) {
+			continue
+		}
+		if p.G != 0 || p.B != 0 || p.R == 0 {
+			t.Fatalf("lit pixel %v is not a shade of red", p)
+		}
+	}
+}
+
+func TestRenderSurfaceZBuffer(t *testing.T) {
+	// Two parallel triangles; the nearer one must win.
+	s := &mesh.TriMesh{
+		Verts: []geom.Vec3{
+			// Far triangle (z = 0), large.
+			{X: -10, Y: -10, Z: 0}, {X: 10, Y: -10, Z: 0}, {X: 0, Y: 10, Z: 0},
+			// Near triangle (z = 5, closer to a camera looking along -z), small.
+			{X: -3, Y: -3, Z: 5}, {X: 3, Y: -3, Z: 5}, {X: 0, Y: 3, Z: 5},
+		},
+		Tris:   [][3]int32{{0, 1, 2}, {3, 4, 5}},
+		NodeID: []int32{0, 1, 2, 3, 4, 5},
+	}
+	colors := []RGB{
+		{0, 0, 255}, {0, 0, 255}, {0, 0, 255}, // far = blue
+		{255, 0, 0}, {255, 0, 0}, {255, 0, 0}, // near = red
+	}
+	cam := Camera{Dir: geom.V(0, 0, -1), Up: geom.V(0, 1, 0), Scale: 2}
+	im, err := RenderSurface(s, colors, cam, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the near (red) triangle: it occludes the far (blue) one.
+	c := im.At(32, 27)
+	if c.R == 0 || c.B != 0 {
+		t.Errorf("near-triangle pixel = %v, want red (near wins)", c)
+	}
+	// Within the big triangle but outside the small one: blue.
+	edge := im.At(46, 42)
+	if edge.B == 0 || edge.R != 0 {
+		t.Errorf("far-triangle pixel = %v, want blue", edge)
+	}
+}
+
+func TestRenderSurfaceErrors(t *testing.T) {
+	if _, err := RenderSurface(nil, nil, Camera{}, 10, 10); err == nil {
+		t.Error("nil surface accepted")
+	}
+	s := brainTriMesh(t, 16)
+	if _, err := RenderSurface(s, make([]RGB, 1), Camera{}, 10, 10); err == nil {
+		t.Error("wrong color count accepted")
+	}
+	if _, err := RenderSurface(s, nil, Camera{}, 0, 10); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestDisplacementColors(t *testing.T) {
+	disp := []geom.Vec3{{}, {X: 5}, {X: 10}}
+	colors := DisplacementColors(disp, 0)
+	// Zero displacement -> cool (blue); max -> hot (red).
+	if colors[0].B < 200 {
+		t.Errorf("zero displacement color %v not blue", colors[0])
+	}
+	if colors[2].R < 200 {
+		t.Errorf("max displacement color %v not red", colors[2])
+	}
+	// Explicit scale.
+	c2 := DisplacementColors(disp, 100)
+	if c2[2].R > 100 {
+		t.Errorf("scaled color %v should be cool", c2[2])
+	}
+	// All-zero input does not divide by zero.
+	_ = DisplacementColors([]geom.Vec3{{}, {}}, 0)
+}
+
+func TestCameraDegenerateBasis(t *testing.T) {
+	// Up parallel to Dir must still produce an orthonormal basis.
+	c := Camera{Dir: geom.V(0, 0, 1), Up: geom.V(0, 0, 1)}
+	r, u, f := c.basis()
+	if r.NormSq() == 0 || u.NormSq() == 0 {
+		t.Fatal("degenerate basis")
+	}
+	for _, pair := range [][2]geom.Vec3{{r, u}, {u, f}, {r, f}} {
+		if d := pair[0].Dot(pair[1]); d > 1e-9 || d < -1e-9 {
+			t.Errorf("basis not orthogonal: %v", d)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package segment provides the automatic preoperative segmentation
+// used to prepare a patient-specific model when no expert segmentation
+// is available. The paper's laboratory segmented preoperative data with
+// "a variety of manual, semi-automated or automated approaches"; this
+// package implements the automated path: Otsu thresholding to separate
+// head from air, 3D connected components to isolate the main head
+// volume, morphological operations to peel the scalp/skull layers, and
+// intensity k-means to split the intracranial compartment into tissue
+// classes. The output feeds the same pipeline stages as an expert
+// segmentation would.
+package segment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/volume"
+)
+
+// Otsu computes the threshold maximizing between-class variance of the
+// intensity histogram — the standard automatic foreground/background
+// split.
+func Otsu(s *volume.Scalar, bins int) float64 {
+	if bins < 2 {
+		bins = 256
+	}
+	lo, hi := s.MinMax()
+	if hi <= lo {
+		return lo
+	}
+	hist := make([]float64, bins)
+	scale := float64(bins) / (hi - lo)
+	for _, v := range s.Data {
+		b := int((float64(v) - lo) * scale)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		hist[b]++
+	}
+	total := float64(len(s.Data))
+	sumAll := 0.0
+	for i, c := range hist {
+		sumAll += float64(i) * c
+	}
+	var sumB, wB float64
+	bestVar := -1.0
+	firstBest, lastBest := 0, 0
+	for i := 0; i < bins; i++ {
+		wB += hist[i]
+		if wB == 0 {
+			continue
+		}
+		wF := total - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(i) * hist[i]
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		// The variance curve is exactly flat across an empty valley
+		// between well-separated modes (no mass changes hands); take the
+		// middle of the plateau.
+		if between > bestVar {
+			bestVar = between
+			firstBest, lastBest = i, i
+		} else if between == bestVar {
+			lastBest = i
+		}
+	}
+	mid := float64(firstBest+lastBest) / 2
+	return lo + (mid+0.5)/scale
+}
+
+// Components labels the connected components (6-connectivity) of a
+// boolean mask, returning a component id per voxel (0 = not in mask)
+// and the component sizes indexed by id (ids start at 1).
+func Components(g volume.Grid, mask []bool) (ids []int32, sizes []int) {
+	ids = make([]int32, g.Len())
+	sizes = []int{0} // id 0 unused
+	var stack []int
+	next := int32(0)
+	for start := range mask {
+		if !mask[start] || ids[start] != 0 {
+			continue
+		}
+		next++
+		sizes = append(sizes, 0)
+		stack = append(stack[:0], start)
+		ids[start] = next
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sizes[next]++
+			i, j, k := g.Coords(idx)
+			for _, nb := range [][3]int{
+				{i - 1, j, k}, {i + 1, j, k},
+				{i, j - 1, k}, {i, j + 1, k},
+				{i, j, k - 1}, {i, j, k + 1},
+			} {
+				if !g.InBounds(nb[0], nb[1], nb[2]) {
+					continue
+				}
+				nidx := g.Index(nb[0], nb[1], nb[2])
+				if mask[nidx] && ids[nidx] == 0 {
+					ids[nidx] = next
+					stack = append(stack, nidx)
+				}
+			}
+		}
+	}
+	return ids, sizes
+}
+
+// LargestComponent returns the mask restricted to its largest connected
+// component (all false when the mask is empty).
+func LargestComponent(g volume.Grid, mask []bool) []bool {
+	ids, sizes := Components(g, mask)
+	best, bestSize := int32(0), 0
+	for id := 1; id < len(sizes); id++ {
+		if sizes[id] > bestSize {
+			best, bestSize = int32(id), sizes[id]
+		}
+	}
+	out := make([]bool, len(mask))
+	if best == 0 {
+		return out
+	}
+	for i, id := range ids {
+		out[i] = id == best
+	}
+	return out
+}
+
+// Erode removes mask voxels with any 6-neighbor outside the mask (or
+// outside the grid), repeated iterations times.
+func Erode(g volume.Grid, mask []bool, iterations int) []bool {
+	cur := append([]bool(nil), mask...)
+	for it := 0; it < iterations; it++ {
+		next := make([]bool, len(cur))
+		for idx, in := range cur {
+			if !in {
+				continue
+			}
+			i, j, k := g.Coords(idx)
+			keep := true
+			for _, nb := range [][3]int{
+				{i - 1, j, k}, {i + 1, j, k},
+				{i, j - 1, k}, {i, j + 1, k},
+				{i, j, k - 1}, {i, j, k + 1},
+			} {
+				if !g.InBounds(nb[0], nb[1], nb[2]) || !cur[g.Index(nb[0], nb[1], nb[2])] {
+					keep = false
+					break
+				}
+			}
+			next[idx] = keep
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Dilate adds voxels 6-adjacent to the mask, repeated iterations times.
+func Dilate(g volume.Grid, mask []bool, iterations int) []bool {
+	cur := append([]bool(nil), mask...)
+	for it := 0; it < iterations; it++ {
+		next := append([]bool(nil), cur...)
+		for idx, in := range cur {
+			if !in {
+				continue
+			}
+			i, j, k := g.Coords(idx)
+			for _, nb := range [][3]int{
+				{i - 1, j, k}, {i + 1, j, k},
+				{i, j - 1, k}, {i, j + 1, k},
+				{i, j, k - 1}, {i, j, k + 1},
+			} {
+				if g.InBounds(nb[0], nb[1], nb[2]) {
+					next[g.Index(nb[0], nb[1], nb[2])] = true
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// KMeans1D clusters scalar values into k classes by intensity,
+// returning sorted cluster centers (ascending). Deterministic: centers
+// initialize evenly over the value range.
+func KMeans1D(values []float64, k, iterations int) []float64 {
+	if k < 1 || len(values) == 0 {
+		return nil
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	centers := make([]float64, k)
+	for i := range centers {
+		centers[i] = lo + (hi-lo)*(float64(i)+0.5)/float64(k)
+	}
+	for it := 0; it < iterations; it++ {
+		sums := make([]float64, k)
+		counts := make([]float64, k)
+		for _, v := range values {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := math.Abs(v - ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			sums[best] += v
+			counts[best]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / counts[c]
+			}
+		}
+	}
+	sort.Float64s(centers)
+	return centers
+}
+
+// Options tunes the automatic head segmentation.
+type Options struct {
+	// ScalpPeel is the erosion depth (voxels) separating scalp/skull
+	// from the intracranial compartment.
+	ScalpPeel int
+	// Classes is the number of intracranial intensity classes (>= 2:
+	// fluid-dark, brain, bright).
+	Classes int
+}
+
+// DefaultOptions returns parameters suitable for the phantom's
+// head-scale volumes.
+func DefaultOptions() Options {
+	return Options{ScalpPeel: 4, Classes: 3}
+}
+
+// Head automatically segments a head MR volume into background, skin
+// (outer head shell), skull (dark shell under it), brain and
+// ventricle/CSF classes. It is intentionally simple — the paper assumes
+// preoperative segmentation happens offline with better tools — but
+// produces a model good enough to drive the intraoperative pipeline.
+func Head(s *volume.Scalar, opts Options) (*volume.Labels, error) {
+	g := s.Grid
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	if opts.ScalpPeel <= 0 {
+		opts.ScalpPeel = 4
+	}
+	if opts.Classes < 2 {
+		opts.Classes = 3
+	}
+	thr := Otsu(s, 256)
+	head := make([]bool, g.Len())
+	for i, v := range s.Data {
+		head[i] = float64(v) > thr
+	}
+	head = LargestComponent(g, head)
+	if !anyTrue(head) {
+		return nil, fmt.Errorf("segment: no foreground found (threshold %g)", thr)
+	}
+	// Close over the dark skull band so the head mask is solid: dilate
+	// then erode by the same amount keeps the outer boundary while
+	// filling internal gaps.
+	head = Erode(g, Dilate(g, head, 3), 3)
+	// Intracranial compartment: peel the scalp and skull.
+	inner := Erode(g, head, opts.ScalpPeel)
+	inner = LargestComponent(g, inner)
+
+	// Intensity classes inside the intracranial compartment.
+	var innerVals []float64
+	for i, in := range inner {
+		if in {
+			innerVals = append(innerVals, float64(s.Data[i]))
+		}
+	}
+	if len(innerVals) == 0 {
+		return nil, fmt.Errorf("segment: intracranial compartment empty after %d-voxel peel", opts.ScalpPeel)
+	}
+	centers := KMeans1D(innerVals, opts.Classes, 12)
+
+	out := volume.NewLabels(g)
+	for i := range s.Data {
+		switch {
+		case inner[i]:
+			v := float64(s.Data[i])
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := math.Abs(v - ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			// Darkest class = fluid (ventricle/CSF); the rest = brain.
+			if best == 0 {
+				out.Data[i] = volume.LabelVentricle
+			} else {
+				out.Data[i] = volume.LabelBrain
+			}
+		case head[i]:
+			// Shell between head surface and intracranial compartment:
+			// bright = skin, dark = skull.
+			if float64(s.Data[i]) > thr*2 {
+				out.Data[i] = volume.LabelSkin
+			} else {
+				out.Data[i] = volume.LabelSkull
+			}
+		}
+	}
+	return out, nil
+}
+
+func anyTrue(mask []bool) bool {
+	for _, v := range mask {
+		if v {
+			return true
+		}
+	}
+	return false
+}

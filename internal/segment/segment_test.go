@@ -1,0 +1,207 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+func TestOtsuSeparatesBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := volume.NewScalar(volume.NewGrid(16, 16, 16, 1))
+	for i := range s.Data {
+		if i%2 == 0 {
+			s.Data[i] = float32(10 + rng.NormFloat64()*2)
+		} else {
+			s.Data[i] = float32(100 + rng.NormFloat64()*2)
+		}
+	}
+	thr := Otsu(s, 256)
+	if thr < 20 || thr > 90 {
+		t.Errorf("Otsu threshold %v outside the valley [20, 90]", thr)
+	}
+}
+
+func TestOtsuConstantVolume(t *testing.T) {
+	s := volume.NewScalar(volume.NewGrid(4, 4, 4, 1))
+	s.Fill(7)
+	if thr := Otsu(s, 64); thr != 7 {
+		t.Errorf("constant volume threshold = %v, want 7", thr)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := volume.NewGrid(10, 3, 3, 1)
+	mask := make([]bool, g.Len())
+	// Two blobs: x in [0,2] and x in [6,9] on the center row.
+	for i := 0; i <= 2; i++ {
+		mask[g.Index(i, 1, 1)] = true
+	}
+	for i := 6; i <= 9; i++ {
+		mask[g.Index(i, 1, 1)] = true
+	}
+	ids, sizes := Components(g, mask)
+	if len(sizes) != 3 { // id 0 + two components
+		t.Fatalf("components = %d, want 2", len(sizes)-1)
+	}
+	if sizes[1]+sizes[2] != 7 {
+		t.Errorf("component sizes = %v", sizes[1:])
+	}
+	if ids[g.Index(0, 1, 1)] == ids[g.Index(9, 1, 1)] {
+		t.Error("separate blobs share an id")
+	}
+	if ids[g.Index(0, 0, 0)] != 0 {
+		t.Error("background labeled")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := volume.NewGrid(10, 3, 3, 1)
+	mask := make([]bool, g.Len())
+	for i := 0; i <= 1; i++ {
+		mask[g.Index(i, 1, 1)] = true
+	}
+	for i := 4; i <= 9; i++ {
+		mask[g.Index(i, 1, 1)] = true
+	}
+	big := LargestComponent(g, mask)
+	if big[g.Index(0, 1, 1)] {
+		t.Error("small component kept")
+	}
+	if !big[g.Index(5, 1, 1)] {
+		t.Error("large component lost")
+	}
+	// Empty mask stays empty.
+	empty := LargestComponent(g, make([]bool, g.Len()))
+	for _, v := range empty {
+		if v {
+			t.Fatal("empty mask produced a component")
+		}
+	}
+}
+
+func TestErodeDilateInverse(t *testing.T) {
+	g := volume.NewGrid(12, 12, 12, 1)
+	mask := make([]bool, g.Len())
+	for k := 3; k <= 8; k++ {
+		for j := 3; j <= 8; j++ {
+			for i := 3; i <= 8; i++ {
+				mask[g.Index(i, j, k)] = true
+			}
+		}
+	}
+	eroded := Erode(g, mask, 1)
+	// Erosion strictly shrinks a solid cube: 6^3 -> 4^3.
+	if n := countTrue(eroded); n != 4*4*4 {
+		t.Errorf("eroded count = %d, want 64", n)
+	}
+	// Dilating the erosion restores the cube minus corners; all eroded
+	// voxels must be inside the original.
+	for i, v := range eroded {
+		if v && !mask[i] {
+			t.Fatal("erosion grew the mask")
+		}
+	}
+	dilated := Dilate(g, mask, 1)
+	if n := countTrue(dilated); n <= 6*6*6 {
+		t.Errorf("dilated count = %d, want > 216", n)
+	}
+	for i, v := range mask {
+		if v && !dilated[i] {
+			t.Fatal("dilation lost a voxel")
+		}
+	}
+}
+
+func countTrue(m []bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestKMeans1D(t *testing.T) {
+	var vals []float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		vals = append(vals, 10+rng.NormFloat64())
+		vals = append(vals, 50+rng.NormFloat64())
+		vals = append(vals, 90+rng.NormFloat64())
+	}
+	centers := KMeans1D(vals, 3, 20)
+	if len(centers) != 3 {
+		t.Fatalf("centers = %v", centers)
+	}
+	for i, want := range []float64{10, 50, 90} {
+		if math.Abs(centers[i]-want) > 3 {
+			t.Errorf("center %d = %v, want ~%v", i, centers[i], want)
+		}
+	}
+	if KMeans1D(nil, 3, 5) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestHeadSegmentsPhantom(t *testing.T) {
+	p := phantom.DefaultParams(48)
+	p.NoiseStd = 2
+	g := volume.NewGrid(p.N, p.N, p.N, p.Spacing)
+	truth := phantom.GenerateLabels(g, p)
+	img := phantom.RenderMR(truth, p, rand.New(rand.NewSource(4)))
+
+	got, err := Head(img, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The intracranial compartment (brain-ish union) should overlap the
+	// phantom's well.
+	truthBrain := truth.Clone()
+	for i, lab := range truthBrain.Data {
+		switch lab {
+		case volume.LabelBrain, volume.LabelVentricle, volume.LabelTumor, volume.LabelFalx:
+			truthBrain.Data[i] = volume.LabelBrain
+		default:
+			truthBrain.Data[i] = volume.LabelBackground
+		}
+	}
+	gotBrain := got.Clone()
+	for i, lab := range gotBrain.Data {
+		switch lab {
+		case volume.LabelBrain, volume.LabelVentricle:
+			gotBrain.Data[i] = volume.LabelBrain
+		default:
+			gotBrain.Data[i] = volume.LabelBackground
+		}
+	}
+	dice, err := gotBrain.DiceCoefficient(truthBrain, volume.LabelBrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dice < 0.75 {
+		t.Errorf("intracranial Dice = %v, want >= 0.75", dice)
+	}
+	// Ventricles detected as the dark class.
+	ventTruth := truth.Count(volume.LabelVentricle)
+	ventGot := got.Count(volume.LabelVentricle)
+	if ventGot == 0 || ventGot > 20*ventTruth {
+		t.Errorf("ventricle voxels: got %d, truth %d", ventGot, ventTruth)
+	}
+}
+
+func TestHeadErrors(t *testing.T) {
+	bad := &volume.Scalar{Grid: volume.Grid{}}
+	if _, err := Head(bad, DefaultOptions()); err == nil {
+		t.Error("invalid grid accepted")
+	}
+	// Uniform background has no foreground after thresholding.
+	s := volume.NewScalar(volume.NewGrid(8, 8, 8, 1))
+	if _, err := Head(s, DefaultOptions()); err == nil {
+		t.Error("empty volume accepted")
+	}
+}

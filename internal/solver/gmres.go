@@ -1,0 +1,368 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+	"repro/internal/sparse"
+)
+
+// Options configures the Krylov solvers.
+type Options struct {
+	// Tol is the relative residual convergence tolerance (preconditioned
+	// residual for GMRES, true residual for CG).
+	Tol float64
+	// MaxIter bounds the total number of iterations.
+	MaxIter int
+	// Restart is the GMRES restart length m.
+	Restart int
+	// Partition controls the parallel matrix-vector product; a zero
+	// value runs serially.
+	Partition par.Partition
+	// RecordHistory stores the relative residual after every iteration
+	// in Stats.History (for convergence-curve analysis).
+	RecordHistory bool
+}
+
+// DefaultOptions mirrors the PETSc defaults the paper relies on:
+// GMRES(30) with a 1e-5 relative tolerance.
+func DefaultOptions() Options {
+	return Options{Tol: 1e-5, MaxIter: 2000, Restart: 30}
+}
+
+// Stats reports solver behaviour for performance analysis.
+type Stats struct {
+	Iterations   int
+	MatVecs      int
+	PCApplies    int
+	DotProducts  int
+	AXPYs        int
+	Converged    bool
+	FinalResRel  float64
+	InitialResid float64
+	// History holds the per-iteration relative residual when
+	// Options.RecordHistory is set.
+	History []float64
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("iters=%d matvecs=%d converged=%v rel=%.3g",
+		s.Iterations, s.MatVecs, s.Converged, s.FinalResRel)
+}
+
+func norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// GMRES solves A x = b with left-preconditioned restarted GMRES(m),
+// starting from x0 (nil means zero). It returns the solution and
+// iteration statistics. The iteration stops when the preconditioned
+// residual norm falls below Tol times its initial value, or MaxIter is
+// reached (Converged reports which).
+func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("solver: rhs length %d != n %d", len(b), n)
+	}
+	if m == nil {
+		m = IdentityPC{}
+	}
+	restart := opts.Restart
+	if restart <= 0 {
+		restart = 30
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 2 * n
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-5
+	}
+	parallel := opts.Partition.P > 1 && opts.Partition.N == n
+
+	x := make([]float64, n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, Stats{}, fmt.Errorf("solver: x0 length %d != n %d", len(x0), n)
+		}
+		copy(x, x0)
+	}
+
+	matvec := func(in, out []float64) {
+		if parallel {
+			a.MulVecPar(opts.Partition, in, out)
+		} else {
+			a.MulVec(in, out)
+		}
+	}
+
+	var stats Stats
+	r := make([]float64, n)
+	z := make([]float64, n)
+	w := make([]float64, n)
+	zw := make([]float64, n)
+
+	// Convergence is relative to ||M^{-1} b|| (the PETSc convention),
+	// which makes warm starts converge immediately instead of chasing a
+	// tolerance relative to an already-tiny initial residual.
+	m.Apply(b, z)
+	stats.PCApplies++
+	bNorm := norm2(z)
+	stats.DotProducts++
+	if bNorm == 0 {
+		// b = 0: solution is x = 0 regardless of x0.
+		stats.Converged = true
+		return make([]float64, n), stats, nil
+	}
+
+	beta0 := bNorm
+
+	// Krylov basis.
+	v := make([][]float64, restart+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, restart+1)
+	for i := range h {
+		h[i] = make([]float64, restart)
+	}
+	cs := make([]float64, restart)
+	sn := make([]float64, restart)
+	g := make([]float64, restart+1)
+	y := make([]float64, restart)
+
+	for stats.Iterations < maxIter {
+		// r = M^{-1} (b - A x)
+		matvec(x, r)
+		stats.MatVecs++
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		stats.AXPYs++
+		m.Apply(r, z)
+		stats.PCApplies++
+		beta := norm2(z)
+		stats.DotProducts++
+		if stats.InitialResid == 0 {
+			stats.InitialResid = beta
+		}
+		if beta/beta0 <= tol {
+			stats.Converged = true
+			stats.FinalResRel = beta / beta0
+			return x, stats, nil
+		}
+		inv := 1 / beta
+		for i := range z {
+			v[0][i] = z[i] * inv
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < restart && stats.Iterations < maxIter; k++ {
+			stats.Iterations++
+			// w = M^{-1} A v_k
+			matvec(v[k], w)
+			stats.MatVecs++
+			m.Apply(w, zw)
+			stats.PCApplies++
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h[i][k] = dot(zw, v[i])
+				stats.DotProducts++
+				for j := range zw {
+					zw[j] -= h[i][k] * v[i][j]
+				}
+				stats.AXPYs++
+			}
+			h[k+1][k] = norm2(zw)
+			stats.DotProducts++
+			if h[k+1][k] > 1e-300 {
+				inv := 1 / h[k+1][k]
+				for j := range zw {
+					v[k+1][j] = zw[j] * inv
+				}
+			} else {
+				// Happy breakdown: exact solution in current subspace.
+				for j := range v[k+1] {
+					v[k+1][j] = 0
+				}
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			// New rotation to zero h[k+1][k].
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = h[k][k] / denom
+				sn[k] = h[k+1][k] / denom
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+
+			if opts.RecordHistory {
+				stats.History = append(stats.History, math.Abs(g[k+1])/beta0)
+			}
+			if math.Abs(g[k+1])/beta0 <= tol {
+				k++
+				break
+			}
+		}
+		// Solve the upper triangular system h y = g for the first k
+		// coefficients and update x.
+		for i := k - 1; i >= 0; i-- {
+			y[i] = g[i]
+			for j := i + 1; j < k; j++ {
+				y[i] -= h[i][j] * y[j]
+			}
+			if h[i][i] != 0 {
+				y[i] /= h[i][i]
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := range x {
+				x[j] += y[i] * v[i][j]
+			}
+			stats.AXPYs++
+		}
+	}
+	// Final residual check.
+	matvec(x, r)
+	stats.MatVecs++
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	m.Apply(r, z)
+	stats.PCApplies++
+	rel := norm2(z) / beta0
+	stats.FinalResRel = rel
+	stats.Converged = rel <= tol
+	return x, stats, nil
+}
+
+// CG solves the symmetric positive definite system A x = b with
+// preconditioned conjugate gradients, provided for comparison with
+// GMRES (the elastic stiffness matrix is SPD after boundary-condition
+// elimination, so CG applies; the paper follows PETSc's robust default
+// of GMRES).
+func CG(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("solver: rhs length %d != n %d", len(b), n)
+	}
+	if m == nil {
+		m = IdentityPC{}
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 2 * n
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-5
+	}
+	parallel := opts.Partition.P > 1 && opts.Partition.N == n
+	matvec := func(in, out []float64) {
+		if parallel {
+			a.MulVecPar(opts.Partition, in, out)
+		} else {
+			a.MulVec(in, out)
+		}
+	}
+
+	var stats Stats
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	matvec(x, r)
+	stats.MatVecs++
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	res0 := norm2(r)
+	stats.InitialResid = res0
+	stats.DotProducts++
+	if res0 == 0 {
+		stats.Converged = true
+		return x, stats, nil
+	}
+	m.Apply(r, z)
+	stats.PCApplies++
+	copy(p, z)
+	rz := dot(r, z)
+	stats.DotProducts++
+
+	for stats.Iterations < maxIter {
+		stats.Iterations++
+		matvec(p, ap)
+		stats.MatVecs++
+		pap := dot(p, ap)
+		stats.DotProducts++
+		if pap <= 0 {
+			return x, stats, fmt.Errorf("solver: CG detected non-SPD matrix (pAp=%g)", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		stats.AXPYs += 2
+		res := norm2(r)
+		stats.DotProducts++
+		if opts.RecordHistory {
+			stats.History = append(stats.History, res/res0)
+		}
+		if res/res0 <= tol {
+			stats.Converged = true
+			stats.FinalResRel = res / res0
+			return x, stats, nil
+		}
+		m.Apply(r, z)
+		stats.PCApplies++
+		rzNew := dot(r, z)
+		stats.DotProducts++
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		stats.AXPYs++
+	}
+	matvec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	stats.FinalResRel = norm2(r) / res0
+	stats.Converged = stats.FinalResRel <= tol
+	return x, stats, nil
+}

@@ -1,0 +1,367 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/sparse"
+)
+
+// laplacian1D builds the SPD tridiagonal matrix of the 1D Poisson
+// problem: 2 on the diagonal, -1 off-diagonal.
+func laplacian1D(n int) *sparse.CSR {
+	b := sparse.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, -1)
+		}
+	}
+	return b.Build()
+}
+
+// laplacian3D builds the SPD 7-point stencil matrix on an nx x ny x nz
+// grid — a realistic stand-in for the FEM stiffness structure.
+func laplacian3D(nx, ny, nz int) *sparse.CSR {
+	n := nx * ny * nz
+	idx := func(i, j, k int) int { return (k*ny+j)*nx + i }
+	b := sparse.NewBuilder(n)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				c := idx(i, j, k)
+				b.Add(c, c, 6)
+				if i > 0 {
+					b.Add(c, idx(i-1, j, k), -1)
+				}
+				if i < nx-1 {
+					b.Add(c, idx(i+1, j, k), -1)
+				}
+				if j > 0 {
+					b.Add(c, idx(i, j-1, k), -1)
+				}
+				if j < ny-1 {
+					b.Add(c, idx(i, j+1, k), -1)
+				}
+				if k > 0 {
+					b.Add(c, idx(i, j, k-1), -1)
+				}
+				if k < nz-1 {
+					b.Add(c, idx(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func residual(a *sparse.CSR, x, b []float64) float64 {
+	r := make([]float64, a.N)
+	a.MulVec(x, r)
+	max := 0.0
+	for i := range r {
+		if d := math.Abs(b[i] - r[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func randomRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+func TestGMRESSolvesTridiagonal(t *testing.T) {
+	a := laplacian1D(50)
+	b := randomRHS(50, 1)
+	opts := DefaultOptions()
+	opts.Tol = 1e-10
+	x, st, err := GMRES(a, b, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("did not converge: %v", st)
+	}
+	if r := residual(a, x, b); r > 1e-6 {
+		t.Errorf("residual = %v", r)
+	}
+}
+
+func TestGMRESSolves3DLaplacian(t *testing.T) {
+	a := laplacian3D(8, 8, 8)
+	b := randomRHS(a.N, 2)
+	opts := DefaultOptions()
+	opts.Tol = 1e-9
+	x, st, err := GMRES(a, b, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("did not converge: %v", st)
+	}
+	if r := residual(a, x, b); r > 1e-5 {
+		t.Errorf("residual = %v", r)
+	}
+}
+
+func TestGMRESWithPreconditioners(t *testing.T) {
+	a := laplacian3D(7, 7, 7)
+	b := randomRHS(a.N, 3)
+	opts := DefaultOptions()
+	opts.Tol = 1e-9
+
+	baseline, stNone, err := GMRES(a, b, nil, IdentityPC{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range []Preconditioner{
+		NewJacobi(a),
+		mustBlockJacobi(t, a, par.Even(a.N, 1)),
+		mustBlockJacobi(t, a, par.Even(a.N, 4)),
+		mustBlockJacobi(t, a, par.Even(a.N, 16)),
+	} {
+		x, st, err := GMRES(a, b, nil, pc, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", pc.Name(), err)
+		}
+		if !st.Converged {
+			t.Fatalf("%s: did not converge: %v", pc.Name(), st)
+		}
+		if r := residual(a, x, b); r > 1e-4 {
+			t.Errorf("%s: residual = %v", pc.Name(), r)
+		}
+		for i := range x {
+			if math.Abs(x[i]-baseline[i]) > 1e-4 {
+				t.Fatalf("%s: solution differs from baseline at %d", pc.Name(), i)
+			}
+		}
+	}
+	// Single-block ILU(0) of the full matrix should converge in far
+	// fewer iterations than unpreconditioned GMRES.
+	ilu := mustBlockJacobi(t, a, par.Even(a.N, 1))
+	_, stILU, err := GMRES(a, b, nil, ilu, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stILU.Iterations >= stNone.Iterations {
+		t.Errorf("ILU(0) iterations (%d) not fewer than unpreconditioned (%d)",
+			stILU.Iterations, stNone.Iterations)
+	}
+}
+
+func mustBlockJacobi(t *testing.T, a *sparse.CSR, pt par.Partition) *BlockJacobiPC {
+	t.Helper()
+	pc, err := NewBlockJacobiILU0(a, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+func TestBlockJacobiIterationsGrowWithBlocks(t *testing.T) {
+	// More blocks discard more coupling: iteration counts should not
+	// decrease as block count rises (the solve-scaling effect the paper
+	// observes).
+	a := laplacian3D(8, 8, 8)
+	b := randomRHS(a.N, 4)
+	opts := DefaultOptions()
+	opts.Tol = 1e-8
+	prev := 0
+	for _, blocks := range []int{1, 4, 16} {
+		pc := mustBlockJacobi(t, a, par.Even(a.N, blocks))
+		_, st, err := GMRES(a, b, nil, pc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("blocks=%d did not converge", blocks)
+		}
+		if st.Iterations < prev {
+			t.Errorf("iterations decreased with more blocks: %d blocks -> %d iters (prev %d)",
+				blocks, st.Iterations, prev)
+		}
+		prev = st.Iterations
+	}
+}
+
+func TestGMRESParallelMatchesSerial(t *testing.T) {
+	a := laplacian3D(6, 6, 6)
+	b := randomRHS(a.N, 5)
+	opts := DefaultOptions()
+	opts.Tol = 1e-10
+	xs, _, err := GMRES(a, b, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Partition = par.Even(a.N, 4)
+	xp, _, err := GMRES(a, b, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if math.Abs(xs[i]-xp[i]) > 1e-9 {
+			t.Fatalf("parallel solution differs at %d: %v vs %v", i, xs[i], xp[i])
+		}
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := laplacian1D(10)
+	x, st, err := GMRES(a, make([]float64, 10), nil, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Error("zero RHS should converge immediately")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Error("zero RHS should give zero solution")
+		}
+	}
+}
+
+func TestGMRESRespectsX0(t *testing.T) {
+	a := laplacian1D(20)
+	b := randomRHS(20, 6)
+	// Solve once, then restart from the solution: should converge with
+	// zero iterations.
+	x, _, err := GMRES(a, b, nil, nil, Options{Tol: 1e-12, MaxIter: 500, Restart: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := GMRES(a, b, x, nil, Options{Tol: 1e-6, MaxIter: 500, Restart: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 1 {
+		t.Errorf("warm start took %d iterations", st.Iterations)
+	}
+}
+
+func TestGMRESErrors(t *testing.T) {
+	a := laplacian1D(5)
+	if _, _, err := GMRES(a, make([]float64, 4), nil, nil, DefaultOptions()); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+	if _, _, err := GMRES(a, make([]float64, 5), make([]float64, 3), nil, DefaultOptions()); err == nil {
+		t.Error("wrong x0 length accepted")
+	}
+}
+
+func TestGMRESNonConvergenceReported(t *testing.T) {
+	a := laplacian3D(8, 8, 8)
+	b := randomRHS(a.N, 7)
+	opts := Options{Tol: 1e-14, MaxIter: 3, Restart: 3}
+	_, st, err := GMRES(a, b, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Converged {
+		t.Error("3 iterations cannot converge to 1e-14; Converged should be false")
+	}
+}
+
+func TestCGMatchesGMRES(t *testing.T) {
+	a := laplacian3D(6, 6, 6)
+	b := randomRHS(a.N, 8)
+	opts := DefaultOptions()
+	opts.Tol = 1e-10
+	xg, _, err := GMRES(a, b, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xc, st, err := CG(a, b, nil, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("CG did not converge")
+	}
+	for i := range xg {
+		if math.Abs(xg[i]-xc[i]) > 1e-6 {
+			t.Fatalf("CG and GMRES disagree at %d", i)
+		}
+	}
+}
+
+func TestCGRejectsIndefinite(t *testing.T) {
+	b := sparse.NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, -1) // indefinite
+	a := b.Build()
+	_, _, err := CG(a, []float64{1, 1}, nil, nil, DefaultOptions())
+	if err == nil {
+		t.Error("CG accepted an indefinite matrix")
+	}
+}
+
+func TestCGWithJacobi(t *testing.T) {
+	a := laplacian3D(7, 7, 7)
+	b := randomRHS(a.N, 9)
+	opts := DefaultOptions()
+	opts.Tol = 1e-9
+	x, st, err := CG(a, b, nil, NewJacobi(a), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("not converged")
+	}
+	if r := residual(a, x, b); r > 1e-5 {
+		t.Errorf("residual = %v", r)
+	}
+}
+
+func TestILU0ExactForTriangularPattern(t *testing.T) {
+	// For a matrix whose LU factors fit the original pattern (e.g.
+	// tridiagonal), ILU(0) is an exact factorization: a single
+	// preconditioner application solves the system.
+	a := laplacian1D(30)
+	b := randomRHS(30, 10)
+	pc := mustBlockJacobi(t, a, par.Even(30, 1))
+	x := make([]float64, 30)
+	pc.Apply(b, x)
+	if r := residual(a, x, b); r > 1e-10 {
+		t.Errorf("ILU(0) on tridiagonal not exact: residual %v", r)
+	}
+}
+
+func TestJacobiPCApply(t *testing.T) {
+	b := sparse.NewBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 4)
+	b.Add(2, 2, 0) // zero diagonal handled as 1
+	a := b.Build()
+	pc := NewJacobi(a)
+	z := make([]float64, 3)
+	pc.Apply([]float64{2, 4, 5}, z)
+	if z[0] != 1 || z[1] != 1 || z[2] != 5 {
+		t.Errorf("Jacobi apply = %v", z)
+	}
+}
+
+func TestPreconditionerNames(t *testing.T) {
+	if (IdentityPC{}).Name() != "none" {
+		t.Error("identity name")
+	}
+	a := laplacian1D(4)
+	if NewJacobi(a).Name() != "jacobi" {
+		t.Error("jacobi name")
+	}
+	pc := mustBlockJacobi(t, a, par.Even(4, 2))
+	if pc.Blocks() != 2 {
+		t.Error("block count")
+	}
+}

@@ -1,0 +1,263 @@
+// Package sparse implements the compressed sparse row (CSR) matrices
+// and parallel matrix-vector products underlying the FEM solver — the
+// role PETSc's Mat plays in the paper. Matrices are assembled from
+// coordinate (COO) triplets, stored in CSR, and partitioned by
+// contiguous row blocks across ranks, matching PETSc's default
+// row-block distribution.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/par"
+)
+
+// Builder accumulates COO triplets; duplicate entries are summed when
+// the matrix is finalized, which is exactly the accumulation pattern of
+// finite element assembly.
+type Builder struct {
+	n          int
+	rows, cols []int32
+	vals       []float64
+}
+
+// NewBuilder creates a builder for an n x n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// Add accumulates v at (i, j). It panics on out-of-range indices.
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	b.rows = append(b.rows, int32(i))
+	b.cols = append(b.cols, int32(j))
+	b.vals = append(b.vals, v)
+}
+
+// NNZTriplets returns the number of accumulated triplets (before
+// duplicate merging).
+func (b *Builder) NNZTriplets() int { return len(b.vals) }
+
+// Merge appends all triplets of other into b. Both must have the same
+// dimension. Used to combine per-worker builders after parallel
+// assembly.
+func (b *Builder) Merge(other *Builder) error {
+	if other.n != b.n {
+		return fmt.Errorf("sparse: merging builders of dim %d and %d", b.n, other.n)
+	}
+	b.rows = append(b.rows, other.rows...)
+	b.cols = append(b.cols, other.cols...)
+	b.vals = append(b.vals, other.vals...)
+	return nil
+}
+
+// Build finalizes the builder into a CSR matrix, summing duplicates.
+func (b *Builder) Build() *CSR {
+	n := b.n
+	nnzT := len(b.vals)
+	// Count entries per row, then bucket triplets by row.
+	rowCount := make([]int32, n+1)
+	for _, r := range b.rows {
+		rowCount[r+1]++
+	}
+	rowStart := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		rowStart[i+1] = rowStart[i] + rowCount[i+1]
+	}
+	bucketCol := make([]int32, nnzT)
+	bucketVal := make([]float64, nnzT)
+	cursor := make([]int32, n)
+	copy(cursor, rowStart[:n])
+	for t := 0; t < nnzT; t++ {
+		r := b.rows[t]
+		p := cursor[r]
+		bucketCol[p] = b.cols[t]
+		bucketVal[p] = b.vals[t]
+		cursor[r] = p + 1
+	}
+	// Sort each row by column and merge duplicates.
+	m := &CSR{N: n, RowPtr: make([]int64, n+1)}
+	colOut := make([]int32, 0, nnzT)
+	valOut := make([]float64, 0, nnzT)
+	type ent struct {
+		c int32
+		v float64
+	}
+	var scratch []ent
+	for r := 0; r < n; r++ {
+		lo, hi := rowStart[r], rowStart[r+1]
+		scratch = scratch[:0]
+		for p := lo; p < hi; p++ {
+			scratch = append(scratch, ent{bucketCol[p], bucketVal[p]})
+		}
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a].c < scratch[b].c })
+		for i := 0; i < len(scratch); {
+			c := scratch[i].c
+			v := 0.0
+			for i < len(scratch) && scratch[i].c == c {
+				v += scratch[i].v
+				i++
+			}
+			colOut = append(colOut, c)
+			valOut = append(valOut, v)
+		}
+		m.RowPtr[r+1] = int64(len(colOut))
+	}
+	m.Col = colOut
+	m.Val = valOut
+	return m
+}
+
+// CSR is an n x n sparse matrix in compressed sparse row format.
+type CSR struct {
+	N      int
+	RowPtr []int64
+	Col    []int32
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns the entry (i, j), zero if not stored. O(log nnz(row)).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	cols := m.Col[lo:hi]
+	k := sort.Search(len(cols), func(p int) bool { return cols[p] >= int32(j) })
+	if k < len(cols) && cols[k] == int32(j) {
+		return m.Val[lo+int64(k)]
+	}
+	return 0
+}
+
+// MulVec computes y = A x serially. y and x must have length N and may
+// not alias.
+func (m *CSR) MulVec(x, y []float64) {
+	for i := 0; i < m.N; i++ {
+		sum := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			sum += m.Val[p] * x[m.Col[p]]
+		}
+		y[i] = sum
+	}
+}
+
+// MulVecRows computes y[lo:hi] = (A x)[lo:hi], the per-rank portion of a
+// distributed matrix-vector product.
+func (m *CSR) MulVecRows(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			sum += m.Val[p] * x[m.Col[p]]
+		}
+		y[i] = sum
+	}
+}
+
+// MulVecPar computes y = A x with one goroutine per partition range.
+func (m *CSR) MulVecPar(pt par.Partition, x, y []float64) {
+	pt.ForEachRank(func(r int) {
+		lo, hi := pt.Range(r)
+		m.MulVecRows(x, y, lo, hi)
+	})
+}
+
+// Diag extracts the main diagonal.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// IsSymmetric reports whether the matrix is numerically symmetric
+// within tolerance tol (relative to the largest entry magnitude).
+func (m *CSR) IsSymmetric(tol float64) bool {
+	maxAbs := 0.0
+	for _, v := range m.Val {
+		if a := abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return true
+	}
+	for i := 0; i < m.N; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := int(m.Col[p])
+			if abs(m.Val[p]-m.At(j, i)) > tol*maxAbs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RankWork summarizes the work and communication footprint of one rank
+// under a row-block partition: used by the cluster performance model.
+type RankWork struct {
+	Rows int
+	NNZ  int64
+	// HaloIn is the number of distinct off-partition x entries this
+	// rank's rows reference: the values it must receive before a
+	// distributed SpMV.
+	HaloIn int
+	// HaloPeers is the number of distinct ranks it receives from.
+	HaloPeers int
+}
+
+// PartitionStats computes per-rank work summaries for a row-block
+// partition.
+func (m *CSR) PartitionStats(pt par.Partition) []RankWork {
+	out := make([]RankWork, pt.P)
+	for r := 0; r < pt.P; r++ {
+		lo, hi := pt.Range(r)
+		w := RankWork{Rows: hi - lo}
+		w.NNZ = m.RowPtr[hi] - m.RowPtr[lo]
+		seen := map[int32]bool{}
+		peers := map[int]bool{}
+		for i := lo; i < hi; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				c := m.Col[p]
+				if int(c) < lo || int(c) >= hi {
+					if !seen[c] {
+						seen[c] = true
+						peers[pt.Owner(int(c))] = true
+					}
+				}
+			}
+		}
+		w.HaloIn = len(seen)
+		w.HaloPeers = len(peers)
+		out[r] = w
+	}
+	return out
+}
+
+// DiagonalBlock extracts the square sub-matrix of rows and columns
+// [lo, hi) as a dense-indexable CSR over the local index space — the
+// per-rank block used by the block Jacobi preconditioner.
+func (m *CSR) DiagonalBlock(lo, hi int) *CSR {
+	n := hi - lo
+	b := NewBuilder(n)
+	for i := lo; i < hi; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := int(m.Col[p])
+			if j >= lo && j < hi {
+				b.Add(i-lo, j-lo, m.Val[p])
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,164 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+func TestIdentityTransform(t *testing.T) {
+	r := Identity(geom.V(10, 10, 10))
+	p := geom.V(3, -2, 7)
+	if got := r.Apply(p); got.Sub(p).MaxAbs() > 1e-12 {
+		t.Errorf("identity moved point: %v", got)
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	r := Rigid{RX: 0.1, RY: -0.2, RZ: 0.3, TX: 1, TY: 2, TZ: 3}
+	p := r.Params()
+	r2 := Identity(geom.Vec3{}).WithParams(p)
+	if r2.RX != 0.1 || r2.TZ != 3 {
+		t.Errorf("WithParams mismatch: %+v", r2)
+	}
+}
+
+func TestWithParamsPanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Identity(geom.Vec3{}).WithParams([]float64{1, 2, 3})
+}
+
+func TestMatrixMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		r := Rigid{
+			RX: rng.NormFloat64() * 0.3, RY: rng.NormFloat64() * 0.3, RZ: rng.NormFloat64() * 0.3,
+			TX: rng.NormFloat64() * 10, TY: rng.NormFloat64() * 10, TZ: rng.NormFloat64() * 10,
+			Center: geom.V(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50),
+		}
+		p := geom.V(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		a := r.Apply(p)
+		b := r.Matrix().Apply(p)
+		if a.Sub(b).MaxAbs() > 1e-9 {
+			t.Fatalf("Matrix/Apply mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestApplyPreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := Rigid{RX: 0.4, RY: -0.1, RZ: 0.25, TX: 5, TY: -3, TZ: 2, Center: geom.V(20, 20, 20)}
+	for trial := 0; trial < 100; trial++ {
+		p := geom.V(rng.Float64()*40, rng.Float64()*40, rng.Float64()*40)
+		q := geom.V(rng.Float64()*40, rng.Float64()*40, rng.Float64()*40)
+		if math.Abs(r.Apply(p).Dist(r.Apply(q))-p.Dist(q)) > 1e-9 {
+			t.Fatal("rigid transform did not preserve distance")
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	r := Rigid{RX: 0.2, RY: 0.1, RZ: -0.3, TX: 4, TY: 1, TZ: -2, Center: geom.V(10, 10, 10)}
+	inv := r.Inverse()
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		p := geom.V(rng.Float64()*30, rng.Float64()*30, rng.Float64()*30)
+		back := inv.Apply(r.Apply(p))
+		if back.Sub(p).MaxAbs() > 1e-9 {
+			t.Fatalf("inverse round trip failed: %v -> %v", p, back)
+		}
+	}
+}
+
+func TestCenterInvariantUnderPureRotation(t *testing.T) {
+	c := geom.V(12, 8, 5)
+	r := Rigid{RX: 0.5, RY: 0.7, RZ: -0.2, Center: c}
+	if got := r.Apply(c); got.Sub(c).MaxAbs() > 1e-12 {
+		t.Errorf("rotation center moved: %v", got)
+	}
+}
+
+func TestResampleScalarPureTranslation(t *testing.T) {
+	g := volume.NewGrid(12, 6, 6, 1)
+	src := volume.NewScalar(g)
+	src.Set(4, 3, 3, 50)
+	// Move content +2 voxels in x.
+	r := Rigid{TX: 2, Center: g.Center()}
+	out := ResampleScalar(src, r, g)
+	if got := out.At(6, 3, 3); math.Abs(got-50) > 1e-4 {
+		t.Errorf("translated value = %v, want 50 at (6,3,3)", got)
+	}
+	if got := out.At(4, 3, 3); got > 1 {
+		t.Errorf("original position should be (near) empty, got %v", got)
+	}
+}
+
+func TestResampleLabelsPureTranslation(t *testing.T) {
+	g := volume.NewGrid(10, 5, 5, 1)
+	src := volume.NewLabels(g)
+	src.Set(2, 2, 2, volume.LabelTumor)
+	r := Rigid{TX: 3, Center: g.Center()}
+	out := ResampleLabels(src, r, g)
+	if out.At(5, 2, 2) != volume.LabelTumor {
+		t.Error("label did not translate")
+	}
+}
+
+func TestFieldFromRigidMatchesResample(t *testing.T) {
+	g := volume.NewGrid(10, 10, 10, 1)
+	src := volume.NewScalar(g)
+	for k := 0; k < 10; k++ {
+		for j := 0; j < 10; j++ {
+			for i := 0; i < 10; i++ {
+				src.Set(i, j, k, float64(i+2*j+3*k))
+			}
+		}
+	}
+	r := Rigid{RZ: 0.1, TX: 1, TY: -0.5, Center: g.Center()}
+	byResample := ResampleScalar(src, r, g)
+	byField := FieldFromRigid(r, g).WarpScalar(src)
+	for k := 2; k < 8; k++ {
+		for j := 2; j < 8; j++ {
+			for i := 2; i < 8; i++ {
+				a := byResample.At(i, j, k)
+				b := byField.At(i, j, k)
+				if math.Abs(a-b) > 1e-3 {
+					t.Fatalf("mismatch at (%d,%d,%d): %v vs %v", i, j, k, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxDisplacement(t *testing.T) {
+	g := volume.NewGrid(11, 11, 11, 1)
+	r := Rigid{TX: 3, TY: 4, Center: g.Center()}
+	// Pure translation displaces every point by exactly 5.
+	if got := r.MaxDisplacement(g); math.Abs(got-5) > 1e-9 {
+		t.Errorf("MaxDisplacement = %v, want 5", got)
+	}
+	// Rotation displaces corners more than center.
+	rot := Rigid{RZ: 0.1, Center: g.Center()}
+	if got := rot.MaxDisplacement(g); got <= 0 {
+		t.Errorf("rotation MaxDisplacement = %v, want > 0", got)
+	}
+}
+
+func TestParamDistance(t *testing.T) {
+	a := Rigid{TX: 1}
+	b := Rigid{TX: 3}
+	if got := ParamDistance(a, b, 100); got != 2 {
+		t.Errorf("ParamDistance = %v, want 2", got)
+	}
+	c := Rigid{RX: 0.01}
+	if got := ParamDistance(c, Rigid{}, 100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("rotation ParamDistance = %v, want 1", got)
+	}
+}

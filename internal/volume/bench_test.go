@@ -1,0 +1,81 @@
+package volume
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func benchScalar(n int, seed int64) *Scalar {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewScalar(NewGrid(n, n, n, 1))
+	for i := range s.Data {
+		s.Data[i] = float32(rng.Float64() * 100)
+	}
+	return s
+}
+
+func BenchmarkTrilinearSample(b *testing.B) {
+	s := benchScalar(64, 1)
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Vec3, 1024)
+	for i := range pts {
+		pts[i] = geom.V(rng.Float64()*63, rng.Float64()*63, rng.Float64()*63)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		s.SampleVoxel(p.X, p.Y, p.Z)
+	}
+}
+
+func BenchmarkGradientWorld(b *testing.B) {
+	s := benchScalar(64, 3)
+	p := geom.V(32, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GradientWorld(p)
+	}
+}
+
+func BenchmarkWarpScalar64(b *testing.B) {
+	s := benchScalar(64, 4)
+	f := NewField(s.Grid)
+	for i := range f.DX {
+		f.DX[i] = 1.5
+		f.DY[i] = -0.5
+	}
+	b.SetBytes(int64(s.Grid.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.WarpScalar(s)
+	}
+}
+
+func BenchmarkSmoothGaussian(b *testing.B) {
+	s := benchScalar(48, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SmoothGaussian(1.0)
+	}
+}
+
+func BenchmarkDownsample(b *testing.B) {
+	s := benchScalar(64, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Downsample(2)
+	}
+}
+
+func BenchmarkFieldInvert(b *testing.B) {
+	f := NewField(NewGrid(32, 32, 32, 1))
+	for i := range f.DX {
+		f.DX[i] = 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Invert(4)
+	}
+}

@@ -1,0 +1,204 @@
+package volume
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Field is a dense 3D displacement field: one world-space displacement
+// vector (mm) per voxel of its grid. The pipeline uses it to carry the
+// volumetric deformation computed by the biomechanical simulation and
+// to warp preoperative data into the intraoperative configuration.
+type Field struct {
+	Grid Grid
+	// DX, DY, DZ hold the displacement components, one entry per voxel.
+	DX, DY, DZ []float32
+}
+
+// NewField allocates a zero displacement field on grid g.
+func NewField(g Grid) *Field {
+	n := g.Len()
+	return &Field{
+		Grid: g,
+		DX:   make([]float32, n),
+		DY:   make([]float32, n),
+		DZ:   make([]float32, n),
+	}
+}
+
+// At returns the displacement at voxel (i, j, k); zero out of bounds.
+func (f *Field) At(i, j, k int) geom.Vec3 {
+	if !f.Grid.InBounds(i, j, k) {
+		return geom.Vec3{}
+	}
+	idx := f.Grid.Index(i, j, k)
+	return geom.V(float64(f.DX[idx]), float64(f.DY[idx]), float64(f.DZ[idx]))
+}
+
+// Set assigns the displacement at voxel (i, j, k).
+func (f *Field) Set(i, j, k int, d geom.Vec3) {
+	if !f.Grid.InBounds(i, j, k) {
+		return
+	}
+	idx := f.Grid.Index(i, j, k)
+	f.DX[idx] = float32(d.X)
+	f.DY[idx] = float32(d.Y)
+	f.DZ[idx] = float32(d.Z)
+}
+
+// SampleWorld trilinearly interpolates the displacement at world point
+// p. Outside the grid the displacement decays to zero (consistent with a
+// deformation localized to the head).
+func (f *Field) SampleWorld(p geom.Vec3) geom.Vec3 {
+	v := f.Grid.Voxel(p)
+	return geom.V(
+		sampleComponent(f.Grid, f.DX, v.X, v.Y, v.Z),
+		sampleComponent(f.Grid, f.DY, v.X, v.Y, v.Z),
+		sampleComponent(f.Grid, f.DZ, v.X, v.Y, v.Z),
+	)
+}
+
+func sampleComponent(g Grid, data []float32, x, y, z float64) float64 {
+	s := Scalar{Grid: g, Data: data}
+	return s.SampleVoxel(x, y, z)
+}
+
+// MaxMagnitude returns the largest displacement magnitude in the field.
+func (f *Field) MaxMagnitude() float64 {
+	maxSq := 0.0
+	for i := range f.DX {
+		dx, dy, dz := float64(f.DX[i]), float64(f.DY[i]), float64(f.DZ[i])
+		if m := dx*dx + dy*dy + dz*dz; m > maxSq {
+			maxSq = m
+		}
+	}
+	return math.Sqrt(maxSq)
+}
+
+// MeanMagnitude returns the average displacement magnitude. When mask is
+// non-nil only voxels where mask is true contribute.
+func (f *Field) MeanMagnitude(mask []bool) float64 {
+	sum, n := 0.0, 0
+	for i := range f.DX {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		dx, dy, dz := float64(f.DX[i]), float64(f.DY[i]), float64(f.DZ[i])
+		sum += math.Sqrt(dx*dx + dy*dy + dz*dz)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RMSDifference returns the root-mean-square magnitude of (f - g),
+// optionally restricted to mask. It returns an error on shape mismatch.
+func (f *Field) RMSDifference(g *Field, mask []bool) (float64, error) {
+	if !f.Grid.SameShape(g.Grid) {
+		return 0, fmt.Errorf("volume: field shape mismatch %v vs %v", f.Grid, g.Grid)
+	}
+	sum, n := 0.0, 0
+	for i := range f.DX {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		dx := float64(f.DX[i]) - float64(g.DX[i])
+		dy := float64(f.DY[i]) - float64(g.DY[i])
+		dz := float64(f.DZ[i]) - float64(g.DZ[i])
+		sum += dx*dx + dy*dy + dz*dz
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(sum / float64(n)), nil
+}
+
+// WarpScalar resamples src through the deformation field: the output
+// voxel at world point p takes the value src(p + f(p)). This is the
+// standard backward-warp convention, so f should map points of the
+// *deformed* (target) configuration to their preimage displacements.
+// The output is defined on the field's grid.
+func (f *Field) WarpScalar(src *Scalar) *Scalar {
+	out := NewScalar(f.Grid)
+	g := f.Grid
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				p := g.World(i, j, k)
+				idx := g.Index(i, j, k)
+				q := p.Add(geom.V(float64(f.DX[idx]), float64(f.DY[idx]), float64(f.DZ[idx])))
+				out.Data[idx] = float32(src.SampleWorld(q))
+			}
+		}
+	}
+	return out
+}
+
+// WarpLabels resamples a label volume through the field with nearest-
+// neighbor interpolation (labels must not be blended).
+func (f *Field) WarpLabels(src *Labels) *Labels {
+	out := NewLabels(f.Grid)
+	g := f.Grid
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				p := g.World(i, j, k)
+				idx := g.Index(i, j, k)
+				q := p.Add(geom.V(float64(f.DX[idx]), float64(f.DY[idx]), float64(f.DZ[idx])))
+				out.Data[idx] = src.AtWorld(q)
+			}
+		}
+	}
+	return out
+}
+
+// Invert approximates the inverse of a displacement field by
+// fixed-point iteration: given a forward field u (p moves to p + u(p)),
+// the returned field v satisfies v(q) ~= -u(q + v(q)), so that warping
+// with v undoes the motion of u. For the small, smooth deformations of
+// intraoperative brain shift a handful of iterations converge to
+// sub-voxel accuracy.
+func (f *Field) Invert(iterations int) *Field {
+	if iterations <= 0 {
+		iterations = 5
+	}
+	g := f.Grid
+	out := NewField(g)
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				q := g.World(i, j, k)
+				var v geom.Vec3
+				for it := 0; it < iterations; it++ {
+					v = f.SampleWorld(q.Add(v)).Scale(-1)
+				}
+				out.Set(i, j, k, v)
+			}
+		}
+	}
+	return out
+}
+
+// Compose returns the field h(p) = f(p) + g(p + f(p)): applying h is
+// equivalent to warping first through f then through g (both in the
+// backward-warp convention).
+func (f *Field) Compose(g *Field) *Field {
+	out := NewField(f.Grid)
+	gr := f.Grid
+	for k := 0; k < gr.NZ; k++ {
+		for j := 0; j < gr.NY; j++ {
+			for i := 0; i < gr.NX; i++ {
+				p := gr.World(i, j, k)
+				d1 := f.At(i, j, k)
+				d2 := g.SampleWorld(p.Add(d1))
+				out.Set(i, j, k, d1.Add(d2))
+			}
+		}
+	}
+	return out
+}

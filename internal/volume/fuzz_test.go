@@ -1,0 +1,68 @@
+package volume
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadScalar hardens the MVOL parser against malformed input: any
+// byte stream must either parse into a structurally valid volume or
+// return an error — never panic or allocate absurdly.
+func FuzzReadScalar(f *testing.F) {
+	// Seed with a valid volume and a few mutations.
+	s := NewScalar(NewGrid(2, 3, 4, 1))
+	s.Set(1, 2, 3, 7)
+	var buf bytes.Buffer
+	if err := WriteScalar(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MVOL1 scalar 2 2 2 1 1 1 0 0 0\n"))
+	f.Add([]byte("MVOL1 labels 1 1 1 1 1 1 0 0 0\nx"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("MVOL1 scalar 1000000 1000000 1000000 1 1 1 0 0 0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Guard against absurd allocations from huge declared dims: the
+		// reader allocates NX*NY*NZ floats, so cap the accepted header
+		// sizes here the same way a server would.
+		if len(data) > 1<<20 {
+			return
+		}
+		vol, err := ReadScalar(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := vol.Grid.Validate(); err != nil {
+			t.Fatalf("parser returned invalid grid: %v", err)
+		}
+		if len(vol.Data) != vol.Grid.Len() {
+			t.Fatalf("data length %d != grid %d", len(vol.Data), vol.Grid.Len())
+		}
+	})
+}
+
+// FuzzReadLabels mirrors FuzzReadScalar for the label parser.
+func FuzzReadLabels(f *testing.F) {
+	l := NewLabels(NewGrid(2, 2, 2, 1))
+	l.Set(0, 1, 1, LabelBrain)
+	var buf bytes.Buffer
+	if err := WriteLabels(&buf, l); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MVOL1 labels 2 2 2 1 1 1 0 0 0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		vol, err := ReadLabels(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(vol.Data) != vol.Grid.Len() {
+			t.Fatalf("data length %d != grid %d", len(vol.Data), vol.Grid.Len())
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Package volume implements the 3D image substrate of the pipeline:
+// scalar (MR intensity) volumes, label (segmentation) volumes, dense
+// displacement fields, trilinear interpolation, gradients, and
+// resampling under rigid transforms and deformation fields.
+//
+// Volumes follow the medical-imaging convention of an anisotropic
+// regular grid: integer voxel indices (i, j, k) map to world millimetre
+// coordinates through a per-volume spacing and origin. All geometric
+// algorithms in the pipeline (registration, meshing, FEM) operate in
+// world coordinates, so that volumes of different resolution compose
+// correctly.
+package volume
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Grid describes the geometry of a regular 3D sampling lattice: its
+// dimensions in voxels, the physical size of each voxel (mm), and the
+// world coordinates of the center of voxel (0, 0, 0).
+type Grid struct {
+	NX, NY, NZ int
+	Spacing    geom.Vec3
+	Origin     geom.Vec3
+}
+
+// NewGrid returns an isotropic grid with the given dimensions and
+// voxel size, origin at zero.
+func NewGrid(nx, ny, nz int, spacing float64) Grid {
+	return Grid{
+		NX: nx, NY: ny, NZ: nz,
+		Spacing: geom.V(spacing, spacing, spacing),
+	}
+}
+
+// Len returns the number of voxels in the grid.
+func (g Grid) Len() int { return g.NX * g.NY * g.NZ }
+
+// Index returns the linear index of voxel (i, j, k). The x index varies
+// fastest (C order with z slowest), matching the slice-by-slice layout
+// of MR acquisitions.
+func (g Grid) Index(i, j, k int) int { return (k*g.NY+j)*g.NX + i }
+
+// Coords returns the (i, j, k) voxel coordinates of linear index idx.
+func (g Grid) Coords(idx int) (i, j, k int) {
+	i = idx % g.NX
+	j = (idx / g.NX) % g.NY
+	k = idx / (g.NX * g.NY)
+	return
+}
+
+// InBounds reports whether (i, j, k) addresses a voxel of the grid.
+func (g Grid) InBounds(i, j, k int) bool {
+	return i >= 0 && i < g.NX && j >= 0 && j < g.NY && k >= 0 && k < g.NZ
+}
+
+// World returns the world coordinates of the center of voxel (i, j, k).
+func (g Grid) World(i, j, k int) geom.Vec3 {
+	return geom.V(
+		g.Origin.X+float64(i)*g.Spacing.X,
+		g.Origin.Y+float64(j)*g.Spacing.Y,
+		g.Origin.Z+float64(k)*g.Spacing.Z,
+	)
+}
+
+// Voxel returns the continuous voxel coordinates of world point p.
+func (g Grid) Voxel(p geom.Vec3) geom.Vec3 {
+	return geom.V(
+		(p.X-g.Origin.X)/g.Spacing.X,
+		(p.Y-g.Origin.Y)/g.Spacing.Y,
+		(p.Z-g.Origin.Z)/g.Spacing.Z,
+	)
+}
+
+// Extent returns the world-space size of the grid (from the center of
+// the first voxel to the center of the last, plus one voxel).
+func (g Grid) Extent() geom.Vec3 {
+	return geom.V(
+		float64(g.NX)*g.Spacing.X,
+		float64(g.NY)*g.Spacing.Y,
+		float64(g.NZ)*g.Spacing.Z,
+	)
+}
+
+// Center returns the world coordinates of the grid center.
+func (g Grid) Center() geom.Vec3 {
+	return g.Origin.Add(geom.V(
+		float64(g.NX-1)/2*g.Spacing.X,
+		float64(g.NY-1)/2*g.Spacing.Y,
+		float64(g.NZ-1)/2*g.Spacing.Z,
+	))
+}
+
+// SameShape reports whether g and h have identical dimensions (spacing
+// and origin may differ).
+func (g Grid) SameShape(h Grid) bool {
+	return g.NX == h.NX && g.NY == h.NY && g.NZ == h.NZ
+}
+
+// Validate returns an error if the grid has non-positive dimensions or
+// spacing.
+func (g Grid) Validate() error {
+	if g.NX <= 0 || g.NY <= 0 || g.NZ <= 0 {
+		return fmt.Errorf("volume: invalid grid dims %dx%dx%d", g.NX, g.NY, g.NZ)
+	}
+	if g.Spacing.X <= 0 || g.Spacing.Y <= 0 || g.Spacing.Z <= 0 {
+		return fmt.Errorf("volume: invalid spacing %v", g.Spacing)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (g Grid) String() string {
+	return fmt.Sprintf("%dx%dx%d @ %v mm", g.NX, g.NY, g.NZ, g.Spacing)
+}

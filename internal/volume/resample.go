@@ -1,0 +1,46 @@
+package volume
+
+// Downsample returns a copy of s reduced by an integer factor along each
+// axis, using box averaging (the standard pyramid-reduction step for
+// multiresolution registration). A factor <= 1 returns a clone.
+func (s *Scalar) Downsample(factor int) *Scalar {
+	if factor <= 1 {
+		return s.Clone()
+	}
+	g := s.Grid
+	ng := Grid{
+		NX:      (g.NX + factor - 1) / factor,
+		NY:      (g.NY + factor - 1) / factor,
+		NZ:      (g.NZ + factor - 1) / factor,
+		Spacing: g.Spacing.Scale(float64(factor)),
+		Origin:  g.Origin,
+	}
+	// Box averaging shifts the effective sample center by (factor-1)/2
+	// voxels of the fine grid; account for it in the origin so world
+	// coordinates remain aligned across pyramid levels.
+	half := float64(factor-1) / 2
+	ng.Origin = g.Origin.Add(g.Spacing.Scale(half))
+	out := NewScalar(ng)
+	for k := 0; k < ng.NZ; k++ {
+		for j := 0; j < ng.NY; j++ {
+			for i := 0; i < ng.NX; i++ {
+				sum, n := 0.0, 0
+				for dk := 0; dk < factor; dk++ {
+					for dj := 0; dj < factor; dj++ {
+						for di := 0; di < factor; di++ {
+							fi, fj, fk := i*factor+di, j*factor+dj, k*factor+dk
+							if g.InBounds(fi, fj, fk) {
+								sum += float64(s.Data[g.Index(fi, fj, fk)])
+								n++
+							}
+						}
+					}
+				}
+				if n > 0 {
+					out.Data[ng.Index(i, j, k)] = float32(sum / float64(n))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package volume
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Scalar is a single-channel 3D image (e.g. an MR intensity volume),
+// stored as float32 to keep clinical-size volumes (256x256x60 and up)
+// memory-friendly. All arithmetic is done in float64.
+type Scalar struct {
+	Grid Grid
+	Data []float32
+}
+
+// NewScalar allocates a zero-filled scalar volume on grid g.
+func NewScalar(g Grid) *Scalar {
+	return &Scalar{Grid: g, Data: make([]float32, g.Len())}
+}
+
+// At returns the voxel value at (i, j, k). Out-of-bounds reads return 0,
+// the conventional background value for MR data.
+func (s *Scalar) At(i, j, k int) float64 {
+	if !s.Grid.InBounds(i, j, k) {
+		return 0
+	}
+	return float64(s.Data[s.Grid.Index(i, j, k)])
+}
+
+// Set assigns the voxel value at (i, j, k). Out-of-bounds writes are
+// ignored.
+func (s *Scalar) Set(i, j, k int, v float64) {
+	if !s.Grid.InBounds(i, j, k) {
+		return
+	}
+	s.Data[s.Grid.Index(i, j, k)] = float32(v)
+}
+
+// Fill sets every voxel to v.
+func (s *Scalar) Fill(v float64) {
+	f := float32(v)
+	for i := range s.Data {
+		s.Data[i] = f
+	}
+}
+
+// Clone returns a deep copy of s.
+func (s *Scalar) Clone() *Scalar {
+	c := &Scalar{Grid: s.Grid, Data: make([]float32, len(s.Data))}
+	copy(c.Data, s.Data)
+	return c
+}
+
+// SampleVoxel trilinearly interpolates the volume at continuous voxel
+// coordinates (x, y, z). Samples outside the grid return 0.
+func (s *Scalar) SampleVoxel(x, y, z float64) float64 {
+	if x < 0 || y < 0 || z < 0 ||
+		x > float64(s.Grid.NX-1) || y > float64(s.Grid.NY-1) || z > float64(s.Grid.NZ-1) {
+		return 0
+	}
+	i0 := int(x)
+	j0 := int(y)
+	k0 := int(z)
+	// Clamp the upper corner so that samples exactly on the last plane
+	// interpolate within bounds.
+	if i0 > s.Grid.NX-2 {
+		i0 = s.Grid.NX - 2
+	}
+	if j0 > s.Grid.NY-2 {
+		j0 = s.Grid.NY - 2
+	}
+	if k0 > s.Grid.NZ-2 {
+		k0 = s.Grid.NZ - 2
+	}
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if k0 < 0 {
+		k0 = 0
+	}
+	fx := x - float64(i0)
+	fy := y - float64(j0)
+	fz := z - float64(k0)
+	idx := s.Grid.Index(i0, j0, k0)
+	nx, nxy := s.Grid.NX, s.Grid.NX*s.Grid.NY
+	d := s.Data
+	c000 := float64(d[idx])
+	c100 := float64(d[idx+1])
+	c010 := float64(d[idx+nx])
+	c110 := float64(d[idx+nx+1])
+	c001 := float64(d[idx+nxy])
+	c101 := float64(d[idx+nxy+1])
+	c011 := float64(d[idx+nxy+nx])
+	c111 := float64(d[idx+nxy+nx+1])
+	c00 := c000 + fx*(c100-c000)
+	c10 := c010 + fx*(c110-c010)
+	c01 := c001 + fx*(c101-c001)
+	c11 := c011 + fx*(c111-c011)
+	c0 := c00 + fy*(c10-c00)
+	c1 := c01 + fy*(c11-c01)
+	return c0 + fz*(c1-c0)
+}
+
+// SampleWorld trilinearly interpolates the volume at world point p.
+func (s *Scalar) SampleWorld(p geom.Vec3) float64 {
+	v := s.Grid.Voxel(p)
+	return s.SampleVoxel(v.X, v.Y, v.Z)
+}
+
+// GradientWorld returns the central-difference image gradient at world
+// point p, in intensity units per millimetre.
+func (s *Scalar) GradientWorld(p geom.Vec3) geom.Vec3 {
+	hx, hy, hz := s.Grid.Spacing.X, s.Grid.Spacing.Y, s.Grid.Spacing.Z
+	return geom.V(
+		(s.SampleWorld(p.Add(geom.V(hx, 0, 0)))-s.SampleWorld(p.Sub(geom.V(hx, 0, 0))))/(2*hx),
+		(s.SampleWorld(p.Add(geom.V(0, hy, 0)))-s.SampleWorld(p.Sub(geom.V(0, hy, 0))))/(2*hy),
+		(s.SampleWorld(p.Add(geom.V(0, 0, hz)))-s.SampleWorld(p.Sub(geom.V(0, 0, hz))))/(2*hz),
+	)
+}
+
+// MinMax returns the minimum and maximum voxel values. An empty volume
+// returns (0, 0).
+func (s *Scalar) MinMax() (lo, hi float64) {
+	if len(s.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = float64(s.Data[0]), float64(s.Data[0])
+	for _, v := range s.Data {
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return lo, hi
+}
+
+// Mean returns the average voxel value.
+func (s *Scalar) Mean() float64 {
+	if len(s.Data) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Data {
+		sum += float64(v)
+	}
+	return sum / float64(len(s.Data))
+}
+
+// Stats summarizes a scalar volume: mean, standard deviation, min, max.
+type Stats struct {
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+// ComputeStats returns summary statistics for all voxels of s. When mask
+// is non-nil, only voxels where mask is true contribute.
+func (s *Scalar) ComputeStats(mask []bool) Stats {
+	var st Stats
+	st.Min = math.Inf(1)
+	st.Max = math.Inf(-1)
+	var sum, sumSq float64
+	for i, v := range s.Data {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+		if f < st.Min {
+			st.Min = f
+		}
+		if f > st.Max {
+			st.Max = f
+		}
+		st.N++
+	}
+	if st.N == 0 {
+		return Stats{}
+	}
+	st.Mean = sum / float64(st.N)
+	variance := sumSq/float64(st.N) - st.Mean*st.Mean
+	if variance > 0 {
+		st.Std = math.Sqrt(variance)
+	}
+	return st
+}
+
+// AbsDiff returns a volume holding |s - t| voxelwise. It returns an
+// error when the shapes differ.
+func (s *Scalar) AbsDiff(t *Scalar) (*Scalar, error) {
+	if !s.Grid.SameShape(t.Grid) {
+		return nil, fmt.Errorf("volume: shape mismatch %v vs %v", s.Grid, t.Grid)
+	}
+	out := NewScalar(s.Grid)
+	for i := range s.Data {
+		d := float64(s.Data[i]) - float64(t.Data[i])
+		out.Data[i] = float32(math.Abs(d))
+	}
+	return out, nil
+}
+
+// SmoothGaussian returns a separably Gaussian-smoothed copy of s with
+// standard deviation sigma (in voxels). A sigma of 0 returns a clone.
+func (s *Scalar) SmoothGaussian(sigma float64) *Scalar {
+	if sigma <= 0 {
+		return s.Clone()
+	}
+	radius := int(math.Ceil(3 * sigma))
+	kernel := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range kernel {
+		x := float64(i - radius)
+		kernel[i] = math.Exp(-x * x / (2 * sigma * sigma))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+
+	g := s.Grid
+	src := s.Clone()
+	dst := NewScalar(g)
+	// Pass along x.
+	convolveAxis(src, dst, kernel, radius, 0)
+	// Pass along y.
+	convolveAxis(dst, src, kernel, radius, 1)
+	// Pass along z.
+	convolveAxis(src, dst, kernel, radius, 2)
+	return dst
+}
+
+// convolveAxis convolves src with kernel along the given axis (0=x, 1=y,
+// 2=z) writing to dst, with clamp-to-edge boundary handling.
+func convolveAxis(src, dst *Scalar, kernel []float64, radius, axis int) {
+	g := src.Grid
+	n := [3]int{g.NX, g.NY, g.NZ}
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				acc := 0.0
+				for t := -radius; t <= radius; t++ {
+					ci, cj, ck := i, j, k
+					switch axis {
+					case 0:
+						ci = clampInt(i+t, 0, n[0]-1)
+					case 1:
+						cj = clampInt(j+t, 0, n[1]-1)
+					default:
+						ck = clampInt(k+t, 0, n[2]-1)
+					}
+					acc += kernel[t+radius] * float64(src.Data[g.Index(ci, cj, ck)])
+				}
+				dst.Data[g.Index(i, j, k)] = float32(acc)
+			}
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
