@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: build + vet + tests, plus the concurrency-sensitive
+# packages (pipeline cancellation, registration service) under -race.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -short ./...

@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -136,10 +137,18 @@ func (t *KDTree) search(n *kdNode, q []float64, bestD []float64, bestL []volume.
 	}
 }
 
-// ClassifyKD labels every voxel like Classify but answers neighbor
-// queries through a k-d tree. Results are identical to Classify up to
-// ties at exactly equal distances.
+// ClassifyKD labels every voxel with a background context; see
+// ClassifyKDContext.
 func (c *Classifier) ClassifyKD(channels []*volume.Scalar) (*volume.Labels, error) {
+	return c.ClassifyKDContext(context.Background(), channels)
+}
+
+// ClassifyKDContext labels every voxel like ClassifyContext but answers
+// neighbor queries through a k-d tree. Results are identical to
+// Classify up to ties at exactly equal distances. Worker goroutines
+// poll the context periodically; a cancelled or deadline-expired
+// context aborts the classification and returns ctx.Err().
+func (c *Classifier) ClassifyKDContext(ctx context.Context, channels []*volume.Scalar) (*volume.Labels, error) {
 	if err := validateChannels(channels); err != nil {
 		return nil, err
 	}
@@ -184,6 +193,9 @@ func (c *Classifier) ClassifyKD(channels []*volume.Scalar) (*volume.Labels, erro
 			bestD := make([]float64, k)
 			bestL := make([]volume.Label, k)
 			for idx := lo; idx < hi; idx++ {
+				if idx&ctxCheckMask == 0 && ctx.Err() != nil {
+					break
+				}
 				channelsToFeatures(channels, idx, feat)
 				tree.Nearest(feat, bestD, bestL)
 				out.Data[idx] = vote(bestL, bestD)
@@ -193,6 +205,9 @@ func (c *Classifier) ClassifyKD(channels []*volume.Scalar) (*volume.Labels, erro
 	}
 	for i := 0; i < launched; i++ {
 		<-done
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

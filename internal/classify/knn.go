@@ -13,6 +13,7 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -21,6 +22,11 @@ import (
 
 	"repro/internal/volume"
 )
+
+// ctxCheckMask gates the worker-loop context polls: each worker checks
+// ctx.Err() once every ctxCheckMask+1 voxels, keeping the abort latency
+// far below a millisecond without measurable per-voxel overhead.
+const ctxCheckMask = 0x3FF
 
 // Prototype is a labeled sample point in feature space.
 type Prototype struct {
@@ -238,11 +244,19 @@ func abs64(v float64) float64 {
 	return v
 }
 
-// Classify labels every voxel of the channel volumes by majority vote
-// among the K nearest prototypes in (weighted) Euclidean feature space.
-// Ties break toward the nearer prototype set (first encountered in
-// ascending distance order).
+// Classify labels every voxel with a background context; see
+// ClassifyContext.
 func (c *Classifier) Classify(channels []*volume.Scalar) (*volume.Labels, error) {
+	return c.ClassifyContext(context.Background(), channels)
+}
+
+// ClassifyContext labels every voxel of the channel volumes by majority
+// vote among the K nearest prototypes in (weighted) Euclidean feature
+// space. Ties break toward the nearer prototype set (first encountered
+// in ascending distance order). Worker goroutines poll the context
+// periodically; a cancelled or deadline-expired context aborts the
+// classification and returns ctx.Err().
+func (c *Classifier) ClassifyContext(ctx context.Context, channels []*volume.Scalar) (*volume.Labels, error) {
 	if err := validateChannels(channels); err != nil {
 		return nil, err
 	}
@@ -299,6 +313,9 @@ func (c *Classifier) Classify(channels []*volume.Scalar) (*volume.Labels, error)
 			bestD := make([]float64, k)
 			bestL := make([]volume.Label, k)
 			for idx := lo; idx < hi; idx++ {
+				if idx&ctxCheckMask == 0 && ctx.Err() != nil {
+					return
+				}
 				channelsToFeatures(channels, idx, feat)
 				c.nearest(feat, weights, k, bestD, bestL)
 				out.Data[idx] = vote(bestL, bestD)
@@ -306,6 +323,9 @@ func (c *Classifier) Classify(channels []*volume.Scalar) (*volume.Labels, error)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

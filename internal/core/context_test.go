@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// expirableCtx is a context whose deadline can be made to "expire" at a
+// precise pipeline event, so the degradation policy can be tested
+// deterministically instead of racing a wall-clock timer.
+type expirableCtx struct {
+	mu      sync.Mutex
+	done    chan struct{}
+	expired bool
+}
+
+func newExpirableCtx() *expirableCtx {
+	return &expirableCtx{done: make(chan struct{})}
+}
+
+func (c *expirableCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *expirableCtx) Done() <-chan struct{}       { return c.done }
+func (c *expirableCtx) Value(any) any               { return nil }
+
+func (c *expirableCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.expired {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (c *expirableCtx) expire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.expired {
+		c.expired = true
+		close(c.done)
+	}
+}
+
+func TestRunContextCancelDuringSolve(t *testing.T) {
+	c := testCase(24)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := fastConfig()
+	// Cancel exactly when the FEM solve begins: the GMRES loop must
+	// notice within one restart cycle and attribute the abort to the
+	// solve stage.
+	cfg.Observer = FuncObserver{OnStart: func(stage string) {
+		if stage == StageSolve {
+			cancel()
+		}
+	}}
+	_, err := New(cfg).RunContext(ctx, c.Preop, c.PreopLabels, c.Intraop)
+	if err == nil {
+		t.Fatal("cancelled solve returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in chain", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StageError", err)
+	}
+	if se.Stage != StageSolve {
+		t.Errorf("StageError.Stage = %q, want %q", se.Stage, StageSolve)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	c := testCase(24)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(fastConfig()).RunContext(ctx, c.Preop, c.PreopLabels, c.Intraop)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != StageRigid {
+		t.Errorf("pre-cancelled run should fail at the first stage, got %v", err)
+	}
+}
+
+func TestRunContextDeadlineAfterSurfaceDegradesToRigid(t *testing.T) {
+	c := testCase(24)
+	ctx := newExpirableCtx()
+	cfg := fastConfig()
+	// The deadline expires the moment the solve starts — i.e. after the
+	// surface stage completed. The clinical fallback applies: no error,
+	// rigid-only result marked degraded.
+	cfg.Observer = FuncObserver{OnStart: func(stage string) {
+		if stage == StageSolve {
+			ctx.expire()
+		}
+	}}
+	res, err := New(cfg).RunContext(ctx, c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatalf("deadline after surface must degrade, not fail: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result not marked Degraded")
+	}
+	if res.DegradedReason == "" {
+		t.Error("empty DegradedReason")
+	}
+	if res.Warped != res.AlignedPreop {
+		t.Error("degraded Warped is not the rigid-only aligned preop")
+	}
+	if res.Forward != nil || res.Backward != nil || res.NodeDisplacements != nil {
+		t.Error("degraded result carries deformation fields")
+	}
+	if res.MatchMeanAbsDiff != res.RigidMeanAbsDiff {
+		t.Errorf("degraded match metric %v != rigid metric %v",
+			res.MatchMeanAbsDiff, res.RigidMeanAbsDiff)
+	}
+	tl := res.Timeline()
+	if !strings.Contains(tl, "DEGRADED") {
+		t.Errorf("timeline does not flag degradation:\n%s", tl)
+	}
+}
+
+func TestRunContextDeadlineBeforeSurfaceFails(t *testing.T) {
+	c := testCase(24)
+	ctx := newExpirableCtx()
+	cfg := fastConfig()
+	// Expiring during classification is before the fallback point: the
+	// scan must fail with a stage-attributed deadline error.
+	cfg.Observer = FuncObserver{OnStart: func(stage string) {
+		if stage == StageClassify {
+			ctx.expire()
+		}
+	}}
+	_, err := New(cfg).RunContext(ctx, c.Preop, c.PreopLabels, c.Intraop)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != StageClassify {
+		t.Errorf("err = %v, want StageError at %q", err, StageClassify)
+	}
+}
+
+func TestObserverSeesAllStagesInOrder(t *testing.T) {
+	c := testCase(24)
+	var mu sync.Mutex
+	var started, done []string
+	countersSeen := false
+	cfg := fastConfig()
+	cfg.Observer = FuncObserver{
+		OnStart: func(stage string) {
+			mu.Lock()
+			started = append(started, stage)
+			mu.Unlock()
+		},
+		OnDone: func(stage string, elapsed time.Duration, err error) {
+			mu.Lock()
+			done = append(done, stage)
+			mu.Unlock()
+			if err != nil {
+				t.Errorf("stage %s reported error: %v", stage, err)
+			}
+		},
+		OnCounters: func(stage string, snap par.Snapshot) {
+			if stage == StageSolve && snap.TotalFlops > 0 {
+				countersSeen = true
+			}
+		},
+	}
+	if _, err := New(cfg).RunContext(context.Background(), c.Preop, c.PreopLabels, c.Intraop); err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != len(Stages) || len(done) != len(Stages) {
+		t.Fatalf("observer saw %d starts / %d dones, want %d", len(started), len(done), len(Stages))
+	}
+	for i, want := range Stages {
+		if started[i] != want || done[i] != want {
+			t.Errorf("stage %d: start=%q done=%q want %q", i, started[i], done[i], want)
+		}
+	}
+	if !countersSeen {
+		t.Error("no assembly counters snapshot delivered for the solve stage")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := DefaultConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"MeshCellSize", func(c *Config) { c.MeshCellSize = 0 }, "MeshCellSize"},
+		{"Ranks", func(c *Config) { c.Ranks = -1 }, "Ranks"},
+		{"KNN", func(c *Config) { c.KNN = 0 }, "KNN"},
+		{"PrototypesPerClass", func(c *Config) { c.PrototypesPerClass = 0 }, "PrototypesPerClass"},
+		{"EDTSaturation", func(c *Config) { c.EDTSaturation = -2 }, "EDTSaturation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name field %s", err, tc.want)
+			}
+			// New defers the error to Run so call chains keep compiling.
+			if _, runErr := New(cfg).Run(nil, nil, nil); runErr == nil ||
+				!strings.Contains(runErr.Error(), tc.want) {
+				t.Errorf("New(bad).Run err = %v, want validation error", runErr)
+			}
+			// NewSession reports it eagerly.
+			if _, sessErr := NewSession(cfg, nil, nil); sessErr == nil ||
+				!strings.Contains(sessErr.Error(), tc.want) {
+				t.Errorf("NewSession err = %v, want validation error", sessErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import "fmt"
+
+// Stage names, in execution order. They double as the Timings entries
+// and as the Stage field of StageError, so callers can attribute time,
+// progress and failures to one vocabulary of stages.
+const (
+	StageRigid    = "rigid registration (MI)"
+	StageClassify = "tissue classification (k-NN)"
+	StageMesh     = "mesh generation"
+	StageSurface  = "surface displacement"
+	StageSolve    = "biomechanical simulation"
+	StageResample = "resampling"
+)
+
+// Stages lists every pipeline stage in execution order.
+var Stages = []string{
+	StageRigid, StageClassify, StageMesh, StageSurface, StageSolve, StageResample,
+}
+
+// StageError attributes a pipeline failure to the stage it occurred in.
+// It wraps the underlying cause, so errors.Is(err, context.Canceled)
+// and friends see through it.
+type StageError struct {
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("core: %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *StageError) Unwrap() error { return e.Err }

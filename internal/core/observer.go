@@ -1,0 +1,96 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/par"
+)
+
+// Observer receives live progress events while a registration runs.
+// The pipeline invokes it synchronously from the registration
+// goroutine, in stage order: StageStart, then (for the solve stage)
+// StageCounters, then StageDone. Implementations must be fast and must
+// not block; anything expensive belongs on the observer's own
+// goroutine. A nil Observer in Config disables observation.
+//
+// This is the hook the service layer uses to emit Figure-6-style
+// per-stage timelines and aggregate metrics without every caller
+// re-instrumenting the pipeline.
+type Observer interface {
+	// StageStart fires immediately before a stage begins.
+	StageStart(stage string)
+	// StageDone fires after a stage finishes, successfully or not.
+	// err is nil on success; on cancellation it wraps ctx.Err().
+	StageDone(stage string, elapsed time.Duration, err error)
+	// StageCounters delivers the per-rank work counters recorded during
+	// a stage (currently the FEM assembly feeding the solve stage).
+	StageCounters(stage string, snap par.Snapshot)
+}
+
+// FuncObserver adapts plain functions to the Observer interface; nil
+// fields are simply skipped.
+type FuncObserver struct {
+	OnStart    func(stage string)
+	OnDone     func(stage string, elapsed time.Duration, err error)
+	OnCounters func(stage string, snap par.Snapshot)
+}
+
+// StageStart implements Observer.
+func (f FuncObserver) StageStart(stage string) {
+	if f.OnStart != nil {
+		f.OnStart(stage)
+	}
+}
+
+// StageDone implements Observer.
+func (f FuncObserver) StageDone(stage string, elapsed time.Duration, err error) {
+	if f.OnDone != nil {
+		f.OnDone(stage, elapsed, err)
+	}
+}
+
+// StageCounters implements Observer.
+func (f FuncObserver) StageCounters(stage string, snap par.Snapshot) {
+	if f.OnCounters != nil {
+		f.OnCounters(stage, snap)
+	}
+}
+
+// MultiObserver fans events out to several observers in order.
+func MultiObserver(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return multiObserver(kept)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) StageStart(stage string) {
+	for _, o := range m {
+		o.StageStart(stage)
+	}
+}
+
+func (m multiObserver) StageDone(stage string, elapsed time.Duration, err error) {
+	for _, o := range m {
+		o.StageDone(stage, elapsed, err)
+	}
+}
+
+func (m multiObserver) StageCounters(stage string, snap par.Snapshot) {
+	for _, o := range m {
+		o.StageCounters(stage, snap)
+	}
+}
+
+// nopObserver is substituted for a nil Config.Observer so the pipeline
+// can call the hooks unconditionally.
+type nopObserver struct{}
+
+func (nopObserver) StageStart(string)                       {}
+func (nopObserver) StageDone(string, time.Duration, error)  {}
+func (nopObserver) StageCounters(string, par.Snapshot)      {}

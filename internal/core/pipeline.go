@@ -11,7 +11,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/classify"
@@ -59,6 +62,46 @@ type Config struct {
 	// in one frame, or when benchmarking later stages in isolation).
 	SkipRigid bool
 	Seed      int64
+	// Observer, when non-nil, receives per-stage progress events and
+	// counters snapshots while a registration runs (see Observer). It is
+	// ignored by Validate.
+	Observer Observer
+}
+
+// Validate reports configuration errors instead of silently patching
+// them: out-of-range MeshCellSize, Ranks, KNN, PrototypesPerClass or
+// EDTSaturation. New and the service layer both call it; New defers the
+// reported error to the first Run so that the chained
+// core.New(cfg).Run(...) idiom keeps working.
+func (c Config) Validate() error {
+	var errs []error
+	if c.MeshCellSize < 1 {
+		errs = append(errs, fmt.Errorf("MeshCellSize %d out of range (want >= 1 voxel)", c.MeshCellSize))
+	}
+	if c.Ranks < 1 {
+		errs = append(errs, fmt.Errorf("Ranks %d out of range (want >= 1)", c.Ranks))
+	}
+	if c.KNN < 1 {
+		errs = append(errs, fmt.Errorf("KNN %d out of range (want >= 1)", c.KNN))
+	}
+	if c.PrototypesPerClass < 1 {
+		errs = append(errs, fmt.Errorf("PrototypesPerClass %d out of range (want >= 1)", c.PrototypesPerClass))
+	}
+	if c.EDTSaturation <= 0 {
+		errs = append(errs, fmt.Errorf("EDTSaturation %g out of range (want > 0 mm)", c.EDTSaturation))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("core: invalid config: %w", errors.Join(errs...))
+}
+
+// observer returns the configured observer or a no-op stand-in.
+func (c Config) observer() Observer {
+	if c.Observer != nil {
+		return c.Observer
+	}
+	return nopObserver{}
 }
 
 // DefaultConfig returns the configuration used throughout the
@@ -117,6 +160,15 @@ type Result struct {
 	// Timings is the per-stage timeline (Figure 6).
 	Timings []StageTiming
 
+	// Degraded marks a rigid-only fallback result: the context deadline
+	// expired after the surface stage, so the biomechanical refinement
+	// was abandoned and Warped is just the rigidly aligned preoperative
+	// scan — the paper's clinical fallback when the time budget runs
+	// out. NodeDisplacements, Forward and Backward are nil.
+	Degraded bool
+	// DegradedReason says which stage the deadline interrupted.
+	DegradedReason string
+
 	// Match-quality metrics inside the brain mask (Figure 4d analogue):
 	// mean absolute intensity difference to the intraoperative scan
 	// after rigid alignment only, and after the biomechanical match.
@@ -141,38 +193,33 @@ func (r *Result) TotalTime() time.Duration {
 
 // Timeline renders the Figure 6 analogue as text.
 func (r *Result) Timeline() string {
-	out := "Timeline of intraoperative image processing\n"
+	var b strings.Builder
+	b.WriteString("Timeline of intraoperative image processing\n")
 	for _, s := range r.Timings {
-		out += fmt.Sprintf("  %-28s %10.3fs\n", s.Name, s.Elapsed.Seconds())
+		fmt.Fprintf(&b, "  %-28s %10.3fs\n", s.Name, s.Elapsed.Seconds())
 	}
-	out += fmt.Sprintf("  %-28s %10.3fs\n", "TOTAL", r.TotalTime().Seconds())
-	return out
+	fmt.Fprintf(&b, "  %-28s %10.3fs\n", "TOTAL", r.TotalTime().Seconds())
+	if r.Degraded {
+		fmt.Fprintf(&b, "  DEGRADED: rigid-only result (%s)\n", r.DegradedReason)
+	}
+	return b.String()
 }
 
 // Pipeline runs intraoperative registrations against one preoperative
 // preparation.
 type Pipeline struct {
 	cfg Config
+	// cfgErr holds the Validate error of an invalid configuration; it
+	// is returned by Run/RunContext so the core.New(cfg).Run(...) call
+	// chain keeps compiling while still surfacing the problem.
+	cfgErr error
 }
 
-// New creates a pipeline with the given configuration.
+// New creates a pipeline with the given configuration. The
+// configuration is validated (see Config.Validate); a validation error
+// is reported by the first Run or RunContext call.
 func New(cfg Config) *Pipeline {
-	if cfg.MeshCellSize <= 0 {
-		cfg.MeshCellSize = 2
-	}
-	if cfg.Ranks <= 0 {
-		cfg.Ranks = 1
-	}
-	if cfg.KNN <= 0 {
-		cfg.KNN = 5
-	}
-	if cfg.PrototypesPerClass <= 0 {
-		cfg.PrototypesPerClass = 30
-	}
-	if cfg.EDTSaturation <= 0 {
-		cfg.EDTSaturation = 10
-	}
-	return &Pipeline{cfg: cfg}
+	return &Pipeline{cfg: cfg, cfgErr: cfg.Validate()}
 }
 
 // brainSet reports whether a label belongs to the intracranial tissues
@@ -186,19 +233,39 @@ func brainSet(lab volume.Label) bool {
 	return false
 }
 
-// Run executes the full intraoperative pipeline: preop and preopLabels
-// are the preoperative preparation; intraop is the newly acquired scan.
+// Run executes the full intraoperative pipeline with a background
+// context; see RunContext.
 func (p *Pipeline) Run(preop *volume.Scalar, preopLabels *volume.Labels, intraop *volume.Scalar) (*Result, error) {
-	res, _, err := p.run(preop, preopLabels, intraop, nil)
+	return p.RunContext(context.Background(), preop, preopLabels, intraop)
+}
+
+// RunContext executes the full intraoperative pipeline: preop and
+// preopLabels are the preoperative preparation; intraop is the newly
+// acquired scan. The context bounds the run: cancellation or deadline
+// expiry aborts the current stage promptly (within one GMRES restart
+// cycle during the solve) and returns the context error wrapped in a
+// *StageError identifying the interrupted stage. One exception
+// implements the paper's clinical fallback: if the *deadline* expires
+// after the surface stage has completed, the rigid-only result is
+// returned, marked Degraded, instead of an error — the surgeon still
+// gets the rigid alignment on time.
+func (p *Pipeline) RunContext(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels, intraop *volume.Scalar) (*Result, error) {
+	res, _, err := p.runContext(ctx, preop, preopLabels, intraop, nil)
 	return res, err
 }
 
-// run is the shared implementation: when cl is non-nil its prototypes
-// are refreshed from the new scan (the paper's automatic statistical
-// model update for successive intraoperative acquisitions) instead of
-// sampling fresh ones.
-func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
+// runContext is the shared implementation: when cl is non-nil its
+// prototypes are refreshed from the new scan (the paper's automatic
+// statistical model update for successive intraoperative acquisitions)
+// instead of sampling fresh ones.
+func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels,
 	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
+	if p.cfgErr != nil {
+		return nil, nil, p.cfgErr
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if preop == nil || preopLabels == nil || intraop == nil {
 		return nil, nil, fmt.Errorf("core: nil input volume")
 	}
@@ -207,25 +274,38 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 			preop.Grid, preopLabels.Grid)
 	}
 	cfg := p.cfg
+	obs := cfg.observer()
 	res := &Result{}
-	timed := func(name string, fn func() error) error {
+	// stage times one pipeline stage, emits the observer events, and
+	// attributes any failure (including context cancellation checked on
+	// entry) to the stage via *StageError.
+	stage := func(name string, fn func() error) error {
+		if err := ctx.Err(); err != nil {
+			return &StageError{Stage: name, Err: err}
+		}
+		obs.StageStart(name)
 		t0 := time.Now()
 		err := fn()
-		res.Timings = append(res.Timings, StageTiming{Name: name, Elapsed: time.Since(t0)})
-		return err
+		elapsed := time.Since(t0)
+		res.Timings = append(res.Timings, StageTiming{Name: name, Elapsed: elapsed})
+		obs.StageDone(name, elapsed, err)
+		if err != nil {
+			return &StageError{Stage: name, Err: err}
+		}
+		return nil
 	}
 
 	// Stage 1: rigid registration. The preoperative data is aligned to
 	// the intraoperative frame by MI maximization.
 	alignedPreop := preop
 	alignedLabels := preopLabels
-	if err := timed("rigid registration (MI)", func() error {
+	if err := stage(StageRigid, func() error {
 		if cfg.SkipRigid {
 			res.Rigid = transform.Identity(intraop.Grid.Center())
 			return nil
 		}
 		init := register.CenterOfMassInit(intraop, preop, cfg.Register.Threshold)
-		diag, err := register.Align(intraop, preop, init, cfg.Register)
+		diag, err := register.AlignContext(ctx, intraop, preop, init, cfg.Register)
 		if err != nil {
 			return err
 		}
@@ -235,7 +315,7 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 		alignedLabels = transform.ResampleLabels(preopLabels, diag.Transform, intraop.Grid)
 		return nil
 	}); err != nil {
-		return nil, nil, fmt.Errorf("core: rigid registration: %w", err)
+		return nil, nil, err
 	}
 	if cfg.SkipRigid {
 		// Even without rigid alignment the downstream stages need the
@@ -251,7 +331,7 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 	// over intensity + spatial localization channels derived from the
 	// aligned preoperative segmentation.
 	var intraLabels *volume.Labels
-	if err := timed("tissue classification (k-NN)", func() error {
+	if err := stage(StageClassify, func() error {
 		channels := []*volume.Scalar{
 			intraop,
 			edt.Saturated(alignedLabels, volume.LabelBrain, cfg.EDTSaturation),
@@ -290,13 +370,13 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 		// The k-d tree wins once the prototype set is large; below that
 		// the brute-force scan's cache behaviour is better.
 		if len(cl.Prototypes) >= 128 {
-			intraLabels, err = cl.ClassifyKD(channels)
+			intraLabels, err = cl.ClassifyKDContext(ctx, channels)
 		} else {
-			intraLabels, err = cl.Classify(channels)
+			intraLabels, err = cl.ClassifyContext(ctx, channels)
 		}
 		return err
 	}); err != nil {
-		return nil, nil, fmt.Errorf("core: classification: %w", err)
+		return nil, nil, err
 	}
 	res.IntraopLabels = intraLabels
 
@@ -304,7 +384,7 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 	// precomputed preoperatively; it is timed here for completeness).
 	var m *mesh.Mesh
 	var brainSurf *mesh.TriMesh
-	if err := timed("mesh generation", func() error {
+	if err := stage(StageMesh, func() error {
 		var err error
 		mesher := mesh.FromLabels
 		if cfg.UseBCCMesh {
@@ -332,14 +412,14 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 		}
 		return err
 	}); err != nil {
-		return nil, nil, fmt.Errorf("core: meshing: %w", err)
+		return nil, nil, err
 	}
 	res.Mesh = m
 
 	// Stage 4: surface displacement: deform the preoperative brain
 	// surface onto the intraoperative brain surface.
 	var surfRes *surface.Result
-	if err := timed("surface displacement", func() error {
+	if err := stage(StageSurface, func() error {
 		// The marching-tetrahedra surface is a voxel staircase; relax it
 		// onto the smooth preoperative brain boundary first so that this
 		// sub-voxel discretization correction does not contaminate the
@@ -348,7 +428,7 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 		// (or thick-slice) staircase of the label maps, which would
 		// otherwise make the evolution oscillate on anisotropic grids.
 		phiPre := edt.SignedOfSet(alignedLabels, brainSet, 0).SmoothGaussian(1.0)
-		relaxed, err := surface.Evolve(brainSurf, surface.SignedDistanceForce{Phi: phiPre}, cfg.Surface)
+		relaxed, err := surface.EvolveContext(ctx, brainSurf, surface.SignedDistanceForce{Phi: phiPre}, cfg.Surface)
 		if err != nil {
 			return err
 		}
@@ -356,10 +436,10 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 		// classified intraoperative brain: these displacements are the
 		// physical surface correspondences.
 		phiIntra := edt.SignedOfSet(intraLabels, brainSet, 0).SmoothGaussian(1.0)
-		surfRes, err = surface.Evolve(relaxed.Final, surface.SignedDistanceForce{Phi: phiIntra}, cfg.Surface)
+		surfRes, err = surface.EvolveContext(ctx, relaxed.Final, surface.SignedDistanceForce{Phi: phiIntra}, cfg.Surface)
 		return err
 	}); err != nil {
-		return nil, nil, fmt.Errorf("core: active surface: %w", err)
+		return nil, nil, err
 	}
 	res.Surface = surfRes
 
@@ -367,19 +447,23 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 	// deformation with the surface displacements as boundary conditions.
 	var sys *fem.System
 	var solveRes *fem.SolveResult
-	if err := timed("biomechanical simulation", func() error {
+	if err := stage(StageSolve, func() error {
 		var err error
 		sys, err = fem.Assemble(m, cfg.Materials, par.Even(m.NumNodes(), cfg.Ranks))
 		if err != nil {
 			return err
 		}
+		obs.StageCounters(StageSolve, sys.Assembly.Snapshot())
 		if err := sys.ApplyDirichlet(surfRes.BoundaryConditions()); err != nil {
 			return err
 		}
-		solveRes, err = sys.Solve(cfg.Solver)
+		solveRes, err = sys.SolveContext(ctx, cfg.Solver)
 		return err
 	}); err != nil {
-		return nil, nil, fmt.Errorf("core: biomechanical simulation: %w", err)
+		if degraded := p.degrade(err, res, intraop, alignedPreop, intraLabels); degraded {
+			return res, cl, nil
+		}
+		return nil, nil, err
 	}
 	res.SolveStats = solveRes.Stats
 	res.NodeDisplacements = solveRes.NodeU
@@ -402,13 +486,16 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 
 	// Stage 6: resample the preoperative data through the computed
 	// volumetric deformation (the paper's ~0.5 s display step).
-	if err := timed("resampling", func() error {
+	if err := stage(StageResample, func() error {
 		res.Forward = sys.DisplacementField(solveRes.NodeU, intraop.Grid)
 		res.Backward = res.Forward.Invert(4)
 		res.Warped = res.Backward.WarpScalar(alignedPreop)
 		return nil
 	}); err != nil {
-		return nil, nil, fmt.Errorf("core: resampling: %w", err)
+		if degraded := p.degrade(err, res, intraop, alignedPreop, intraLabels); degraded {
+			return res, cl, nil
+		}
+		return nil, nil, err
 	}
 
 	// Match-quality metrics (Figure 4d analogue). The paper judges the
@@ -418,14 +505,7 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 	// intraoperative brain boundary, where residual differences are
 	// attributable to misregistration rather than to resected tissue
 	// (whose intensity no deformation can reproduce).
-	phi := edt.SignedOfSet(intraLabels, brainSet, 0)
-	band := make([]bool, intraop.Grid.Len())
-	const bandWidth = 3.0 // mm
-	for i, v := range phi.Data {
-		if v >= -bandWidth && v <= bandWidth {
-			band[i] = true
-		}
-	}
+	band := brainBoundaryBand(intraLabels)
 	if d, err := alignedPreop.AbsDiff(intraop); err == nil {
 		res.RigidMeanAbsDiff = d.ComputeStats(band).Mean
 	}
@@ -433,4 +513,49 @@ func (p *Pipeline) run(preop *volume.Scalar, preopLabels *volume.Labels,
 		res.MatchMeanAbsDiff = d.ComputeStats(band).Mean
 	}
 	return res, cl, nil
+}
+
+// brainBoundaryBand masks the voxels within a few millimetres of the
+// intraoperative brain boundary, where the paper judges match quality.
+func brainBoundaryBand(intraLabels *volume.Labels) []bool {
+	phi := edt.SignedOfSet(intraLabels, brainSet, 0)
+	band := make([]bool, len(phi.Data))
+	const bandWidth = 3.0 // mm
+	for i, v := range phi.Data {
+		if v >= -bandWidth && v <= bandWidth {
+			band[i] = true
+		}
+	}
+	return band
+}
+
+// degrade implements the clinical fallback: when the context *deadline*
+// (not an explicit cancellation) expires after the surface stage — i.e.
+// during the biomechanical solve or the resampling — the scan is not
+// failed; the rigid-only alignment is delivered instead, marked as
+// Degraded. It reports whether the fallback applied, filling res in
+// place when it did.
+func (p *Pipeline) degrade(err error, res *Result, intraop, alignedPreop *volume.Scalar, intraLabels *volume.Labels) bool {
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StageError
+	stageName := "unknown stage"
+	if errors.As(err, &se) {
+		stageName = se.Stage
+	}
+	res.Degraded = true
+	res.DegradedReason = fmt.Sprintf("deadline expired during %s", stageName)
+	// The delivered image is the rigid alignment; both match metrics
+	// describe it, so downstream comparisons correctly see no
+	// biomechanical improvement.
+	res.Warped = alignedPreop
+	res.NodeDisplacements = nil
+	res.Forward, res.Backward = nil, nil
+	band := brainBoundaryBand(intraLabels)
+	if d, derr := alignedPreop.AbsDiff(intraop); derr == nil {
+		res.RigidMeanAbsDiff = d.ComputeStats(band).Mean
+		res.MatchMeanAbsDiff = res.RigidMeanAbsDiff
+	}
+	return true
 }

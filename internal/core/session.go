@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/classify"
@@ -23,7 +24,12 @@ type Session struct {
 }
 
 // NewSession prepares a surgical session from the preoperative data.
+// The configuration is validated eagerly (unlike New, which defers the
+// error to the first Run).
 func NewSession(cfg Config, preop *volume.Scalar, preopLabels *volume.Labels) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if preop == nil || preopLabels == nil {
 		return nil, fmt.Errorf("core: nil preoperative data")
 	}
@@ -38,18 +44,39 @@ func NewSession(cfg Config, preop *volume.Scalar, preopLabels *volume.Labels) (*
 	}, nil
 }
 
-// RegisterScan registers one newly acquired intraoperative scan against
-// the preoperative preparation and returns the registration result. The
-// first call builds the tissue statistical model; later calls refresh
-// it from the new image at the recorded prototype locations.
+// RegisterScan registers one newly acquired intraoperative scan with a
+// background context; see RegisterScanContext.
 func (s *Session) RegisterScan(intraop *volume.Scalar) (*Result, error) {
-	res, cl, err := s.pipeline.run(s.preop, s.preopLabels, intraop, s.classifier)
+	return s.RegisterScanContext(context.Background(), intraop)
+}
+
+// RegisterScanContext registers one newly acquired intraoperative scan
+// against the preoperative preparation and returns the registration
+// result. The first call builds the tissue statistical model; later
+// calls refresh it from the new image at the recorded prototype
+// locations. The context bounds the run with the same semantics as
+// Pipeline.RunContext: cancellation yields a *StageError, a deadline
+// expiring after the surface stage yields a Degraded rigid-only result.
+// A degraded or failed scan does not advance the statistical model.
+// Sessions are not safe for concurrent use; the service layer
+// serializes scans per session.
+func (s *Session) RegisterScanContext(ctx context.Context, intraop *volume.Scalar) (*Result, error) {
+	res, cl, err := s.pipeline.runContext(ctx, s.preop, s.preopLabels, intraop, s.classifier)
 	if err != nil {
 		return nil, err
 	}
-	s.classifier = cl
+	if !res.Degraded {
+		s.classifier = cl
+	}
 	s.results = append(s.results, res)
 	return res, nil
+}
+
+// SetObserver installs (or clears, with nil) the observer receiving
+// per-stage events of subsequent RegisterScan calls. It must not be
+// called while a scan is in flight.
+func (s *Session) SetObserver(obs Observer) {
+	s.pipeline.cfg.Observer = obs
 }
 
 // ScanCount returns the number of scans registered so far.

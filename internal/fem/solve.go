@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,10 +25,17 @@ type SolveResult struct {
 	PCSetupTime time.Duration
 }
 
-// Solve runs the paper's solver configuration — GMRES with block Jacobi
-// preconditioning, one block per rank — on the assembled, constrained
-// system.
+// Solve runs the solver with a background context; see SolveContext.
 func (s *System) Solve(opts solver.Options) (*SolveResult, error) {
+	return s.SolveContext(context.Background(), opts)
+}
+
+// SolveContext runs the paper's solver configuration — GMRES with block
+// Jacobi preconditioning, one block per rank — on the assembled,
+// constrained system. A cancelled or deadline-expired context aborts
+// the Krylov iteration within one GMRES restart cycle and returns the
+// context error.
+func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveResult, error) {
 	anyBC := false
 	for _, c := range s.Constrained {
 		if c {
@@ -49,7 +57,7 @@ func (s *System) Solve(opts solver.Options) (*SolveResult, error) {
 	}
 	pcTime := time.Since(pcStart)
 	start := time.Now()
-	u, stats, err := solver.GMRES(s.K, s.F, nil, pc, opts)
+	u, stats, err := solver.GMRESContext(ctx, s.K, s.F, nil, pc, opts)
 	if err != nil {
 		return nil, fmt.Errorf("fem: solve: %w", err)
 	}

@@ -175,6 +175,38 @@ func (c *Counters) TotalFlops() float64 {
 	return t
 }
 
+// Snapshot is an immutable value summary of a Counters, safe to hand
+// across goroutines after the parallel phase it measured has completed.
+type Snapshot struct {
+	Ranks      int
+	TotalFlops float64
+	MaxFlops   float64
+	Imbalance  float64
+	BytesSent  float64
+	Messages   float64
+}
+
+// Snapshot summarizes the counters into a value type. A nil receiver
+// yields a zero snapshot, so callers need not guard optional counters.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	var bytes, msgs float64
+	for r := 0; r < c.P; r++ {
+		bytes += c.BytesSent[r]
+		msgs += c.Messages[r]
+	}
+	return Snapshot{
+		Ranks:      c.P,
+		TotalFlops: c.TotalFlops(),
+		MaxFlops:   c.MaxFlops(),
+		Imbalance:  c.Imbalance(),
+		BytesSent:  bytes,
+		Messages:   msgs,
+	}
+}
+
 // Imbalance returns max/mean of per-rank flops (1.0 = perfectly
 // balanced). Zero work returns 1.
 func (c *Counters) Imbalance() float64 {

@@ -1,0 +1,34 @@
+package register
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestAlignContextCancelled(t *testing.T) {
+	fixed := testVolume(24, 5)
+	moving := testVolume(24, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	init := CenterOfMassInit(fixed, moving, 10)
+	_, err := AlignContext(ctx, fixed, moving, init, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPowellStopHaltsSearch(t *testing.T) {
+	// A Stop hook firing immediately must freeze the search at the
+	// starting point after at most the initial evaluation.
+	pw := NewPowell([]float64{1, 1})
+	pw.Stop = func() bool { return true }
+	quadratic := func(p []float64) float64 { return -(p[0]*p[0] + p[1]*p[1]) }
+	x, _ := pw.Maximize(quadratic, []float64{3, 4})
+	if x[0] != 3 || x[1] != 4 {
+		t.Errorf("stopped search moved the point to %v", x)
+	}
+	if pw.Evals > 1 {
+		t.Errorf("stopped search evaluated the objective %d times", pw.Evals)
+	}
+}

@@ -24,6 +24,15 @@ type Powell struct {
 	Order []int
 	// Evals counts objective evaluations (for performance reporting).
 	Evals int
+	// Stop, when non-nil, is polled between line maximizations; once it
+	// returns true the search stops early and Maximize returns the best
+	// point found so far (used for context cancellation).
+	Stop func() bool
+}
+
+// stopped reports whether an installed Stop hook has fired.
+func (pw *Powell) stopped() bool {
+	return pw.Stop != nil && pw.Stop()
 }
 
 // NewPowell returns an optimizer with the given per-parameter steps.
@@ -62,12 +71,15 @@ func (pw *Powell) Maximize(f func([]float64) float64, x0 []float64) ([]float64, 
 		return f(p)
 	}
 	fx := eval(x)
-	for iter := 0; iter < pw.MaxIter; iter++ {
+	for iter := 0; iter < pw.MaxIter && !pw.stopped(); iter++ {
 		fStart := fx
 		xStart := append([]float64(nil), x...)
 		biggestGain := 0.0
 		biggestIdx := 0
 		for d := 0; d < n; d++ {
+			if pw.stopped() {
+				return x, fx
+			}
 			fBefore := fx
 			x, fx = pw.lineMaximize(eval, x, dirs[d], fx)
 			if gain := fx - fBefore; gain > biggestGain {

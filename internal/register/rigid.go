@@ -1,6 +1,7 @@
 package register
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -101,12 +102,20 @@ func intensityCentroid(s *volume.Scalar, threshold float64) geom.Vec3 {
 	return sum.Scale(1 / total)
 }
 
-// Align estimates the rigid transform r maximizing the mutual
+// Align runs the registration with a background context; see
+// AlignContext.
+func Align(fixed, moving *volume.Scalar, init transform.Rigid, opts Options) (Result, error) {
+	return AlignContext(context.Background(), fixed, moving, init, opts)
+}
+
+// AlignContext estimates the rigid transform r maximizing the mutual
 // information between fixed and the moving volume moved by r, i.e.
 // after alignment ResampleScalar(moving, r, fixed.Grid) matches fixed.
 // The search starts from init (commonly the identity about the fixed
-// volume center).
-func Align(fixed, moving *volume.Scalar, init transform.Rigid, opts Options) (Result, error) {
+// volume center). The context is polled between Powell line
+// maximizations; on cancellation the partial diagnostics are returned
+// together with ctx.Err().
+func AlignContext(ctx context.Context, fixed, moving *volume.Scalar, init transform.Rigid, opts Options) (Result, error) {
 	if err := fixed.Grid.Validate(); err != nil {
 		return Result{}, fmt.Errorf("register: fixed: %w", err)
 	}
@@ -129,8 +138,14 @@ func Align(fixed, moving *volume.Scalar, init transform.Rigid, opts Options) (Re
 		return fineMetric.EvaluateNMI(inv.Apply)
 	}
 	res.InitialMI = evalFine(init)
+	stop := func() bool { return ctx.Err() != nil }
 
 	for li, factor := range opts.Levels {
+		if err := ctx.Err(); err != nil {
+			res.Transform = cur
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
 		lvlStart := time.Now()
 		f := fixed.Downsample(factor)
 		m := moving.Downsample(factor)
@@ -179,6 +194,7 @@ func Align(fixed, moving *volume.Scalar, init transform.Rigid, opts Options) (Re
 				opts.TransStep * scale, opts.TransStep * scale, opts.TransStep * scale,
 			})
 			pwT.MaxIter = opts.MaxIter
+			pwT.Stop = stop
 			bestT, _ := pwT.Maximize(func(q []float64) float64 {
 				p := cur.Params()
 				p[3], p[4], p[5] = q[0], q[1], q[2]
@@ -192,6 +208,7 @@ func Align(fixed, moving *volume.Scalar, init transform.Rigid, opts Options) (Re
 			opts.TransStep * scale, opts.TransStep * scale, opts.TransStep * scale,
 		})
 		pw.MaxIter = opts.MaxIter
+		pw.Stop = stop
 		// Search translations before rotations: their capture range is
 		// larger and resolving them first keeps the rotation search out
 		// of spurious local maxima.
@@ -209,5 +226,5 @@ func Align(fixed, moving *volume.Scalar, init transform.Rigid, opts Options) (Re
 	res.Transform = cur
 	res.FinalMI = evalFine(cur)
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res, ctx.Err()
 }

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/volume"
+)
+
+// StageEvent is one per-stage progress record of a job — the live
+// feed behind the paper's Figure 6 timeline.
+type StageEvent struct {
+	// Stage is the core.Stage* name.
+	Stage string
+	// Start is when the stage began.
+	Start time.Time
+	// Elapsed is the stage duration; zero while the stage is running.
+	Elapsed time.Duration
+	// Done reports whether the stage has finished.
+	Done bool
+	// Err holds the stage failure, if any.
+	Err error
+	// Counters carries the per-rank work snapshot for stages that
+	// record one (the FEM assembly of the solve stage).
+	Counters par.Snapshot
+	// HasCounters reports whether Counters was populated.
+	HasCounters bool
+}
+
+// Job is the handle of one submitted scan.
+type Job struct {
+	// SessionID names the surgical session the scan belongs to.
+	SessionID string
+
+	ctx     context.Context
+	ms      *managedSession
+	intraop *volume.Scalar
+
+	enqueued time.Time
+	started  time.Time
+
+	done   chan struct{}
+	result *core.Result
+	err    error
+
+	mu     sync.Mutex
+	events []StageEvent
+}
+
+// Done returns a channel closed when the job has finished.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx expires. Note that a ctx
+// expiry here only abandons the wait; the submission context passed to
+// Submit is what cancels the computation itself.
+func (j *Job) Wait(ctx context.Context) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		return j.result, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Events returns a copy of the per-stage progress events recorded so
+// far. It is safe to call while the job is running.
+func (j *Job) Events() []StageEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]StageEvent(nil), j.events...)
+}
+
+// QueueWait returns how long the job sat in the queue before a worker
+// picked it up (zero while still queued).
+func (j *Job) QueueWait() time.Duration {
+	if j.started.IsZero() {
+		return 0
+	}
+	return j.started.Sub(j.enqueued)
+}
+
+// Timeline renders the recorded stage events as text, one line per
+// stage — the service-side analogue of core.Result.Timeline that also
+// works for failed or still-running jobs.
+func (j *Job) Timeline() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %s: stage timeline\n", j.SessionID)
+	for _, e := range j.Events() {
+		switch {
+		case !e.Done:
+			fmt.Fprintf(&b, "  %-28s    running\n", e.Stage)
+		case e.Err != nil:
+			fmt.Fprintf(&b, "  %-28s %10.3fs  ERROR: %v\n", e.Stage, e.Elapsed.Seconds(), e.Err)
+		default:
+			fmt.Fprintf(&b, "  %-28s %10.3fs\n", e.Stage, e.Elapsed.Seconds())
+		}
+	}
+	return b.String()
+}
+
+// jobRecorder is the per-job core.Observer: it turns the pipeline's
+// callbacks into the job's StageEvent log. Stages of one job are
+// sequential, so StageDone always completes the most recent event.
+type jobRecorder struct {
+	j *Job
+}
+
+// StageStart implements core.Observer.
+func (r *jobRecorder) StageStart(stage string) {
+	r.j.mu.Lock()
+	defer r.j.mu.Unlock()
+	r.j.events = append(r.j.events, StageEvent{Stage: stage, Start: time.Now()})
+}
+
+// StageDone implements core.Observer.
+func (r *jobRecorder) StageDone(stage string, elapsed time.Duration, err error) {
+	r.j.mu.Lock()
+	defer r.j.mu.Unlock()
+	for i := len(r.j.events) - 1; i >= 0; i-- {
+		if r.j.events[i].Stage == stage && !r.j.events[i].Done {
+			r.j.events[i].Elapsed = elapsed
+			r.j.events[i].Done = true
+			r.j.events[i].Err = err
+			return
+		}
+	}
+}
+
+// StageCounters implements core.Observer.
+func (r *jobRecorder) StageCounters(stage string, snap par.Snapshot) {
+	r.j.mu.Lock()
+	defer r.j.mu.Unlock()
+	for i := len(r.j.events) - 1; i >= 0; i-- {
+		if r.j.events[i].Stage == stage {
+			r.j.events[i].Counters = snap
+			r.j.events[i].HasCounters = true
+			return
+		}
+	}
+}

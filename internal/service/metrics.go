@@ -1,0 +1,140 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// StageMetrics aggregates one pipeline stage over every scan the
+// service has processed.
+type StageMetrics struct {
+	// Count is the number of completed executions of the stage.
+	Count int
+	// Errors counts executions that failed (including cancellations).
+	Errors int
+	// Total and Max summarize the stage wall-clock time.
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average stage duration (zero when Count is zero).
+func (m StageMetrics) Mean() time.Duration {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Total / time.Duration(m.Count)
+}
+
+// Metrics is an aggregate snapshot across all scans and sessions.
+type Metrics struct {
+	// Scans counts finished scans; Failed, Degraded and Canceled break
+	// them down (Canceled is the subset of Failed due to context
+	// cancellation or deadline expiry before the degradation point).
+	Scans    int
+	Failed   int
+	Degraded int
+	Canceled int
+	// AssemblyFlops totals the per-rank FEM assembly work reported by
+	// the par counters, and AssemblyImbalanceMax tracks the worst
+	// max/mean rank imbalance seen — the quantity the paper's load
+	// balancing discussion revolves around.
+	AssemblyFlops        float64
+	AssemblyImbalanceMax float64
+	// Stages maps core.Stage* names to their aggregates.
+	Stages map[string]StageMetrics
+}
+
+// String renders the snapshot as a compact report.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scans=%d failed=%d degraded=%d canceled=%d assemblyGflop=%.3f\n",
+		m.Scans, m.Failed, m.Degraded, m.Canceled, m.AssemblyFlops/1e9)
+	names := make([]string, 0, len(m.Stages))
+	for n := range m.Stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sm := m.Stages[n]
+		fmt.Fprintf(&b, "  %-28s n=%-3d err=%-2d mean=%8.3fs max=%8.3fs\n",
+			n, sm.Count, sm.Errors, sm.Mean().Seconds(), sm.Max.Seconds())
+	}
+	return b.String()
+}
+
+// aggregator accumulates Metrics under a mutex. It doubles as the
+// service-wide core.Observer, so every pipeline stage of every job
+// feeds it directly.
+type aggregator struct {
+	mu sync.Mutex
+	m  Metrics
+}
+
+func (a *aggregator) init() {
+	a.m.Stages = make(map[string]StageMetrics)
+}
+
+// StageStart implements core.Observer.
+func (a *aggregator) StageStart(string) {}
+
+// StageDone implements core.Observer.
+func (a *aggregator) StageDone(stage string, elapsed time.Duration, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sm := a.m.Stages[stage]
+	sm.Count++
+	sm.Total += elapsed
+	if elapsed > sm.Max {
+		sm.Max = elapsed
+	}
+	if err != nil {
+		sm.Errors++
+	}
+	a.m.Stages[stage] = sm
+}
+
+// StageCounters implements core.Observer.
+func (a *aggregator) StageCounters(_ string, snap par.Snapshot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.m.AssemblyFlops += snap.TotalFlops
+	if snap.Imbalance > a.m.AssemblyImbalanceMax {
+		a.m.AssemblyImbalanceMax = snap.Imbalance
+	}
+}
+
+// scanDone records the outcome of one finished job.
+func (a *aggregator) scanDone(res *core.Result, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.m.Scans++
+	switch {
+	case err != nil:
+		a.m.Failed++
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			a.m.Canceled++
+		}
+	case res != nil && res.Degraded:
+		a.m.Degraded++
+	}
+}
+
+// snapshot deep-copies the current aggregates.
+func (a *aggregator) snapshot() Metrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.m
+	out.Stages = make(map[string]StageMetrics, len(a.m.Stages))
+	for k, v := range a.m.Stages {
+		out.Stages[k] = v
+	}
+	return out
+}

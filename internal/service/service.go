@@ -1,0 +1,250 @@
+// Package service turns the registration pipeline into a concurrent
+// intraoperative service: it owns the surgical sessions of many
+// simultaneous operating rooms, runs newly acquired scans through a
+// bounded worker pool, and exposes per-stage progress events and
+// aggregate metrics for every scan. This is the deployment shape the
+// paper describes — the computational core runs remotely "during
+// surgery", with the surgeon waiting on a hard time budget — so every
+// scan is driven by a context.Context: a cancelled context aborts the
+// solve within one GMRES restart cycle, and an expired deadline after
+// the surface stage degrades to the rigid-only result instead of
+// failing the scan (see core.Pipeline.RunContext).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/volume"
+)
+
+// Typed service errors, matched with errors.Is.
+var (
+	// ErrClosed is returned once the service has been closed.
+	ErrClosed = errors.New("service: closed")
+	// ErrQueueFull is returned when the scan queue is at capacity; the
+	// caller should retry or shed load (the surgeon cannot wait on an
+	// unbounded backlog anyway).
+	ErrQueueFull = errors.New("service: scan queue full")
+	// ErrUnknownSession is returned for session ids never opened (or
+	// already closed).
+	ErrUnknownSession = errors.New("service: unknown session")
+	// ErrDuplicateSession is returned when opening an id twice.
+	ErrDuplicateSession = errors.New("service: session already open")
+)
+
+// Options configures the service.
+type Options struct {
+	// Workers is the worker-pool size: the number of scans registered
+	// concurrently across all sessions. Default 2.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted scans.
+	// Submit fails with ErrQueueFull beyond it. Default 16.
+	QueueDepth int
+	// ScanTimeout, when positive, imposes a default per-scan deadline on
+	// top of the caller's context — the paper's intraoperative time
+	// budget. Zero means no service-imposed deadline.
+	ScanTimeout time.Duration
+}
+
+// Service is a concurrent registration service. Create it with New,
+// open one session per surgery, then Submit intraoperative scans; all
+// methods are safe for concurrent use.
+type Service struct {
+	opts  Options
+	queue chan *Job
+	wg    sync.WaitGroup
+	agg   aggregator
+
+	mu       sync.Mutex
+	sessions map[string]*managedSession
+	closed   bool
+}
+
+// managedSession pairs a core.Session with the mutex that serializes
+// its scans: the session's statistical tissue model mutates from scan
+// to scan, so two scans of one surgery must not interleave, while scans
+// of different surgeries run in parallel across the pool.
+type managedSession struct {
+	id   string
+	mu   sync.Mutex
+	sess *core.Session
+}
+
+// New starts a service with the given options.
+func New(opts Options) *Service {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	s := &Service{
+		opts:     opts,
+		queue:    make(chan *Job, opts.QueueDepth),
+		sessions: make(map[string]*managedSession),
+	}
+	s.agg.init()
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// OpenSession prepares a surgical session from the preoperative data
+// under the given id. The configuration is validated up front — the
+// operating room is not the place to discover a bad parameter mid-scan.
+func (s *Service) OpenSession(id string, cfg core.Config, preop *volume.Scalar, preopLabels *volume.Labels) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	sess, err := core.NewSession(cfg, preop, preopLabels)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.sessions[id]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateSession, id)
+	}
+	s.sessions[id] = &managedSession{id: id, sess: sess}
+	return nil
+}
+
+// CloseSession forgets a session. Scans already queued or in flight
+// finish normally; new Submits fail with ErrUnknownSession.
+func (s *Service) CloseSession(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	delete(s.sessions, id)
+	return nil
+}
+
+// Session returns the underlying core.Session (e.g. to inspect
+// ScanCount or Results between scans). Do not call its RegisterScan
+// methods directly while the service is running jobs for it.
+func (s *Service) Session(id string) (*core.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	return ms.sess, nil
+}
+
+// Submit enqueues one newly acquired intraoperative scan for the given
+// session and returns immediately with a Job handle; use Job.Wait for
+// the result. ctx governs the whole job — queue wait included — and is
+// further bounded by Options.ScanTimeout once the job starts. A full
+// queue fails fast with ErrQueueFull rather than blocking the scanner.
+func (s *Service) Submit(ctx context.Context, sessionID string, intraop *volume.Scalar) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if intraop == nil {
+		return nil, fmt.Errorf("service: nil intraoperative scan")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ms, ok := s.sessions[sessionID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, sessionID)
+	}
+	j := &Job{
+		SessionID: sessionID,
+		ctx:       ctx,
+		ms:        ms,
+		intraop:   intraop,
+		enqueued:  time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+		return j, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Register is the synchronous convenience wrapper: Submit + Wait.
+func (s *Service) Register(ctx context.Context, sessionID string, intraop *volume.Scalar) (*core.Result, error) {
+	j, err := s.Submit(ctx, sessionID, intraop)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// Metrics returns a snapshot of the aggregate per-stage metrics
+// accumulated over every scan processed so far.
+func (s *Service) Metrics() Metrics {
+	return s.agg.snapshot()
+}
+
+// Close stops the service: no new sessions or scans are accepted,
+// queued jobs are drained, and Close returns once every worker has
+// exited. It is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// worker drains the scan queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued scan, recording per-stage events on the
+// job and feeding the aggregate metrics.
+func (s *Service) runJob(j *Job) {
+	defer close(j.done)
+	j.started = time.Now()
+	ctx := j.ctx
+	if s.opts.ScanTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.ScanTimeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		// Abandoned while queued (caller gave up or deadline passed):
+		// don't waste a worker on it.
+		j.err = err
+		s.agg.scanDone(nil, err)
+		return
+	}
+	// Scans of one session are serialized; the observer swap below is
+	// protected by the same per-session lock.
+	j.ms.mu.Lock()
+	j.ms.sess.SetObserver(core.MultiObserver(&jobRecorder{j: j}, &s.agg))
+	res, err := j.ms.sess.RegisterScanContext(ctx, j.intraop)
+	j.ms.sess.SetObserver(nil)
+	j.ms.mu.Unlock()
+	j.result, j.err = res, err
+	s.agg.scanDone(res, err)
+}

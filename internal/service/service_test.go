@@ -1,0 +1,271 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/phantom"
+)
+
+// testCase generates a small neurosurgery case.
+func testCase(n int, seed int64) *phantom.Case {
+	p := phantom.DefaultParams(n)
+	p.NoiseStd = 2
+	p.ShiftMagnitude = 6
+	p.Seed = seed
+	return phantom.Generate(p)
+}
+
+// fastConfig shrinks optimizer budgets for test-sized volumes.
+func fastConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SkipRigid = true // phantom pairs share a frame
+	cfg.Surface.MaxIter = 300
+	cfg.Surface.Tol = 0.001
+	cfg.Solver.Tol = 1e-6
+	cfg.Ranks = 2
+	return cfg
+}
+
+func TestServiceConcurrentSessions(t *testing.T) {
+	// Two operating rooms, one worker each: both scans go through the
+	// pool and each job records the full per-stage event timeline.
+	svc := New(Options{Workers: 2})
+	defer svc.Close()
+
+	cases := []*phantom.Case{testCase(24, 1), testCase(24, 2)}
+	ids := []string{"or-1", "or-2"}
+	for i, id := range ids {
+		if err := svc.OpenSession(id, fastConfig(), cases[i].Preop, cases[i].PreopLabels); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		j, err := svc.Submit(context.Background(), id, cases[i].Intraop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		res, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("session %s: %v", ids[i], err)
+		}
+		if res.Degraded {
+			t.Errorf("session %s: unexpected degraded result", ids[i])
+		}
+		// Per-stage observer events: every stage started, finished, no
+		// errors, and the solve stage carries an assembly counters
+		// snapshot.
+		events := j.Events()
+		if len(events) != len(core.Stages) {
+			t.Fatalf("session %s: %d stage events, want %d:\n%s",
+				ids[i], len(events), len(core.Stages), j.Timeline())
+		}
+		countersSeen := false
+		for k, e := range events {
+			if e.Stage != core.Stages[k] {
+				t.Errorf("session %s event %d: stage %q, want %q", ids[i], k, e.Stage, core.Stages[k])
+			}
+			if !e.Done || e.Err != nil {
+				t.Errorf("session %s event %d (%s): done=%v err=%v", ids[i], k, e.Stage, e.Done, e.Err)
+			}
+			if e.HasCounters && e.Counters.TotalFlops > 0 {
+				countersSeen = true
+			}
+		}
+		if !countersSeen {
+			t.Errorf("session %s: no counters snapshot recorded", ids[i])
+		}
+	}
+
+	m := svc.Metrics()
+	if m.Scans != 2 || m.Failed != 0 || m.Degraded != 0 {
+		t.Errorf("metrics = %+v, want 2 clean scans", m)
+	}
+	for _, stage := range core.Stages {
+		sm := m.Stages[stage]
+		if sm.Count != 2 || sm.Errors != 0 {
+			t.Errorf("stage %q metrics = %+v, want Count=2 Errors=0", stage, sm)
+		}
+		if sm.Max < sm.Mean() {
+			t.Errorf("stage %q: max %v < mean %v", stage, sm.Max, sm.Mean())
+		}
+	}
+	if m.AssemblyFlops <= 0 {
+		t.Error("no assembly flops aggregated")
+	}
+}
+
+func TestServiceSerializesScansOfOneSession(t *testing.T) {
+	// Two scans of the same surgery: the second must see the refreshed
+	// statistical model of the first, which requires serialization.
+	svc := New(Options{Workers: 2})
+	defer svc.Close()
+	c := testCase(24, 3)
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := svc.Session("or")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ScanCount() != 2 {
+		t.Errorf("ScanCount = %d, want 2", sess.ScanCount())
+	}
+	if sess.PrototypeCount() == 0 {
+		t.Error("statistical model not built")
+	}
+}
+
+func TestServiceCancelledSubmission(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	c := testCase(24, 4)
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j, err := svc.Submit(ctx, "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	m := svc.Metrics()
+	if m.Failed != 1 || m.Canceled != 1 {
+		t.Errorf("metrics = %+v, want Failed=1 Canceled=1", m)
+	}
+}
+
+func TestServiceScanTimeout(t *testing.T) {
+	// A 1ns service-imposed budget has always expired by the first
+	// stage check: the scan fails before the degradation point and is
+	// counted as canceled.
+	svc := New(Options{Workers: 1, ScanTimeout: time.Nanosecond})
+	defer svc.Close()
+	c := testCase(24, 5)
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	j, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr := j.Wait(context.Background())
+	if !errors.Is(werr, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", werr)
+	}
+	if m := svc.Metrics(); m.Canceled != 1 {
+		t.Errorf("metrics = %+v, want Canceled=1", m)
+	}
+}
+
+func TestServiceSessionLifecycleErrors(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	c := testCase(24, 6)
+
+	badCfg := fastConfig()
+	badCfg.KNN = 0
+	if err := svc.OpenSession("bad", badCfg, c.Preop, c.PreopLabels); err == nil {
+		t.Error("invalid config accepted by OpenSession")
+	}
+
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); !errors.Is(err, ErrDuplicateSession) {
+		t.Errorf("duplicate open err = %v, want ErrDuplicateSession", err)
+	}
+	if _, err := svc.Submit(context.Background(), "ghost", c.Intraop); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("unknown session err = %v, want ErrUnknownSession", err)
+	}
+	if err := svc.CloseSession("or"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(context.Background(), "or", c.Intraop); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("closed session err = %v, want ErrUnknownSession", err)
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := svc.OpenSession("late", fastConfig(), c.Preop, c.PreopLabels); !errors.Is(err, ErrClosed) {
+		t.Errorf("open after close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestServiceQueueFull(t *testing.T) {
+	// One worker, queue depth one. Block the worker by holding the
+	// session lock, let one job occupy the queue, and the next submit
+	// must shed load instead of blocking the scanner.
+	svc := New(Options{Workers: 1, QueueDepth: 1})
+	defer svc.Close()
+	c := testCase(24, 7)
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	svc.mu.Lock()
+	ms := svc.sessions["or"]
+	svc.mu.Unlock()
+	ms.mu.Lock() // stall the worker inside runJob
+
+	j1, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker has dequeued j1 and is blocked on the
+	// session lock, so the queue slot is free again.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.queue) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	j2, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(context.Background(), "or", c.Intraop); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("err = %v, want ErrQueueFull", err)
+	}
+	ms.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, j := range []*Job{j1, j2} {
+		wg.Add(1)
+		go func(j *Job) {
+			defer wg.Done()
+			if _, err := j.Wait(context.Background()); err != nil {
+				t.Errorf("job failed: %v", err)
+			}
+		}(j)
+	}
+	wg.Wait()
+	if w := j1.QueueWait(); w < 0 {
+		t.Errorf("negative queue wait %v", w)
+	}
+}

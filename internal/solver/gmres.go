@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -68,12 +69,19 @@ func dot(a, b []float64) float64 {
 	return s
 }
 
-// GMRES solves A x = b with left-preconditioned restarted GMRES(m),
-// starting from x0 (nil means zero). It returns the solution and
-// iteration statistics. The iteration stops when the preconditioned
-// residual norm falls below Tol times its initial value, or MaxIter is
-// reached (Converged reports which).
+// GMRES solves A x = b with a background context; see GMRESContext.
 func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
+	return GMRESContext(context.Background(), a, b, x0, m, opts)
+}
+
+// GMRESContext solves A x = b with left-preconditioned restarted
+// GMRES(m), starting from x0 (nil means zero). It returns the solution
+// and iteration statistics. The iteration stops when the preconditioned
+// residual norm falls below Tol times its initial value, or MaxIter is
+// reached (Converged reports which). The context is checked once per
+// restart cycle: a cancelled or deadline-expired context aborts within
+// one cycle, returning the best iterate so far together with ctx.Err().
+func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
 	n := a.N
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("solver: rhs length %d != n %d", len(b), n)
@@ -147,6 +155,12 @@ func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]fl
 	y := make([]float64, restart)
 
 	for stats.Iterations < maxIter {
+		// One context check per restart cycle: cheap relative to the m
+		// inner iterations, yet bounds the abort latency to one cycle.
+		if err := ctx.Err(); err != nil {
+			stats.FinalResRel = math.NaN()
+			return x, stats, err
+		}
 		// r = M^{-1} (b - A x)
 		matvec(x, r)
 		stats.MatVecs++
@@ -264,12 +278,18 @@ func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]fl
 	return x, stats, nil
 }
 
-// CG solves the symmetric positive definite system A x = b with
+// CG solves A x = b with a background context; see CGContext.
+func CG(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
+	return CGContext(context.Background(), a, b, x0, m, opts)
+}
+
+// CGContext solves the symmetric positive definite system A x = b with
 // preconditioned conjugate gradients, provided for comparison with
 // GMRES (the elastic stiffness matrix is SPD after boundary-condition
 // elimination, so CG applies; the paper follows PETSc's robust default
-// of GMRES).
-func CG(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
+// of GMRES). The context is checked every iteration; on expiry the best
+// iterate so far is returned together with ctx.Err().
+func CGContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
 	n := a.N
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("solver: rhs length %d != n %d", len(b), n)
@@ -323,6 +343,10 @@ func CG(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float
 	stats.DotProducts++
 
 	for stats.Iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			stats.FinalResRel = math.NaN()
+			return x, stats, err
+		}
 		stats.Iterations++
 		matvec(p, ap)
 		stats.MatVecs++

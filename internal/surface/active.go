@@ -8,6 +8,7 @@
 package surface
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -129,9 +130,17 @@ type Result struct {
 	MeanDisp, MaxDisp float64
 }
 
-// Evolve iteratively deforms surface s under the given force field. The
-// input surface is not modified.
+// Evolve runs the evolution with a background context; see
+// EvolveContext.
 func Evolve(s *mesh.TriMesh, force ForceField, opts Options) (*Result, error) {
+	return EvolveContext(context.Background(), s, force, opts)
+}
+
+// EvolveContext iteratively deforms surface s under the given force
+// field. The input surface is not modified. The context is checked once
+// per iteration; a cancelled or deadline-expired context aborts the
+// evolution and returns ctx.Err().
+func EvolveContext(ctx context.Context, s *mesh.TriMesh, force ForceField, opts Options) (*Result, error) {
 	if s == nil || s.NumVerts() == 0 {
 		return nil, fmt.Errorf("surface: empty surface")
 	}
@@ -162,6 +171,9 @@ func Evolve(s *mesh.TriMesh, force ForceField, opts Options) (*Result, error) {
 
 	res := &Result{}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter + 1
 		normals := cur.VertexNormals()
 		meanUpdate := 0.0

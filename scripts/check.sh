@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repository check: build + vet everything, run the full test suite,
+# and run the concurrency-sensitive packages (pipeline cancellation,
+# registration service) under the race detector.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race ./internal/core/... ./internal/service/..."
+go test -race ./internal/core/... ./internal/service/...
+echo "== OK"
