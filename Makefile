@@ -13,5 +13,9 @@ test:
 check:
 	sh scripts/check.sh
 
+# Benchmarks: the Go micro-benchmarks plus a pipeline-level run that
+# writes per-stage latency quantiles (from the obs histograms) to
+# BENCH_obs.json.
 bench:
 	$(GO) test -bench=. -benchmem -short ./...
+	$(GO) run ./cmd/benchobs -runs 5 -size 32 -out BENCH_obs.json

@@ -1,0 +1,133 @@
+// Command benchobs benchmarks the registration pipeline through the
+// telemetry subsystem: it runs a synthetic case several times with a
+// StageCollector attached and writes the per-stage latency distribution
+// (count, p50/p90/p99, max, mean) plus the FEM assembly counters to a
+// JSON report — the machine-readable form of the paper's Figure 6
+// per-stage timing table.
+//
+//	go run ./cmd/benchobs -runs 5 -size 32 -out BENCH_obs.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/phantom"
+)
+
+// stageReport is one stage's aggregate over all runs.
+type stageReport struct {
+	Stage  string  `json:"stage"`
+	Count  int     `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// report is the BENCH_obs.json schema.
+type report struct {
+	Runs               int           `json:"runs"`
+	Size               int           `json:"size"`
+	Ranks              int           `json:"ranks"`
+	GoMaxProcs         int           `json:"gomaxprocs"`
+	TotalSeconds       float64       `json:"total_seconds"`
+	Stages             []stageReport `json:"stages"`
+	AssemblyFlops      float64       `json:"assembly_flops_total"`
+	AssemblyImbalance  float64       `json:"assembly_imbalance_last"`
+	AssemblyImbalMax   float64       `json:"assembly_imbalance_max"`
+	SolverNonConverged float64       `json:"solver_nonconverged_runs"`
+}
+
+func main() {
+	runs := flag.Int("runs", 5, "pipeline runs to aggregate")
+	size := flag.Int("size", 32, "phantom grid size")
+	ranks := flag.Int("ranks", runtime.NumCPU(), "parallel ranks")
+	out := flag.String("out", "BENCH_obs.json", "report path (- for stdout)")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	coll := obs.NewStageCollector(reg)
+
+	cfg := core.DefaultConfig()
+	cfg.SkipRigid = true
+	cfg.Ranks = *ranks
+	cfg.Observer = coll
+
+	t0 := time.Now()
+	nonConverged := 0
+	for i := 0; i < *runs; i++ {
+		// A fresh seed per run varies the deformation, so the latency
+		// spread is real rather than cache-identical repetition.
+		p := phantom.DefaultParams(*size)
+		p.Seed = int64(i + 1)
+		c := phantom.Generate(p)
+		res, err := core.New(cfg).Run(c.Preop, c.PreopLabels, c.Intraop)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchobs: run %d: %v\n", i+1, err)
+			os.Exit(1)
+		}
+		if !res.SolveStats.Converged {
+			nonConverged++
+		}
+		fmt.Fprintf(os.Stderr, "run %d/%d: solve %d iters, match %.3f mm\n",
+			i+1, *runs, res.SolveStats.Iterations, res.MatchMeanAbsDiff)
+	}
+	total := time.Since(t0)
+
+	rep := report{
+		Runs:               *runs,
+		Size:               *size,
+		Ranks:              *ranks,
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		TotalSeconds:       total.Seconds(),
+		AssemblyFlops:      coll.Registry().Counter(obs.MetricAssemblyFlops, "").Value(),
+		AssemblyImbalance:  coll.Registry().Gauge(obs.MetricAssemblyImbalance, "").Value(),
+		AssemblyImbalMax:   coll.Registry().Gauge(obs.MetricAssemblyImbalanceMax, "").Value(),
+		SolverNonConverged: float64(nonConverged),
+	}
+	stages := []string{
+		core.StageRigid, core.StageClassify, core.StageMesh,
+		core.StageSurface, core.StageSolve, core.StageResample,
+	}
+	for _, st := range stages {
+		h := coll.StageHistogram(st).Summary()
+		if h.Count == 0 {
+			continue
+		}
+		rep.Stages = append(rep.Stages, stageReport{
+			Stage:  st,
+			Count:  int(h.Count),
+			P50MS:  1e3 * h.P50,
+			P90MS:  1e3 * h.P90,
+			P99MS:  1e3 * h.P99,
+			MaxMS:  1e3 * h.Max,
+			MeanMS: 1e3 * h.Sum / float64(h.Count),
+		})
+	}
+	sort.Slice(rep.Stages, func(a, b int) bool { return rep.Stages[a].Stage < rep.Stages[b].Stage })
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchobs:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchobs:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

@@ -10,64 +10,88 @@
 //
 // Outputs (optional): the dense deformation field, the warped
 // preoperative scan, and the intraoperative tissue classification.
+//
+// Observability: -trace writes a JSONL span trace of the run (stages,
+// FEM assembly/solve, GMRES restart cycles, k-NN batches, surface
+// iterations); -admin serves /metrics (Prometheus) and /debug/pprof/
+// for the duration of the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/fem"
+	"repro/internal/obs"
 	"repro/internal/phantom"
 	"repro/internal/segment"
 	"repro/internal/volume"
 )
 
+// cliOptions carries the parsed command line.
+type cliOptions struct {
+	preopPath, labelsPath, intraopPath string
+	size                               int
+	shift                              float64
+	ranks, cellSize                    int
+	hetero, autoseg, useBCC, snap      bool
+	fieldOut, warpedOut, labelsOut     string
+	saveCase                           string
+	seed                               int64
+	tracePath                          string
+	adminAddr                          string
+	recordHistory                      bool
+}
+
 func main() {
-	preopPath := flag.String("preop", "", "preoperative scan (.mvol); empty = synthetic phantom")
-	labelsPath := flag.String("labels", "", "preoperative segmentation (.mvol)")
-	intraopPath := flag.String("intraop", "", "intraoperative scan (.mvol)")
-	size := flag.Int("size", 64, "phantom grid size when generating a synthetic case")
-	shift := flag.Float64("shift", 6, "phantom brain-shift magnitude (mm)")
-	ranks := flag.Int("ranks", 4, "parallel ranks for assembly/solve")
-	cellSize := flag.Int("cell", 2, "mesh cell size (voxels)")
-	heterogeneous := flag.Bool("hetero", false, "use the heterogeneous falx/ventricle material model")
-	autoseg := flag.Bool("autoseg", false, "segment the preoperative scan automatically when no -labels given")
-	useBCC := flag.Bool("bcc", false, "use the body-centered-cubic mesher")
-	snap := flag.Bool("snap", false, "snap the mesh to the smooth segmentation boundary")
-	fieldOut := flag.String("field-out", "", "write the volumetric deformation field (.mvol)")
-	warpedOut := flag.String("warped-out", "", "write the warped preoperative scan (.mvol)")
-	labelsOut := flag.String("labels-out", "", "write the intraoperative classification (.mvol)")
-	saveCase := flag.String("save-case", "", "directory to write the generated synthetic case volumes")
-	seed := flag.Int64("seed", 1, "phantom random seed")
+	var o cliOptions
+	flag.StringVar(&o.preopPath, "preop", "", "preoperative scan (.mvol); empty = synthetic phantom")
+	flag.StringVar(&o.labelsPath, "labels", "", "preoperative segmentation (.mvol)")
+	flag.StringVar(&o.intraopPath, "intraop", "", "intraoperative scan (.mvol)")
+	flag.IntVar(&o.size, "size", 64, "phantom grid size when generating a synthetic case")
+	flag.Float64Var(&o.shift, "shift", 6, "phantom brain-shift magnitude (mm)")
+	flag.IntVar(&o.ranks, "ranks", 4, "parallel ranks for assembly/solve")
+	flag.IntVar(&o.cellSize, "cell", 2, "mesh cell size (voxels)")
+	flag.BoolVar(&o.hetero, "hetero", false, "use the heterogeneous falx/ventricle material model")
+	flag.BoolVar(&o.autoseg, "autoseg", false, "segment the preoperative scan automatically when no -labels given")
+	flag.BoolVar(&o.useBCC, "bcc", false, "use the body-centered-cubic mesher")
+	flag.BoolVar(&o.snap, "snap", false, "snap the mesh to the smooth segmentation boundary")
+	flag.StringVar(&o.fieldOut, "field-out", "", "write the volumetric deformation field (.mvol)")
+	flag.StringVar(&o.warpedOut, "warped-out", "", "write the warped preoperative scan (.mvol)")
+	flag.StringVar(&o.labelsOut, "labels-out", "", "write the intraoperative classification (.mvol)")
+	flag.StringVar(&o.saveCase, "save-case", "", "directory to write the generated synthetic case volumes")
+	flag.Int64Var(&o.seed, "seed", 1, "phantom random seed")
+	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL span trace of the run")
+	flag.StringVar(&o.adminAddr, "admin", "", "serve /metrics and /debug/pprof/ on this address during the run (e.g. 127.0.0.1:8077)")
+	flag.BoolVar(&o.recordHistory, "record-history", false, "record the per-iteration GMRES residual history (larger traces)")
 	flag.Parse()
 
-	if err := run(*preopPath, *labelsPath, *intraopPath, *size, *shift, *ranks,
-		*cellSize, *heterogeneous, *autoseg, *useBCC, *snap, *fieldOut, *warpedOut, *labelsOut, *saveCase, *seed); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "brainsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(preopPath, labelsPath, intraopPath string, size int, shift float64,
-	ranks, cellSize int, hetero, autoseg, useBCC, snap bool, fieldOut, warpedOut, labelsOut, saveCase string, seed int64) error {
-
+func run(o cliOptions) error {
 	var preop, intraop *volume.Scalar
 	var labels *volume.Labels
 	var truth *phantom.Case
 
-	if preopPath == "" {
+	if o.preopPath == "" {
 		fmt.Printf("generating synthetic neurosurgery case (%d^3, %.1fmm shift, seed %d)...\n",
-			size, shift, seed)
-		p := phantom.DefaultParams(size)
-		p.ShiftMagnitude = shift
-		p.Seed = seed
+			o.size, o.shift, o.seed)
+		p := phantom.DefaultParams(o.size)
+		p.ShiftMagnitude = o.shift
+		p.Seed = o.seed
 		truth = phantom.Generate(p)
 		preop, labels, intraop = truth.Preop, truth.PreopLabels, truth.Intraop
-		if saveCase != "" {
-			if err := os.MkdirAll(saveCase, 0o755); err != nil {
+		if o.saveCase != "" {
+			if err := os.MkdirAll(o.saveCase, 0o755); err != nil {
 				return err
 			}
 			for name, save := range map[string]func(string) error{
@@ -75,25 +99,25 @@ func run(preopPath, labelsPath, intraopPath string, size int, shift float64,
 				"labels.mvol":  func(p string) error { return volume.SaveLabels(p, labels) },
 				"intraop.mvol": func(p string) error { return volume.SaveScalar(p, intraop) },
 			} {
-				if err := save(filepath.Join(saveCase, name)); err != nil {
+				if err := save(filepath.Join(o.saveCase, name)); err != nil {
 					return err
 				}
 			}
-			fmt.Println("wrote synthetic case volumes to", saveCase)
+			fmt.Println("wrote synthetic case volumes to", o.saveCase)
 		}
 	} else {
-		if intraopPath == "" {
+		if o.intraopPath == "" {
 			return fmt.Errorf("-intraop is required with -preop")
 		}
-		if labelsPath == "" && !autoseg {
+		if o.labelsPath == "" && !o.autoseg {
 			return fmt.Errorf("-labels is required with -preop (or pass -autoseg)")
 		}
 		var err error
-		if preop, err = volume.LoadScalar(preopPath); err != nil {
+		if preop, err = volume.LoadScalar(o.preopPath); err != nil {
 			return fmt.Errorf("loading preop: %w", err)
 		}
-		if labelsPath != "" {
-			if labels, err = volume.LoadLabels(labelsPath); err != nil {
+		if o.labelsPath != "" {
+			if labels, err = volume.LoadLabels(o.labelsPath); err != nil {
 				return fmt.Errorf("loading labels: %w", err)
 			}
 		} else {
@@ -102,23 +126,56 @@ func run(preopPath, labelsPath, intraopPath string, size int, shift float64,
 				return fmt.Errorf("automatic segmentation: %w", err)
 			}
 		}
-		if intraop, err = volume.LoadScalar(intraopPath); err != nil {
+		if intraop, err = volume.LoadScalar(o.intraopPath); err != nil {
 			return fmt.Errorf("loading intraop: %w", err)
 		}
 	}
 
 	cfg := core.DefaultConfig()
-	cfg.Ranks = ranks
-	cfg.MeshCellSize = cellSize
-	cfg.UseBCCMesh = useBCC
-	cfg.SnapMesh = snap
+	cfg.Ranks = o.ranks
+	cfg.MeshCellSize = o.cellSize
+	cfg.UseBCCMesh = o.useBCC
+	cfg.SnapMesh = o.snap
 	cfg.SkipRigid = truth != nil // phantom pairs share the scanner frame
-	if hetero {
+	cfg.RecordSolveHistory = o.recordHistory
+	if o.hetero {
 		cfg.Materials = fem.HeterogeneousBrain()
 	}
+
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	cfg.Observer = obs.NewStageCollector(reg)
+
+	if o.adminAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		obs.RegisterPprof(mux)
+		srv := &http.Server{Addr: o.adminAddr, Handler: mux}
+		go func() { _ = srv.ListenAndServe() }()
+		defer srv.Close()
+		fmt.Printf("admin surface on http://%s/metrics (pprof under /debug/pprof/)\n", o.adminAddr)
+	}
+
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		defer f.Close()
+		tracer := obs.NewTracer(f)
+		ctx = obs.WithTracer(ctx, tracer)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "brainsim: trace:", err)
+			} else {
+				fmt.Println("wrote span trace to", o.tracePath)
+			}
+		}()
+	}
+
 	fmt.Printf("running pipeline (%d ranks, cell size %d, %s materials)...\n",
-		ranks, cellSize, map[bool]string{false: "homogeneous", true: "heterogeneous"}[hetero])
-	res, err := core.New(cfg).Run(preop, labels, intraop)
+		o.ranks, o.cellSize, map[bool]string{false: "homogeneous", true: "heterogeneous"}[o.hetero])
+	res, err := core.New(cfg).RunContext(ctx, preop, labels, intraop)
 	if err != nil {
 		return err
 	}
@@ -141,23 +198,23 @@ func run(preopPath, labelsPath, intraopPath string, size int, shift float64,
 		}
 	}
 
-	if fieldOut != "" {
-		if err := volume.SaveField(fieldOut, res.Backward); err != nil {
+	if o.fieldOut != "" {
+		if err := volume.SaveField(o.fieldOut, res.Backward); err != nil {
 			return err
 		}
-		fmt.Println("wrote deformation field to", fieldOut)
+		fmt.Println("wrote deformation field to", o.fieldOut)
 	}
-	if warpedOut != "" {
-		if err := volume.SaveScalar(warpedOut, res.Warped); err != nil {
+	if o.warpedOut != "" {
+		if err := volume.SaveScalar(o.warpedOut, res.Warped); err != nil {
 			return err
 		}
-		fmt.Println("wrote warped preoperative scan to", warpedOut)
+		fmt.Println("wrote warped preoperative scan to", o.warpedOut)
 	}
-	if labelsOut != "" {
-		if err := volume.SaveLabels(labelsOut, res.IntraopLabels); err != nil {
+	if o.labelsOut != "" {
+		if err := volume.SaveLabels(o.labelsOut, res.IntraopLabels); err != nil {
 			return err
 		}
-		fmt.Println("wrote intraoperative classification to", labelsOut)
+		fmt.Println("wrote intraoperative classification to", o.labelsOut)
 	}
 	return nil
 }

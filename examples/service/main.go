@@ -11,13 +11,21 @@
 // stage, the service returns the rigid-only alignment marked as
 // degraded instead of nothing at all.
 //
+// The service also exposes an HTTP admin surface; the example binds it
+// to an ephemeral local port and fetches its own /healthz, /metrics and
+// /jobs/{id} to show what an operator (or Prometheus) would see.
+//
 //	go run ./examples/service
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +37,13 @@ import (
 func main() {
 	svc := service.New(service.Options{Workers: 2})
 	defer svc.Close()
+
+	admin, err := service.ServeAdmin(svc, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	fmt.Printf("admin surface on http://%s/ (metrics, healthz, jobs, pprof)\n\n", admin.Addr())
 
 	// Two operating rooms with different amounts of brain shift.
 	type room struct {
@@ -110,6 +125,46 @@ func main() {
 
 	fmt.Println("\nAggregate service metrics:")
 	fmt.Print(svc.Metrics().String())
+
+	// What the operator sees: the same aggregates over HTTP.
+	fmt.Println("\nAdmin surface, as scraped over HTTP:")
+	fmt.Printf("  GET /healthz       -> %s\n", compactJSON(get(admin.Addr(), "/healthz")))
+	fmt.Printf("  GET /jobs/%s  ->\n", j.ID)
+	for _, line := range strings.Split(strings.TrimRight(get(admin.Addr(), "/jobs/"+j.ID), "\n"), "\n") {
+		fmt.Println("   ", line)
+	}
+	fmt.Println("  GET /metrics (brainsim_* families):")
+	sc := bufio.NewScanner(strings.NewReader(get(admin.Addr(), "/metrics")))
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "brainsim_scans_total") ||
+			strings.HasPrefix(line, "brainsim_shed_total") ||
+			strings.HasPrefix(line, "brainsim_workers_alive") ||
+			strings.Contains(line, "brainsim_stage_seconds_count") {
+			fmt.Println("   ", line)
+		}
+	}
+}
+
+// compactJSON squeezes pretty-printed JSON onto one line for the demo
+// output.
+func compactJSON(s string) string {
+	fields := strings.Fields(s)
+	return strings.Join(fields, " ")
+}
+
+// get fetches one admin endpoint, fatally on any error — this is a
+// demo, not a client library.
+func get(addr, path string) string {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(body)
 }
 
 // stageDeadline is a context.Context whose deadline "expires" when

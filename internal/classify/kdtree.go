@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/volume"
 )
 
@@ -188,7 +189,12 @@ func (c *Classifier) ClassifyKDContext(ctx context.Context, channels []*volume.S
 			break
 		}
 		launched++
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
+			// Batch spans mirror ClassifyContext's (see knn.go).
+			_, span := obs.StartSpan(ctx, "knn.batch")
+			span.SetAttr("worker", w)
+			span.SetAttr("voxels", hi-lo)
+			span.SetAttr("kdtree", true)
 			feat := make([]float64, nc)
 			bestD := make([]float64, k)
 			bestL := make([]volume.Label, k)
@@ -200,8 +206,9 @@ func (c *Classifier) ClassifyKDContext(ctx context.Context, channels []*volume.S
 				tree.Nearest(feat, bestD, bestL)
 				out.Data[idx] = vote(bestL, bestD)
 			}
+			span.End(ctx.Err())
 			done <- nil
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	for i := 0; i < launched; i++ {
 		<-done

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/volume"
 )
 
@@ -307,20 +308,27 @@ func (c *Classifier) ClassifyContext(ctx context.Context, channels []*volume.Sca
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			// One span per worker batch: the k-NN sweep is the pipeline's
+			// per-voxel hot loop, so batch spans expose straggler workers.
+			_, span := obs.StartSpan(ctx, "knn.batch")
+			span.SetAttr("worker", w)
+			span.SetAttr("voxels", hi-lo)
 			feat := make([]float64, nc)
 			bestD := make([]float64, k)
 			bestL := make([]volume.Label, k)
 			for idx := lo; idx < hi; idx++ {
 				if idx&ctxCheckMask == 0 && ctx.Err() != nil {
+					span.End(ctx.Err())
 					return
 				}
 				channelsToFeatures(channels, idx, feat)
 				c.nearest(feat, weights, k, bestD, bestL)
 				out.Data[idx] = vote(bestL, bestD)
 			}
-		}(lo, hi)
+			span.End(nil)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

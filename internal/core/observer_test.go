@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// taggedObserver appends "tag:event" strings to a shared log.
+type taggedObserver struct {
+	tag string
+	log *[]string
+}
+
+func (o taggedObserver) StageStart(stage string) {
+	*o.log = append(*o.log, o.tag+":start:"+stage)
+}
+
+func (o taggedObserver) StageDone(stage string, _ time.Duration, err error) {
+	*o.log = append(*o.log, fmt.Sprintf("%s:done:%s:%v", o.tag, stage, err))
+}
+
+func (o taggedObserver) StageCounters(stage string, _ par.Snapshot) {
+	*o.log = append(*o.log, o.tag+":counters:"+stage)
+}
+
+func TestMultiObserverOrderAndNilFiltering(t *testing.T) {
+	var log []string
+	a := taggedObserver{tag: "a", log: &log}
+	b := taggedObserver{tag: "b", log: &log}
+	m := MultiObserver(nil, a, nil, b, nil)
+
+	failure := errors.New("x")
+	m.StageStart("s")
+	m.StageCounters("s", par.Snapshot{})
+	m.StageDone("s", time.Second, failure)
+
+	want := []string{
+		"a:start:s", "b:start:s",
+		"a:counters:s", "b:counters:s",
+		"a:done:s:x", "b:done:s:x",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q (observers must fire in registration order)", i, log[i], want[i])
+		}
+	}
+}
+
+func TestMultiObserverAllNil(t *testing.T) {
+	m := MultiObserver(nil, nil)
+	// Must be a safe no-op observer, not a panic.
+	m.StageStart("s")
+	m.StageDone("s", 0, nil)
+	m.StageCounters("s", par.Snapshot{})
+}

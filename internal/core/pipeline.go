@@ -22,6 +22,7 @@ import (
 	"repro/internal/fem"
 	"repro/internal/geom"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/register"
 	"repro/internal/solver"
@@ -62,6 +63,12 @@ type Config struct {
 	// in one frame, or when benchmarking later stages in isolation).
 	SkipRigid bool
 	Seed      int64
+	// RecordSolveHistory requests the per-iteration GMRES residual
+	// history (Result.SolveStats.History) without the caller having to
+	// construct the solver directly: it is OR-ed into
+	// Solver.RecordHistory for the biomechanical solve. Trace spans
+	// attach the history per restart cycle when a tracer is active.
+	RecordSolveHistory bool
 	// Observer, when non-nil, receives per-stage progress events and
 	// counters snapshots while a registration runs (see Observer). It is
 	// ignored by Validate.
@@ -257,7 +264,9 @@ func (p *Pipeline) RunContext(ctx context.Context, preop *volume.Scalar, preopLa
 // runContext is the shared implementation: when cl is non-nil its
 // prototypes are refreshed from the new scan (the paper's automatic
 // statistical model update for successive intraoperative acquisitions)
-// instead of sampling fresh ones.
+// instead of sampling fresh ones. With a tracer on the context (see
+// package obs) the whole run becomes a span hierarchy: pipeline.run →
+// per-stage spans → the nested solver/assembly/classification spans.
 func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels,
 	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
 	if p.cfgErr != nil {
@@ -273,22 +282,40 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 		return nil, nil, fmt.Errorf("core: preop scan %v and labels %v differ in shape",
 			preop.Grid, preopLabels.Grid)
 	}
+	ctx, runSpan := obs.StartSpan(ctx, "pipeline.run")
+	res, cl, err := p.runStages(ctx, preop, preopLabels, intraop, cl)
+	if res != nil {
+		runSpan.SetAttr("degraded", res.Degraded)
+	}
+	runSpan.End(err)
+	return res, cl, err
+}
+
+// runStages executes the six pipeline stages.
+func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels,
+	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
 	cfg := p.cfg
-	obs := cfg.observer()
+	ob := cfg.observer()
 	res := &Result{}
-	// stage times one pipeline stage, emits the observer events, and
-	// attributes any failure (including context cancellation checked on
-	// entry) to the stage via *StageError.
-	stage := func(name string, fn func() error) error {
+	// stage times one pipeline stage, emits the observer events and a
+	// trace span, and attributes any failure (including context
+	// cancellation checked on entry) to the stage via *StageError. The
+	// stage body receives a derived context so work it starts (solver
+	// restart cycles, classification batches, assembly) nests under the
+	// stage span.
+	stage := func(name string, fn func(ctx context.Context) error) error {
 		if err := ctx.Err(); err != nil {
 			return &StageError{Stage: name, Err: err}
 		}
-		obs.StageStart(name)
+		sctx, span := obs.StartSpan(ctx, name)
+		span.SetAttr("kind", "stage")
+		ob.StageStart(name)
 		t0 := time.Now()
-		err := fn()
+		err := fn(sctx)
 		elapsed := time.Since(t0)
 		res.Timings = append(res.Timings, StageTiming{Name: name, Elapsed: elapsed})
-		obs.StageDone(name, elapsed, err)
+		ob.StageDone(name, elapsed, err)
+		span.End(err)
 		if err != nil {
 			return &StageError{Stage: name, Err: err}
 		}
@@ -299,7 +326,7 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 	// the intraoperative frame by MI maximization.
 	alignedPreop := preop
 	alignedLabels := preopLabels
-	if err := stage(StageRigid, func() error {
+	if err := stage(StageRigid, func(ctx context.Context) error {
 		if cfg.SkipRigid {
 			res.Rigid = transform.Identity(intraop.Grid.Center())
 			return nil
@@ -331,7 +358,7 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 	// over intensity + spatial localization channels derived from the
 	// aligned preoperative segmentation.
 	var intraLabels *volume.Labels
-	if err := stage(StageClassify, func() error {
+	if err := stage(StageClassify, func(ctx context.Context) error {
 		channels := []*volume.Scalar{
 			intraop,
 			edt.Saturated(alignedLabels, volume.LabelBrain, cfg.EDTSaturation),
@@ -384,7 +411,7 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 	// precomputed preoperatively; it is timed here for completeness).
 	var m *mesh.Mesh
 	var brainSurf *mesh.TriMesh
-	if err := stage(StageMesh, func() error {
+	if err := stage(StageMesh, func(ctx context.Context) error {
 		var err error
 		mesher := mesh.FromLabels
 		if cfg.UseBCCMesh {
@@ -419,7 +446,7 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 	// Stage 4: surface displacement: deform the preoperative brain
 	// surface onto the intraoperative brain surface.
 	var surfRes *surface.Result
-	if err := stage(StageSurface, func() error {
+	if err := stage(StageSurface, func(ctx context.Context) error {
 		// The marching-tetrahedra surface is a voxel staircase; relax it
 		// onto the smooth preoperative brain boundary first so that this
 		// sub-voxel discretization correction does not contaminate the
@@ -447,17 +474,30 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 	// deformation with the surface displacements as boundary conditions.
 	var sys *fem.System
 	var solveRes *fem.SolveResult
-	if err := stage(StageSolve, func() error {
+	if err := stage(StageSolve, func(ctx context.Context) error {
 		var err error
-		sys, err = fem.Assemble(m, cfg.Materials, par.Even(m.NumNodes(), cfg.Ranks))
+		sys, err = fem.AssembleContext(ctx, m, cfg.Materials, par.Even(m.NumNodes(), cfg.Ranks))
 		if err != nil {
 			return err
 		}
-		obs.StageCounters(StageSolve, sys.Assembly.Snapshot())
+		snap := sys.Assembly.Snapshot()
+		ob.StageCounters(StageSolve, snap)
+		sp := obs.SpanFromContext(ctx)
+		sp.SetAttr("assembly_flops", snap.TotalFlops)
+		sp.SetAttr("assembly_imbalance", snap.Imbalance)
 		if err := sys.ApplyDirichlet(surfRes.BoundaryConditions()); err != nil {
 			return err
 		}
-		solveRes, err = sys.SolveContext(ctx, cfg.Solver)
+		sopts := cfg.Solver
+		if cfg.RecordSolveHistory {
+			sopts.RecordHistory = true
+		}
+		solveRes, err = sys.SolveContext(ctx, sopts)
+		if solveRes != nil {
+			sp.SetAttr("solver_iterations", solveRes.Stats.Iterations)
+			sp.SetAttr("solver_converged", solveRes.Stats.Converged)
+			sp.SetAttr("solver_final_rel_residual", solveRes.Stats.FinalResRel)
+		}
 		return err
 	}); err != nil {
 		if degraded := p.degrade(err, res, intraop, alignedPreop, intraLabels); degraded {
@@ -486,7 +526,7 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 
 	// Stage 6: resample the preoperative data through the computed
 	// volumetric deformation (the paper's ~0.5 s display step).
-	if err := stage(StageResample, func() error {
+	if err := stage(StageResample, func(_ context.Context) error {
 		res.Forward = sys.DisplacementField(solveRes.NodeU, intraop.Grid)
 		res.Backward = res.Forward.Invert(4)
 		res.Warped = res.Backward.WarpScalar(alignedPreop)

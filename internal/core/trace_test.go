@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPipelineEmitsNestedTrace runs a full registration with tracing on
+// and verifies the emitted JSONL: every stage span hangs off the
+// pipeline root, and the GMRES restart-cycle spans parent-chain through
+// fem.solve up to the solve stage with the residual history attached.
+func TestPipelineEmitsNestedTrace(t *testing.T) {
+	c := testCase(24)
+	cfg := fastConfig()
+	cfg.RecordSolveHistory = true
+
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf)
+	ctx := obs.WithTracer(context.Background(), tracer)
+
+	if _, err := New(cfg).RunContext(ctx, c.Preop, c.PreopLabels, c.Intraop); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("trace is not valid JSONL: %v", err)
+	}
+
+	byID := make(map[uint64]obs.SpanRecord, len(recs))
+	byName := make(map[string][]obs.SpanRecord)
+	for _, r := range recs {
+		byID[r.ID] = r
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+
+	roots := byName["pipeline.run"]
+	if len(roots) != 1 {
+		t.Fatalf("%d pipeline.run spans, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Parent != 0 {
+		t.Errorf("pipeline.run has parent %d, want root", root.Parent)
+	}
+	if root.Attrs["degraded"] != false {
+		t.Errorf("pipeline.run attrs = %v, want degraded=false", root.Attrs)
+	}
+
+	// Every pipeline stage appears exactly once, as a direct child of
+	// the run span, flagged kind=stage.
+	for _, stage := range Stages {
+		spans := byName[stage]
+		if len(spans) != 1 {
+			t.Fatalf("stage %q: %d spans, want 1", stage, len(spans))
+		}
+		s := spans[0]
+		if s.Parent != root.ID {
+			t.Errorf("stage %q parented to %d, want pipeline.run %d", stage, s.Parent, root.ID)
+		}
+		if s.Attrs["kind"] != "stage" {
+			t.Errorf("stage %q attrs = %v, want kind=stage", stage, s.Attrs)
+		}
+		if s.Err != "" {
+			t.Errorf("stage %q recorded error %q", stage, s.Err)
+		}
+	}
+	solveStage := byName[StageSolve][0]
+
+	// The solver's restart cycles chain gmres.cycle -> fem.solve ->
+	// solve stage, and with RecordSolveHistory each cycle carries its
+	// residual history slice.
+	solves := byName["fem.solve"]
+	if len(solves) != 1 {
+		t.Fatalf("%d fem.solve spans, want 1", len(solves))
+	}
+	if solves[0].Parent != solveStage.ID {
+		t.Errorf("fem.solve parented to %d, want solve stage %d", solves[0].Parent, solveStage.ID)
+	}
+	cycles := byName["gmres.cycle"]
+	if len(cycles) == 0 {
+		t.Fatal("no gmres.cycle spans emitted")
+	}
+	historySeen := false
+	for _, cy := range cycles {
+		if cy.Parent != solves[0].ID {
+			t.Errorf("gmres.cycle %d parented to %d, want fem.solve %d", cy.ID, cy.Parent, solves[0].ID)
+		}
+		if hist, ok := cy.Attrs["residual_history"].([]any); ok && len(hist) > 0 {
+			historySeen = true
+			if _, ok := hist[0].(float64); !ok {
+				t.Errorf("residual_history entries = %T, want numbers", hist[0])
+			}
+		}
+	}
+	if !historySeen {
+		t.Error("no gmres.cycle span carries a residual_history attribute")
+	}
+
+	// FEM assembly nests under the solve stage too, with the par
+	// counters attached.
+	assemblies := byName["fem.assemble"]
+	if len(assemblies) == 0 {
+		t.Fatal("no fem.assemble span emitted")
+	}
+	for _, a := range assemblies {
+		if a.Parent != solveStage.ID {
+			t.Errorf("fem.assemble parented to %d, want solve stage %d", a.Parent, solveStage.ID)
+		}
+		if f, ok := a.Attrs["flops"].(float64); !ok || f <= 0 {
+			t.Errorf("fem.assemble flops attr = %v, want > 0", a.Attrs["flops"])
+		}
+		if _, ok := a.Attrs["imbalance"].(float64); !ok {
+			t.Errorf("fem.assemble attrs = %v, want imbalance", a.Attrs)
+		}
+	}
+
+	// Classification worker batches nest under the classify stage, and
+	// the surface evolutions under the surface stage.
+	classify := byName[StageClassify][0]
+	if batches := byName["knn.batch"]; len(batches) == 0 {
+		t.Error("no knn.batch spans emitted")
+	} else {
+		for _, b := range batches {
+			if b.Parent != classify.ID {
+				t.Errorf("knn.batch parented to %d, want classify stage %d", b.Parent, classify.ID)
+			}
+		}
+	}
+	surfaceStage := byName[StageSurface][0]
+	evolves := byName["surface.evolve"]
+	if len(evolves) == 0 {
+		t.Error("no surface.evolve spans emitted")
+	}
+	for _, e := range evolves {
+		if e.Parent != surfaceStage.ID {
+			t.Errorf("surface.evolve parented to %d, want surface stage %d", e.Parent, surfaceStage.ID)
+		}
+		if _, ok := e.Attrs["iterations"].(float64); !ok {
+			t.Errorf("surface.evolve attrs = %v, want iterations", e.Attrs)
+		}
+	}
+
+	// The solve stage span carries the solver statistics the admin
+	// surface aggregates.
+	if v, ok := solveStage.Attrs["solver_iterations"].(float64); !ok || v <= 0 {
+		t.Errorf("solve stage solver_iterations = %v, want > 0", solveStage.Attrs["solver_iterations"])
+	}
+	if solveStage.Attrs["solver_converged"] != true {
+		t.Errorf("solve stage attrs = %v, want solver_converged=true", solveStage.Attrs)
+	}
+}
+
+// TestPipelineWithoutTracerEmitsNothing pins the zero-cost-when-off
+// contract: no tracer on the context means no spans and no allocations
+// of span machinery visible to the caller.
+func TestPipelineWithoutTracerEmitsNothing(t *testing.T) {
+	ctx, span := obs.StartSpan(context.Background(), "x")
+	if span != nil {
+		t.Fatal("StartSpan without tracer returned a live span")
+	}
+	if obs.SpanFromContext(ctx) != nil {
+		t.Fatal("span leaked into context")
+	}
+}

@@ -1,11 +1,13 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/geom"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sparse"
 )
@@ -89,6 +91,32 @@ func (s *System) DOFPartition() par.Partition {
 // connectivity, is the paper's assembly load imbalance — it emerges
 // from the data rather than being injected).
 func Assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
+	return AssembleContext(context.Background(), m, mats, pt)
+}
+
+// AssembleContext is Assemble with telemetry: when the context carries
+// an obs tracer, the assembly is wrapped in a "fem.assemble" span with
+// the per-rank work snapshot (flops, max/mean imbalance) attached — the
+// quantities the paper's load-balance discussion revolves around. The
+// assembly itself is not cancellable (it is one bounded bulk-synchronous
+// phase; the surrounding stage checks the context).
+func AssembleContext(ctx context.Context, m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
+	_, span := obs.StartSpan(ctx, "fem.assemble")
+	sys, err := assemble(m, mats, pt)
+	if err == nil {
+		snap := sys.Assembly.Snapshot()
+		span.SetAttr("ranks", snap.Ranks)
+		span.SetAttr("flops", snap.TotalFlops)
+		span.SetAttr("max_rank_flops", snap.MaxFlops)
+		span.SetAttr("imbalance", snap.Imbalance)
+		span.SetAttr("elements", m.NumTets())
+		span.SetAttr("nodes", m.NumNodes())
+	}
+	span.End(err)
+	return sys, err
+}
+
+func assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 	if err := mats.Validate(); err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/volume"
 )
@@ -50,17 +51,30 @@ func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveR
 	if opts.Partition.P == 0 {
 		opts.Partition = pt
 	}
+	// The solve span parents the GMRES restart-cycle spans, so a trace
+	// nests stage → fem.solve → gmres.cycle.
+	ctx, span := obs.StartSpan(ctx, "fem.solve")
+	span.SetAttr("dofs", s.NumDOF)
 	pcStart := time.Now()
 	pc, err := solver.NewBlockJacobiILU0(s.K, opts.Partition)
 	if err != nil {
-		return nil, fmt.Errorf("fem: preconditioner setup: %w", err)
+		err = fmt.Errorf("fem: preconditioner setup: %w", err)
+		span.End(err)
+		return nil, err
 	}
 	pcTime := time.Since(pcStart)
+	span.SetAttr("pc_setup_ms", float64(pcTime)/float64(time.Millisecond))
 	start := time.Now()
 	u, stats, err := solver.GMRESContext(ctx, s.K, s.F, nil, pc, opts)
+	span.SetAttr("iterations", stats.Iterations)
+	span.SetAttr("converged", stats.Converged)
+	span.SetAttr("final_rel_residual", stats.FinalResRel)
 	if err != nil {
-		return nil, fmt.Errorf("fem: solve: %w", err)
+		err = fmt.Errorf("fem: solve: %w", err)
+		span.End(err)
+		return nil, err
 	}
+	span.End(nil)
 	return &SolveResult{
 		U:           u,
 		NodeU:       s.NodeDisplacements(u),

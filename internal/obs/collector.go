@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/par"
+)
+
+// Shared metric names. The service layer, cmd/brainsim and cmd/benchobs
+// all publish under this vocabulary, so dashboards built against one
+// surface work against the others.
+const (
+	// MetricStageSeconds is the per-stage latency histogram family,
+	// labeled {stage="..."} with the core.Stage* names.
+	MetricStageSeconds = "brainsim_stage_seconds"
+	// MetricStageErrors counts stage executions that failed (including
+	// context cancellations), labeled {stage="..."}.
+	MetricStageErrors = "brainsim_stage_errors_total"
+	// MetricAssemblyFlops totals the per-rank FEM assembly work.
+	MetricAssemblyFlops = "brainsim_assembly_flops_total"
+	// MetricAssemblyImbalance is the most recent max/mean per-rank
+	// assembly work ratio (1.0 = perfectly balanced).
+	MetricAssemblyImbalance = "brainsim_assembly_imbalance"
+	// MetricAssemblyImbalanceMax is the worst imbalance seen — the
+	// quantity the paper's load-balancing discussion revolves around.
+	MetricAssemblyImbalanceMax = "brainsim_assembly_imbalance_max"
+)
+
+// StageCollector feeds pipeline observer events into a Registry: stage
+// wall-clock times into per-stage latency histograms, stage failures
+// into error counters, and the FEM assembly work counters into
+// flop/imbalance metrics. It implements core.Observer structurally (the
+// interface is satisfied without importing core, keeping obs at the
+// bottom of the dependency graph), so it can be set directly as
+// core.Config.Observer or fanned in via core.MultiObserver.
+type StageCollector struct {
+	reg *Registry
+}
+
+// NewStageCollector returns a collector publishing into reg.
+func NewStageCollector(reg *Registry) *StageCollector {
+	return &StageCollector{reg: reg}
+}
+
+// Registry returns the registry the collector publishes into.
+func (c *StageCollector) Registry() *Registry { return c.reg }
+
+// StageHistogram returns the latency histogram of one stage (creating
+// it if the stage has not run yet), for snapshotting quantiles.
+func (c *StageCollector) StageHistogram(stage string) *Histogram {
+	return c.reg.Histogram(MetricStageSeconds,
+		"Pipeline stage wall-clock time in seconds.",
+		DefaultLatencyBuckets, Label{"stage", stage})
+}
+
+// StageErrors returns the error counter of one stage.
+func (c *StageCollector) StageErrors(stage string) *Counter {
+	return c.reg.Counter(MetricStageErrors,
+		"Pipeline stage executions that failed (including cancellations).",
+		Label{"stage", stage})
+}
+
+// StageStart implements the observer contract; starts are not metered.
+func (c *StageCollector) StageStart(string) {}
+
+// StageDone records the stage latency (errored executions included —
+// an aborted solve still consumed its wall-clock) and counts failures.
+func (c *StageCollector) StageDone(stage string, elapsed time.Duration, err error) {
+	c.StageHistogram(stage).Observe(elapsed.Seconds())
+	if err != nil {
+		c.StageErrors(stage).Inc()
+	}
+}
+
+// StageCounters publishes the per-rank assembly work snapshot.
+func (c *StageCollector) StageCounters(_ string, snap par.Snapshot) {
+	c.reg.Counter(MetricAssemblyFlops,
+		"Total FEM assembly floating-point work across ranks.").Add(snap.TotalFlops)
+	c.reg.Gauge(MetricAssemblyImbalance,
+		"Most recent max/mean per-rank FEM assembly work ratio.").Set(snap.Imbalance)
+	c.reg.Gauge(MetricAssemblyImbalanceMax,
+		"Worst max/mean per-rank FEM assembly work ratio observed.").SetMax(snap.Imbalance)
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultLatencyBuckets spans the stage-latency range the paper's
+// Figure 6 timeline covers — sub-millisecond resampling steps up to
+// minute-scale solves — with roughly logarithmic spacing (seconds).
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket histogram. Observations are counted into
+// the first bucket whose upper bound is >= the value (Prometheus "le"
+// semantics), with an implicit +Inf overflow bucket; the exact min, max
+// and sum are tracked alongside, so quantile estimates can be clamped
+// to the observed range. All methods are safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds; +Inf implicit
+	counts []uint64  // len(bounds)+1, last is the overflow bucket
+	sum    float64
+	count  uint64
+	min    float64
+	max    float64
+}
+
+// newHistogram builds a histogram over the given upper bounds (nil
+// means DefaultLatencyBuckets). Bounds are copied, sorted and
+// de-duplicated.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			continue
+		}
+		if i > 0 && len(uniq) > 0 && b == uniq[len(uniq)-1] {
+			continue
+		}
+		uniq = append(uniq, b)
+	}
+	return &Histogram{
+		bounds: uniq,
+		counts: make([]uint64, len(uniq)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.mu.Unlock()
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation within the bucket containing the target rank, clamped
+// to the observed [min, max] range. Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		// Interpolate inside bucket i: [bounds[i-1], bounds[i]], with
+		// the observed min/max standing in for the open outer edges.
+		lo := h.min
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) {
+			hi = h.bounds[i]
+		}
+		if hi <= lo {
+			return clamp(hi, h.min, h.max)
+		}
+		v := lo + (hi-lo)*(rank-prev)/float64(c)
+		return clamp(v, h.min, h.max)
+	}
+	return h.max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// HistSummary is a point-in-time digest of a histogram.
+type HistSummary struct {
+	Count         uint64
+	Sum, Min, Max float64
+	P50, P90, P99 float64
+}
+
+// Summary computes the digest atomically (one lock for all quantiles).
+func (h *Histogram) Summary() HistSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSummary{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.quantileLocked(0.50),
+		P90:   h.quantileLocked(0.90),
+		P99:   h.quantileLocked(0.99),
+	}
+}
+
+// write renders the histogram in Prometheus text format: cumulative
+// _bucket series, then _sum and _count.
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, appendLabel(labels, "le", fmt.Sprintf("%g", b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, appendLabel(labels, "le", "+Inf"), count)
+	fmt.Fprintf(w, "%s_sum%s %v\n", name, braces(labels), sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braces(labels), count)
+}

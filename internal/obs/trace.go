@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer emits hierarchical spans as JSONL structured events: one JSON
+// object per line, written when the span ends. Span hierarchy is
+// carried on context.Context (WithTracer / StartSpan), so the pipeline,
+// the solver's restart cycles, the classifier's worker batches and the
+// FEM assembly all nest without explicit plumbing. A Tracer is safe for
+// concurrent use; spans may end in any order and from any goroutine.
+type Tracer struct {
+	next atomic.Uint64
+
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewTracer writes spans to w as they end, one JSON object per line.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write or encode error encountered, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) emit(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.enc.Encode(rec); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// SpanRecord is the JSONL schema of one emitted span. Parent is 0 for
+// root spans; reconstruct the hierarchy by chasing Parent ids.
+type SpanRecord struct {
+	Name   string         `json:"name"`
+	ID     uint64         `json:"id"`
+	Parent uint64         `json:"parent,omitempty"`
+	Start  time.Time      `json:"start"`
+	DurMS  float64        `json:"dur_ms"`
+	Err    string         `json:"err,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// ReadSpans parses a JSONL trace back into records — the inverse of
+// what a Tracer writes, for tests and offline analysis.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []SpanRecord
+	for {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Span is one timed, attributed region of work. The zero of *Span is
+// nil, and every method is nil-safe, so call sites need no tracer
+// guards: without a tracer on the context, StartSpan returns a nil span
+// and the instrumentation costs one context lookup.
+type Span struct {
+	t      *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// SetAttr attaches a key/value attribute to the span. Values must be
+// JSON-serializable; slices are copied by reference, so do not mutate
+// them after attaching. Non-finite floats (a NaN residual after an
+// aborted solve) are stored as strings so the JSONL stays parseable.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	if f, ok := v.(float64); ok && (math.IsNaN(f) || math.IsInf(f, 0)) {
+		v = fmt.Sprintf("%g", f)
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// End closes the span and emits its record; err, when non-nil, is
+// recorded on the span. End is idempotent — later calls are ignored.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	rec := SpanRecord{
+		Name:   s.name,
+		ID:     s.id,
+		Parent: s.parent,
+		Start:  s.start,
+		DurMS:  float64(time.Since(s.start)) / float64(time.Millisecond),
+		Attrs:  attrs,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.t.emit(rec)
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer returns a context carrying the tracer; spans started from
+// it (and its descendants) are emitted there.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFromContext returns the context's tracer, or nil.
+func TracerFromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// SpanFromContext returns the innermost span on the context, or nil.
+// Useful for attaching attributes to the enclosing region (e.g. solver
+// statistics onto the owning pipeline-stage span).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name under the context's current span
+// and returns a derived context carrying it. Without a tracer on the
+// context it returns (ctx, nil); the nil span's methods are no-ops, so
+// instrumented code needs no guards. Every span must be closed with
+// End.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		t:     t,
+		name:  name,
+		id:    t.next.Add(1),
+		start: time.Now(),
+	}
+	if parent := SpanFromContext(ctx); parent != nil {
+		s.parent = parent.id
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}

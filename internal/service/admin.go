@@ -1,0 +1,138 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// AdminHandler builds the service's admin HTTP surface:
+//
+//	/metrics        Prometheus text exposition of the obs registry
+//	/healthz        liveness: are pool workers running
+//	/readyz         readiness: is there queue headroom to accept scans
+//	/jobs           JSON list of retained jobs (oldest first)
+//	/jobs/{id}      JSON status of one job, live stage timeline included
+//	/debug/pprof/   runtime profiling (CPU, heap, goroutines, ...)
+//
+// The handler holds only the *Service; mount it wherever the deployment
+// wants (ServeAdmin below binds it to its own listener).
+func AdminHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Point-in-time gauges are refreshed at scrape time, so the
+		// exposition reflects the queue as it is now, not as it was at
+		// the last state change.
+		reg := s.Registry()
+		reg.Gauge("brainsim_queue_depth",
+			"Accepted scans waiting for a worker.").Set(float64(s.QueueDepth()))
+		reg.Gauge("brainsim_queue_capacity",
+			"Configured scan queue bound.").Set(float64(s.QueueCapacity()))
+		reg.Gauge("brainsim_workers_alive",
+			"Worker-pool goroutines currently running.").Set(float64(s.WorkersAlive()))
+		reg.Handler().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		alive := s.WorkersAlive()
+		m := s.Metrics()
+		status := http.StatusOK
+		if alive == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		shedRate := 0.0
+		if total := m.Scans + m.Shed; total > 0 {
+			shedRate = float64(m.Shed) / float64(total)
+		}
+		writeJSON(w, status, map[string]any{
+			"ok":            alive > 0,
+			"workers_alive": alive,
+			"queue_depth":   s.QueueDepth(),
+			"queue_cap":     s.QueueCapacity(),
+			"shed_rate":     shedRate,
+		})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Ready means a Submit right now would be accepted: workers are
+		// alive and the queue has headroom.
+		depth, capacity := s.QueueDepth(), s.QueueCapacity()
+		ready := s.WorkersAlive() > 0 && depth < capacity
+		status := http.StatusOK
+		if !ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"ready":       ready,
+			"queue_depth": depth,
+			"queue_cap":   capacity,
+		})
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		out := make([]JobStatus, 0, len(jobs))
+		for _, j := range jobs {
+			out = append(out, j.Status())
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		if id == "" || strings.Contains(id, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		j, err := s.Job(id)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	obs.RegisterPprof(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Admin is a running admin HTTP server bound to its own listener.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin surface on addr (e.g. "127.0.0.1:8077",
+// or ":0" for an ephemeral port) and serves until Close. It returns as
+// soon as the listener is bound, so Addr is immediately meaningful.
+func ServeAdmin(s *Service, addr string) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: admin listen %s: %w", addr, err)
+	}
+	a := &Admin{ln: ln, srv: &http.Server{Handler: AdminHandler(s)}}
+	go func() {
+		// ErrServerClosed after Close is the normal shutdown path; any
+		// other serve error just ends the admin surface, never the
+		// registration service itself.
+		_ = a.srv.Serve(ln)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43817").
+func (a *Admin) Addr() string {
+	return a.ln.Addr().String()
+}
+
+// Close stops the admin server. The registration service is unaffected.
+func (a *Admin) Close() error {
+	return a.srv.Close()
+}

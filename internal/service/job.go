@@ -34,6 +34,10 @@ type StageEvent struct {
 
 // Job is the handle of one submitted scan.
 type Job struct {
+	// ID is the service-assigned job identifier ("j000042"), unique for
+	// the lifetime of the service and addressable on the admin surface
+	// as /jobs/{id}.
+	ID string
 	// SessionID names the surgical session the scan belongs to.
 	SessionID string
 
@@ -42,14 +46,16 @@ type Job struct {
 	intraop *volume.Scalar
 
 	enqueued time.Time
-	started  time.Time
 
-	done   chan struct{}
-	result *core.Result
-	err    error
+	done chan struct{}
 
-	mu     sync.Mutex
-	events []StageEvent
+	// mu guards everything below: the admin server reads jobs while
+	// workers mutate them.
+	mu      sync.Mutex
+	started time.Time
+	result  *core.Result
+	err     error
+	events  []StageEvent
 }
 
 // Done returns a channel closed when the job has finished.
@@ -64,6 +70,8 @@ func (j *Job) Wait(ctx context.Context) (*core.Result, error) {
 	}
 	select {
 	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
 		return j.result, j.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -81,10 +89,109 @@ func (j *Job) Events() []StageEvent {
 // QueueWait returns how long the job sat in the queue before a worker
 // picked it up (zero while still queued).
 func (j *Job) QueueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.started.IsZero() {
 		return 0
 	}
 	return j.started.Sub(j.enqueued)
+}
+
+// setStarted records the moment a worker picked the job up.
+func (j *Job) setStarted(t time.Time) {
+	j.mu.Lock()
+	j.started = t
+	j.mu.Unlock()
+}
+
+// finish records the terminal result. The done channel is closed by the
+// caller afterwards, so Wait observes result and err fully written.
+func (j *Job) finish(res *core.Result, err error) {
+	j.mu.Lock()
+	j.result, j.err = res, err
+	j.mu.Unlock()
+}
+
+// JobStageStatus is the wire form of one stage event on /jobs/{id}.
+type JobStageStatus struct {
+	Stage     string  `json:"stage"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Done      bool    `json:"done"`
+	Error     string  `json:"error,omitempty"`
+	// Flops and Imbalance carry the FEM assembly counters when the
+	// stage recorded them.
+	Flops     float64 `json:"flops,omitempty"`
+	Imbalance float64 `json:"imbalance,omitempty"`
+}
+
+// JobStatus is the wire form of a job on the admin surface: the live
+// stage timeline plus the terminal outcome once there is one.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	SessionID string    `json:"session_id"`
+	State     string    `json:"state"` // queued | running | done
+	Enqueued  time.Time `json:"enqueued"`
+	// QueueWaitMS is how long the job sat in the queue (zero while
+	// still queued).
+	QueueWaitMS float64          `json:"queue_wait_ms"`
+	Stages      []JobStageStatus `json:"stages,omitempty"`
+	Degraded    bool             `json:"degraded,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+// Status snapshots the job for the admin surface. Safe to call at any
+// point in the job's life, including while stages are running.
+func (j *Job) Status() JobStatus {
+	st := JobStatus{ID: j.ID, SessionID: j.SessionID, Enqueued: j.enqueued}
+	finished := false
+	select {
+	case <-j.done:
+		finished = true
+	default:
+	}
+	j.mu.Lock()
+	switch {
+	case finished:
+		st.State = "done"
+	case !j.started.IsZero():
+		st.State = "running"
+	default:
+		st.State = "queued"
+	}
+	if !j.started.IsZero() {
+		st.QueueWaitMS = float64(j.started.Sub(j.enqueued)) / float64(time.Millisecond)
+	}
+	if finished {
+		if j.err != nil {
+			st.Error = j.err.Error()
+		}
+		if j.result != nil {
+			st.Degraded = j.result.Degraded
+		}
+	}
+	events := append([]StageEvent(nil), j.events...)
+	j.mu.Unlock()
+	for _, e := range events {
+		ss := JobStageStatus{
+			Stage:     e.Stage,
+			ElapsedMS: float64(e.Elapsed) / float64(time.Millisecond),
+			Done:      e.Done,
+		}
+		if !e.Done {
+			// Live stages report elapsed-so-far, so the timeline moves
+			// while the surgeon waits.
+			ss.ElapsedMS = float64(time.Since(e.Start)) / float64(time.Millisecond)
+		}
+		if e.Err != nil {
+			ss.Error = e.Err.Error()
+		}
+		if e.HasCounters {
+			ss.Flops = e.Counters.TotalFlops
+			ss.Imbalance = e.Counters.Imbalance
+		}
+		st.Stages = append(st.Stages, ss)
+	}
+	return st
 }
 
 // Timeline renders the recorded stage events as text, one line per

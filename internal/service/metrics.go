@@ -10,11 +10,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
 // StageMetrics aggregates one pipeline stage over every scan the
-// service has processed.
+// service has processed. The latency aggregates are backed by the
+// fixed-bucket obs histograms exported on /metrics, so the Go snapshot
+// and the Prometheus scrape always agree.
 type StageMetrics struct {
 	// Count is the number of completed executions of the stage.
 	Count int
@@ -23,6 +26,9 @@ type StageMetrics struct {
 	// Total and Max summarize the stage wall-clock time.
 	Total time.Duration
 	Max   time.Duration
+	// P50, P90 and P99 are histogram-estimated latency quantiles — the
+	// continuous form of the paper's Figure 6 per-stage timings.
+	P50, P90, P99 time.Duration
 }
 
 // Mean returns the average stage duration (zero when Count is zero).
@@ -35,13 +41,26 @@ func (m StageMetrics) Mean() time.Duration {
 
 // Metrics is an aggregate snapshot across all scans and sessions.
 type Metrics struct {
-	// Scans counts finished scans; Failed, Degraded and Canceled break
-	// them down (Canceled is the subset of Failed due to context
-	// cancellation or deadline expiry before the degradation point).
+	// Scans counts finished scans. Every finished scan lands in exactly
+	// one of the three outcome buckets below or completed cleanly:
+	// Degraded (deadline expired after the surface stage, rigid-only
+	// fallback delivered — even when the deadline is also observed as an
+	// error mid-degradation), Canceled (context cancellation or deadline
+	// expiry before the degradation point), or Failed (any other error).
+	// Failed includes Canceled for backward compatibility; Degraded and
+	// Canceled never overlap.
 	Scans    int
 	Failed   int
 	Degraded int
 	Canceled int
+	// Shed counts submissions rejected with ErrQueueFull. Shed
+	// submissions never become scans, so they are tracked separately
+	// instead of silently vanishing from the aggregates.
+	Shed int
+	// SolveNotConverged counts successfully delivered scans whose GMRES
+	// solve stopped at MaxIter without reaching tolerance — previously
+	// indistinguishable from a converged solve in service metrics.
+	SolveNotConverged int
 	// AssemblyFlops totals the per-rank FEM assembly work reported by
 	// the par counters, and AssemblyImbalanceMax tracks the worst
 	// max/mean rank imbalance seen — the quantity the paper's load
@@ -55,8 +74,8 @@ type Metrics struct {
 // String renders the snapshot as a compact report.
 func (m Metrics) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scans=%d failed=%d degraded=%d canceled=%d assemblyGflop=%.3f\n",
-		m.Scans, m.Failed, m.Degraded, m.Canceled, m.AssemblyFlops/1e9)
+	fmt.Fprintf(&b, "scans=%d failed=%d degraded=%d canceled=%d shed=%d notconverged=%d assemblyGflop=%.3f\n",
+		m.Scans, m.Failed, m.Degraded, m.Canceled, m.Shed, m.SolveNotConverged, m.AssemblyFlops/1e9)
 	names := make([]string, 0, len(m.Stages))
 	for n := range m.Stages {
 		names = append(names, n)
@@ -64,22 +83,40 @@ func (m Metrics) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		sm := m.Stages[n]
-		fmt.Fprintf(&b, "  %-28s n=%-3d err=%-2d mean=%8.3fs max=%8.3fs\n",
-			n, sm.Count, sm.Errors, sm.Mean().Seconds(), sm.Max.Seconds())
+		fmt.Fprintf(&b, "  %-28s n=%-3d err=%-2d p50=%8.3fs p99=%8.3fs max=%8.3fs\n",
+			n, sm.Count, sm.Errors, sm.P50.Seconds(), sm.P99.Seconds(), sm.Max.Seconds())
 	}
 	return b.String()
 }
 
-// aggregator accumulates Metrics under a mutex. It doubles as the
+// aggregator accumulates service-wide aggregates. It doubles as the
 // service-wide core.Observer, so every pipeline stage of every job
-// feeds it directly.
+// feeds it directly; the latency distributions live in the obs registry
+// (shared with the /metrics endpoint) while scan-outcome counts are
+// kept under the mutex for the typed Metrics snapshot.
 type aggregator struct {
-	mu sync.Mutex
-	m  Metrics
+	reg  *obs.Registry
+	coll *obs.StageCollector
+
+	mu                sync.Mutex
+	scans             int
+	failed            int
+	degraded          int
+	canceled          int
+	shed              int
+	notConverged      int
+	submitted         int
+	assemblyFlops     float64
+	imbalanceMax      float64
+	stageErrs         map[string]int
+	stageSeen         map[string]bool
 }
 
-func (a *aggregator) init() {
-	a.m.Stages = make(map[string]StageMetrics)
+func (a *aggregator) init(reg *obs.Registry) {
+	a.reg = reg
+	a.coll = obs.NewStageCollector(reg)
+	a.stageErrs = make(map[string]int)
+	a.stageSeen = make(map[string]bool)
 }
 
 // StageStart implements core.Observer.
@@ -88,53 +125,127 @@ func (a *aggregator) StageStart(string) {}
 // StageDone implements core.Observer.
 func (a *aggregator) StageDone(stage string, elapsed time.Duration, err error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	sm := a.m.Stages[stage]
-	sm.Count++
-	sm.Total += elapsed
-	if elapsed > sm.Max {
-		sm.Max = elapsed
-	}
+	a.stageSeen[stage] = true
 	if err != nil {
-		sm.Errors++
+		a.stageErrs[stage]++
 	}
-	a.m.Stages[stage] = sm
+	a.mu.Unlock()
+	a.coll.StageDone(stage, elapsed, err)
 }
 
 // StageCounters implements core.Observer.
-func (a *aggregator) StageCounters(_ string, snap par.Snapshot) {
+func (a *aggregator) StageCounters(stage string, snap par.Snapshot) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.m.AssemblyFlops += snap.TotalFlops
-	if snap.Imbalance > a.m.AssemblyImbalanceMax {
-		a.m.AssemblyImbalanceMax = snap.Imbalance
+	a.assemblyFlops += snap.TotalFlops
+	if snap.Imbalance > a.imbalanceMax {
+		a.imbalanceMax = snap.Imbalance
 	}
+	a.mu.Unlock()
+	a.coll.StageCounters(stage, snap)
 }
 
-// scanDone records the outcome of one finished job.
+// submittedScan records one accepted submission (for the shed rate).
+func (a *aggregator) submittedScan() {
+	a.mu.Lock()
+	a.submitted++
+	a.mu.Unlock()
+	a.reg.Counter("brainsim_submissions_total",
+		"Scan submissions accepted into the queue.").Inc()
+}
+
+// shedScan records one load-shed submission (queue full).
+func (a *aggregator) shedScan() {
+	a.mu.Lock()
+	a.shed++
+	a.mu.Unlock()
+	a.reg.Counter("brainsim_shed_total",
+		"Scan submissions rejected because the queue was full.").Inc()
+}
+
+// scanDone records the outcome of one finished job in exactly one
+// bucket. Degraded takes priority: a deadline observed mid-degradation
+// (after the surface stage) is the clinical fallback working as
+// designed, and must not leak into Canceled as well.
 func (a *aggregator) scanDone(res *core.Result, err error) {
+	outcome := "completed"
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.m.Scans++
+	a.scans++
 	switch {
-	case err != nil:
-		a.m.Failed++
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			a.m.Canceled++
-		}
 	case res != nil && res.Degraded:
-		a.m.Degraded++
+		a.degraded++
+		outcome = "degraded"
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		a.failed++
+		a.canceled++
+		outcome = "canceled"
+	case err != nil:
+		a.failed++
+		outcome = "failed"
+	default:
+		if res != nil && !res.SolveStats.Converged {
+			a.notConverged++
+		}
+	}
+	a.mu.Unlock()
+	a.reg.Counter("brainsim_scans_total",
+		"Finished scans by outcome.", obs.Label{Key: "outcome", Value: outcome}).Inc()
+	if outcome == "completed" && res != nil {
+		a.reg.Counter("brainsim_solver_iterations_total",
+			"GMRES iterations across all delivered scans.").Add(float64(res.SolveStats.Iterations))
+		conv := "true"
+		if !res.SolveStats.Converged {
+			conv = "false"
+			a.reg.Counter("brainsim_solver_nonconverged_total",
+				"Delivered scans whose GMRES solve hit MaxIter without converging.").Inc()
+		}
+		a.reg.Counter("brainsim_solver_solves_total",
+			"Completed biomechanical solves by convergence.",
+			obs.Label{Key: "converged", Value: conv}).Inc()
 	}
 }
 
-// snapshot deep-copies the current aggregates.
+// snapshot deep-copies the current aggregates: the returned Metrics
+// shares no mutable state with the aggregator, so callers may hold or
+// mutate it while scans keep completing.
 func (a *aggregator) snapshot() Metrics {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := a.m
-	out.Stages = make(map[string]StageMetrics, len(a.m.Stages))
-	for k, v := range a.m.Stages {
-		out.Stages[k] = v
+	out := Metrics{
+		Scans:                a.scans,
+		Failed:               a.failed,
+		Degraded:             a.degraded,
+		Canceled:             a.canceled,
+		Shed:                 a.shed,
+		SolveNotConverged:    a.notConverged,
+		AssemblyFlops:        a.assemblyFlops,
+		AssemblyImbalanceMax: a.imbalanceMax,
+	}
+	stages := make([]string, 0, len(a.stageSeen))
+	for s := range a.stageSeen {
+		stages = append(stages, s)
+	}
+	errs := make(map[string]int, len(a.stageErrs))
+	for s, n := range a.stageErrs {
+		errs[s] = n
+	}
+	a.mu.Unlock()
+	// Histogram reads take each instrument's own lock; doing them
+	// outside the aggregator lock keeps snapshots off the hot path.
+	out.Stages = make(map[string]StageMetrics, len(stages))
+	for _, s := range stages {
+		h := a.coll.StageHistogram(s).Summary()
+		out.Stages[s] = StageMetrics{
+			Count:  int(h.Count),
+			Errors: errs[s],
+			Total:  secondsToDuration(h.Sum),
+			Max:    secondsToDuration(h.Max),
+			P50:    secondsToDuration(h.P50),
+			P90:    secondsToDuration(h.P90),
+			P99:    secondsToDuration(h.P99),
+		}
 	}
 	return out
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }

@@ -9,6 +9,12 @@
 // solve within one GMRES restart cycle, and an expired deadline after
 // the surface stage degrades to the rigid-only result instead of
 // failing the scan (see core.Pipeline.RunContext).
+//
+// The service is also the anchor of the observability surface: its obs
+// registry backs both the typed Metrics snapshot and the Prometheus
+// /metrics endpoint of the admin server (see admin.go), and finished
+// jobs are retained for a while so /jobs/{id} can answer after the
+// fact.
 package service
 
 import (
@@ -16,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/volume"
 )
 
@@ -35,7 +43,14 @@ var (
 	ErrUnknownSession = errors.New("service: unknown session")
 	// ErrDuplicateSession is returned when opening an id twice.
 	ErrDuplicateSession = errors.New("service: session already open")
+	// ErrUnknownJob is returned by Job lookups for ids never assigned
+	// or already evicted from the retention window.
+	ErrUnknownJob = errors.New("service: unknown job")
 )
+
+// jobRetention bounds how many finished jobs are kept addressable on
+// the admin surface before the oldest are evicted.
+const jobRetention = 1024
 
 // Options configures the service.
 type Options struct {
@@ -49,6 +64,10 @@ type Options struct {
 	// top of the caller's context — the paper's intraoperative time
 	// budget. Zero means no service-imposed deadline.
 	ScanTimeout time.Duration
+	// Registry, when non-nil, receives the service's metrics (stage
+	// histograms, outcome counters, assembly gauges). Nil allocates a
+	// private registry, reachable via Service.Registry.
+	Registry *obs.Registry
 }
 
 // Service is a concurrent registration service. Create it with New,
@@ -60,9 +79,16 @@ type Service struct {
 	wg    sync.WaitGroup
 	agg   aggregator
 
+	// workersAlive tracks workers that have started and not yet exited —
+	// the liveness signal behind /healthz.
+	workersAlive atomic.Int64
+
 	mu       sync.Mutex
 	sessions map[string]*managedSession
 	closed   bool
+	jobSeq   int
+	jobs     map[string]*Job
+	jobOrder []string
 }
 
 // managedSession pairs a core.Session with the mutex that serializes
@@ -83,17 +109,28 @@ func New(opts Options) *Service {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 16
 	}
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
 	s := &Service{
 		opts:     opts,
 		queue:    make(chan *Job, opts.QueueDepth),
 		sessions: make(map[string]*managedSession),
+		jobs:     make(map[string]*Job),
 	}
-	s.agg.init()
+	s.agg.init(opts.Registry)
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
+		s.workersAlive.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// Registry returns the obs registry holding the service's metrics —
+// the same one the admin server exposes on /metrics.
+func (s *Service) Registry() *obs.Registry {
+	return s.opts.Registry
 }
 
 // OpenSession prepares a surgical session from the preoperative data
@@ -148,7 +185,9 @@ func (s *Service) Session(id string) (*core.Session, error) {
 // session and returns immediately with a Job handle; use Job.Wait for
 // the result. ctx governs the whole job — queue wait included — and is
 // further bounded by Options.ScanTimeout once the job starts. A full
-// queue fails fast with ErrQueueFull rather than blocking the scanner.
+// queue fails fast with ErrQueueFull rather than blocking the scanner;
+// shed submissions are counted (Metrics.Shed, brainsim_shed_total) so
+// overload is visible on the admin surface.
 func (s *Service) Submit(ctx context.Context, sessionID string, intraop *volume.Scalar) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -165,7 +204,9 @@ func (s *Service) Submit(ctx context.Context, sessionID string, intraop *volume.
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, sessionID)
 	}
+	s.jobSeq++
 	j := &Job{
+		ID:        fmt.Sprintf("j%06d", s.jobSeq),
 		SessionID: sessionID,
 		ctx:       ctx,
 		ms:        ms,
@@ -175,10 +216,63 @@ func (s *Service) Submit(ctx context.Context, sessionID string, intraop *volume.
 	}
 	select {
 	case s.queue <- j:
+		s.retainJobLocked(j)
+		s.agg.submittedScan()
 		return j, nil
 	default:
+		s.jobSeq-- // the id was never issued
+		s.agg.shedScan()
 		return nil, ErrQueueFull
 	}
+}
+
+// retainJobLocked registers the job for admin lookup and evicts the
+// oldest beyond the retention window. Caller holds s.mu.
+func (s *Service) retainJobLocked(j *Job) {
+	s.jobs[j.ID] = j
+	s.jobOrder = append(s.jobOrder, j.ID)
+	for len(s.jobOrder) > jobRetention {
+		delete(s.jobs, s.jobOrder[0])
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+// Job returns the job with the given id, if still retained.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs returns the retained jobs, oldest first.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// QueueDepth reports how many accepted scans are waiting for a worker.
+func (s *Service) QueueDepth() int {
+	return len(s.queue)
+}
+
+// QueueCapacity reports the configured queue bound.
+func (s *Service) QueueCapacity() int {
+	return cap(s.queue)
+}
+
+// WorkersAlive reports how many pool workers are currently running —
+// Options.Workers until Close drains them.
+func (s *Service) WorkersAlive() int {
+	return int(s.workersAlive.Load())
 }
 
 // Register is the synchronous convenience wrapper: Submit + Wait.
@@ -215,6 +309,7 @@ func (s *Service) Close() error {
 // worker drains the scan queue until Close.
 func (s *Service) worker() {
 	defer s.wg.Done()
+	defer s.workersAlive.Add(-1)
 	for j := range s.queue {
 		s.runJob(j)
 	}
@@ -224,7 +319,7 @@ func (s *Service) worker() {
 // job and feeding the aggregate metrics.
 func (s *Service) runJob(j *Job) {
 	defer close(j.done)
-	j.started = time.Now()
+	j.setStarted(time.Now())
 	ctx := j.ctx
 	if s.opts.ScanTimeout > 0 {
 		var cancel context.CancelFunc
@@ -234,7 +329,7 @@ func (s *Service) runJob(j *Job) {
 	if err := ctx.Err(); err != nil {
 		// Abandoned while queued (caller gave up or deadline passed):
 		// don't waste a worker on it.
-		j.err = err
+		j.finish(nil, err)
 		s.agg.scanDone(nil, err)
 		return
 	}
@@ -245,6 +340,6 @@ func (s *Service) runJob(j *Job) {
 	res, err := j.ms.sess.RegisterScanContext(ctx, j.intraop)
 	j.ms.sess.SetObserver(nil)
 	j.ms.mu.Unlock()
-	j.result, j.err = res, err
+	j.finish(res, err)
 	s.agg.scanDone(res, err)
 }

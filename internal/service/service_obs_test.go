@@ -1,0 +1,392 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// stageDeadline is a context whose deadline "expires" on demand — it
+// pins deadline expiry to a pipeline stage instead of wall-clock time,
+// so degradation tests behave the same on any machine.
+type stageDeadline struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func newStageDeadline() *stageDeadline {
+	return &stageDeadline{done: make(chan struct{})}
+}
+
+func (c *stageDeadline) expire() { c.once.Do(func() { close(c.done) }) }
+
+func (c *stageDeadline) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *stageDeadline) Done() <-chan struct{}       { return c.done }
+func (c *stageDeadline) Value(any) any               { return nil }
+
+func (c *stageDeadline) Err() error {
+	select {
+	case <-c.done:
+		return context.DeadlineExceeded
+	default:
+		return nil
+	}
+}
+
+func TestServiceShedCounter(t *testing.T) {
+	// Same setup as TestServiceQueueFull — worker stalled on the session
+	// lock, queue full — but checks the load shed is *counted*: on the
+	// typed snapshot, and on the Prometheus registry.
+	svc := New(Options{Workers: 1, QueueDepth: 1})
+	defer svc.Close()
+	c := testCase(24, 7)
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	svc.mu.Lock()
+	ms := svc.sessions["or"]
+	svc.mu.Unlock()
+	ms.mu.Lock()
+
+	j1, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.queue) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	j2, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(context.Background(), "or", c.Intraop); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	ms.mu.Unlock()
+	for _, j := range []*Job{j1, j2} {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Errorf("job failed: %v", err)
+		}
+	}
+
+	m := svc.Metrics()
+	if m.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", m.Shed)
+	}
+	if m.Scans != 2 {
+		t.Errorf("Scans = %d, want 2 (shed submissions are not scans)", m.Scans)
+	}
+	if v := svc.Registry().Counter("brainsim_shed_total", "").Value(); v != 1 {
+		t.Errorf("brainsim_shed_total = %v, want 1", v)
+	}
+	// A shed submission never got a job id: the next accepted job must
+	// not skip a number.
+	if j1.ID != "j000001" || j2.ID != "j000002" {
+		t.Errorf("job ids = %q, %q, want j000001, j000002", j1.ID, j2.ID)
+	}
+}
+
+func TestServiceMidDegradationCountsDegradedOnly(t *testing.T) {
+	// A deadline that expires during the solve stage triggers the
+	// degrade-to-rigid fallback. The scan must be counted under Degraded
+	// alone — not double-counted as Canceled/Failed, which is what the
+	// naive "ctx expired → canceled" accounting did.
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	c := testCase(24, 8)
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	ctx := newStageDeadline()
+	j, err := svc.Submit(ctx, "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			for _, e := range j.Events() {
+				if e.Stage == core.StageSolve {
+					ctx.expire()
+					return
+				}
+			}
+			select {
+			case <-j.Done():
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("degraded scan should still deliver: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result not degraded; deadline missed the solve stage")
+	}
+	m := svc.Metrics()
+	if m.Degraded != 1 || m.Canceled != 0 || m.Failed != 0 {
+		t.Errorf("metrics = %+v, want Degraded=1 Canceled=0 Failed=0", m)
+	}
+	if v := svc.Registry().Counter("brainsim_scans_total", "",
+		obs.Label{Key: "outcome", Value: "degraded"}).Value(); v != 1 {
+		t.Errorf(`brainsim_scans_total{outcome="degraded"} = %v, want 1`, v)
+	}
+}
+
+func TestServiceSolveNotConverged(t *testing.T) {
+	// A solver starved of iterations delivers a (poor) result without
+	// converging; the service must surface that as a distinct metric
+	// rather than folding it into clean completions.
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	c := testCase(24, 9)
+	cfg := fastConfig()
+	cfg.Solver.MaxIter = 1
+	cfg.Solver.Tol = 1e-14
+	if err := svc.OpenSession("or", cfg, c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Register(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolveStats.Converged {
+		t.Skip("solve converged in one iteration; cannot exercise the metric")
+	}
+	m := svc.Metrics()
+	if m.SolveNotConverged != 1 {
+		t.Errorf("SolveNotConverged = %d, want 1", m.SolveNotConverged)
+	}
+	if v := svc.Registry().Counter("brainsim_solver_nonconverged_total", "").Value(); v != 1 {
+		t.Errorf("brainsim_solver_nonconverged_total = %v, want 1", v)
+	}
+}
+
+func TestAggregatorSnapshotIndependence(t *testing.T) {
+	// snapshot() must deep-copy: a held snapshot may not change as more
+	// stages complete, and mutating it must not corrupt the aggregator.
+	// Run with -race to also exercise the locking.
+	var a aggregator
+	a.init(obs.NewRegistry())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.StageDone(core.StageSolve, time.Duration(i+1)*time.Millisecond, nil)
+			}
+		}()
+	}
+	var snaps []Metrics
+	for i := 0; i < 50; i++ {
+		snaps = append(snaps, a.snapshot())
+		if i%10 == 9 {
+			// Yield so the writers make progress even on GOMAXPROCS=1.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.snapshot().Stages[core.StageSolve].Count == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	for i, s := range snaps {
+		// Poison the snapshot; the aggregator must not notice.
+		s.Stages[core.StageSolve] = StageMetrics{Count: -1}
+		s.Stages["bogus"] = StageMetrics{}
+		if i > 0 && snaps[i].Stages[core.StageSolve].Count < snaps[i-1].Stages[core.StageSolve].Count {
+			t.Fatalf("snapshot %d went backwards", i)
+		}
+	}
+	final := a.snapshot()
+	sm := final.Stages[core.StageSolve]
+	if sm.Count <= 0 {
+		t.Errorf("final count = %d, want > 0 (snapshot mutation leaked in?)", sm.Count)
+	}
+	if _, ok := final.Stages["bogus"]; ok {
+		t.Error("mutating a snapshot leaked a stage into the aggregator")
+	}
+	if sm.Max < sm.P99 || sm.P99 < sm.P50 {
+		t.Errorf("quantiles disordered: p50=%v p99=%v max=%v", sm.P50, sm.P99, sm.Max)
+	}
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	c := testCase(24, 10)
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	j, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(AdminHandler(svc))
+	defer ts.Close()
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE brainsim_stage_seconds histogram",
+		`brainsim_stage_seconds_bucket{stage="biomechanical simulation",le="+Inf"} 1`,
+		`brainsim_scans_total{outcome="completed"} 1`,
+		"brainsim_assembly_imbalance_max",
+		"brainsim_workers_alive 1",
+		"brainsim_queue_depth 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: status %d, body %s", code, body)
+	}
+	var health struct {
+		OK           bool `json:"ok"`
+		WorkersAlive int  `json:"workers_alive"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if !health.OK || health.WorkersAlive != 1 {
+		t.Errorf("/healthz = %+v", health)
+	}
+
+	if code, body, _ = get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz: status %d, body %s", code, body)
+	}
+
+	code, body, _ = get("/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("/jobs: status %d", code)
+	}
+	var list []JobStatus
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("/jobs not JSON: %v", err)
+	}
+	if len(list) != 1 || list[0].ID != j.ID {
+		t.Fatalf("/jobs = %+v, want one entry %s", list, j.ID)
+	}
+
+	code, body, _ = get("/jobs/" + j.ID)
+	if code != http.StatusOK {
+		t.Fatalf("/jobs/%s: status %d", j.ID, code)
+	}
+	var st JobStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/jobs/%s not JSON: %v", j.ID, err)
+	}
+	if st.State != "done" || len(st.Stages) != len(core.Stages) {
+		t.Errorf("/jobs/%s = %+v, want done with %d stages", j.ID, st, len(core.Stages))
+	}
+	solveSeen := false
+	for _, s := range st.Stages {
+		if !s.Done {
+			t.Errorf("stage %q not done in finished job", s.Stage)
+		}
+		if s.Stage == core.StageSolve && s.Flops > 0 {
+			solveSeen = true
+		}
+	}
+	if !solveSeen {
+		t.Error("solve stage carries no assembly flops on /jobs/{id}")
+	}
+
+	if code, _, _ = get("/jobs/nope"); code != http.StatusNotFound {
+		t.Errorf("/jobs/nope: status %d, want 404", code)
+	}
+
+	if code, body, _ = get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: status %d", code)
+	}
+	if code, _, _ = get("/debug/pprof/profile?seconds=1"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/profile: status %d, want 200", code)
+	}
+}
+
+func TestJobStatusLifecycle(t *testing.T) {
+	// Status must be callable at every point of the job's life; use the
+	// session-lock stall to observe the queued→running transition.
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	c := testCase(24, 11)
+	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+		t.Fatal(err)
+	}
+	svc.mu.Lock()
+	ms := svc.sessions["or"]
+	svc.mu.Unlock()
+	ms.mu.Lock()
+	j, err := svc.Submit(context.Background(), "or", c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Status().State == "queued" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := j.Status(); st.State != "running" {
+		t.Errorf("state = %q, want running", st.State)
+	}
+	ms.mu.Unlock()
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Status()
+	if st.State != "done" || st.Error != "" || st.QueueWaitMS < 0 {
+		t.Errorf("final status = %+v", st)
+	}
+	if got, err := svc.Job(j.ID); err != nil || got != j {
+		t.Errorf("Job(%q) = %v, %v", j.ID, got, err)
+	}
+	if _, err := svc.Job("j999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job err = %v, want ErrUnknownJob", err)
+	}
+}

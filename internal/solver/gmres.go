@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sparse"
 )
@@ -154,6 +155,7 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 	g := make([]float64, restart+1)
 	y := make([]float64, restart)
 
+	cycle := 0
 	for stats.Iterations < maxIter {
 		// One context check per restart cycle: cheap relative to the m
 		// inner iterations, yet bounds the abort latency to one cycle.
@@ -161,6 +163,11 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 			stats.FinalResRel = math.NaN()
 			return x, stats, err
 		}
+		// Each restart cycle is one trace span (nil tracer: no-ops), so
+		// convergence traces line up with the per-stage span timeline.
+		_, span := obs.StartSpan(ctx, "gmres.cycle")
+		span.SetAttr("cycle", cycle)
+		histStart := len(stats.History)
 		// r = M^{-1} (b - A x)
 		matvec(x, r)
 		stats.MatVecs++
@@ -175,9 +182,12 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 		if stats.InitialResid == 0 {
 			stats.InitialResid = beta
 		}
+		span.SetAttr("entry_rel_residual", beta/beta0)
 		if beta/beta0 <= tol {
 			stats.Converged = true
 			stats.FinalResRel = beta / beta0
+			span.SetAttr("converged", true)
+			span.End(nil)
 			return x, stats, nil
 		}
 		inv := 1 / beta
@@ -263,6 +273,16 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 			}
 			stats.AXPYs++
 		}
+		span.SetAttr("iterations_total", stats.Iterations)
+		span.SetAttr("exit_rel_residual", math.Abs(g[k])/beta0)
+		if opts.RecordHistory && len(stats.History) > histStart {
+			// The residual trace of this cycle, exported so tooling can
+			// reconstruct convergence curves from the span stream alone.
+			span.SetAttr("residual_history",
+				append([]float64(nil), stats.History[histStart:]...))
+		}
+		span.End(nil)
+		cycle++
 	}
 	// Final residual check.
 	matvec(x, r)

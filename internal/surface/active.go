@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/volume"
 )
 
@@ -156,6 +157,11 @@ func EvolveContext(ctx context.Context, s *mesh.TriMesh, force ForceField, opts 
 	if opts.MaxStep <= 0 {
 		opts.MaxStep = 1.5
 	}
+	// Each evolution (the pipeline runs two per scan: discretization
+	// relaxation, then the intraoperative deformation) is one span with
+	// the convergence outcome attached.
+	_, span := obs.StartSpan(ctx, "surface.evolve")
+	span.SetAttr("vertices", s.NumVerts())
 	cur := s.Clone()
 	initial := append([]geom.Vec3(nil), s.Verts...)
 	neighbors := cur.VertexNeighbors()
@@ -172,6 +178,8 @@ func EvolveContext(ctx context.Context, s *mesh.TriMesh, force ForceField, opts 
 	res := &Result{}
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
+			span.SetAttr("iterations", res.Iterations)
+			span.End(err)
 			return nil, err
 		}
 		res.Iterations = iter + 1
@@ -233,6 +241,11 @@ func EvolveContext(ctx context.Context, s *mesh.TriMesh, force ForceField, opts 
 		}
 	}
 	res.MeanDisp = sum / float64(len(cur.Verts))
+	span.SetAttr("iterations", res.Iterations)
+	span.SetAttr("converged", res.Converged)
+	span.SetAttr("mean_disp_mm", res.MeanDisp)
+	span.SetAttr("max_disp_mm", res.MaxDisp)
+	span.End(nil)
 	return res, nil
 }
 

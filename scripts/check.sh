@@ -1,7 +1,7 @@
 #!/bin/sh
 # Repository check: build + vet everything, run the full test suite,
 # and run the concurrency-sensitive packages (pipeline cancellation,
-# registration service) under the race detector.
+# registration service, telemetry) under the race detector.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -11,6 +11,6 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race ./internal/core/... ./internal/service/..."
-go test -race ./internal/core/... ./internal/service/...
+echo "== go test -race ./internal/core/... ./internal/service/... ./internal/obs/..."
+go test -race ./internal/core/... ./internal/service/... ./internal/obs/...
 echo "== OK"
