@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test lint check bench
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# Full gate: build + vet + tests, plus the concurrency-sensitive
-# packages (pipeline cancellation, registration service) under -race.
+# Project-native static analysis: the simlint suite (see internal/lint)
+# enforcing the pipeline's context-plumbing, span-pairing,
+# error-wrapping, float-comparison, and hot-path allocation invariants.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+# Full gate: gofmt + build + vet + simlint + tests, plus the
+# concurrency-sensitive packages (pipeline cancellation, registration
+# service, telemetry, FEM, par, classify) under -race.
 check:
 	sh scripts/check.sh
 

@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -151,7 +152,11 @@ func run(o cliOptions) error {
 		mux.Handle("/metrics", reg.Handler())
 		obs.RegisterPprof(mux)
 		srv := &http.Server{Addr: o.adminAddr, Handler: mux}
-		go func() { _ = srv.ListenAndServe() }()
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "brainsim: admin server:", err)
+			}
+		}()
 		defer srv.Close()
 		fmt.Printf("admin surface on http://%s/metrics (pprof under /debug/pprof/)\n", o.adminAddr)
 	}

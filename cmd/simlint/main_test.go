@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestMatchesAny(t *testing.T) {
+	for _, tc := range []struct {
+		rel      string
+		patterns []string
+		want     bool
+	}{
+		{"internal/fem", []string{"./..."}, true},
+		{"", []string{"./..."}, true},
+		{"internal/fem", []string{"./internal/..."}, true},
+		{"internal/fem", []string{"internal/..."}, true},
+		{"internal/fem/sub", []string{"./internal/fem/..."}, true},
+		{"internal/fem", []string{"./internal/fem"}, true},
+		{"internal/femur", []string{"./internal/fem/..."}, false},
+		{"internal/fem", []string{"./internal/solver"}, false},
+		{"cmd/simlint", []string{"./internal/...", "./cmd/..."}, true},
+	} {
+		if got := matchesAny(tc.rel, tc.patterns); got != tc.want {
+			t.Errorf("matchesAny(%q, %v) = %v, want %v", tc.rel, tc.patterns, got, tc.want)
+		}
+	}
+}

@@ -190,8 +190,12 @@ func (c *Classifier) ClassifyKDContext(ctx context.Context, channels []*volume.S
 		}
 		launched++
 		go func(w, lo, hi int) {
-			// Batch spans mirror ClassifyContext's (see knn.go).
-			_, span := obs.StartSpan(ctx, "knn.batch")
+			defer func() { done <- nil }()
+			// Batch spans mirror ClassifyContext's (see knn.go). LIFO
+			// defers end the span before the done send unblocks the
+			// caller.
+			_, span := obs.StartSpan(ctx, obs.SpanKNNBatch)
+			defer func() { span.End(ctx.Err()) }()
 			span.SetAttr("worker", w)
 			span.SetAttr("voxels", hi-lo)
 			span.SetAttr("kdtree", true)
@@ -206,8 +210,6 @@ func (c *Classifier) ClassifyKDContext(ctx context.Context, channels []*volume.S
 				tree.Nearest(feat, bestD, bestL)
 				out.Data[idx] = vote(bestL, bestD)
 			}
-			span.End(ctx.Err())
-			done <- nil
 		}(w, lo, hi)
 	}
 	for i := 0; i < launched; i++ {

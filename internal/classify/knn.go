@@ -75,10 +75,19 @@ func validateChannels(channels []*volume.Scalar) error {
 	return nil
 }
 
-// SamplePrototypes draws up to perClass prototype voxels for every label
-// present in labels (excluding classes in skip), reading their feature
-// vectors from channels. Sampling is deterministic for a given seed.
+// SamplePrototypes draws prototypes with a background context; see
+// SamplePrototypesContext.
 func SamplePrototypes(labels *volume.Labels, channels []*volume.Scalar,
+	perClass int, seed int64, skip ...volume.Label) ([]Prototype, error) {
+	return SamplePrototypesContext(context.Background(), labels, channels, perClass, seed, skip...)
+}
+
+// SamplePrototypesContext draws up to perClass prototype voxels for
+// every label present in labels (excluding classes in skip), reading
+// their feature vectors from channels. Sampling is deterministic for a
+// given seed. The per-voxel class census polls the context; a cancelled
+// context aborts the sampling and returns ctx.Err().
+func SamplePrototypesContext(ctx context.Context, labels *volume.Labels, channels []*volume.Scalar,
 	perClass int, seed int64, skip ...volume.Label) ([]Prototype, error) {
 	if err := validateChannels(channels); err != nil {
 		return nil, err
@@ -94,6 +103,9 @@ func SamplePrototypes(labels *volume.Labels, channels []*volume.Scalar,
 	rng := rand.New(rand.NewSource(seed))
 	byClass := map[volume.Label][]int{}
 	for idx, lab := range labels.Data {
+		if idx&ctxCheckMask == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if skipSet[lab] {
 			continue
 		}
@@ -131,16 +143,26 @@ func SamplePrototypes(labels *volume.Labels, channels []*volume.Scalar,
 	return protos, nil
 }
 
-// RefreshFeatures re-reads every prototype's feature vector from a new
-// set of channel volumes at the recorded voxel locations — the paper's
-// automatic statistical model update for subsequent intraoperative
-// scans.
+// RefreshFeatures refreshes the prototype features with a background
+// context; see RefreshFeaturesContext.
 func (c *Classifier) RefreshFeatures(channels []*volume.Scalar) error {
+	return c.RefreshFeaturesContext(context.Background(), channels)
+}
+
+// RefreshFeaturesContext re-reads every prototype's feature vector from
+// a new set of channel volumes at the recorded voxel locations — the
+// paper's automatic statistical model update for subsequent
+// intraoperative scans. A cancelled context aborts the refresh and
+// returns ctx.Err().
+func (c *Classifier) RefreshFeaturesContext(ctx context.Context, channels []*volume.Scalar) error {
 	if err := validateChannels(channels); err != nil {
 		return err
 	}
 	n := channels[0].Grid.Len()
 	for i := range c.Prototypes {
+		if i&ctxCheckMask == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		p := &c.Prototypes[i]
 		if p.VoxelIndex < 0 || p.VoxelIndex >= n {
 			return fmt.Errorf("classify: prototype %d voxel index %d out of range", i, p.VoxelIndex)
@@ -162,8 +184,18 @@ func (c *Classifier) RefreshFeatures(channels []*volume.Scalar) error {
 // the statistical model; a human expert would simply not pick them. At
 // least minKeep prototypes per class are always retained (the nearest
 // to the median), so a class can never vanish from the model.
+//
+// RefreshFeaturesRobust runs with a background context; see
+// RefreshFeaturesRobustContext.
 func (c *Classifier) RefreshFeaturesRobust(channels []*volume.Scalar, maxDev float64, minKeep int) error {
-	if err := c.RefreshFeatures(channels); err != nil {
+	return c.RefreshFeaturesRobustContext(context.Background(), channels, maxDev, minKeep)
+}
+
+// RefreshFeaturesRobustContext is RefreshFeaturesRobust bounded by a
+// context: cancellation aborts during the underlying refresh and
+// between per-class outlier passes, returning ctx.Err().
+func (c *Classifier) RefreshFeaturesRobustContext(ctx context.Context, channels []*volume.Scalar, maxDev float64, minKeep int) error {
+	if err := c.RefreshFeaturesContext(ctx, channels); err != nil {
 		return err
 	}
 	if maxDev <= 0 {
@@ -178,6 +210,9 @@ func (c *Classifier) RefreshFeaturesRobust(channels []*volume.Scalar, maxDev flo
 	}
 	drop := make([]bool, len(c.Prototypes))
 	for _, idxs := range byClass {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		vals := make([]float64, len(idxs))
 		for k, i := range idxs {
 			vals[k] = c.Prototypes[i].Features[0]
@@ -312,7 +347,10 @@ func (c *Classifier) ClassifyContext(ctx context.Context, channels []*volume.Sca
 			defer wg.Done()
 			// One span per worker batch: the k-NN sweep is the pipeline's
 			// per-voxel hot loop, so batch spans expose straggler workers.
-			_, span := obs.StartSpan(ctx, "knn.batch")
+			// The deferred End records ctx.Err() — nil on a completed
+			// batch, the cancellation cause on an aborted one.
+			_, span := obs.StartSpan(ctx, obs.SpanKNNBatch)
+			defer func() { span.End(ctx.Err()) }()
 			span.SetAttr("worker", w)
 			span.SetAttr("voxels", hi-lo)
 			feat := make([]float64, nc)
@@ -320,14 +358,12 @@ func (c *Classifier) ClassifyContext(ctx context.Context, channels []*volume.Sca
 			bestL := make([]volume.Label, k)
 			for idx := lo; idx < hi; idx++ {
 				if idx&ctxCheckMask == 0 && ctx.Err() != nil {
-					span.End(ctx.Err())
 					return
 				}
 				channelsToFeatures(channels, idx, feat)
 				c.nearest(feat, weights, k, bestD, bestL)
 				out.Data[idx] = vote(bestL, bestD)
 			}
-			span.End(nil)
 		}(w, lo, hi)
 	}
 	wg.Wait()

@@ -91,6 +91,6 @@ func (m multiObserver) StageCounters(stage string, snap par.Snapshot) {
 // can call the hooks unconditionally.
 type nopObserver struct{}
 
-func (nopObserver) StageStart(string)                       {}
-func (nopObserver) StageDone(string, time.Duration, error)  {}
-func (nopObserver) StageCounters(string, par.Snapshot)      {}
+func (nopObserver) StageStart(string)                      {}
+func (nopObserver) StageDone(string, time.Duration, error) {}
+func (nopObserver) StageCounters(string, par.Snapshot)     {}

@@ -282,12 +282,14 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 		return nil, nil, fmt.Errorf("core: preop scan %v and labels %v differ in shape",
 			preop.Grid, preopLabels.Grid)
 	}
-	ctx, runSpan := obs.StartSpan(ctx, "pipeline.run")
+	ctx, runSpan := obs.StartSpan(ctx, obs.SpanPipelineRun)
+	var runErr error
+	defer func() { runSpan.End(runErr) }()
 	res, cl, err := p.runStages(ctx, preop, preopLabels, intraop, cl)
 	if res != nil {
 		runSpan.SetAttr("degraded", res.Degraded)
 	}
-	runSpan.End(err)
+	runErr = err
 	return res, cl, err
 }
 
@@ -308,16 +310,19 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 			return &StageError{Stage: name, Err: err}
 		}
 		sctx, span := obs.StartSpan(ctx, name)
+		// The span carries the raw stage error (the StageError wrap is
+		// for callers); the deferred End survives a panicking stage body.
+		var ferr error
+		defer func() { span.End(ferr) }()
 		span.SetAttr("kind", "stage")
 		ob.StageStart(name)
 		t0 := time.Now()
-		err := fn(sctx)
+		ferr = fn(sctx)
 		elapsed := time.Since(t0)
 		res.Timings = append(res.Timings, StageTiming{Name: name, Elapsed: elapsed})
-		ob.StageDone(name, elapsed, err)
-		span.End(err)
-		if err != nil {
-			return &StageError{Stage: name, Err: err}
+		ob.StageDone(name, elapsed, ferr)
+		if ferr != nil {
+			return &StageError{Stage: name, Err: ferr}
 		}
 		return nil
 	}
@@ -371,7 +376,7 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 			// being classified: read intensity from the aligned preop
 			// scan at the prototype voxels, localization channels as-is.
 			protoChannels := []*volume.Scalar{alignedPreop, channels[1], channels[2], channels[3]}
-			protos, err := classify.SamplePrototypes(alignedLabels, protoChannels,
+			protos, err := classify.SamplePrototypesContext(ctx, alignedLabels, protoChannels,
 				cfg.PrototypesPerClass, cfg.Seed)
 			if err != nil {
 				return err
@@ -388,7 +393,7 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 			// (the paper's model-refresh mechanism). Prototypes whose
 			// tissue changed between scans (resection, shift gap) are
 			// rejected as per-class outliers.
-			if err := cl.RefreshFeaturesRobust(channels, 4, 5); err != nil {
+			if err := cl.RefreshFeaturesRobustContext(ctx, channels, 4, 5); err != nil {
 				return err
 			}
 			cl.Workers = cfg.Ranks

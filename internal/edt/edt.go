@@ -30,6 +30,8 @@ const inf = 1e20
 // lower envelope of parabolas. The result is written into d, which must
 // have the same length as f. v and z are scratch slices of length n and
 // n+1 respectively.
+//
+//lint:hotpath
 func distanceTransform1D(f, d []float64, v []int, z []float64, spacing float64) {
 	n := len(f)
 	if n == 0 {
@@ -157,7 +159,6 @@ func Saturated(l *volume.Labels, class volume.Label, saturation float64) *volume
 		if v > sat {
 			s.Data[i] = sat
 		}
-		_ = v
 	}
 	return s
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mesh"
+	"repro/internal/numeric"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sparse"
@@ -20,6 +21,8 @@ import (
 //
 // where g_a is the gradient of shape function a (constant over the
 // element) — the closed form of B^T D B for isotropic elasticity.
+//
+//lint:hotpath
 func elementStiffness(t geom.Tet, mat Material) ([4][4][3][3]float64, error) {
 	var k [4][4][3][3]float64
 	sc, err := t.Shape()
@@ -84,12 +87,12 @@ func (s *System) DOFPartition() par.Partition {
 	return par.Partition{N: pt.N * 3, P: pt.P, Starts: starts}
 }
 
-// Assemble builds the global stiffness matrix in parallel across the
-// node partition. Each rank assembles the matrix rows of the nodes it
-// owns; an element spanning nodes of several ranks is visited by each
-// of them (this duplicated element work, plus the varying node
-// connectivity, is the paper's assembly load imbalance — it emerges
-// from the data rather than being injected).
+// Assemble builds the global stiffness matrix with a background
+// context; see AssembleContext. Each rank assembles the matrix rows of
+// the nodes it owns; an element spanning nodes of several ranks is
+// visited by each of them (this duplicated element work, plus the
+// varying node connectivity, is the paper's assembly load imbalance —
+// it emerges from the data rather than being injected).
 func Assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 	return AssembleContext(context.Background(), m, mats, pt)
 }
@@ -100,9 +103,10 @@ func Assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 // quantities the paper's load-balance discussion revolves around. The
 // assembly itself is not cancellable (it is one bounded bulk-synchronous
 // phase; the surrounding stage checks the context).
-func AssembleContext(ctx context.Context, m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
-	_, span := obs.StartSpan(ctx, "fem.assemble")
-	sys, err := assemble(m, mats, pt)
+func AssembleContext(ctx context.Context, m *mesh.Mesh, mats Table, pt par.Partition) (sys *System, err error) {
+	_, span := obs.StartSpan(ctx, obs.SpanFEMAssemble)
+	defer func() { span.End(err) }()
+	sys, err = assemble(m, mats, pt)
 	if err == nil {
 		snap := sys.Assembly.Snapshot()
 		span.SetAttr("ranks", snap.Ranks)
@@ -112,7 +116,6 @@ func AssembleContext(ctx context.Context, m *mesh.Mesh, mats Table, pt par.Parti
 		span.SetAttr("elements", m.NumTets())
 		span.SetAttr("nodes", m.NumNodes())
 	}
-	span.End(err)
 	return sys, err
 }
 
@@ -176,7 +179,7 @@ func assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 					for i := 0; i < 3; i++ {
 						for j := 0; j < 3; j++ {
 							v := ke[a][bn][i][j]
-							if v != 0 {
+							if numeric.NonZero(v) {
 								b.Add(3*na+i, 3*nb+j, v)
 							}
 						}
@@ -219,6 +222,8 @@ func assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 // remaining equations ("substituting known values for equations in the
 // original system", as the paper puts it). The stiffness matrix is
 // rebuilt; call once with all conditions.
+//
+//lint:ignore ctxflow one bounded rebuild pass over the matrix rows; the enclosing stage polls the context
 func (s *System) ApplyDirichlet(bc map[int32]geom.Vec3) error {
 	if len(bc) == 0 {
 		return fmt.Errorf("fem: no boundary conditions given; system would be singular")

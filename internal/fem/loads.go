@@ -15,6 +15,8 @@ import (
 // the volume-force term of the paper's equation 1.
 //
 // Call before ApplyDirichlet, like all load assembly.
+//
+//lint:ignore ctxflow one bounded accumulation pass over the elements; load assembly runs inside a context-checked stage
 func (s *System) AddBodyForce(f geom.Vec3, filter func(e int) bool) error {
 	for _, c := range s.Constrained {
 		if c {
@@ -62,6 +64,8 @@ type ElementStress [6]float64
 
 // Strains computes the (constant) strain of every element from the
 // nodal displacement field.
+//
+//lint:ignore ctxflow one bounded post-processing pass over the elements, far cheaper than the solve that precedes it
 func (s *System) Strains(nodeU []geom.Vec3) ([]ElementStrain, error) {
 	if len(nodeU) != s.Mesh.NumNodes() {
 		return nil, fmt.Errorf("fem: %d displacements for %d nodes", len(nodeU), s.Mesh.NumNodes())
@@ -92,6 +96,8 @@ func (s *System) Strains(nodeU []geom.Vec3) ([]ElementStrain, error) {
 // Stresses converts element strains to stresses through each element's
 // constitutive matrix (sigma = D epsilon for isotropic linear
 // elasticity).
+//
+//lint:ignore ctxflow one bounded post-processing pass over the elements, far cheaper than the solve that precedes it
 func (s *System) Stresses(strains []ElementStrain, mats Table) ([]ElementStress, error) {
 	if len(strains) != s.Mesh.NumTets() {
 		return nil, fmt.Errorf("fem: %d strains for %d elements", len(strains), s.Mesh.NumTets())

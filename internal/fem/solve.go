@@ -53,14 +53,15 @@ func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveR
 	}
 	// The solve span parents the GMRES restart-cycle spans, so a trace
 	// nests stage → fem.solve → gmres.cycle.
-	ctx, span := obs.StartSpan(ctx, "fem.solve")
+	ctx, span := obs.StartSpan(ctx, obs.SpanFEMSolve)
+	var serr error
+	defer func() { span.End(serr) }()
 	span.SetAttr("dofs", s.NumDOF)
 	pcStart := time.Now()
 	pc, err := solver.NewBlockJacobiILU0(s.K, opts.Partition)
 	if err != nil {
-		err = fmt.Errorf("fem: preconditioner setup: %w", err)
-		span.End(err)
-		return nil, err
+		serr = fmt.Errorf("fem: preconditioner setup: %w", err)
+		return nil, serr
 	}
 	pcTime := time.Since(pcStart)
 	span.SetAttr("pc_setup_ms", float64(pcTime)/float64(time.Millisecond))
@@ -70,11 +71,9 @@ func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveR
 	span.SetAttr("converged", stats.Converged)
 	span.SetAttr("final_rel_residual", stats.FinalResRel)
 	if err != nil {
-		err = fmt.Errorf("fem: solve: %w", err)
-		span.End(err)
-		return nil, err
+		serr = fmt.Errorf("fem: solve: %w", err)
+		return nil, serr
 	}
-	span.End(nil)
 	return &SolveResult{
 		U:           u,
 		NodeU:       s.NodeDisplacements(u),

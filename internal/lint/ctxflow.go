@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ctxflowScope lists the packages whose exported surface must be
+// cancellable: the pipeline stages and everything they call into that
+// does per-voxel / per-element / per-iteration work.
+var ctxflowScope = []string{
+	"internal/core",
+	"internal/fem",
+	"internal/solver",
+	"internal/classify",
+	"internal/surface",
+	"internal/service",
+}
+
+// ctxflow enforces the context-plumbing invariant from PR 1: inside
+// the pipeline packages, exported functions that contain loops (the
+// statically detectable marker of unbounded work) and can report an
+// error must accept a context.Context as their first parameter so
+// callers can cancel them — a function that cannot return an error
+// cannot honour cancellation, so pure accessors and formatters are out
+// of scope. Fresh root contexts may not be minted mid-stack.
+type ctxflow struct{}
+
+func (ctxflow) Name() string { return "ctxflow" }
+
+func (ctxflow) Doc() string {
+	return "exported error-returning functions containing loops in the pipeline " +
+		"packages (core, fem, solver, classify, surface, service) must take a " +
+		"context.Context first parameter; context.Background()/TODO() are forbidden " +
+		"there outside the documented background-context compat wrappers and " +
+		"nil-context defaulting"
+}
+
+func (c ctxflow) Run(pkg *Package) []Finding {
+	if !inScope(pkg.RelPath, ctxflowScope) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, c.checkDecl(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+func (c ctxflow) checkDecl(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	if fd.Name.IsExported() && containsLoop(fd.Body) && returnsError(pkg, fd.Type) &&
+		!firstParamIsContext(pkg, fd.Type) && !isFormattingMethod(fd) &&
+		!docHas(fd, "background context") {
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(fd.Name.Pos()),
+			Analyzer: "ctxflow",
+			Msg: "exported function " + fd.Name.Name + " contains loops and returns an " +
+				"error but does not take a context.Context first parameter",
+		})
+	}
+	// A documented compat wrapper ("... with a background context; see
+	// FooContext") is the one place a root context may be created.
+	wrapper := docHas(fd, "background context")
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		name := ""
+		switch {
+		case isFuncNamed(fn, "context", "Background"):
+			name = "context.Background"
+		case isFuncNamed(fn, "context", "TODO"):
+			name = "context.TODO"
+		default:
+			return true
+		}
+		if wrapper || nilGuardDefault(fd.Body, call) {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(call.Pos()),
+			Analyzer: "ctxflow",
+			Msg: name + "() forbidden here: accept and propagate the caller's context " +
+				"(or document the function as a background-context compat wrapper)",
+		})
+		return true
+	})
+	return out
+}
+
+// returnsError reports whether any of the function's results
+// implements error.
+func returnsError(pkg *Package, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		t := pkg.Info.Types[field.Type].Type
+		if implementsError(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFormattingMethod exempts fmt.Stringer / error implementations:
+// their bounded formatting loops are not cancellable work.
+func isFormattingMethod(fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "String" && fd.Name.Name != "Error" {
+		return false
+	}
+	return fd.Type.Params.NumFields() == 0 && fd.Type.Results.NumFields() == 1
+}
+
+// nilGuardDefault reports whether the Background() call is the
+// accepted nil-context defaulting idiom:
+//
+//	if ctx == nil {
+//	    ctx = context.Background()
+//	}
+//
+// i.e. an assignment inside an if whose condition nil-checks the same
+// variable being assigned.
+func nilGuardDefault(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		condIdent, ok := ast.Unparen(cond.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(cond.Y).(*ast.Ident); !ok || id.Name != "nil" {
+			return true
+		}
+		for _, st := range ifs.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name != condIdent.Name {
+				continue
+			}
+			if as.Rhs[0] == call {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

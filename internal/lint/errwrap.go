@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errwrap enforces the error-handling conventions: an error folded
+// into fmt.Errorf must be wrapped with %w (so errors.Is/As — and the
+// pipeline's StageError unwrapping — see through it), and error
+// results may not be silently discarded, neither by `_ =` nor by a
+// bare call statement. Deferred calls are exempt (the defer-Close
+// idiom); so are writers whose error is dead or deferred by contract:
+// fmt printing to stdout/stderr, strings.Builder and bytes.Buffer
+// (never fail), and bufio.Writer (the first error is latched and
+// surfaced by Flush, which the analyzer still requires handling).
+type errwrap struct{}
+
+func (errwrap) Name() string { return "errwrap" }
+
+func (errwrap) Doc() string {
+	return "fmt.Errorf with an error operand must use %w; discarding an " +
+		"error-returning call via `_ =`, a bare call statement, or a direct " +
+		"`go` statement is forbidden (defers and never-failing writers exempt)"
+}
+
+func (e errwrap) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				out = append(out, e.checkErrorf(pkg, st)...)
+			case *ast.AssignStmt:
+				out = append(out, e.checkBlankAssign(pkg, st)...)
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					out = append(out, e.checkDiscardedCall(pkg, call, "result of")...)
+				}
+			case *ast.GoStmt:
+				out = append(out, e.checkDiscardedCall(pkg, st.Call, "result of goroutine call")...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrorf flags fmt.Errorf calls that interpolate an error value
+// without %w.
+func (errwrap) checkErrorf(pkg *Package, call *ast.CallExpr) []Finding {
+	if !isFuncNamed(calleeFunc(pkg, call), "fmt", "Errorf") || len(call.Args) < 2 {
+		return nil
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return nil
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return nil
+	}
+	for _, arg := range call.Args[1:] {
+		t := pkg.Info.Types[arg].Type
+		if t != nil && types.Implements(t, errorIface) {
+			return []Finding{{
+				Pos:      pkg.Fset.Position(arg.Pos()),
+				Analyzer: "errwrap",
+				Msg:      "error operand of fmt.Errorf formatted without %w; wrap it so errors.Is/As see the cause",
+			}}
+		}
+	}
+	return nil
+}
+
+// checkBlankAssign flags `_ = expr` (all-blank LHS) where the
+// discarded value is or contains an error.
+func (e errwrap) checkBlankAssign(pkg *Package, as *ast.AssignStmt) []Finding {
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return nil
+		}
+	}
+	var out []Finding
+	for _, rhs := range as.Rhs {
+		discardsError := false
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			discardsError = resultsIncludeError(pkg, call) && !neverFails(pkg, call)
+		} else if t := pkg.Info.Types[rhs].Type; t != nil && types.Implements(t, errorIface) {
+			discardsError = true
+		}
+		if discardsError {
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(rhs.Pos()),
+				Analyzer: "errwrap",
+				Msg:      "error discarded with _ =; handle it or //lint:ignore with a reason",
+			})
+		}
+	}
+	return out
+}
+
+// checkDiscardedCall flags a call statement whose error result
+// vanishes.
+func (e errwrap) checkDiscardedCall(pkg *Package, call *ast.CallExpr, what string) []Finding {
+	if !resultsIncludeError(pkg, call) || neverFails(pkg, call) {
+		return nil
+	}
+	return []Finding{{
+		Pos:      pkg.Fset.Position(call.Pos()),
+		Analyzer: "errwrap",
+		Msg:      "error " + what + " call discarded; handle it or //lint:ignore with a reason",
+	}}
+}
+
+// neverFails whitelists calls whose error result is dead or deferred by
+// contract: fmt printing to stdout, fmt.Fprint* into a benign writer,
+// and the strings.Builder / bytes.Buffer / bufio.Writer write methods.
+// strings.Builder and bytes.Buffer are documented to always return a
+// nil error; bufio.Writer latches its first error and reports it from
+// Flush, whose result this analyzer does require handling — except
+// Flush on the never-failing in-memory writers below.
+func neverFails(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return false
+	}
+	switch {
+	case isFuncNamed(fn, "fmt", "Print"), isFuncNamed(fn, "fmt", "Printf"), isFuncNamed(fn, "fmt", "Println"):
+		return true
+	case isFuncNamed(fn, "fmt", "Fprint"), isFuncNamed(fn, "fmt", "Fprintf"), isFuncNamed(fn, "fmt", "Fprintln"):
+		if len(call.Args) == 0 {
+			return false
+		}
+		return benignWriter(pkg, call.Args[0]) || isStdStream(pkg, call.Args[0])
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		switch recv.Type().String() {
+		case "*strings.Builder", "*bytes.Buffer":
+			return true
+		case "*bufio.Writer":
+			// All methods but Flush defer their error to Flush.
+			return fn.Name() != "Flush"
+		}
+	}
+	return false
+}
+
+// benignWriter reports whether the expression's static type is a writer
+// that cannot fail (in-memory) or defers its error to a later,
+// checkable Flush (bufio).
+func benignWriter(pkg *Package, expr ast.Expr) bool {
+	t := pkg.Info.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	switch t.String() {
+	case "*strings.Builder", "*bytes.Buffer", "*bufio.Writer":
+		return true
+	}
+	return false
+}
+
+// isStdStream matches the os.Stdout / os.Stderr package variables.
+func isStdStream(pkg *Package, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}

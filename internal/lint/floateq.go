@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floateqScope lists the numerical kernels: the packages whose float
+// arithmetic decides whether the solve inside the paper's 77 s
+// intraoperative budget converges, and where a raw == is either an
+// unstated tolerance or an unstated exact-zero guard.
+var floateqScope = []string{
+	"internal/fem",
+	"internal/solver",
+	"internal/sparse",
+	"internal/edt",
+	"internal/mesh",
+}
+
+// floateq forbids ==/!= between floating-point operands in the
+// numerical kernels. Tolerance comparisons must go through
+// internal/numeric (EqAbs/EqRel); semantic exact-zero tests (division
+// guards, sparsity checks) must be spelled numeric.Zero / numeric.
+// NonZero so the exactness is visibly deliberate.
+type floateq struct{}
+
+func (floateq) Name() string { return "floateq" }
+
+func (floateq) Doc() string {
+	return "no ==/!= between floating-point operands in the numerical kernels " +
+		"(fem, solver, sparse, edt, mesh): use numeric.EqAbs/EqRel for tolerance " +
+		"comparisons and numeric.Zero/NonZero for deliberate exact-zero guards"
+}
+
+func (floateq) Run(pkg *Package) []Finding {
+	if !inScope(pkg.RelPath, floateqScope) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg, be.X) || !isFloat(pkg, be.Y) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(be.OpPos),
+				Analyzer: "floateq",
+				Msg: "floating-point " + be.Op.String() + " comparison; use numeric.EqAbs/EqRel " +
+					"(tolerance) or numeric.Zero/NonZero (deliberate exact-zero guard)",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether the expression's type is (or defaults to) a
+// floating-point type.
+func isFloat(pkg *Package, expr ast.Expr) bool {
+	t := pkg.Info.Types[expr].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}

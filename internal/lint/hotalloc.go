@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotalloc guards the annotated hot paths — the kernels the paper's
+// real-time budget hangs on (CSR SpMV, the GMRES cycle, element
+// stiffness assembly, the EDT scans). A function carrying the
+// //lint:hotpath directive may not, inside its innermost loops,
+// allocate via fmt formatting, make, or append, nor box values into
+// interfaces: each of those turns an O(1) loop body into a
+// garbage-collected one.
+type hotalloc struct{}
+
+func (hotalloc) Name() string { return "hotalloc" }
+
+func (hotalloc) Doc() string {
+	return "functions annotated //lint:hotpath may not call fmt formatters, make, " +
+		"append, or convert to interface types inside their innermost loops"
+}
+
+func (h hotalloc) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			if fd.Body == nil || !containsLoop(fd.Body) {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(fd.Name.Pos()),
+					Analyzer: "hotalloc",
+					Msg:      "//lint:hotpath on a function without loops; drop the stale annotation",
+				})
+				continue
+			}
+			for _, loop := range innermostLoops(fd.Body) {
+				out = append(out, h.checkLoop(pkg, loop)...)
+			}
+		}
+	}
+	return out
+}
+
+// innermostLoops returns the loops in the subtree that contain no
+// nested loop (the bodies where per-iteration cost is multiplied by
+// the full trip count of every enclosing loop).
+func innermostLoops(body ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		var inner ast.Node
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			inner = l.Body
+		case *ast.RangeStmt:
+			inner = l.Body
+		default:
+			return true
+		}
+		if !containsLoop(inner) {
+			out = append(out, inner)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func (hotalloc) checkLoop(pkg *Package, loop ast.Node) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: pkg.Fset.Position(n.Pos()), Analyzer: "hotalloc", Msg: msg})
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Builtins and conversions.
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[fun]; obj != nil {
+				if b, ok := obj.(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						flag(call, "make inside the innermost loop of a //lint:hotpath function allocates per iteration; hoist the buffer")
+					case "append":
+						flag(call, "append inside the innermost loop of a //lint:hotpath function grows per iteration; preallocate outside the loop")
+					}
+					return true
+				}
+			}
+		}
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+				if at := pkg.Info.Types[call.Args[0]].Type; at != nil {
+					if _, already := at.Underlying().(*types.Interface); !already {
+						flag(call, "conversion to an interface type boxes the value on every iteration of a //lint:hotpath innermost loop")
+					}
+				}
+			}
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		for _, name := range [...]string{"Sprintf", "Sprint", "Sprintln", "Errorf"} {
+			if isFuncNamed(fn, "fmt", name) {
+				flag(call, "fmt."+name+" inside the innermost loop of a //lint:hotpath function allocates per iteration")
+			}
+		}
+		return true
+	})
+	return out
+}

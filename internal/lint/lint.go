@@ -1,0 +1,104 @@
+// Package lint is the project-native static-analysis framework behind
+// cmd/simlint. It loads the module's packages with full type
+// information using only the standard library (go/parser + go/types,
+// with stdlib dependencies type-checked from source), runs a set of
+// Analyzers over them, and reports Findings.
+//
+// The analyzers are not generic style checks: each one mechanically
+// enforces an invariant this codebase's earlier PRs established by
+// convention — context plumbing through every long-running stage, span
+// open/close pairing around each kernel, %w error wrapping, tolerance-
+// based float comparison in the numerical kernels, and allocation-free
+// innermost loops on the annotated hot paths.
+//
+// Suppressions: a comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the same line as a finding, or on the line directly above it,
+// suppresses that analyzer's findings there. The reason is mandatory;
+// a missing reason or an unknown analyzer name is itself reported.
+// Functions may be annotated with the
+//
+//	//lint:hotpath
+//
+// directive, which opts their innermost loops into the hotalloc
+// analyzer's allocation checks.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+// String formats the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Msg)
+}
+
+// An Analyzer checks one invariant over a type-checked package.
+type Analyzer interface {
+	// Name is the analyzer's identifier, used in findings and in
+	// //lint:ignore directives.
+	Name() string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc() string
+	// Run reports the analyzer's findings in pkg.
+	Run(pkg *Package) []Finding
+}
+
+// Analyzers returns the full simlint suite in stable order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		ctxflow{},
+		spanend{},
+		errwrap{},
+		floateq{},
+		hotalloc{},
+	}
+}
+
+// Run executes every analyzer over every package, applies //lint:ignore
+// suppressions, and returns the surviving findings sorted by position.
+// Malformed suppression directives are reported under the "lint"
+// pseudo-analyzer and cannot themselves be suppressed.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup, diags := suppressions(pkg, known)
+		out = append(out, diags...)
+		for _, a := range analyzers {
+			for _, f := range a.Run(pkg) {
+				if !sup.covers(a.Name(), f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

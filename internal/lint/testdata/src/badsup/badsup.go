@@ -1,0 +1,26 @@
+// Package badsup exercises the lint pseudo-analyzer: malformed
+// suppression directives are findings themselves, and a directive that
+// fails to parse suppresses nothing.
+package badsup
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+// Reasonless ignores are rejected.
+func Reasonless() {
+	//lint:ignore errwrap
+	_ = fail()
+}
+
+// Unknown analyzer names are rejected.
+func Unknown() {
+	//lint:ignore nosuchanalyzer the name is a typo
+	_ = fail()
+}
+
+// Typoed directive verbs are rejected.
+func Typo() {
+	//lint:ignroe errwrap the verb is a typo
+	_ = fail()
+}

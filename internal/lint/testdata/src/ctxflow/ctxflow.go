@@ -1,0 +1,87 @@
+// Package ctxfixture exercises the ctxflow analyzer. The test loads it
+// under the import path repro/internal/fem/ctxfixture, which places it
+// inside the analyzer's pipeline-package scope.
+package ctxfixture
+
+import (
+	"context"
+	"errors"
+)
+
+// Assemble loops and returns an error without taking a context.
+func Assemble(n int) error { // want ctxflow "does not take a context.Context first parameter"
+	for i := 0; i < n; i++ {
+		if i < 0 {
+			return errors.New("negative trip count")
+		}
+	}
+	return nil
+}
+
+// AssembleContext is the compliant form: context first, error out.
+func AssembleContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Solve runs the solve with a background context; see solveContext.
+func Solve(n int) error {
+	return solveContext(context.Background(), n)
+}
+
+// Refit mints a fresh root context mid-stack.
+func Refit(n int) error {
+	ctx := context.Background() // want ctxflow "forbidden here: accept and propagate"
+	return solveContext(ctx, n)
+}
+
+// Evolve defaults a nil context — the accepted guard idiom.
+func Evolve(ctx context.Context, n int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return solveContext(ctx, n)
+}
+
+// Census loops over the volume but is deliberately uncancellable.
+//
+//lint:ignore ctxflow fixture demonstrates an accepted suppression
+func Census(vals []float64) (int, error) {
+	n := 0
+	for range vals {
+		n++
+	}
+	return n, nil
+}
+
+// Count is exported and loops but cannot fail, so it is out of scope.
+func Count(vals []float64) int {
+	n := 0
+	for range vals {
+		n++
+	}
+	return n
+}
+
+// census is unexported: the invariant binds the exported surface only.
+func census(vals []float64) (int, error) {
+	n := 0
+	for range vals {
+		n++
+	}
+	return n, nil
+}
+
+func solveContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	_, err := census(nil)
+	return err
+}

@@ -1,0 +1,73 @@
+// Package errfixture exercises the errwrap analyzer: %w wrapping of
+// error operands and the ban on silently discarded error results.
+package errfixture
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+// WrapV folds the cause in with %v, hiding it from errors.Is/As.
+func WrapV(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want errwrap "formatted without %w"
+}
+
+// WrapW is the compliant wrapping.
+func WrapW(err error) error {
+	return fmt.Errorf("solve failed: %w", err)
+}
+
+// Blank discards an error with a blank assignment.
+func Blank() {
+	_ = fail() // want errwrap "error discarded with _ ="
+}
+
+// Bare drops the error of a bare call statement.
+func Bare() {
+	fail() // want errwrap "error result of call discarded"
+}
+
+// Goroutine drops the error of a direct go statement.
+func Goroutine() {
+	go fail() // want errwrap "goroutine call"
+}
+
+// Deferred is the accepted defer-Close idiom, which is exempt.
+func Deferred() {
+	defer fail()
+}
+
+// InMemory writes to writers that are documented never to fail.
+func InMemory() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", 1)
+	b.WriteString("x")
+	fmt.Println("done")
+	return b.String()
+}
+
+// Buffered defers write errors to Flush, whose result is handled.
+func Buffered() error {
+	bw := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(bw, "n=%d", 1)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// FlushDropped drops the error that bufio latched for Flush.
+func FlushDropped() {
+	bw := bufio.NewWriter(os.Stdout)
+	bw.WriteString("x")
+	bw.Flush() // want errwrap "error result of call discarded"
+}
+
+// Suppressed discards an error under an explicit waiver.
+func Suppressed() {
+	//lint:ignore errwrap fixture demonstrates an accepted suppression
+	_ = fail()
+}

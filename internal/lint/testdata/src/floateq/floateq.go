@@ -1,0 +1,30 @@
+// Package floatfixture exercises the floateq analyzer. The test loads
+// it under the import path repro/internal/solver/floatfixture, which
+// places it inside the analyzer's numerical-kernel scope.
+package floatfixture
+
+// Converged compares floats for exact equality.
+func Converged(a, b float64) bool {
+	return a == b // want floateq "floating-point == comparison"
+}
+
+// Residual tests a float against an untyped zero with !=.
+func Residual(r float64) bool {
+	return r != 0 // want floateq "floating-point != comparison"
+}
+
+// Narrow compares float32 operands: the rule covers every float width.
+func Narrow(a, b float32) bool {
+	return a == b // want floateq "floating-point == comparison"
+}
+
+// Iterations compares integers, which is fine.
+func Iterations(i, n int) bool {
+	return i == n
+}
+
+// Suppressed compares floats under an explicit waiver.
+func Suppressed(a, b float64) bool {
+	//lint:ignore floateq fixture demonstrates an accepted suppression
+	return a == b
+}

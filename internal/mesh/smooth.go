@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"repro/internal/geom"
+	"repro/internal/numeric"
 	"repro/internal/volume"
 )
 
@@ -69,7 +70,7 @@ func (m *Mesh) SnapToLevelSet(nodes []int32, phi *volume.Scalar, maxDist float64
 		}
 		p := m.Nodes[n]
 		d := phi.SampleWorld(p)
-		if d == 0 || d < -maxDist || d > maxDist {
+		if numeric.Zero(d) || d < -maxDist || d > maxDist {
 			continue
 		}
 		// Damped Newton walk to the zero level set: the trilinear

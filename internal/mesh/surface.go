@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/numeric"
 	"repro/internal/volume"
 )
 
@@ -212,7 +213,7 @@ func (s *TriMesh) Centroid() geom.Vec3 {
 		c = c.Add(mid.Scale(a))
 		total += a
 	}
-	if total == 0 {
+	if numeric.Zero(total) {
 		return geom.Vec3{}
 	}
 	return c.Scale(1 / total)

@@ -1,0 +1,44 @@
+// Package numeric holds the shared floating-point comparison helpers
+// for the numerical kernels (FEM assembly, GMRES, the sparse and EDT
+// code). The simlint `floateq` analyzer forbids raw ==/!= between
+// floats inside those packages: an equality that is really a tolerance
+// test must say which tolerance, and an equality that is really an
+// exact-zero guard (a division guard, a sparsity test) must say so by
+// name. This package is the one place raw float equality is written.
+package numeric
+
+import "math"
+
+// EqAbs reports whether a and b differ by at most tol in absolute
+// terms. Use it when the scale of the quantity is known (voxel
+// spacings, residual norms already normalized by beta0).
+func EqAbs(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// EqRel reports whether a and b are equal within a mixed
+// absolute/relative tolerance: |a-b| <= tol*max(1, |a|, |b|). The
+// max(1, ...) floor makes the test behave absolutely near zero and
+// relatively for large magnitudes — the right default for stiffness
+// entries and element volumes whose scale varies with mesh resolution.
+func EqRel(a, b, tol float64) bool {
+	m := 1.0
+	if aa := math.Abs(a); aa > m {
+		m = aa
+	}
+	if ab := math.Abs(b); ab > m {
+		m = ab
+	}
+	return math.Abs(a-b) <= tol*m
+}
+
+// Zero reports whether x is exactly zero. It exists for the places
+// where exact equality is the semantics, not an approximation: skipping
+// structurally absent sparse entries, guarding a division, or testing
+// "has this accumulator ever been written". Spelling the guard
+// numeric.Zero(x) instead of x == 0 records that the exactness is
+// deliberate.
+func Zero(x float64) bool { return x == 0 }
+
+// NonZero reports whether x is exactly nonzero; see Zero.
+func NonZero(x float64) bool { return x != 0 }

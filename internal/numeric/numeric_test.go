@@ -1,0 +1,44 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqAbs(t *testing.T) {
+	if !EqAbs(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("EqAbs: nearby values not equal")
+	}
+	if EqAbs(1.0, 1.1, 1e-9) {
+		t.Error("EqAbs: distant values reported equal")
+	}
+	if !EqAbs(-3, -3, 0) {
+		t.Error("EqAbs: identical values must be equal at tol 0")
+	}
+}
+
+func TestEqRel(t *testing.T) {
+	// Near zero the floor makes the test absolute.
+	if !EqRel(0, 1e-12, 1e-9) {
+		t.Error("EqRel: tiny values near zero should compare equal")
+	}
+	// At large magnitude the test is relative.
+	if !EqRel(1e12, 1e12*(1+1e-10), 1e-9) {
+		t.Error("EqRel: relatively close large values should compare equal")
+	}
+	if EqRel(1e12, 1e12+1e6, 1e-9) {
+		t.Error("EqRel: relatively distant large values reported equal")
+	}
+}
+
+func TestZeroNonZero(t *testing.T) {
+	if !Zero(0) || Zero(math.SmallestNonzeroFloat64) {
+		t.Error("Zero must be an exact test")
+	}
+	if NonZero(0) || !NonZero(-0.5) {
+		t.Error("NonZero must be an exact test")
+	}
+	if !Zero(math.Copysign(0, -1)) {
+		t.Error("Zero must accept negative zero")
+	}
+}

@@ -1,8 +1,8 @@
 package obs
 
 import (
+	"bufio"
 	"fmt"
-	"io"
 	"math"
 	"sort"
 	"sync"
@@ -158,7 +158,7 @@ func (h *Histogram) Summary() HistSummary {
 
 // write renders the histogram in Prometheus text format: cumulative
 // _bucket series, then _sum and _count.
-func (h *Histogram) write(w io.Writer, name, labels string) {
+func (h *Histogram) write(w *bufio.Writer, name, labels string) {
 	h.mu.Lock()
 	bounds := h.bounds
 	counts := append([]uint64(nil), h.counts...)

@@ -20,6 +20,7 @@
 package obs
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"net/http"
@@ -39,7 +40,9 @@ type Label struct {
 type instrument interface {
 	// write renders the instrument in Prometheus text format. labels is
 	// the pre-rendered label body without braces ("" when unlabeled).
-	write(w io.Writer, name, labels string)
+	// The buffered writer latches any write error for the registry's
+	// final Flush, so instruments render unconditionally.
+	write(w *bufio.Writer, name, labels string)
 }
 
 // Counter is a monotonically increasing metric.
@@ -68,7 +71,7 @@ func (c *Counter) Value() float64 {
 	return c.v
 }
 
-func (c *Counter) write(w io.Writer, name, labels string) {
+func (c *Counter) write(w *bufio.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s%s %v\n", name, braces(labels), c.Value())
 }
 
@@ -109,7 +112,7 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-func (g *Gauge) write(w io.Writer, name, labels string) {
+func (g *Gauge) write(w *bufio.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s%s %v\n", name, braces(labels), g.Value())
 }
 
@@ -178,8 +181,10 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 }
 
 // WritePrometheus renders every registered instrument in the Prometheus
-// text exposition format, families sorted by name.
-func (r *Registry) WritePrometheus(w io.Writer) {
+// text exposition format, families sorted by name. Rendering is
+// buffered; the returned error is the first write error the underlying
+// writer reported.
+func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -187,10 +192,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	sort.Strings(names)
 	type entry struct {
-		name   string
-		f      *family
-		keys   []string
-		insts  []instrument
+		name  string
+		f     *family
+		keys  []string
+		insts []instrument
 	}
 	entries := make([]entry, 0, len(names))
 	for _, n := range names {
@@ -203,16 +208,19 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	r.mu.Unlock()
 	// Instruments lock individually; rendering outside the registry lock
-	// keeps a slow scrape from stalling metric updates.
+	// keeps a slow scrape from stalling metric updates. The bufio layer
+	// latches the first write error for the final Flush.
+	bw := bufio.NewWriter(w)
 	for _, e := range entries {
 		if e.f.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.f.help)
+			fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.f.help)
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.f.typ)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.f.typ)
 		for i, k := range e.keys {
-			e.insts[i].write(w, e.name, k)
+			e.insts[i].write(bw, e.name, k)
 		}
 	}
+	return bw.Flush()
 }
 
 // Handler returns an http.Handler serving the registry in Prometheus
@@ -220,7 +228,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w)
+		//lint:ignore errwrap a failed scrape write means the client went away; the handler has nothing to recover
+		_ = r.WritePrometheus(w)
 	})
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"math"
 	"strings"
 	"sync"
@@ -106,7 +107,11 @@ func TestHistogramBucketEdges(t *testing.T) {
 	h.Observe(2) // le="2"
 	h.Observe(3) // +Inf
 	var b strings.Builder
-	h.write(&b, "m", "")
+	bw := bufio.NewWriter(&b)
+	h.write(bw, "m", "")
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	out := b.String()
 	for _, want := range []string{
 		`m_bucket{le="1"} 1`,

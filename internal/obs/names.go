@@ -1,0 +1,46 @@
+package obs
+
+// The brainsim span vocabulary: every span name emitted by the
+// simulator's instrumentation, in one place. Pipeline stage spans use
+// the core.Stage* constants (the stage vocabulary of internal/core);
+// everything below a stage uses these names. Tooling that consumes the
+// JSONL trace stream — and the simlint `spanend` analyzer, which
+// rejects span-name literals outside this vocabulary — both key off
+// this list, so adding a span means adding its name here first.
+const (
+	// SpanPipelineRun is the root span of one intraoperative
+	// registration (parents the six stage spans).
+	SpanPipelineRun = "pipeline.run"
+	// SpanFEMAssemble covers the parallel element-stiffness assembly.
+	SpanFEMAssemble = "fem.assemble"
+	// SpanFEMSolve covers preconditioner setup plus the Krylov solve; it
+	// parents the per-cycle SpanGMRESCycle spans.
+	SpanFEMSolve = "fem.solve"
+	// SpanGMRESCycle is one GMRES restart cycle, with the entry/exit
+	// relative residuals (and, when recorded, the residual history of
+	// the cycle) attached.
+	SpanGMRESCycle = "gmres.cycle"
+	// SpanKNNBatch is one classification worker's voxel batch — the
+	// straggler-detection granule of the k-NN sweep.
+	SpanKNNBatch = "knn.batch"
+	// SpanSurfaceEvolve is one active-surface evolution with its
+	// convergence outcome attached.
+	SpanSurfaceEvolve = "surface.evolve"
+)
+
+// SpanNames maps each vocabulary span name to a one-line description,
+// for discoverability (simlint -list, dashboards, docs).
+var SpanNames = map[string]string{
+	SpanPipelineRun:   "root span of one intraoperative registration",
+	SpanFEMAssemble:   "parallel element-stiffness assembly",
+	SpanFEMSolve:      "preconditioner setup + Krylov solve",
+	SpanGMRESCycle:    "one GMRES restart cycle",
+	SpanKNNBatch:      "one k-NN classification worker batch",
+	SpanSurfaceEvolve: "one active-surface evolution",
+}
+
+// KnownSpanName reports whether name belongs to the span vocabulary.
+func KnownSpanName(name string) bool {
+	_, ok := SpanNames[name]
+	return ok
+}

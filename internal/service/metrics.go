@@ -98,18 +98,18 @@ type aggregator struct {
 	reg  *obs.Registry
 	coll *obs.StageCollector
 
-	mu                sync.Mutex
-	scans             int
-	failed            int
-	degraded          int
-	canceled          int
-	shed              int
-	notConverged      int
-	submitted         int
-	assemblyFlops     float64
-	imbalanceMax      float64
-	stageErrs         map[string]int
-	stageSeen         map[string]bool
+	mu            sync.Mutex
+	scans         int
+	failed        int
+	degraded      int
+	canceled      int
+	shed          int
+	notConverged  int
+	submitted     int
+	assemblyFlops float64
+	imbalanceMax  float64
+	stageErrs     map[string]int
+	stageSeen     map[string]bool
 }
 
 func (a *aggregator) init(reg *obs.Registry) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/numeric"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sparse"
@@ -82,6 +83,8 @@ func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]fl
 // reached (Converged reports which). The context is checked once per
 // restart cycle: a cancelled or deadline-expired context aborts within
 // one cycle, returning the best iterate so far together with ctx.Err().
+//
+//lint:hotpath
 func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
 	n := a.N
 	if len(b) != n {
@@ -133,7 +136,7 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 	stats.PCApplies++
 	bNorm := norm2(z)
 	stats.DotProducts++
-	if bNorm == 0 {
+	if numeric.Zero(bNorm) {
 		// b = 0: solution is x = 0 regardless of x0.
 		stats.Converged = true
 		return make([]float64, n), stats, nil
@@ -141,14 +144,17 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 
 	beta0 := bNorm
 
-	// Krylov basis.
+	// Krylov basis and Hessenberg matrix, each carved out of one flat
+	// backing allocation (contiguous rows, no per-row make).
 	v := make([][]float64, restart+1)
+	vBack := make([]float64, (restart+1)*n)
 	for i := range v {
-		v[i] = make([]float64, n)
+		v[i] = vBack[i*n : (i+1)*n]
 	}
 	h := make([][]float64, restart+1)
+	hBack := make([]float64, (restart+1)*restart)
 	for i := range h {
-		h[i] = make([]float64, restart)
+		h[i] = hBack[i*restart : (i+1)*restart]
 	}
 	cs := make([]float64, restart)
 	sn := make([]float64, restart)
@@ -163,125 +169,132 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 			stats.FinalResRel = math.NaN()
 			return x, stats, err
 		}
-		// Each restart cycle is one trace span (nil tracer: no-ops), so
-		// convergence traces line up with the per-stage span timeline.
-		_, span := obs.StartSpan(ctx, "gmres.cycle")
-		span.SetAttr("cycle", cycle)
-		histStart := len(stats.History)
-		// r = M^{-1} (b - A x)
-		matvec(x, r)
-		stats.MatVecs++
-		for i := range r {
-			r[i] = b[i] - r[i]
-		}
-		stats.AXPYs++
-		m.Apply(r, z)
-		stats.PCApplies++
-		beta := norm2(z)
-		stats.DotProducts++
-		if stats.InitialResid == 0 {
-			stats.InitialResid = beta
-		}
-		span.SetAttr("entry_rel_residual", beta/beta0)
-		if beta/beta0 <= tol {
-			stats.Converged = true
-			stats.FinalResRel = beta / beta0
-			span.SetAttr("converged", true)
-			span.End(nil)
-			return x, stats, nil
-		}
-		inv := 1 / beta
-		for i := range z {
-			v[0][i] = z[i] * inv
-		}
-		for i := range g {
-			g[i] = 0
-		}
-		g[0] = beta
-
-		k := 0
-		for ; k < restart && stats.Iterations < maxIter; k++ {
-			stats.Iterations++
-			// w = M^{-1} A v_k
-			matvec(v[k], w)
+		// Each restart cycle runs in a closure holding one trace span
+		// (nil tracer: no-ops), so the span End can be deferred per cycle
+		// and convergence traces line up with the per-stage span
+		// timeline.
+		converged := func() bool {
+			_, span := obs.StartSpan(ctx, obs.SpanGMRESCycle)
+			defer span.End(nil)
+			span.SetAttr("cycle", cycle)
+			histStart := len(stats.History)
+			// r = M^{-1} (b - A x)
+			matvec(x, r)
 			stats.MatVecs++
-			m.Apply(w, zw)
+			for i := range r {
+				r[i] = b[i] - r[i]
+			}
+			stats.AXPYs++
+			m.Apply(r, z)
 			stats.PCApplies++
-			// Modified Gram-Schmidt.
-			for i := 0; i <= k; i++ {
-				h[i][k] = dot(zw, v[i])
+			beta := norm2(z)
+			stats.DotProducts++
+			if numeric.Zero(stats.InitialResid) {
+				stats.InitialResid = beta
+			}
+			span.SetAttr("entry_rel_residual", beta/beta0)
+			if beta/beta0 <= tol {
+				stats.Converged = true
+				stats.FinalResRel = beta / beta0
+				span.SetAttr("converged", true)
+				return true
+			}
+			inv := 1 / beta
+			for i := range z {
+				v[0][i] = z[i] * inv
+			}
+			for i := range g {
+				g[i] = 0
+			}
+			g[0] = beta
+
+			k := 0
+			for ; k < restart && stats.Iterations < maxIter; k++ {
+				stats.Iterations++
+				// w = M^{-1} A v_k
+				matvec(v[k], w)
+				stats.MatVecs++
+				m.Apply(w, zw)
+				stats.PCApplies++
+				// Modified Gram-Schmidt.
+				for i := 0; i <= k; i++ {
+					h[i][k] = dot(zw, v[i])
+					stats.DotProducts++
+					for j := range zw {
+						zw[j] -= h[i][k] * v[i][j]
+					}
+					stats.AXPYs++
+				}
+				h[k+1][k] = norm2(zw)
 				stats.DotProducts++
-				for j := range zw {
-					zw[j] -= h[i][k] * v[i][j]
+				if h[k+1][k] > 1e-300 {
+					inv := 1 / h[k+1][k]
+					for j := range zw {
+						v[k+1][j] = zw[j] * inv
+					}
+				} else {
+					// Happy breakdown: exact solution in current subspace.
+					for j := range v[k+1] {
+						v[k+1][j] = 0
+					}
+				}
+				// Apply accumulated Givens rotations to the new column.
+				for i := 0; i < k; i++ {
+					t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+					h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+					h[i][k] = t
+				}
+				// New rotation to zero h[k+1][k].
+				denom := math.Hypot(h[k][k], h[k+1][k])
+				if numeric.Zero(denom) {
+					cs[k], sn[k] = 1, 0
+				} else {
+					cs[k] = h[k][k] / denom
+					sn[k] = h[k+1][k] / denom
+				}
+				h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+				h[k+1][k] = 0
+				g[k+1] = -sn[k] * g[k]
+				g[k] = cs[k] * g[k]
+
+				if opts.RecordHistory {
+					stats.History = append(stats.History, math.Abs(g[k+1])/beta0)
+				}
+				if math.Abs(g[k+1])/beta0 <= tol {
+					k++
+					break
+				}
+			}
+			// Solve the upper triangular system h y = g for the first k
+			// coefficients and update x.
+			for i := k - 1; i >= 0; i-- {
+				y[i] = g[i]
+				for j := i + 1; j < k; j++ {
+					y[i] -= h[i][j] * y[j]
+				}
+				if numeric.NonZero(h[i][i]) {
+					y[i] /= h[i][i]
+				}
+			}
+			for i := 0; i < k; i++ {
+				for j := range x {
+					x[j] += y[i] * v[i][j]
 				}
 				stats.AXPYs++
 			}
-			h[k+1][k] = norm2(zw)
-			stats.DotProducts++
-			if h[k+1][k] > 1e-300 {
-				inv := 1 / h[k+1][k]
-				for j := range zw {
-					v[k+1][j] = zw[j] * inv
-				}
-			} else {
-				// Happy breakdown: exact solution in current subspace.
-				for j := range v[k+1] {
-					v[k+1][j] = 0
-				}
+			span.SetAttr("iterations_total", stats.Iterations)
+			span.SetAttr("exit_rel_residual", math.Abs(g[k])/beta0)
+			if opts.RecordHistory && len(stats.History) > histStart {
+				// The residual trace of this cycle, exported so tooling can
+				// reconstruct convergence curves from the span stream alone.
+				span.SetAttr("residual_history",
+					append([]float64(nil), stats.History[histStart:]...))
 			}
-			// Apply accumulated Givens rotations to the new column.
-			for i := 0; i < k; i++ {
-				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
-				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
-				h[i][k] = t
-			}
-			// New rotation to zero h[k+1][k].
-			denom := math.Hypot(h[k][k], h[k+1][k])
-			if denom == 0 {
-				cs[k], sn[k] = 1, 0
-			} else {
-				cs[k] = h[k][k] / denom
-				sn[k] = h[k+1][k] / denom
-			}
-			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
-			h[k+1][k] = 0
-			g[k+1] = -sn[k] * g[k]
-			g[k] = cs[k] * g[k]
-
-			if opts.RecordHistory {
-				stats.History = append(stats.History, math.Abs(g[k+1])/beta0)
-			}
-			if math.Abs(g[k+1])/beta0 <= tol {
-				k++
-				break
-			}
+			return false
+		}()
+		if converged {
+			return x, stats, nil
 		}
-		// Solve the upper triangular system h y = g for the first k
-		// coefficients and update x.
-		for i := k - 1; i >= 0; i-- {
-			y[i] = g[i]
-			for j := i + 1; j < k; j++ {
-				y[i] -= h[i][j] * y[j]
-			}
-			if h[i][i] != 0 {
-				y[i] /= h[i][i]
-			}
-		}
-		for i := 0; i < k; i++ {
-			for j := range x {
-				x[j] += y[i] * v[i][j]
-			}
-			stats.AXPYs++
-		}
-		span.SetAttr("iterations_total", stats.Iterations)
-		span.SetAttr("exit_rel_residual", math.Abs(g[k])/beta0)
-		if opts.RecordHistory && len(stats.History) > histStart {
-			// The residual trace of this cycle, exported so tooling can
-			// reconstruct convergence curves from the span stream alone.
-			span.SetAttr("residual_history",
-				append([]float64(nil), stats.History[histStart:]...))
-		}
-		span.End(nil)
 		cycle++
 	}
 	// Final residual check.
@@ -352,7 +365,7 @@ func CGContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditi
 	res0 := norm2(r)
 	stats.InitialResid = res0
 	stats.DotProducts++
-	if res0 == 0 {
+	if numeric.Zero(res0) {
 		stats.Converged = true
 		return x, stats, nil
 	}

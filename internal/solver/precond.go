@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/numeric"
 	"repro/internal/par"
 	"repro/internal/sparse"
 )
@@ -42,7 +43,7 @@ func NewJacobi(a *sparse.CSR) *JacobiPC {
 	d := a.Diag()
 	inv := make([]float64, len(d))
 	for i, v := range d {
-		if v != 0 {
+		if numeric.NonZero(v) {
 			inv[i] = 1 / v
 		} else {
 			inv[i] = 1
@@ -108,7 +109,7 @@ func newILU0(a *sparse.CSR) (*iluFactor, error) {
 			}
 			// a_ik /= u_kk
 			pivot := f.val[f.diag[k]]
-			if pivot == 0 {
+			if numeric.Zero(pivot) {
 				pivot = 1e-12
 			}
 			lik := f.val[p] / pivot
@@ -126,7 +127,7 @@ func newILU0(a *sparse.CSR) (*iluFactor, error) {
 				}
 			}
 		}
-		if f.val[f.diag[i]] == 0 {
+		if numeric.Zero(f.val[f.diag[i]]) {
 			// Zero pivot: perturb.
 			maxRow := 0.0
 			for p := lo; p < hi; p++ {
@@ -136,7 +137,7 @@ func newILU0(a *sparse.CSR) (*iluFactor, error) {
 					maxRow = -v
 				}
 			}
-			if maxRow == 0 {
+			if numeric.Zero(maxRow) {
 				maxRow = 1
 			}
 			f.val[f.diag[i]] = 1e-10 * maxRow
@@ -179,6 +180,8 @@ type SSORPC struct {
 
 // NewSSOR builds the preconditioner with relaxation factor omega in
 // (0, 2); omega <= 0 defaults to 1 (symmetric Gauss-Seidel).
+//
+//lint:ignore ctxflow one bounded diagonal-validation pass at setup time, not solve-time work
 func NewSSOR(a *sparse.CSR, omega float64) (*SSORPC, error) {
 	if omega <= 0 {
 		omega = 1
@@ -188,7 +191,7 @@ func NewSSOR(a *sparse.CSR, omega float64) (*SSORPC, error) {
 	}
 	d := a.Diag()
 	for i, v := range d {
-		if v == 0 {
+		if numeric.Zero(v) {
 			return nil, fmt.Errorf("solver: SSOR requires nonzero diagonal (row %d)", i)
 		}
 	}

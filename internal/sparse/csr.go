@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/numeric"
 	"repro/internal/par"
 )
 
@@ -135,6 +136,8 @@ func (m *CSR) At(i, j int) float64 {
 
 // MulVec computes y = A x serially. y and x must have length N and may
 // not alias.
+//
+//lint:hotpath
 func (m *CSR) MulVec(x, y []float64) {
 	for i := 0; i < m.N; i++ {
 		sum := 0.0
@@ -147,6 +150,8 @@ func (m *CSR) MulVec(x, y []float64) {
 
 // MulVecRows computes y[lo:hi] = (A x)[lo:hi], the per-rank portion of a
 // distributed matrix-vector product.
+//
+//lint:hotpath
 func (m *CSR) MulVecRows(x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		sum := 0.0
@@ -183,7 +188,7 @@ func (m *CSR) IsSymmetric(tol float64) bool {
 			maxAbs = a
 		}
 	}
-	if maxAbs == 0 {
+	if numeric.Zero(maxAbs) {
 		return true
 	}
 	for i := 0; i < m.N; i++ {

@@ -160,7 +160,9 @@ func EvolveContext(ctx context.Context, s *mesh.TriMesh, force ForceField, opts 
 	// Each evolution (the pipeline runs two per scan: discretization
 	// relaxation, then the intraoperative deformation) is one span with
 	// the convergence outcome attached.
-	_, span := obs.StartSpan(ctx, "surface.evolve")
+	_, span := obs.StartSpan(ctx, obs.SpanSurfaceEvolve)
+	var everr error
+	defer func() { span.End(everr) }()
 	span.SetAttr("vertices", s.NumVerts())
 	cur := s.Clone()
 	initial := append([]geom.Vec3(nil), s.Verts...)
@@ -179,7 +181,7 @@ func EvolveContext(ctx context.Context, s *mesh.TriMesh, force ForceField, opts 
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			span.SetAttr("iterations", res.Iterations)
-			span.End(err)
+			everr = err
 			return nil, err
 		}
 		res.Iterations = iter + 1
@@ -245,7 +247,6 @@ func EvolveContext(ctx context.Context, s *mesh.TriMesh, force ForceField, opts 
 	span.SetAttr("converged", res.Converged)
 	span.SetAttr("mean_disp_mm", res.MeanDisp)
 	span.SetAttr("max_disp_mm", res.MaxDisp)
-	span.End(nil)
 	return res, nil
 }
 

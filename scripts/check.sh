@@ -1,16 +1,28 @@
 #!/bin/sh
-# Repository check: build + vet everything, run the full test suite,
-# and run the concurrency-sensitive packages (pipeline cancellation,
-# registration service, telemetry) under the race detector.
+# Repository check: formatting, build + vet, the project-native simlint
+# static-analysis suite, the full test suite, and the
+# concurrency-sensitive packages (pipeline cancellation, registration
+# service, telemetry, FEM assembly/solve, the parallel primitives, the
+# kNN classifier) under the race detector.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
+echo "== simlint ./..."
+go run ./cmd/simlint ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race ./internal/core/... ./internal/service/... ./internal/obs/..."
-go test -race ./internal/core/... ./internal/service/... ./internal/obs/...
+echo "== go test -race (concurrency-sensitive packages)"
+go test -race ./internal/core/... ./internal/service/... ./internal/obs/... \
+	./internal/fem/... ./internal/par/... ./internal/classify/...
 echo "== OK"
