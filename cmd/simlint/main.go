@@ -1,17 +1,24 @@
 // Command simlint runs the project-native static-analysis suite over
 // the module: the analyzers in internal/lint that mechanically enforce
-// the pipeline's concurrency, telemetry, error-handling, and
-// numerical-kernel invariants.
+// the pipeline's concurrency, telemetry, error-handling, numerical-
+// kernel, solver phase-order, and coordinate-frame invariants.
 //
 // Usage:
 //
-//	go run ./cmd/simlint [-list] [pattern ...]
+//	go run ./cmd/simlint [-list] [-format text|json|sarif] [-baseline file] [pattern ...]
 //
 // Patterns are module-relative package paths; "./..." (the default)
 // covers the whole module, "./internal/..." a subtree, "./cmd/simlint"
-// one package. Findings print as file:line:col: analyzer: message and
-// any unsuppressed finding makes the exit status non-zero, so the
-// command slots directly into scripts/check.sh and CI.
+// one package. Findings print as file:line:col: analyzer: message (or
+// as JSON / SARIF 2.1.0 with -format) and any unsuppressed finding
+// makes the exit status non-zero, so the command slots directly into
+// scripts/check.sh and CI.
+//
+// The committed baseline (.simlint-baseline.json at the module root,
+// overridable with -baseline) carries accepted findings and registers
+// every //lint:ignore the tree is allowed to contain; see internal/lint
+// for the matching rules. -baseline none disables it, reporting the raw
+// suite output.
 package main
 
 import (
@@ -28,8 +35,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and the span vocabulary they enforce, then exit")
+	format := flag.String("format", "text", "report format: text, json, or sarif")
+	baselinePath := flag.String("baseline", ".simlint-baseline.json",
+		"baseline file relative to the module root (\"none\" disables baseline filtering)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [pattern ...]\n\npatterns default to ./... (the whole module)\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [-format text|json|sarif] [-baseline file] [pattern ...]\n\npatterns default to ./... (the whole module)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,6 +48,10 @@ func main() {
 	if *list {
 		printList(analyzers)
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "simlint: unknown format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	root, err := findModuleRoot()
@@ -71,13 +85,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := lint.Run(selected, analyzers)
-	for _, f := range findings {
-		pos := f.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
-			pos.Filename = rel
+	res := lint.RunAll(selected, analyzers)
+	findings := res.Findings
+	if *baselinePath != "none" {
+		path := *baselinePath
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(root, path)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Analyzer, f.Msg)
+		base, err := lint.LoadBaseline(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		analyzed := make([]string, 0, len(selected))
+		for _, pkg := range selected {
+			analyzed = append(analyzed, pkg.RelPath)
+		}
+		findings = base.Apply(root, res, analyzed)
+	}
+
+	switch *format {
+	case "text":
+		err = lint.WriteText(os.Stdout, root, findings)
+	case "json":
+		err = lint.WriteJSON(os.Stdout, root, findings)
+	case "sarif":
+		err = lint.WriteSARIF(os.Stdout, root, findings, analyzers)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
@@ -90,7 +127,7 @@ func main() {
 func printList(analyzers []lint.Analyzer) {
 	fmt.Println("simlint analyzers:")
 	for _, a := range analyzers {
-		fmt.Printf("  %-9s %s\n", a.Name(), a.Doc())
+		fmt.Printf("  %-10s %s\n", a.Name(), a.Doc())
 	}
 	fmt.Println("\nbrainsim span vocabulary (obs.SpanNames):")
 	names := make([]string, 0, len(obs.SpanNames))
@@ -101,8 +138,10 @@ func printList(analyzers []lint.Analyzer) {
 	for _, n := range names {
 		fmt.Printf("  %-16s %s\n", n, obs.SpanNames[n])
 	}
-	fmt.Println("\nsuppress a finding with: //lint:ignore <analyzer> <reason>")
-	fmt.Println("annotate a kernel with:  //lint:hotpath (enables hotalloc checks)")
+	fmt.Println("\nsuppress a finding with:  //lint:ignore <analyzer> <reason> (must be registered in the baseline)")
+	fmt.Println("annotate a kernel with:   //lint:hotpath (enables hotalloc checks)")
+	fmt.Println("declare phase contracts:  //lint:phase requires=... provides=... forbids=...")
+	fmt.Println("mark frame conversions:   //lint:coordspace conversion")
 }
 
 // matchesAny reports whether the module-relative package path matches

@@ -18,6 +18,7 @@ package edt
 import (
 	"math"
 
+	"repro/internal/geom"
 	"repro/internal/volume"
 )
 
@@ -40,8 +41,12 @@ func distanceTransform1D(f, d []float64, v []int, z []float64, spacing float64) 
 	sp2 := spacing * spacing
 	k := 0
 	v[0] = 0
-	z[0] = -inf
-	z[1] = inf
+	// The envelope boundaries need true infinities: with the finite inf
+	// sentinel, a no-feature row (f ~ 1e20) under sub-millimeter spacing
+	// can push an intersection below -1e20 and walk k off the left end
+	// (found by FuzzDistanceTransform).
+	z[0] = math.Inf(-1)
+	z[1] = math.Inf(1)
 	for q := 1; q < n; q++ {
 		var s float64
 		for {
@@ -58,7 +63,7 @@ func distanceTransform1D(f, d []float64, v []int, z []float64, spacing float64) 
 		k++
 		v[k] = q
 		z[k] = s
-		z[k+1] = inf
+		z[k+1] = math.Inf(1)
 	}
 	k = 0
 	for q := 0; q < n; q++ {
@@ -135,6 +140,19 @@ func SquaredFromMask(g volume.Grid, mask []bool) []float64 {
 		}
 	}
 	return d
+}
+
+// SquaredFromVoxels is SquaredFromMask with an explicit seed set: the
+// squared distance from every voxel to the nearest of the given seed
+// voxels. Seeds outside the grid are ignored.
+func SquaredFromVoxels(g volume.Grid, seeds []geom.Voxel) []float64 {
+	mask := make([]bool, g.Len())
+	for _, v := range seeds {
+		if g.Contains(v) {
+			mask[g.IndexOf(v)] = true
+		}
+	}
+	return SquaredFromMask(g, mask)
 }
 
 // FromMask returns the exact Euclidean distance (mm) from every voxel to

@@ -1,0 +1,135 @@
+package edt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/volume"
+)
+
+// fuzzGrid derives a small grid and mask from fuzzer-controlled bytes.
+// Dimensions stay at most 6 per axis so the brute-force reference below
+// remains O(n^2)-cheap.
+func fuzzGrid(nx, ny, nz uint8, spacing float64, bits []byte) (volume.Grid, []bool, bool) {
+	g := volume.NewGrid(int(nx%6)+1, int(ny%6)+1, int(nz%6)+1, 0)
+	if math.IsNaN(spacing) || math.IsInf(spacing, 0) {
+		return g, nil, false
+	}
+	// Clamp spacing to a clinically plausible band; zero and negative
+	// spacings are rejected by Grid.Validate, not the transform.
+	s := math.Abs(spacing)
+	if s < 0.25 {
+		s = 0.25
+	}
+	if s > 8 {
+		s = 8
+	}
+	g.Spacing.X, g.Spacing.Y, g.Spacing.Z = s, s*1.25, s*0.75
+	mask := make([]bool, g.Len())
+	for i := range mask {
+		mask[i] = len(bits) > 0 && bits[i%len(bits)]&(1<<(i%8)) != 0
+	}
+	return g, mask, true
+}
+
+// bruteForceSquared is the quadratic reference: for every voxel, the
+// minimum anisotropy-weighted squared distance to any seed voxel.
+func bruteForceSquared(g volume.Grid, mask []bool) []float64 {
+	d := make([]float64, g.Len())
+	for idx := range d {
+		i, j, k := g.Coords(idx)
+		best := math.Inf(1)
+		for sdx := range mask {
+			if !mask[sdx] {
+				continue
+			}
+			si, sj, sk := g.Coords(sdx)
+			dx := float64(i-si) * g.Spacing.X
+			dy := float64(j-sj) * g.Spacing.Y
+			dz := float64(k-sk) * g.Spacing.Z
+			if r := dx*dx + dy*dy + dz*dz; r < best {
+				best = r
+			}
+		}
+		d[idx] = best
+	}
+	return d
+}
+
+// FuzzDistanceTransform drives SquaredFromMask with arbitrary small
+// volumes and checks three properties: exactness against the quadratic
+// brute-force reference, idempotence (the transform of its own zero set
+// reproduces itself), and mirror symmetry (the transform commutes with
+// reflecting the volume along x).
+func FuzzDistanceTransform(f *testing.F) {
+	f.Add(uint8(3), uint8(3), uint8(3), 1.0, []byte{0x4a})
+	f.Add(uint8(4), uint8(2), uint8(5), 0.9375, []byte{0xff, 0x00, 0x81})
+	f.Add(uint8(1), uint8(1), uint8(6), 2.5, []byte{0x01})
+	f.Add(uint8(5), uint8(5), uint8(1), 0.5, []byte{})
+	f.Fuzz(func(t *testing.T, nx, ny, nz uint8, spacing float64, bits []byte) {
+		g, mask, ok := fuzzGrid(nx, ny, nz, spacing, bits)
+		if !ok {
+			t.Skip()
+		}
+		d := SquaredFromMask(g, mask)
+
+		empty := true
+		for _, m := range mask {
+			if m {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			for idx, v := range d {
+				if v < 1e19 {
+					t.Fatalf("empty mask: voxel %d got finite distance %g", idx, v)
+				}
+			}
+			return
+		}
+
+		// Exactness: the separable lower-envelope passes must agree with
+		// the brute-force nearest-seed scan.
+		want := bruteForceSquared(g, mask)
+		for idx := range d {
+			if math.Abs(d[idx]-want[idx]) > 1e-6*(1+want[idx]) {
+				t.Fatalf("voxel %d: got %g, brute force %g", idx, d[idx], want[idx])
+			}
+		}
+
+		// Idempotence: the zero set of d is exactly the mask, so
+		// transforming it changes nothing.
+		zero := make([]bool, len(d))
+		for idx, v := range d {
+			zero[idx] = v == 0
+			if zero[idx] != mask[idx] {
+				t.Fatalf("voxel %d: zero-distance %v but mask %v", idx, zero[idx], mask[idx])
+			}
+		}
+		again := SquaredFromMask(g, zero)
+		for idx := range d {
+			if d[idx] != again[idx] {
+				t.Fatalf("not idempotent at voxel %d: %g then %g", idx, d[idx], again[idx])
+			}
+		}
+
+		// Mirror symmetry along x: reflecting the mask reflects the
+		// distances (per-axis spacing is constant, so reflection is an
+		// isometry of the lattice).
+		flip := func(idx int) int {
+			i, j, k := g.Coords(idx)
+			return g.Index(g.NX-1-i, j, k)
+		}
+		mirror := make([]bool, len(mask))
+		for idx := range mask {
+			mirror[flip(idx)] = mask[idx]
+		}
+		md := SquaredFromMask(g, mirror)
+		for idx := range d {
+			if math.Abs(d[idx]-md[flip(idx)]) > 1e-9*(1+d[idx]) {
+				t.Fatalf("mirror asymmetry at voxel %d: %g vs %g", idx, d[idx], md[flip(idx)])
+			}
+		}
+	})
+}

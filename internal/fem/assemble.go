@@ -93,6 +93,8 @@ func (s *System) DOFPartition() par.Partition {
 // visited by each of them (this duplicated element work, plus the
 // varying node connectivity, is the paper's assembly load imbalance —
 // it emerges from the data rather than being injected).
+//
+//lint:phase provides=assembled
 func Assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 	return AssembleContext(context.Background(), m, mats, pt)
 }
@@ -103,6 +105,8 @@ func Assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 // quantities the paper's load-balance discussion revolves around. The
 // assembly itself is not cancellable (it is one bounded bulk-synchronous
 // phase; the surrounding stage checks the context).
+//
+//lint:phase provides=assembled
 func AssembleContext(ctx context.Context, m *mesh.Mesh, mats Table, pt par.Partition) (sys *System, err error) {
 	_, span := obs.StartSpan(ctx, obs.SpanFEMAssemble)
 	defer func() { span.End(err) }()
@@ -223,7 +227,7 @@ func assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 // original system", as the paper puts it). The stiffness matrix is
 // rebuilt; call once with all conditions.
 //
-//lint:ignore ctxflow one bounded rebuild pass over the matrix rows; the enclosing stage polls the context
+//lint:phase requires=assembled provides=bc-applied forbids=bc-applied
 func (s *System) ApplyDirichlet(bc map[int32]geom.Vec3) error {
 	if len(bc) == 0 {
 		return fmt.Errorf("fem: no boundary conditions given; system would be singular")

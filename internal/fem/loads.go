@@ -16,7 +16,7 @@ import (
 //
 // Call before ApplyDirichlet, like all load assembly.
 //
-//lint:ignore ctxflow one bounded accumulation pass over the elements; load assembly runs inside a context-checked stage
+//lint:phase forbids=bc-applied
 func (s *System) AddBodyForce(f geom.Vec3, filter func(e int) bool) error {
 	for _, c := range s.Constrained {
 		if c {
@@ -42,6 +42,8 @@ func (s *System) AddBodyForce(f geom.Vec3, filter func(e int) bool) error {
 // AddNodalForce accumulates a concentrated force at a mesh node — the
 // "forces concentrated at the nodes of the mesh" term of the paper's
 // equation 1.
+//
+//lint:phase forbids=bc-applied
 func (s *System) AddNodalForce(node int32, f geom.Vec3) error {
 	if node < 0 || int(node) >= s.Mesh.NumNodes() {
 		return fmt.Errorf("fem: node %d out of range", node)
@@ -64,8 +66,6 @@ type ElementStress [6]float64
 
 // Strains computes the (constant) strain of every element from the
 // nodal displacement field.
-//
-//lint:ignore ctxflow one bounded post-processing pass over the elements, far cheaper than the solve that precedes it
 func (s *System) Strains(nodeU []geom.Vec3) ([]ElementStrain, error) {
 	if len(nodeU) != s.Mesh.NumNodes() {
 		return nil, fmt.Errorf("fem: %d displacements for %d nodes", len(nodeU), s.Mesh.NumNodes())
@@ -96,8 +96,6 @@ func (s *System) Strains(nodeU []geom.Vec3) ([]ElementStrain, error) {
 // Stresses converts element strains to stresses through each element's
 // constitutive matrix (sigma = D epsilon for isotropic linear
 // elasticity).
-//
-//lint:ignore ctxflow one bounded post-processing pass over the elements, far cheaper than the solve that precedes it
 func (s *System) Stresses(strains []ElementStrain, mats Table) ([]ElementStress, error) {
 	if len(strains) != s.Mesh.NumTets() {
 		return nil, fmt.Errorf("fem: %d strains for %d elements", len(strains), s.Mesh.NumTets())

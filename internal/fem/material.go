@@ -58,8 +58,6 @@ func (t Table) For(lab volume.Label) Material {
 }
 
 // Validate checks every material in the table.
-//
-//lint:ignore ctxflow validation loop over a handful of table entries, not cancellable work
 func (t Table) Validate() error {
 	if err := t.Default.Validate(); err != nil {
 		return fmt.Errorf("fem: default material: %w", err)

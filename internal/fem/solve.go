@@ -27,6 +27,8 @@ type SolveResult struct {
 }
 
 // Solve runs the solver with a background context; see SolveContext.
+//
+//lint:phase requires=assembled,bc-applied
 func (s *System) Solve(opts solver.Options) (*SolveResult, error) {
 	return s.SolveContext(context.Background(), opts)
 }
@@ -36,6 +38,8 @@ func (s *System) Solve(opts solver.Options) (*SolveResult, error) {
 // constrained system. A cancelled or deadline-expired context aborts
 // the Krylov iteration within one GMRES restart cycle and returns the
 // context error.
+//
+//lint:phase requires=assembled,bc-applied
 func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveResult, error) {
 	anyBC := false
 	for _, c := range s.Constrained {
@@ -124,10 +128,10 @@ func (s *System) DisplacementField(nodeU []geom.Vec3, g volume.Grid) *volume.Fie
 				hi.Z = p.Z
 			}
 		}
-		vlo := g.Voxel(lo)
-		vhi := g.Voxel(hi)
-		i0, j0, k0 := int(vlo.X), int(vlo.Y), int(vlo.Z)
-		i1, j1, k1 := int(vhi.X)+1, int(vhi.Y)+1, int(vhi.Z)+1
+		vlo := g.Voxel(lo).Floor()
+		vhi := g.Voxel(hi).Floor()
+		i0, j0, k0 := vlo.I, vlo.J, vlo.K
+		i1, j1, k1 := vhi.I+1, vhi.J+1, vhi.K+1
 		nodes := m.Tets[e]
 		for k := maxInt(k0, 0); k <= minInt(k1, g.NZ-1); k++ {
 			for j := maxInt(j0, 0); j <= minInt(j1, g.NY-1); j++ {

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+)
+
+// A Baseline is the committed debt register for the suite: findings the
+// project has decided to carry (with a reason each), and the registry of
+// //lint:ignore waivers allowed to appear in source. It lives at the
+// module root as .simlint-baseline.json.
+//
+// Matching is by module-relative file, analyzer, and message — not by
+// line number, so unrelated edits above a carried finding do not churn
+// the baseline. The register is checked in both directions: a finding
+// matching an entry is filtered out of the report, and an entry (or
+// registered waiver) matching nothing is reported as stale under the
+// "baseline" pseudo-analyzer, so the file can only shrink honestly.
+type Baseline struct {
+	// Findings are carried findings: present in the tree, filtered from
+	// the report, each with a recorded reason.
+	Findings []BaselineFinding `json:"findings"`
+	// Waivers registers every //lint:ignore the tree may contain. An
+	// in-source waiver not registered here is itself a finding, so new
+	// suppressions have to go through the baseline (and review).
+	Waivers []BaselineWaiver `json:"waivers"`
+
+	path string // where the baseline was loaded from, for diagnostics
+}
+
+// BaselineFinding identifies one carried finding.
+type BaselineFinding struct {
+	File     string `json:"file"` // module-relative, forward slashes
+	Analyzer string `json:"analyzer"`
+	Msg      string `json:"msg"`
+	Reason   string `json:"reason"`
+}
+
+// BaselineWaiver registers one allowed //lint:ignore site.
+type BaselineWaiver struct {
+	File     string `json:"file"` // module-relative, forward slashes
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error:
+// it returns an empty baseline that filters nothing but still requires
+// every in-source waiver to be registered — i.e. none are allowed.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{path: path}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Apply filters a run's findings through the baseline and appends the
+// baseline's own diagnostics: unregistered in-source waivers, stale
+// carried findings, and stale waiver registrations. root is the module
+// root used to relativize file positions. analyzed lists the
+// module-relative directories of the packages the run covered;
+// baseline entries for files outside them are left alone (a partial
+// run says nothing about the rest of the tree). nil means the whole
+// module was analyzed.
+func (b *Baseline) Apply(root string, res Result, analyzed []string) []Finding {
+	var inRun map[string]bool
+	if analyzed != nil {
+		inRun = make(map[string]bool, len(analyzed))
+		for _, dir := range analyzed {
+			inRun[dir] = true
+		}
+	}
+	covered := func(file string) bool {
+		return inRun == nil || inRun[path.Dir(file)]
+	}
+	usedFinding := make([]bool, len(b.Findings))
+	usedWaiver := make([]bool, len(b.Waivers))
+
+	var out []Finding
+	for _, f := range res.Findings {
+		rel := relPath(root, f.Pos.Filename)
+		carried := false
+		for i, bf := range b.Findings {
+			if bf.File == rel && bf.Analyzer == f.Analyzer && bf.Msg == f.Msg {
+				usedFinding[i] = true
+				carried = true
+				break
+			}
+		}
+		if !carried {
+			out = append(out, f)
+		}
+	}
+	for _, w := range res.Waivers {
+		rel := relPath(root, w.Pos.Filename)
+		registered := false
+		for i, bw := range b.Waivers {
+			if bw.File == rel && bw.Analyzer == w.Analyzer {
+				usedWaiver[i] = true
+				registered = true
+				break
+			}
+		}
+		if !registered {
+			out = append(out, Finding{
+				Pos:      w.Pos,
+				Analyzer: "baseline",
+				Msg: "//lint:ignore " + w.Analyzer + " is not registered in the baseline; " +
+					"add it to " + b.name() + " with a reason or fix the finding",
+			})
+		}
+	}
+	for i, bf := range b.Findings {
+		if !usedFinding[i] && covered(bf.File) {
+			out = append(out, Finding{
+				Pos:      token.Position{Filename: b.name()},
+				Analyzer: "baseline",
+				Msg: "stale baseline finding: " + bf.File + ": " + bf.Analyzer + ": " +
+					bf.Msg + " no longer occurs; delete its entry",
+			})
+		}
+	}
+	for i, bw := range b.Waivers {
+		if !usedWaiver[i] && covered(bw.File) {
+			out = append(out, Finding{
+				Pos:      token.Position{Filename: b.name()},
+				Analyzer: "baseline",
+				Msg: "stale baseline waiver: " + bw.File + " carries no //lint:ignore " +
+					bw.Analyzer + "; delete its entry",
+			})
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+func (b *Baseline) name() string {
+	if b.path == "" {
+		return ".simlint-baseline.json"
+	}
+	return filepath.Base(b.path)
+}
+
+// relPath maps an absolute source position to the module-relative
+// forward-slash form the baseline is keyed by.
+func relPath(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,540 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// concsafe checks the worker-pool conventions of the concurrency
+// packages (internal/par, internal/service, internal/classify):
+//
+//   - every go statement must spawn a body with a deferred completion
+//     signal: a WaitGroup.Done, a send on a completion channel, or a
+//     recover handler — a goroutine nobody can join leaks under error
+//     paths;
+//   - when the signal is a WaitGroup.Done, a matching Add on the same
+//     WaitGroup must reach the go statement on every path (Add after
+//     spawn races Wait). A scope that never calls Add for that group is
+//     assumed to have been handed a pre-Added group by its caller;
+//   - a channel send inside a loop must sit in a select with a
+//     ctx.Done() case or a default — a bare send in a worker loop
+//     deadlocks when the consumer has already given up;
+//   - sync.Mutex / sync.RWMutex / sync.WaitGroup must not be copied by
+//     value (parameters, assignments, call arguments);
+//   - a WaitGroup must not be reused across iterations of a loop that
+//     both Adds and Waits on it unless the group is declared inside the
+//     loop body.
+type concsafe struct{}
+
+func (concsafe) Name() string { return "concsafe" }
+
+func (concsafe) Doc() string {
+	return "goroutine lifecycle discipline in par/service/classify: Add-before-spawn with deferred Done/recover, cancellable worker-loop sends, no by-value sync primitives"
+}
+
+var concsafeScope = []string{"internal/par", "internal/service", "internal/classify"}
+
+func (concsafe) Run(pkg *Package) []Finding {
+	if !inScope(pkg.RelPath, concsafeScope) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		out = append(out, checkSyncCopies(pkg, file)...)
+		for _, sc := range funcScopes(file) {
+			out = append(out, checkGoStmts(pkg, sc)...)
+			out = append(out, checkLoopSends(pkg, sc)...)
+			out = append(out, checkWaitReuse(pkg, sc)...)
+		}
+	}
+	return out
+}
+
+// syncTypeName reports the sync primitive name ("Mutex", "RWMutex",
+// "WaitGroup") when t is one of them by value, else "".
+func syncTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup":
+		return obj.Name()
+	}
+	return ""
+}
+
+// checkSyncCopies flags by-value uses of sync primitives: value
+// parameters, value assignments from existing variables, and value
+// arguments at call sites.
+func checkSyncCopies(pkg *Package, file *ast.File) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, what, how string) {
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "concsafe",
+			Msg:      "sync." + what + " " + how + "; pass a pointer",
+		})
+	}
+	// isCopySource reports whether the expression reads an existing
+	// value (copying it), as opposed to creating a fresh zero value.
+	isCopySource := func(e ast.Expr) bool {
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		}
+		return false
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncType:
+			if x.Params == nil {
+				return true
+			}
+			for _, fl := range x.Params.List {
+				t := pkg.Info.Types[fl.Type].Type
+				if t == nil {
+					continue
+				}
+				if name := syncTypeName(t); name != "" {
+					flag(fl.Type, name, "passed by value as a parameter")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				t := pkg.Info.Types[rhs].Type
+				if t == nil {
+					continue
+				}
+				if name := syncTypeName(t); name != "" && isCopySource(rhs) {
+					flag(rhs, name, "copied by value in an assignment")
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				t := pkg.Info.Types[arg].Type
+				if t == nil {
+					continue
+				}
+				if name := syncTypeName(t); name != "" && isCopySource(arg) {
+					flag(arg, name, "passed by value as an argument")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lastIdentOf returns the final identifier of a selector chain ("wg"
+// for s.wg, wg, pool.state.wg), or "" when the expression is not a
+// chain of identifiers.
+func lastIdentOf(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// completion summarizes the deferred completion signals of a spawned
+// goroutine body.
+type completion struct {
+	wgNames []string // WaitGroups with a deferred .Done()
+	chanSig bool     // deferred send on a completion channel
+	recover bool     // deferred recover handler
+}
+
+func (c completion) any() bool { return len(c.wgNames) > 0 || c.chanSig || c.recover }
+
+// completionOf scans a goroutine body for deferred completion signals.
+func completionOf(body *ast.BlockStmt) completion {
+	var c completion
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(d.Call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Done" {
+				if wg := lastIdentOf(fun.X); wg != "" {
+					c.wgNames = append(c.wgNames, wg)
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(fun.Body, func(m ast.Node) bool {
+				switch y := m.(type) {
+				case *ast.SendStmt:
+					c.chanSig = true
+				case *ast.CallExpr:
+					if id, ok := y.Fun.(*ast.Ident); ok && id.Name == "recover" {
+						c.recover = true
+					}
+					if sel, ok := y.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+						if wg := lastIdentOf(sel.X); wg != "" {
+							c.wgNames = append(c.wgNames, wg)
+						}
+					}
+				}
+				return true
+			})
+		case *ast.Ident:
+			if fun.Name == "recover" {
+				c.recover = true
+			}
+		}
+		return true
+	})
+	return c
+}
+
+// spawnedBody resolves the body a go statement runs: a function
+// literal's body, or the declaration of a module-internal function or
+// method. nil when the callee cannot be resolved (function values).
+func spawnedBody(pkg *Package, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeFunc(pkg, g.Call)
+	if fn == nil || pkg.Mod == nil {
+		return nil
+	}
+	if decl := pkg.Mod.FuncDecl(fn); decl != nil {
+		return decl.Body
+	}
+	return nil
+}
+
+// checkGoStmts verifies every go statement in the scope spawns a body
+// with a completion signal, and — for WaitGroup-signalled bodies — that
+// a matching Add must-reaches the spawn point.
+func checkGoStmts(pkg *Package, sc funcScope) []Finding {
+	type spawn struct {
+		g    *ast.GoStmt
+		comp completion
+	}
+	var spawns []spawn
+	inspectShallow(sc.body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := spawnedBody(pkg, g)
+		if body == nil {
+			return true
+		}
+		spawns = append(spawns, spawn{g, completionOf(body)})
+		return true
+	})
+	if len(spawns) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	// The WaitGroup names whose Add placement needs proving.
+	needAdd := make(map[string]bool)
+	for _, s := range spawns {
+		if !s.comp.any() {
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(s.g.Pos()),
+				Analyzer: "concsafe",
+				Msg:      "go statement spawns a goroutine with no deferred WaitGroup.Done, completion send, or recover",
+			})
+			continue
+		}
+		if len(s.comp.wgNames) > 0 && !s.comp.chanSig {
+			for _, wg := range s.comp.wgNames {
+				needAdd[wg] = true
+			}
+		}
+	}
+	if len(needAdd) == 0 {
+		return out
+	}
+
+	names := make([]string, 0, len(needAdd))
+	for n := range needAdd {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+
+	// addsIn reports which tracked WaitGroups a node calls .Add on.
+	addsIn := func(n ast.Node) []int {
+		var hits []int
+		inspectShallow(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Add" {
+				return true
+			}
+			if i, ok := index[lastIdentOf(sel.X)]; ok {
+				hits = append(hits, i)
+			}
+			return true
+		})
+		return hits
+	}
+
+	// Entry assumption: a scope that never Adds a group was handed a
+	// pre-Added group by its caller.
+	entry := make([]bool, len(names))
+	for i := range entry {
+		entry[i] = true
+	}
+	for _, i := range addsIn(sc.body) {
+		entry[i] = false
+	}
+
+	boolsClone := func(f []bool) []bool {
+		g := make([]bool, len(f))
+		copy(g, f)
+		return g
+	}
+	c := BuildCFG(sc.body)
+	in := Forward(c, entry,
+		func(a, b []bool) []bool {
+			out := boolsClone(a)
+			for i := range out {
+				out[i] = out[i] && b[i]
+			}
+			return out
+		},
+		func(bl *Block, f []bool) []bool {
+			g := boolsClone(f)
+			for _, n := range bl.Nodes {
+				for _, i := range addsIn(n) {
+					g[i] = true
+				}
+			}
+			return g
+		},
+		func(a, b []bool) bool {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		},
+	)
+
+	// Report pass: at each go statement, the fact for its WaitGroups
+	// must hold.
+	goStmtOf := func(n ast.Node) *ast.GoStmt {
+		var g *ast.GoStmt
+		inspectShallow(n, func(x ast.Node) bool {
+			if gs, ok := x.(*ast.GoStmt); ok && g == nil {
+				g = gs
+			}
+			return g == nil
+		})
+		return g
+	}
+	for _, bl := range c.Blocks {
+		f, ok := in[bl]
+		if !ok {
+			continue
+		}
+		f = boolsClone(f)
+		for _, n := range bl.Nodes {
+			if g := goStmtOf(n); g != nil {
+				for _, s := range spawns {
+					if s.g != g {
+						continue
+					}
+					for _, wg := range s.comp.wgNames {
+						if i, ok := index[wg]; ok && !f[i] {
+							out = append(out, Finding{
+								Pos:      pkg.Fset.Position(g.Pos()),
+								Analyzer: "concsafe",
+								Msg:      "goroutine defers " + wg + ".Done but no " + wg + ".Add reaches the go statement on every path",
+							})
+						}
+					}
+				}
+			}
+			for _, i := range addsIn(n) {
+				f[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkLoopSends flags channel sends inside loops that are not wrapped
+// in a select with a cancellation escape (a ctx.Done() receive case or
+// a default clause).
+func checkLoopSends(pkg *Package, sc funcScope) []Finding {
+	var out []Finding
+	// selectEscapes reports whether a select offers a non-blocking
+	// escape: a default clause or a receive from a Done() channel.
+	selectEscapes := func(sel *ast.SelectStmt) bool {
+		for _, cl := range sel.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil {
+				return true // default
+			}
+			recv := func(e ast.Expr) bool {
+				u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+				if !ok {
+					return false
+				}
+				call, ok := ast.Unparen(u.X).(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				s, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				return ok && s.Sel.Name == "Done"
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				if recv(comm.X) {
+					return true
+				}
+			case *ast.AssignStmt:
+				for _, r := range comm.Rhs {
+					if recv(r) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	var walk func(n ast.Stmt, loopDepth int, sendOK bool)
+	walkBody := func(list []ast.Stmt, loopDepth int, sendOK bool) {
+		for _, s := range list {
+			walk(s, loopDepth, sendOK)
+		}
+	}
+	walk = func(n ast.Stmt, loopDepth int, sendOK bool) {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			if loopDepth > 0 && !sendOK {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(st.Pos()),
+					Analyzer: "concsafe",
+					Msg:      "channel send inside a loop must select on ctx.Done() or provide a default case",
+				})
+			}
+		case *ast.ForStmt:
+			walkBody(st.Body.List, loopDepth+1, false)
+		case *ast.RangeStmt:
+			walkBody(st.Body.List, loopDepth+1, false)
+		case *ast.BlockStmt:
+			walkBody(st.List, loopDepth, sendOK)
+		case *ast.IfStmt:
+			walkBody(st.Body.List, loopDepth, false)
+			if st.Else != nil {
+				walk(st.Else, loopDepth, false)
+			}
+		case *ast.SelectStmt:
+			ok := selectEscapes(st)
+			for _, cl := range st.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm != nil {
+					walk(cc.Comm, loopDepth, ok)
+				}
+				walkBody(cc.Body, loopDepth, false)
+			}
+		case *ast.SwitchStmt:
+			for _, cl := range st.Body.List {
+				walkBody(cl.(*ast.CaseClause).Body, loopDepth, false)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range st.Body.List {
+				walkBody(cl.(*ast.CaseClause).Body, loopDepth, false)
+			}
+		case *ast.LabeledStmt:
+			walk(st.Stmt, loopDepth, sendOK)
+		}
+		// Function literals inside any of the above are separate scopes
+		// (handled by their own funcScope pass), so the walker does not
+		// descend into them.
+	}
+	walkBody(sc.body.List, 0, false)
+	return out
+}
+
+// checkWaitReuse flags loops whose body both Adds and Waits on the same
+// WaitGroup without declaring it inside the loop: reusing a WaitGroup
+// across iterations races late Done calls from the previous iteration
+// against the next iteration's Add.
+func checkWaitReuse(pkg *Package, sc funcScope) []Finding {
+	var out []Finding
+	inspectShallow(sc.body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			body = st.Body
+		case *ast.RangeStmt:
+			body = st.Body
+		default:
+			return true
+		}
+		adds := make(map[string]bool)
+		waits := make(map[string]ast.Node)
+		declared := make(map[string]bool)
+		ast.Inspect(body, func(x ast.Node) bool {
+			switch y := x.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(y.Fun).(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "Add":
+						if wg := lastIdentOf(sel.X); wg != "" {
+							adds[wg] = true
+						}
+					case "Wait":
+						if wg := lastIdentOf(sel.X); wg != "" {
+							waits[wg] = y
+						}
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := y.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, id := range vs.Names {
+								declared[id.Name] = true
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range y.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						declared[id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+		for wg, at := range waits {
+			if adds[wg] && !declared[wg] {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(at.Pos()),
+					Analyzer: "concsafe",
+					Msg:      "WaitGroup " + wg + " is Added and Waited inside the same loop without being redeclared; reuse races late Done calls",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}

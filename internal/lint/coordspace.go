@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// coordspace enforces the frame boundary between physical millimeter
+// coordinates (geom.Vec3) and voxel-space coordinates (geom.Voxel,
+// geom.VoxelPoint). The three types are structurally similar, so the
+// compiler alone cannot stop a millimeter point from being used as a
+// voxel index; this analyzer closes that gap:
+//
+//   - constructing a value of one frame's type from the components of
+//     another frame's value (composite literal, geom.V, geom.Vox) is a
+//     finding;
+//   - explicitly converting between frame types (geom.VoxelPoint(v) on
+//     a Vec3) is a finding;
+//
+// except inside functions whose doc comment carries
+//
+//	//lint:coordspace conversion
+//
+// which marks the small set of declared conversion points (the Grid
+// World/Voxel family and the VoxelPoint rounding helpers). Everything
+// else must go through them.
+type coordspace struct{}
+
+func (coordspace) Name() string { return "coordspace" }
+
+func (coordspace) Doc() string {
+	return "no implicit mixing of voxel-index and millimeter coordinate frames outside //lint:coordspace conversion functions"
+}
+
+var coordspaceScope = []string{
+	"internal/geom", "internal/volume", "internal/edt", "internal/mesh",
+	"internal/transform", "internal/fem", "internal/register",
+	"internal/surface", "internal/demons", "internal/classify",
+}
+
+// frameOf classifies a type as one of the coordinate frames: "mm"
+// (geom.Vec3), "voxel" (geom.Voxel), "voxel-point" (geom.VoxelPoint),
+// or "" for everything else.
+func frameOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !isGeomPath(obj.Pkg().Path()) {
+		return ""
+	}
+	switch obj.Name() {
+	case "Vec3":
+		return "mm"
+	case "Voxel":
+		return "voxel"
+	case "VoxelPoint":
+		return "voxel-point"
+	}
+	return ""
+}
+
+func isGeomPath(p string) bool {
+	return p == "internal/geom" || len(p) > len("/internal/geom") && p[len(p)-len("/internal/geom"):] == "/internal/geom"
+}
+
+func (coordspace) Run(pkg *Package) []Finding {
+	if !inScope(pkg.RelPath, coordspaceScope) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasDirective(fd.Doc, "coordspace") {
+				continue // declared conversion point
+			}
+			out = append(out, checkFrameMixing(pkg, fd.Body)...)
+		}
+	}
+	return out
+}
+
+// checkFrameMixing walks one function body (function literals included:
+// a closure does not get conversion rights its declaring function
+// lacks) and reports frame-crossing constructions.
+func checkFrameMixing(pkg *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "coordspace",
+			Msg:      msg,
+		})
+	}
+	// componentFrame reports the frame whose value the expression reads
+	// a coordinate component of: p.X on a VoxelPoint yields
+	// "voxel-point", v.I on a Voxel yields "voxel", w.Z on a Vec3
+	// yields "mm".
+	componentFrame := func(e ast.Expr) string {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		switch sel.Sel.Name {
+		case "X", "Y", "Z", "I", "J", "K":
+		default:
+			return ""
+		}
+		return frameOf(pkg.Info.Types[sel.X].Type)
+	}
+	// checkArgs flags arguments (of a frame-type construction into
+	// frame dst) that read components of a different frame.
+	checkArgs := func(n ast.Node, dst string, args []ast.Expr) {
+		for _, a := range args {
+			found := ""
+			ast.Inspect(a, func(x ast.Node) bool {
+				if e, ok := x.(ast.Expr); ok && found == "" {
+					if f := componentFrame(e); f != "" && f != dst {
+						found = f
+					}
+				}
+				return found == ""
+			})
+			if found != "" {
+				report(n, "constructing a "+frameNoun(dst)+" from "+frameNoun(found)+
+					" components; convert through a //lint:coordspace conversion function")
+				return
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			dst := frameOf(pkg.Info.Types[x].Type)
+			if dst == "" {
+				return true
+			}
+			var args []ast.Expr
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					args = append(args, kv.Value)
+				} else {
+					args = append(args, el)
+				}
+			}
+			checkArgs(x, dst, args)
+		case *ast.CallExpr:
+			// Explicit conversion between frame types.
+			if len(x.Args) == 1 {
+				if dst := frameOf(pkg.Info.Types[x].Type); dst != "" {
+					if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() {
+						if src := frameOf(pkg.Info.Types[x.Args[0]].Type); src != "" && src != dst {
+							report(x, "explicit conversion from "+frameNoun(src)+" to "+frameNoun(dst)+
+								"; use a //lint:coordspace conversion function")
+							return true
+						}
+					}
+				}
+			}
+			// Frame constructors: geom.V(...) builds mm, geom.Vox(...)
+			// builds voxel indices.
+			fn := calleeFunc(pkg, x)
+			if fn != nil && fn.Pkg() != nil && isGeomPath(fn.Pkg().Path()) {
+				switch fn.Name() {
+				case "V":
+					checkArgs(x, "mm", x.Args)
+				case "Vox":
+					checkArgs(x, "voxel", x.Args)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func frameNoun(frame string) string {
+	switch frame {
+	case "mm":
+		return "millimeter point (geom.Vec3)"
+	case "voxel":
+		return "voxel index (geom.Voxel)"
+	case "voxel-point":
+		return "voxel-space point (geom.VoxelPoint)"
+	}
+	return frame
+}

@@ -1,0 +1,65 @@
+package lint
+
+// Forward is a small forward dataflow framework over the CFG in cfg.go.
+// Each analyzer supplies its own lattice as a fact type F plus the three
+// lattice operations; Forward iterates transfer functions over the
+// blocks in reverse postorder until a fixpoint and returns the IN fact
+// of every block.
+//
+// Requirements on the lattice for termination: meet must be monotone
+// and the fact domain must have finite height (every per-analyzer
+// lattice here is a finite map of booleans, so chains are short).
+// transfer must not mutate its input fact — return a fresh value.
+func Forward[F any](c *CFG, entry F, meet func(F, F) F, transfer func(*Block, F) F, equal func(F, F) bool) map[*Block]F {
+	in := make(map[*Block]F, len(c.Blocks))
+	out := make(map[*Block]F, len(c.Blocks))
+	haveOut := make(map[*Block]bool, len(c.Blocks))
+
+	in[c.Entry] = entry
+
+	// Worklist seeded in reverse postorder: facts flow forward, so
+	// processing sources before sinks converges in one or two sweeps for
+	// reducible graphs.
+	onList := make(map[*Block]bool, len(c.Blocks))
+	list := make([]*Block, len(c.Blocks))
+	copy(list, c.Blocks)
+	for _, bl := range list {
+		onList[bl] = true
+	}
+
+	for len(list) > 0 {
+		bl := list[0]
+		list = list[1:]
+		onList[bl] = false
+
+		inFact, ok := in[bl]
+		if !ok {
+			// No predecessor has produced a fact yet (back-edge-only
+			// entry); revisit once one has.
+			continue
+		}
+		newOut := transfer(bl, inFact)
+		if haveOut[bl] && equal(out[bl], newOut) {
+			continue
+		}
+		out[bl] = newOut
+		haveOut[bl] = true
+		for _, s := range bl.Succs {
+			var merged F
+			if prev, ok := in[s]; ok {
+				merged = meet(prev, newOut)
+				if equal(prev, merged) {
+					continue
+				}
+			} else {
+				merged = newOut
+			}
+			in[s] = merged
+			if !onList[s] {
+				onList[s] = true
+				list = append(list, s)
+			}
+		}
+	}
+	return in
+}

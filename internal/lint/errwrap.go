@@ -16,6 +16,13 @@ import (
 // fmt printing to stdout/stderr, strings.Builder and bytes.Buffer
 // (never fail), and bufio.Writer (the first error is latched and
 // surfaced by Flush, which the analyzer still requires handling).
+//
+// One provenance-based exemption replaces the waivers earlier PRs
+// needed in HTTP handlers: a discarded write error is accepted when the
+// call writes to an http.ResponseWriter — directly, or through an
+// encoder/writer constructed from one (json.NewEncoder(w),
+// bufio.NewWriter(w)) — because a failed response write means the
+// client disconnected and the handler has nobody left to report to.
 type errwrap struct{}
 
 func (errwrap) Name() string { return "errwrap" }
@@ -23,29 +30,121 @@ func (errwrap) Name() string { return "errwrap" }
 func (errwrap) Doc() string {
 	return "fmt.Errorf with an error operand must use %w; discarding an " +
 		"error-returning call via `_ =`, a bare call statement, or a direct " +
-		"`go` statement is forbidden (defers and never-failing writers exempt)"
+		"`go` statement is forbidden (defers, never-failing writers, and " +
+		"writes to an http.ResponseWriter exempt)"
 }
 
 func (e errwrap) Run(pkg *Package) []Finding {
 	var out []Finding
 	for _, file := range pkg.Files {
+		// File-wide pass: the %w check applies everywhere, including
+		// top-level initializers.
 		ast.Inspect(file, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.CallExpr:
-				out = append(out, e.checkErrorf(pkg, st)...)
-			case *ast.AssignStmt:
-				out = append(out, e.checkBlankAssign(pkg, st)...)
-			case *ast.ExprStmt:
-				if call, ok := st.X.(*ast.CallExpr); ok {
-					out = append(out, e.checkDiscardedCall(pkg, call, "result of")...)
+			if call, ok := n.(*ast.CallExpr); ok {
+				out = append(out, e.checkErrorf(pkg, call)...)
+			}
+			return true
+		})
+		// Per-scope pass: discard checks, with each scope's
+		// ResponseWriter provenance in hand.
+		for _, fs := range funcScopes(file) {
+			rw := rwDerived(pkg, fs)
+			inspectShallow(fs.body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					out = append(out, e.checkBlankAssign(pkg, st, rw)...)
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok {
+						out = append(out, e.checkDiscardedCall(pkg, call, "result of", rw)...)
+					}
+				case *ast.GoStmt:
+					out = append(out, e.checkDiscardedCall(pkg, st.Call, "result of goroutine call", rw)...)
 				}
-			case *ast.GoStmt:
-				out = append(out, e.checkDiscardedCall(pkg, st.Call, "result of goroutine call")...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// rwDerived collects the objects in one function scope whose writes go
+// to the HTTP response: encoders and buffered writers constructed from
+// an http.ResponseWriter. Direct uses of a ResponseWriter-typed
+// expression are recognised by type and need no tracking.
+func rwDerived(pkg *Package, fs funcScope) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	record := func(id *ast.Ident) bool {
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || set[obj] {
+			return false
+		}
+		set[obj] = true
+		return true
+	}
+	// Fixpoint over chained constructions (enc := json.NewEncoder(bw)
+	// where bw := bufio.NewWriter(w)).
+	for changed := true; changed; {
+		changed = false
+		inspectShallow(fs.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if !isFuncNamed(fn, "encoding/json", "NewEncoder") && !isFuncNamed(fn, "bufio", "NewWriter") {
+				return true
+			}
+			if !isRWExpr(pkg, call.Args[0], set) {
+				return true
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if record(id) {
+					changed = true
+				}
 			}
 			return true
 		})
 	}
-	return out
+	return set
+}
+
+// isRWExpr reports whether the expression writes to the HTTP response:
+// its type is net/http.ResponseWriter, or it names an object the scope
+// derived from one.
+func isRWExpr(pkg *Package, e ast.Expr, rw map[types.Object]bool) bool {
+	if t := pkg.Info.Types[e].Type; t != nil && t.String() == "net/http.ResponseWriter" {
+		return true
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj != nil && rw[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// writesToResponse reports whether a call's receiver or any argument is
+// ResponseWriter-derived — the provenance exemption for discarded write
+// errors.
+func writesToResponse(pkg *Package, call *ast.CallExpr, rw map[types.Object]bool) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isRWExpr(pkg, sel.X, rw) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if isRWExpr(pkg, arg, rw) {
+			return true
+		}
+	}
+	return false
 }
 
 // checkErrorf flags fmt.Errorf calls that interpolate an error value
@@ -77,7 +176,7 @@ func (errwrap) checkErrorf(pkg *Package, call *ast.CallExpr) []Finding {
 
 // checkBlankAssign flags `_ = expr` (all-blank LHS) where the
 // discarded value is or contains an error.
-func (e errwrap) checkBlankAssign(pkg *Package, as *ast.AssignStmt) []Finding {
+func (e errwrap) checkBlankAssign(pkg *Package, as *ast.AssignStmt, rw map[types.Object]bool) []Finding {
 	for _, lhs := range as.Lhs {
 		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
 			return nil
@@ -87,7 +186,8 @@ func (e errwrap) checkBlankAssign(pkg *Package, as *ast.AssignStmt) []Finding {
 	for _, rhs := range as.Rhs {
 		discardsError := false
 		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
-			discardsError = resultsIncludeError(pkg, call) && !neverFails(pkg, call)
+			discardsError = resultsIncludeError(pkg, call) && !neverFails(pkg, call) &&
+				!writesToResponse(pkg, call, rw)
 		} else if t := pkg.Info.Types[rhs].Type; t != nil && types.Implements(t, errorIface) {
 			discardsError = true
 		}
@@ -104,8 +204,8 @@ func (e errwrap) checkBlankAssign(pkg *Package, as *ast.AssignStmt) []Finding {
 
 // checkDiscardedCall flags a call statement whose error result
 // vanishes.
-func (e errwrap) checkDiscardedCall(pkg *Package, call *ast.CallExpr, what string) []Finding {
-	if !resultsIncludeError(pkg, call) || neverFails(pkg, call) {
+func (e errwrap) checkDiscardedCall(pkg *Package, call *ast.CallExpr, what string, rw map[types.Object]bool) []Finding {
+	if !resultsIncludeError(pkg, call) || neverFails(pkg, call) || writesToResponse(pkg, call, rw) {
 		return nil
 	}
 	return []Finding{{

@@ -108,6 +108,7 @@ func resultsIncludeError(pkg *Package, call *ast.CallExpr) bool {
 // iterate these.
 type funcScope struct {
 	decl *ast.FuncDecl // nil for literals
+	typ  *ast.FuncType
 	body *ast.BlockStmt
 }
 
@@ -118,10 +119,10 @@ func funcScopes(file *ast.File) []funcScope {
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
 			if fn.Body != nil {
-				out = append(out, funcScope{decl: fn, body: fn.Body})
+				out = append(out, funcScope{decl: fn, typ: fn.Type, body: fn.Body})
 			}
 		case *ast.FuncLit:
-			out = append(out, funcScope{body: fn.Body})
+			out = append(out, funcScope{typ: fn.Type, body: fn.Body})
 		}
 		return true
 	})

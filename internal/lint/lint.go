@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"sync"
 )
 
 // A Finding is one rule violation at a source position.
@@ -63,32 +64,79 @@ func Analyzers() []Analyzer {
 		errwrap{},
 		floateq{},
 		hotalloc{},
+		concsafe{},
+		phaseorder{},
+		coordspace{},
 	}
 }
 
-// Run executes every analyzer over every package, applies //lint:ignore
-// suppressions, and returns the surviving findings sorted by position.
-// Malformed suppression directives are reported under the "lint"
-// pseudo-analyzer and cannot themselves be suppressed.
+// Result is the complete outcome of one suite run: the surviving
+// findings, plus every //lint:ignore waiver encountered so the caller
+// can check them against the committed baseline's waiver registry.
+type Result struct {
+	Findings []Finding
+	Waivers  []WaiverUse
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving findings; see RunAll for the waiver-carrying form.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	return RunAll(pkgs, analyzers).Findings
+}
+
+// RunAll executes every analyzer over every package, applies
+// //lint:ignore suppressions, and returns the surviving findings sorted
+// by file, line, column, analyzer, and message — a total order, so two
+// runs over the same tree emit byte-identical reports. Packages are
+// analyzed in parallel (each package's type information is independent
+// once loading has completed); determinism comes from the final sort,
+// not from scheduling. Malformed suppression directives are reported
+// under the "lint" pseudo-analyzer and cannot themselves be suppressed.
+func RunAll(pkgs []*Package, analyzers []Analyzer) Result {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name()] = true
 	}
-	var out []Finding
-	for _, pkg := range pkgs {
-		sup, diags := suppressions(pkg, known)
-		out = append(out, diags...)
-		for _, a := range analyzers {
-			for _, f := range a.Run(pkg) {
-				if !sup.covers(a.Name(), f.Pos) {
-					out = append(out, f)
+	results := make([]Result, len(pkgs))
+	var wg sync.WaitGroup
+	wg.Add(len(pkgs))
+	for i, pkg := range pkgs {
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sup, waivers, diags := suppressions(pkg, known)
+			r := Result{Findings: diags, Waivers: waivers}
+			for _, a := range analyzers {
+				for _, f := range a.Run(pkg) {
+					if !sup.covers(a.Name(), f.Pos) {
+						r.Findings = append(r.Findings, f)
+					}
 				}
 			}
-		}
+			results[i] = r
+		}(i, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	wg.Wait()
+	var res Result
+	for _, r := range results {
+		res.Findings = append(res.Findings, r.Findings...)
+		res.Waivers = append(res.Waivers, r.Waivers...)
+	}
+	SortFindings(res.Findings)
+	sort.Slice(res.Waivers, func(i, j int) bool {
+		a, b := res.Waivers[i], res.Waivers[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return res
+}
+
+// SortFindings orders findings by file, line, column, analyzer, and
+// message — the canonical report order.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -98,7 +146,9 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Msg < b.Msg
 	})
-	return out
 }

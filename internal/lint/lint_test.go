@@ -88,6 +88,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"errwrap", "repro/internal/errfixture"},
 		{"floateq", "repro/internal/solver/floatfixture"},
 		{"hotalloc", "repro/internal/hotfixture"},
+		{"concsafe", "repro/internal/par/concfixture"},
+		{"phaseorder", "repro/internal/phasefixture"},
+		{"coordspace", "repro/internal/mesh/coordfixture"},
 	} {
 		t.Run(tc.dir, func(t *testing.T) {
 			pkg := loadFixture(t, filepath.Join("testdata", "src", tc.dir), tc.importPath)
@@ -230,27 +233,64 @@ func TestAnalyzerNamesStable(t *testing.T) {
 			t.Errorf("analyzer %s has no doc", a.Name())
 		}
 	}
-	if got, want := strings.Join(names, " "), "ctxflow spanend errwrap floateq hotalloc"; got != want {
+	if got, want := strings.Join(names, " "),
+		"ctxflow spanend errwrap floateq hotalloc concsafe phaseorder coordspace"; got != want {
 		t.Errorf("Analyzers() = %q, want %q", got, want)
 	}
 }
 
-// TestModuleIsSimlintClean is the self-check: the suite must pass over
-// the repository itself, exactly as cmd/simlint runs it in make check.
+// TestModuleIsSimlintClean is the self-check: the suite, filtered
+// through the committed baseline, must pass over the repository itself,
+// exactly as cmd/simlint runs it in make check.
 func TestModuleIsSimlintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module from source")
 	}
-	pkgs, err := testModule(t).LoadAll()
+	mod := testModule(t)
+	pkgs, err := mod.LoadAll()
 	if err != nil {
 		t.Fatalf("LoadAll: %v", err)
 	}
 	if len(pkgs) < 10 {
 		t.Fatalf("LoadAll found only %d packages; the walk is likely broken", len(pkgs))
 	}
-	findings := Run(pkgs, Analyzers())
-	for _, f := range findings {
+	res := RunAll(pkgs, Analyzers())
+	base, err := LoadBaseline(filepath.Join(mod.Root, ".simlint-baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	for _, f := range base.Apply(mod.Root, res, nil) {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestDeterministicOutput pins the fixed-output guarantee: two runs of
+// the suite over the whole module render byte-identical text reports,
+// even though RunAll analyzes packages concurrently.
+func TestDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	mod := testModule(t)
+	pkgs, err := mod.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	render := func() string {
+		var b strings.Builder
+		if err := WriteText(&b, mod.Root, Run(pkgs, Analyzers())); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		return b.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("raw run produced no findings; the determinism check needs a non-trivial report")
+	}
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs from run 0:\n--- run 0\n%s\n--- run %d\n%s", i+1, first, i+1, got)
+		}
 	}
 }
 

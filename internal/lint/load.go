@@ -34,6 +34,9 @@ type Package struct {
 	// Types and Info carry the go/types results.
 	Types *types.Package
 	Info  *types.Info
+	// Mod points back to the loading module, giving analyzers access to
+	// cross-package declaration lookups (Module.FuncDecl).
+	Mod *Module
 }
 
 // Module is a loaded view of one Go module: every package directory
@@ -50,6 +53,11 @@ type Module struct {
 	std    types.ImporterFrom
 	info   *types.Info
 	loadWG map[string]bool // cycle guard
+	// decls indexes every loaded FuncDecl by the position of its name,
+	// which is exactly what types.Func.Pos() reports for module-internal
+	// functions — so analyzers can jump from a resolved callee to its
+	// declaration (and its doc comment) in any loaded package.
+	decls map[token.Pos]*ast.FuncDecl
 }
 
 // NewModule prepares a loader for the module rooted at root (the
@@ -82,7 +90,19 @@ func NewModule(root string) (*Module, error) {
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		},
 		loadWG: make(map[string]bool),
+		decls:  make(map[token.Pos]*ast.FuncDecl),
 	}, nil
+}
+
+// FuncDecl returns the declaration of a module-internal function or
+// method, or nil when fn is external (stdlib) or not yet loaded. The
+// lookup is position-based: types.Func.Pos() is the position of the
+// declaring identifier, which LoadDir indexed when it parsed the file.
+func (m *Module) FuncDecl(fn *types.Func) *ast.FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	return m.decls[fn.Pos()]
 }
 
 // modulePath extracts the module path from a go.mod file.
@@ -207,6 +227,14 @@ func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
 		Fset:    m.Fset,
 		Types:   tpkg,
 		Info:    m.info,
+		Mod:     m,
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				m.decls[fd.Name.Pos()] = fd
+			}
+		}
 	}
 	m.pkgs[importPath] = pkg
 	return pkg, nil

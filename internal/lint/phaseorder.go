@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// phaseorder enforces the solver's assemble → boundary-condition →
+// solve discipline along control-flow paths. Functions declare their
+// contract in a doc-comment directive:
+//
+//	//lint:phase requires=assembled,bc-applied provides=bc-applied forbids=bc-applied
+//
+// requires: every listed phase must already be established on every
+// path reaching a call of this function. provides: the call establishes
+// the listed phases. forbids: the call is illegal on any path where the
+// listed phase may already have been established in the same function
+// (ApplyDirichlet must run once; load assembly must not follow it).
+//
+// Phases established by a *caller* are modelled with an entry
+// assumption: if the analyzed function contains no call providing phase
+// p, then p is assumed established at entry (the contract binds
+// whichever scope actually sequences the calls — typically the pipeline
+// stage closure). If some call in the function provides p, entry starts
+// with p un-established and the CFG must prove the provider precedes
+// every requirer.
+type phaseorder struct{}
+
+func (phaseorder) Name() string { return "phaseorder" }
+
+func (phaseorder) Doc() string {
+	return "solver phase-order contracts (//lint:phase requires/provides/forbids) checked along CFG paths"
+}
+
+// phaseContract is one function's parsed //lint:phase directive.
+type phaseContract struct {
+	requires []string
+	provides []string
+	forbids  []string
+}
+
+func (c phaseContract) empty() bool {
+	return len(c.requires) == 0 && len(c.provides) == 0 && len(c.forbids) == 0
+}
+
+// parsePhaseDirective parses the argument list of a //lint:phase
+// directive. The bool reports whether the directive was present; a
+// present-but-malformed directive returns ok with whatever parsed,
+// leaving syntax diagnostics to suppressions().
+func parsePhaseDirective(doc *ast.CommentGroup) (phaseContract, bool) {
+	if doc == nil {
+		return phaseContract{}, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//lint:phase")
+		if !ok {
+			continue
+		}
+		var pc phaseContract
+		for _, field := range strings.Fields(rest) {
+			key, val, _ := strings.Cut(field, "=")
+			list := splitPhases(val)
+			switch key {
+			case "requires":
+				pc.requires = append(pc.requires, list...)
+			case "provides":
+				pc.provides = append(pc.provides, list...)
+			case "forbids":
+				pc.forbids = append(pc.forbids, list...)
+			}
+		}
+		return pc, true
+	}
+	return phaseContract{}, false
+}
+
+func splitPhases(val string) []string {
+	var out []string
+	for _, p := range strings.Split(val, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// contractOfCall resolves the contract of the function a call invokes,
+// looking the declaration up across packages through the module index.
+func contractOfCall(pkg *Package, call *ast.CallExpr) (phaseContract, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || pkg.Mod == nil {
+		return phaseContract{}, false
+	}
+	decl := pkg.Mod.FuncDecl(fn)
+	if decl == nil {
+		return phaseContract{}, false
+	}
+	return parsePhaseDirective(decl.Doc)
+}
+
+// phaseFact is the dataflow fact: for each phase index, whether it is
+// established on every path (must) and whether it may have been
+// established by a call within this function (may).
+type phaseFact struct {
+	must []bool
+	may  []bool
+}
+
+func (f phaseFact) clone() phaseFact {
+	g := phaseFact{must: make([]bool, len(f.must)), may: make([]bool, len(f.may))}
+	copy(g.must, f.must)
+	copy(g.may, f.may)
+	return g
+}
+
+func phaseMeet(a, b phaseFact) phaseFact {
+	out := a.clone()
+	for i := range out.must {
+		out.must[i] = out.must[i] && b.must[i]
+		out.may[i] = out.may[i] || b.may[i]
+	}
+	return out
+}
+
+func phaseEqual(a, b phaseFact) bool {
+	for i := range a.must {
+		if a.must[i] != b.must[i] || a.may[i] != b.may[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (phaseorder) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, sc := range funcScopes(file) {
+			out = append(out, checkPhaseOrder(pkg, sc)...)
+		}
+	}
+	return out
+}
+
+func checkPhaseOrder(pkg *Package, sc funcScope) []Finding {
+	// Gather the contract calls of this scope (not descending into
+	// nested function literals — each literal is its own scope with its
+	// own caller assumption).
+	type contractCall struct {
+		call *ast.CallExpr
+		pc   phaseContract
+	}
+	calls := make(map[*ast.CallExpr]phaseContract)
+	providedHere := make(map[string]bool)
+	phaseSet := make(map[string]bool)
+	inspectShallow(sc.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pc, ok := contractOfCall(pkg, call); ok && !pc.empty() {
+			calls[call] = pc
+			for _, p := range pc.provides {
+				providedHere[p] = true
+				phaseSet[p] = true
+			}
+			for _, p := range pc.requires {
+				phaseSet[p] = true
+			}
+			for _, p := range pc.forbids {
+				phaseSet[p] = true
+			}
+		}
+		return true
+	})
+	if len(calls) == 0 {
+		return nil
+	}
+	phases := make([]string, 0, len(phaseSet))
+	for p := range phaseSet {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	index := make(map[string]int, len(phases))
+	for i, p := range phases {
+		index[p] = i
+	}
+
+	entry := phaseFact{must: make([]bool, len(phases)), may: make([]bool, len(phases))}
+	for i, p := range phases {
+		// Caller assumption: a phase nothing in this function provides is
+		// taken as established before entry.
+		entry.must[i] = !providedHere[p]
+	}
+
+	// contractsIn collects the contract calls of one CFG node in source
+	// order (nested calls evaluate inside-out, but contract calls are
+	// never nested in practice; source order is the sensible tiebreak).
+	contractsIn := func(n ast.Node) []contractCall {
+		var cs []contractCall
+		inspectShallow(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if pc, ok := calls[call]; ok {
+					cs = append(cs, contractCall{call, pc})
+				}
+			}
+			return true
+		})
+		return cs
+	}
+
+	apply := func(f phaseFact, pc phaseContract) phaseFact {
+		g := f.clone()
+		for _, p := range pc.provides {
+			g.must[index[p]] = true
+			g.may[index[p]] = true
+		}
+		return g
+	}
+
+	c := BuildCFG(sc.body)
+	in := Forward(c, entry, phaseMeet,
+		func(bl *Block, f phaseFact) phaseFact {
+			for _, n := range bl.Nodes {
+				for _, cc := range contractsIn(n) {
+					f = apply(f, cc.pc)
+				}
+			}
+			return f
+		},
+		phaseEqual,
+	)
+
+	// Report pass: re-walk each block with its IN fact and check every
+	// contract call against the fact holding at that point.
+	var out []Finding
+	for _, bl := range c.Blocks {
+		f, ok := in[bl]
+		if !ok {
+			continue
+		}
+		for _, n := range bl.Nodes {
+			for _, cc := range contractsIn(n) {
+				name := calleeFunc(pkg, cc.call).Name()
+				for _, r := range cc.pc.requires {
+					if !f.must[index[r]] {
+						out = append(out, Finding{
+							Pos:      pkg.Fset.Position(cc.call.Pos()),
+							Analyzer: "phaseorder",
+							Msg: name + " requires phase " + strconvQuote(r) +
+								" which is not established on every path to this call",
+						})
+					}
+				}
+				for _, fb := range cc.pc.forbids {
+					if f.may[index[fb]] {
+						out = append(out, Finding{
+							Pos:      pkg.Fset.Position(cc.call.Pos()),
+							Analyzer: "phaseorder",
+							Msg: name + " must not be reachable after phase " + strconvQuote(fb) +
+								" is applied",
+						})
+					}
+				}
+				f = apply(f, cc.pc)
+			}
+		}
+	}
+	return out
+}

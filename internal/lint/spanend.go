@@ -128,6 +128,123 @@ func (s spanend) checkScope(pkg *Package, fs funcScope) []Finding {
 			}
 		}
 	}
+	out = append(out, s.checkLeakPaths(pkg, fs, starts)...)
+	return out
+}
+
+// checkLeakPaths runs the path-sensitive half of the invariant on the
+// CFG: between a StartSpan assignment and the registration of its
+// deferred End, no return statement may be reachable — an early return
+// in that window leaks the span even though a defer exists further
+// down. The fact per span variable is "started but End not yet
+// deferred"; the meet is OR (a leak on any path is a leak).
+func (spanend) checkLeakPaths(pkg *Package, fs funcScope, starts []spanStart) []Finding {
+	tracked := make(map[string]int)
+	var names []string
+	for _, st := range starts {
+		if st.varName == "" {
+			continue
+		}
+		if _, ok := tracked[st.varName]; !ok {
+			tracked[st.varName] = len(names)
+			names = append(names, st.varName)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+
+	// transitions lists, for one CFG node in source order, the span
+	// events it contains: +i (span i started), -i-1 encoded separately.
+	type event struct {
+		idx   int
+		start bool
+	}
+	eventsIn := func(n ast.Node) []event {
+		var evs []event
+		inspectShallow(n, func(x ast.Node) bool {
+			switch st := x.(type) {
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 && len(st.Lhs) == 2 {
+					if call, ok := st.Rhs[0].(*ast.CallExpr); ok && isStartSpan(pkg, call) {
+						if id, ok := st.Lhs[1].(*ast.Ident); ok {
+							if i, ok := tracked[id.Name]; ok {
+								evs = append(evs, event{idx: i, start: true})
+							}
+						}
+					}
+				}
+			case *ast.DeferStmt:
+				if name, ok := deferredEndVar(st); ok {
+					if i, ok := tracked[name]; ok {
+						evs = append(evs, event{idx: i, start: false})
+					}
+				}
+			}
+			return true
+		})
+		return evs
+	}
+
+	clone := func(f []bool) []bool {
+		g := make([]bool, len(f))
+		copy(g, f)
+		return g
+	}
+	c := BuildCFG(fs.body)
+	in := Forward(c, make([]bool, len(names)),
+		func(a, b []bool) []bool {
+			out := clone(a)
+			for i := range out {
+				out[i] = out[i] || b[i]
+			}
+			return out
+		},
+		func(bl *Block, f []bool) []bool {
+			g := clone(f)
+			for _, n := range bl.Nodes {
+				for _, ev := range eventsIn(n) {
+					g[ev.idx] = ev.start
+				}
+			}
+			return g
+		},
+		func(a, b []bool) bool {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		},
+	)
+
+	var out []Finding
+	for _, bl := range c.Blocks {
+		f, ok := in[bl]
+		if !ok {
+			continue
+		}
+		f = clone(f)
+		for _, n := range bl.Nodes {
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				for i, leak := range f {
+					if leak {
+						out = append(out, Finding{
+							Pos:      pkg.Fset.Position(ret.Pos()),
+							Analyzer: "spanend",
+							Msg: "return reachable after span " + strconv.Quote(names[i]) +
+								" is started but before its End is deferred; the span leaks on this path",
+						})
+					}
+				}
+				continue
+			}
+			for _, ev := range eventsIn(n) {
+				f[ev.idx] = ev.start
+			}
+		}
+	}
 	return out
 }
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/token"
+	"regexp"
 	"strings"
 )
 
@@ -28,15 +29,31 @@ func (s suppressionIndex) covers(analyzer string, pos token.Position) bool {
 // //lint:... is reported as malformed so typos fail loudly instead of
 // silently not suppressing.
 var knownDirectives = map[string]bool{
-	"hotpath": true,
+	"hotpath":    true,
+	"phase":      true, // solver phase contracts; see phaseorder.go
+	"coordspace": true, // frame-conversion marker; see coordspace.go
 }
 
+// WaiverUse records one //lint:ignore occurrence, so the baseline can
+// check that every in-source waiver is registered with a reason.
+type WaiverUse struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// phaseNameRe constrains phase names in //lint:phase directives: short
+// lowercase kebab-case identifiers ("assembled", "bc-applied").
+var phaseNameRe = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
 // suppressions scans a package's comments for //lint: directives. It
-// returns the ignore index plus diagnostics (under the "lint" pseudo-
-// analyzer) for malformed directives: a missing reason, an unknown
-// analyzer name, or an unknown directive verb.
-func suppressions(pkg *Package, known map[string]bool) (suppressionIndex, []Finding) {
+// returns the ignore index, the waiver uses for the baseline check, and
+// diagnostics (under the "lint" pseudo-analyzer) for malformed
+// directives: a missing reason, an unknown analyzer name, an unknown
+// directive verb, or bad //lint:phase / //lint:coordspace syntax.
+func suppressions(pkg *Package, known map[string]bool) (suppressionIndex, []WaiverUse, []Finding) {
 	idx := make(suppressionIndex)
+	var waivers []WaiverUse
 	var diags []Finding
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
@@ -60,6 +77,9 @@ func suppressions(pkg *Package, known map[string]bool) (suppressionIndex, []Find
 							Msg: "//lint:ignore names unknown analyzer " + strconvQuote(name)})
 						continue
 					}
+					waivers = append(waivers, WaiverUse{
+						Pos: pos, Analyzer: name, Reason: strings.TrimSpace(reason),
+					})
 					if idx[pos.Filename] == nil {
 						idx[pos.Filename] = make(map[int]map[string]bool)
 					}
@@ -67,6 +87,13 @@ func suppressions(pkg *Package, known map[string]bool) (suppressionIndex, []Find
 						idx[pos.Filename][pos.Line] = make(map[string]bool)
 					}
 					idx[pos.Filename][pos.Line][name] = true
+				case "phase":
+					diags = append(diags, checkPhaseSyntax(pos, arg)...)
+				case "coordspace":
+					if strings.TrimSpace(arg) != "conversion" {
+						diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
+							Msg: "malformed directive: want //lint:coordspace conversion"})
+					}
 				default:
 					if !knownDirectives[verb] {
 						diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
@@ -76,7 +103,40 @@ func suppressions(pkg *Package, known map[string]bool) (suppressionIndex, []Find
 			}
 		}
 	}
-	return idx, diags
+	return idx, waivers, diags
+}
+
+// checkPhaseSyntax validates the argument list of a //lint:phase
+// directive: space-separated key=value fields with keys from
+// requires/provides/forbids and comma-separated kebab-case phase names.
+func checkPhaseSyntax(pos token.Position, arg string) []Finding {
+	fields := strings.Fields(arg)
+	if len(fields) == 0 {
+		return []Finding{{Pos: pos, Analyzer: "lint",
+			Msg: "malformed directive: want //lint:phase requires=...|provides=...|forbids=..."}}
+	}
+	var diags []Finding
+	for _, field := range fields {
+		key, val, hasEq := strings.Cut(field, "=")
+		switch {
+		case !hasEq || (key != "requires" && key != "provides" && key != "forbids"):
+			diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
+				Msg: "//lint:phase field " + strconvQuote(field) +
+					": want requires=, provides=, or forbids="})
+			continue
+		case splitPhases(val) == nil:
+			diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
+				Msg: "//lint:phase " + key + "= lists no phases"})
+			continue
+		}
+		for _, p := range splitPhases(val) {
+			if !phaseNameRe.MatchString(p) {
+				diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
+					Msg: "//lint:phase name " + strconvQuote(p) + " is not lowercase kebab-case"})
+			}
+		}
+	}
+	return diags
 }
 
 func strconvQuote(s string) string { return `"` + s + `"` }

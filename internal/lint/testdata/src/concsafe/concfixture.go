@@ -1,0 +1,104 @@
+// Package concfixture exercises the concsafe analyzer: goroutine
+// completion signals, Add-before-spawn proof, cancellable loop sends,
+// by-value sync primitives, and WaitGroup reuse across iterations.
+package concfixture
+
+import (
+	"context"
+	"sync"
+)
+
+// NoSignal spawns a goroutine nobody can join.
+func NoSignal() {
+	go func() { // want concsafe "no deferred WaitGroup.Done, completion send, or recover"
+		_ = 1 + 1
+	}()
+}
+
+// AddBeforeSpawn is the blessed worker-pool shape.
+func AddBeforeSpawn(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// AddOnOneBranch only Adds on one path to the spawn.
+func AddOnOneBranch(cond bool) {
+	var wg sync.WaitGroup
+	if cond {
+		wg.Add(1)
+	}
+	go func() { // want concsafe "no wg.Add reaches the go statement on every path"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// DoneChannel signals completion through a channel instead.
+func DoneChannel(done chan error) {
+	go func() {
+		defer func() { done <- nil }()
+		_ = 1 + 1
+	}()
+}
+
+// LoopSendBare sends in a worker loop with no way out.
+func LoopSendBare(out chan int) {
+	for i := 0; i < 4; i++ {
+		out <- i // want concsafe "channel send inside a loop must select"
+	}
+}
+
+// LoopSendSelect is the cancellable form.
+func LoopSendSelect(ctx context.Context, out chan int) {
+	for i := 0; i < 4; i++ {
+		select {
+		case out <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// ByValue copies a mutex into the callee.
+func ByValue(mu sync.Mutex) { // want concsafe "passed by value as a parameter"
+	mu.Lock()
+}
+
+// Reassign copies a mutex into a second variable.
+func Reassign() {
+	var mu sync.Mutex
+	mu2 := mu // want concsafe "copied by value in an assignment"
+	mu2.Lock()
+}
+
+// ReuseAcrossIterations Adds and Waits on one WaitGroup every
+// iteration.
+func ReuseAcrossIterations(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+		wg.Wait() // want concsafe "reuse races late Done calls"
+	}
+}
+
+// FreshEachIteration declares the group inside the loop, so each
+// iteration joins its own goroutines.
+func FreshEachIteration(items []int) {
+	for range items {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+		wg.Wait()
+	}
+}

@@ -1,0 +1,40 @@
+// Package coordfixture exercises the coordspace analyzer: millimeter
+// and voxel coordinate frames may only cross through the declared
+// //lint:coordspace conversion functions.
+package coordfixture
+
+import (
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// VoxelFromMM builds a voxel index straight from millimeter
+// components.
+func VoxelFromMM(p geom.Vec3) geom.Voxel {
+	return geom.Vox(int(p.X), int(p.Y), int(p.Z)) // want coordspace "constructing a voxel index"
+}
+
+// MMFromVoxel builds a millimeter point from raw voxel indices.
+func MMFromVoxel(v geom.Voxel) geom.Vec3 {
+	return geom.V(float64(v.I), float64(v.J), float64(v.K)) // want coordspace "constructing a millimeter point"
+}
+
+// CompositeMix mixes frames in a composite literal.
+func CompositeMix(p geom.VoxelPoint) geom.Vec3 {
+	return geom.Vec3{X: p.X, Y: p.Y, Z: p.Z} // want coordspace "constructing a millimeter point"
+}
+
+// CastAcross type-converts between frames directly.
+func CastAcross(p geom.Vec3) geom.VoxelPoint {
+	return geom.VoxelPoint(p) // want coordspace "explicit conversion from"
+}
+
+// Converted goes through the declared conversion points and is fine.
+func Converted(g volume.Grid, p geom.Vec3) geom.Voxel {
+	return g.Voxel(p).Round()
+}
+
+// SameFrame stays within one frame and is fine.
+func SameFrame(a geom.Vec3) geom.Vec3 {
+	return geom.V(a.X*2, a.Y*2, a.Z*2)
+}

@@ -1,0 +1,81 @@
+// Package phasefixture exercises the phaseorder analyzer: the
+// assemble → boundary-condition → solve contracts, checked along CFG
+// paths.
+package phasefixture
+
+// Assemble stands in for fem.Assemble.
+//
+//lint:phase provides=assembled
+func Assemble() {}
+
+// ApplyBC stands in for fem.ApplyDirichlet: needs an assembled system,
+// establishes the boundary conditions, and must run exactly once.
+//
+//lint:phase requires=assembled provides=bc-applied forbids=bc-applied
+func ApplyBC() {}
+
+// AddLoad must land before the Dirichlet rows are fixed.
+//
+//lint:phase requires=assembled forbids=bc-applied
+func AddLoad() {}
+
+// Solve requires the full sequence.
+//
+//lint:phase requires=assembled,bc-applied
+func Solve() {}
+
+// Good is the blessed order.
+func Good() {
+	Assemble()
+	AddLoad()
+	ApplyBC()
+	Solve()
+}
+
+// SolveBeforeBC reaches the solve before the BCs are applied.
+func SolveBeforeBC() {
+	Assemble()
+	Solve() // want phaseorder "is not established on every path"
+	ApplyBC()
+}
+
+// LoadAfterBC writes a load after Dirichlet rows are fixed.
+func LoadAfterBC() {
+	Assemble()
+	ApplyBC()
+	AddLoad() // want phaseorder "must not be reachable after phase"
+	Solve()
+}
+
+// DoubleBC applies the boundary conditions twice.
+func DoubleBC() {
+	Assemble()
+	ApplyBC()
+	ApplyBC() // want phaseorder "must not be reachable after phase"
+	Solve()
+}
+
+// BranchProvides assembles on only one branch, so the BC call cannot
+// rely on it.
+func BranchProvides(cond bool) {
+	if cond {
+		Assemble()
+	}
+	ApplyBC() // want phaseorder "is not established on every path"
+}
+
+// LoopBC re-applies the BCs on the loop's second iteration.
+func LoopBC(n int) {
+	Assemble()
+	for i := 0; i < n; i++ {
+		ApplyBC() // want phaseorder "must not be reachable after phase"
+	}
+}
+
+// CallerEstablished provides nothing for "assembled" itself, so the
+// caller assumption holds: the contract binds whoever sequences the
+// calls into this helper.
+func CallerEstablished() {
+	ApplyBC()
+	Solve()
+}

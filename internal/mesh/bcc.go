@@ -239,16 +239,19 @@ func minI32(a, b int32) int32 {
 
 // nearestIncludedLabel samples outward from p until an included label
 // is found (bounded search), defaulting to the first included label of
-// the volume.
+// the volume. The outward walk steps in voxel space: neighbor probes
+// are index offsets, not millimeter offsets, so anisotropic spacing
+// cannot skew the search pattern.
 func nearestIncludedLabel(l *volume.Labels, p geom.Vec3, include func(volume.Label) bool) volume.Label {
-	if lab := l.AtWorld(p); include(lab) {
+	v := l.Grid.Voxel(p).Round()
+	if lab := l.AtVox(v); include(lab) {
 		return lab
 	}
-	for r := 1.0; r <= 4; r++ {
-		for _, d := range []geom.Vec3{
-			{X: r}, {X: -r}, {Y: r}, {Y: -r}, {Z: r}, {Z: -r},
+	for r := 1; r <= 4; r++ {
+		for _, d := range []geom.Voxel{
+			{I: r}, {I: -r}, {J: r}, {J: -r}, {K: r}, {K: -r},
 		} {
-			if lab := l.AtWorld(p.Add(d.Mul(l.Grid.Spacing))); include(lab) {
+			if lab := l.AtVox(v.Add(d)); include(lab) {
 				return lab
 			}
 		}

@@ -228,7 +228,6 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		//lint:ignore errwrap a failed scrape write means the client went away; the handler has nothing to recover
 		_ = r.WritePrometheus(w)
 	})
 }

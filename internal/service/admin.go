@@ -100,7 +100,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	//lint:ignore errwrap an encode failure means the client went away mid-response; the handler has nothing to recover
 	_ = enc.Encode(v)
 }
 
@@ -119,6 +118,7 @@ func ServeAdmin(s *Service, addr string) (*Admin, error) {
 		return nil, fmt.Errorf("service: admin listen %s: %w", addr, err)
 	}
 	a := &Admin{ln: ln, srv: &http.Server{Handler: AdminHandler(s)}}
+	//lint:ignore concsafe the admin server goroutine lives for the process and is joined through srv.Close, not a WaitGroup
 	go func() {
 		// ErrServerClosed after Close is the normal shutdown path; any
 		// other serve error just ends the admin surface, never the

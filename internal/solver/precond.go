@@ -180,8 +180,6 @@ type SSORPC struct {
 
 // NewSSOR builds the preconditioner with relaxation factor omega in
 // (0, 2); omega <= 0 defaults to 1 (symmetric Gauss-Seidel).
-//
-//lint:ignore ctxflow one bounded diagonal-validation pass at setup time, not solve-time work
 func NewSSOR(a *sparse.CSR, omega float64) (*SSORPC, error) {
 	if omega <= 0 {
 		omega = 1

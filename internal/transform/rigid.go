@@ -90,7 +90,7 @@ func (r Rigid) MaxDisplacement(g volume.Grid) float64 {
 	for _, ci := range []int{0, g.NX - 1} {
 		for _, cj := range []int{0, g.NY - 1} {
 			for _, ck := range []int{0, g.NZ - 1} {
-				p := g.World(ci, cj, ck)
+				p := g.WorldOf(geom.Vox(ci, cj, ck))
 				if d := r.Apply(p).Dist(p); d > maxD {
 					maxD = d
 				}

@@ -54,15 +54,15 @@ func (f *Field) Set(i, j, k int, d geom.Vec3) {
 func (f *Field) SampleWorld(p geom.Vec3) geom.Vec3 {
 	v := f.Grid.Voxel(p)
 	return geom.V(
-		sampleComponent(f.Grid, f.DX, v.X, v.Y, v.Z),
-		sampleComponent(f.Grid, f.DY, v.X, v.Y, v.Z),
-		sampleComponent(f.Grid, f.DZ, v.X, v.Y, v.Z),
+		sampleComponent(f.Grid, f.DX, v),
+		sampleComponent(f.Grid, f.DY, v),
+		sampleComponent(f.Grid, f.DZ, v),
 	)
 }
 
-func sampleComponent(g Grid, data []float32, x, y, z float64) float64 {
+func sampleComponent(g Grid, data []float32, v geom.VoxelPoint) float64 {
 	s := Scalar{Grid: g, Data: data}
-	return s.SampleVoxel(x, y, z)
+	return s.SampleVoxelPoint(v)
 }
 
 // MaxMagnitude returns the largest displacement magnitude in the field.

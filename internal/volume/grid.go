@@ -56,7 +56,10 @@ func (g Grid) InBounds(i, j, k int) bool {
 	return i >= 0 && i < g.NX && j >= 0 && j < g.NY && k >= 0 && k < g.NZ
 }
 
-// World returns the world coordinates of the center of voxel (i, j, k).
+// World returns the world coordinates (mm) of the center of voxel
+// (i, j, k).
+//
+//lint:coordspace conversion
 func (g Grid) World(i, j, k int) geom.Vec3 {
 	return geom.V(
 		g.Origin.X+float64(i)*g.Spacing.X,
@@ -65,14 +68,38 @@ func (g Grid) World(i, j, k int) geom.Vec3 {
 	)
 }
 
-// Voxel returns the continuous voxel coordinates of world point p.
-func (g Grid) Voxel(p geom.Vec3) geom.Vec3 {
-	return geom.V(
-		(p.X-g.Origin.X)/g.Spacing.X,
-		(p.Y-g.Origin.Y)/g.Spacing.Y,
-		(p.Z-g.Origin.Z)/g.Spacing.Z,
-	)
+// WorldOf returns the world coordinates (mm) of the center of voxel v.
+//
+//lint:coordspace conversion
+func (g Grid) WorldOf(v geom.Voxel) geom.Vec3 {
+	return g.World(v.I, v.J, v.K)
 }
+
+// Voxel returns the continuous voxel-space coordinates of world point
+// p (mm). The result is fractional: feed it to Floor/Round to obtain a
+// discrete index, or to Frac for interpolation weights.
+//
+//lint:coordspace conversion
+func (g Grid) Voxel(p geom.Vec3) geom.VoxelPoint {
+	return geom.VoxelPoint{
+		X: (p.X - g.Origin.X) / g.Spacing.X,
+		Y: (p.Y - g.Origin.Y) / g.Spacing.Y,
+		Z: (p.Z - g.Origin.Z) / g.Spacing.Z,
+	}
+}
+
+// IndexOf returns the linear index of voxel v.
+func (g Grid) IndexOf(v geom.Voxel) int { return g.Index(v.I, v.J, v.K) }
+
+// VoxelCoords returns the discrete voxel coordinates of linear index
+// idx (the typed counterpart of Coords).
+func (g Grid) VoxelCoords(idx int) geom.Voxel {
+	i, j, k := g.Coords(idx)
+	return geom.Voxel{I: i, J: j, K: k}
+}
+
+// Contains reports whether voxel v addresses a voxel of the grid.
+func (g Grid) Contains(v geom.Voxel) bool { return g.InBounds(v.I, v.J, v.K) }
 
 // Extent returns the world-space size of the grid (from the center of
 // the first voxel to the center of the last, plus one voxel).

@@ -50,7 +50,8 @@ func TestWorldVoxelRoundTrip(t *testing.T) {
 		if !p.IsFinite() {
 			return true
 		}
-		back := g.World(0, 0, 0).Add(g.Voxel(p).Mul(g.Spacing))
+		v := g.Voxel(p)
+		back := g.World(0, 0, 0).Add(geom.V(v.X*g.Spacing.X, v.Y*g.Spacing.Y, v.Z*g.Spacing.Z))
 		return back.Sub(p).MaxAbs() < 1e-9*(1+p.MaxAbs())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}); err != nil {
@@ -66,8 +67,23 @@ func TestWorldOfVoxelCenters(t *testing.T) {
 		t.Errorf("World(1,2,3) = %v, want %v", p, want)
 	}
 	v := g.Voxel(want)
-	if v != geom.V(1, 2, 3) {
+	if (v != geom.VoxelPoint{X: 1, Y: 2, Z: 3}) {
 		t.Errorf("Voxel = %v, want (1,2,3)", v)
+	}
+	if v.Round() != geom.Vox(1, 2, 3) {
+		t.Errorf("Round = %v, want (1,2,3)", v.Round())
+	}
+	if g.WorldOf(geom.Vox(1, 2, 3)) != want {
+		t.Errorf("WorldOf = %v, want %v", g.WorldOf(geom.Vox(1, 2, 3)), want)
+	}
+	if g.IndexOf(geom.Vox(1, 2, 3)) != g.Index(1, 2, 3) {
+		t.Error("IndexOf disagrees with Index")
+	}
+	if g.VoxelCoords(g.Index(1, 2, 3)) != geom.Vox(1, 2, 3) {
+		t.Error("VoxelCoords disagrees with Coords")
+	}
+	if !g.Contains(geom.Vox(1, 2, 3)) || g.Contains(geom.Vox(-1, 0, 0)) {
+		t.Error("Contains disagrees with InBounds")
 	}
 }
 

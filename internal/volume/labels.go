@@ -80,13 +80,13 @@ func (l *Labels) Set(i, j, k int, v Label) {
 	l.Data[l.Grid.Index(i, j, k)] = v
 }
 
+// AtVox returns the label at voxel v; out-of-bounds reads return
+// LabelBackground.
+func (l *Labels) AtVox(v geom.Voxel) Label { return l.At(v.I, v.J, v.K) }
+
 // AtWorld returns the label at the voxel nearest to world point p.
 func (l *Labels) AtWorld(p geom.Vec3) Label {
-	v := l.Grid.Voxel(p)
-	i := int(v.X + 0.5)
-	j := int(v.Y + 0.5)
-	k := int(v.Z + 0.5)
-	return l.At(i, j, k)
+	return l.AtVox(l.Grid.Voxel(p).Round())
 }
 
 // Clone returns a deep copy of l.

@@ -106,10 +106,15 @@ func (s *Scalar) SampleVoxel(x, y, z float64) float64 {
 	return c0 + fz*(c1-c0)
 }
 
-// SampleWorld trilinearly interpolates the volume at world point p.
+// SampleVoxelPoint trilinearly interpolates the volume at a continuous
+// voxel-space point.
+func (s *Scalar) SampleVoxelPoint(p geom.VoxelPoint) float64 {
+	return s.SampleVoxel(p.X, p.Y, p.Z)
+}
+
+// SampleWorld trilinearly interpolates the volume at world point p (mm).
 func (s *Scalar) SampleWorld(p geom.Vec3) float64 {
-	v := s.Grid.Voxel(p)
-	return s.SampleVoxel(v.X, v.Y, v.Z)
+	return s.SampleVoxelPoint(s.Grid.Voxel(p))
 }
 
 // GradientWorld returns the central-difference image gradient at world

@@ -22,6 +22,9 @@ echo "== simlint ./..."
 go run ./cmd/simlint ./...
 echo "== go test ./..."
 go test ./...
+echo "== go test -fuzz (10s each: edt distance transform, sparse SpMV)"
+go test -short -run='^$' -fuzz=FuzzDistanceTransform -fuzztime=10s ./internal/edt
+go test -short -run='^$' -fuzz=FuzzSpMVAgainstDense -fuzztime=10s ./internal/sparse
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/core/... ./internal/service/... ./internal/obs/... \
 	./internal/fem/... ./internal/par/... ./internal/classify/...
