@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench
+.PHONY: build test lint perfgate check bench
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,21 @@ test:
 
 # Project-native static analysis: the simlint suite (see internal/lint)
 # enforcing the pipeline's context-plumbing, span-pairing,
-# error-wrapping, float-comparison, and hot-path allocation invariants.
+# error-wrapping, float-comparison, phase-order, coordinate-frame, and
+# interprocedural hot-path/lock-scope invariants.
 lint:
 	$(GO) run ./cmd/simlint ./...
 
-# Full gate: gofmt + build + vet + simlint + tests, plus the
-# concurrency-sensitive packages (pipeline cancellation, registration
-# service, telemetry, FEM, par, classify) under -race.
+# Compiler-fact performance gate: escape-analysis and bounds-check
+# counts ratcheted per package against .perfgate-baseline.json, plus
+# the //lint:noescape zero-escape contract on the hot kernels. After a
+# deliberate improvement, tighten the register with
+# `go run ./cmd/perfgate -update`.
+perfgate:
+	$(GO) run ./cmd/perfgate
+
+# Full gate: gofmt + build + vet + simlint + perfgate + tests + fuzz
+# smoke, then the whole module under -race (short mode).
 check:
 	sh scripts/check.sh
 

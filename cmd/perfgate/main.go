@@ -1,0 +1,120 @@
+// Command perfgate enforces the compiler-fact performance gate: it
+// compiles the module with escape-analysis and bounds-check-elimination
+// diagnostics enabled and checks two contracts against the output.
+//
+// Usage:
+//
+//	go run ./cmd/perfgate [-update] [-baseline file] [-md file]
+//
+// First, every function annotated //lint:noescape (the hot numerical
+// kernels: SpMV, element stiffness, the GMRES cycle, the EDT scans)
+// must compile with zero heap escapes inside its declaration; such
+// findings are hard failures that no baseline can absorb. Second,
+// per-package escape and bounds-check counts are ratcheted against
+// .perfgate-baseline.json: counts may only fall, a count below its
+// entry is a staleness finding, and packages without an entry are
+// allowed nothing. -update rewrites the register to the observed
+// counts (kernel contract violations still fail). -md writes a
+// GitHub-flavored summary table ("-" for stdout), which CI appends to
+// the job summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/perfgate"
+)
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline to the observed counts instead of failing on drift")
+	baselinePath := flag.String("baseline", ".perfgate-baseline.json", "baseline file relative to the module root")
+	mdPath := flag.String("md", "", "write a markdown summary to this file (\"-\" for stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: perfgate [-update] [-baseline file] [-md file]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := perfgate.Analyze(root)
+	if err != nil {
+		fatal(err)
+	}
+	path := *baselinePath
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(root, path)
+	}
+
+	if *update {
+		if err := perfgate.FromReport(rep).Save(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("perfgate: baseline %s updated (%d kernels checked)\n", *baselinePath, len(rep.Kernels))
+		// The kernel contract still gates an -update run: annotated
+		// escapes are never recordable debt.
+		report(rep, perfgate.FromReport(rep), rep.Contract, *mdPath)
+		return
+	}
+
+	base, err := perfgate.LoadBaseline(path)
+	if err != nil {
+		fatal(err)
+	}
+	report(rep, base, perfgate.Gate(rep, base), *mdPath)
+}
+
+// report prints findings, writes the optional markdown summary, and
+// exits non-zero when the gate fails.
+func report(rep *perfgate.Report, base *perfgate.Baseline, findings []perfgate.Finding, mdPath string) {
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if mdPath != "" {
+		w := os.Stdout
+		if mdPath != "-" {
+			f, err := os.Create(mdPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := perfgate.WriteMarkdown(w, rep, base, findings); err != nil {
+			fatal(err)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "perfgate: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfgate:", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -139,7 +139,8 @@ func printList(analyzers []lint.Analyzer) {
 		fmt.Printf("  %-16s %s\n", n, obs.SpanNames[n])
 	}
 	fmt.Println("\nsuppress a finding with:  //lint:ignore <analyzer> <reason> (must be registered in the baseline)")
-	fmt.Println("annotate a kernel with:   //lint:hotpath (enables hotalloc checks)")
+	fmt.Println("annotate a kernel with:   //lint:hotpath (enables hotalloc + hotreach checks)")
+	fmt.Println("pin a kernel's escapes:   //lint:noescape (enforced by cmd/perfgate against compiler facts)")
 	fmt.Println("declare phase contracts:  //lint:phase requires=... provides=... forbids=...")
 	fmt.Println("mark frame conversions:   //lint:coordspace conversion")
 }

@@ -33,6 +33,7 @@ const inf = 1e20
 // n+1 respectively.
 //
 //lint:hotpath
+//lint:noescape
 func distanceTransform1D(f, d []float64, v []int, z []float64, spacing float64) {
 	n := len(f)
 	if n == 0 {

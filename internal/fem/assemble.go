@@ -23,6 +23,7 @@ import (
 // element) — the closed form of B^T D B for isotropic elasticity.
 //
 //lint:hotpath
+//lint:noescape
 func elementStiffness(t geom.Tet, mat Material) ([4][4][3][3]float64, error) {
 	var k [4][4][3][3]float64
 	sc, err := t.Shape()

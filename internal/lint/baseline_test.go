@@ -110,26 +110,17 @@ func TestBaselineMissingFileIsEmpty(t *testing.T) {
 	}
 }
 
-// TestCommittedBaselineParses keeps the checked-in register honest: it
-// must parse, carry reasons, and register the two admin-surface
-// waivers.
-func TestCommittedBaselineParses(t *testing.T) {
+// TestCommittedBaselineRetired pins the debt register at zero: the
+// last carried findings and waivers were burned down when the suite
+// went interprocedural, and the file itself is gone. Anyone reviving
+// it must consciously re-open the register.
+func TestCommittedBaselineRetired(t *testing.T) {
 	b, err := LoadBaseline(filepath.Join("..", "..", ".simlint-baseline.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(b.Findings) == 0 || len(b.Waivers) == 0 {
-		t.Fatalf("committed baseline has %d findings, %d waivers; want both non-empty",
+	if len(b.Findings) != 0 || len(b.Waivers) != 0 {
+		t.Fatalf("committed baseline carries %d findings, %d waivers; the register was retired at zero",
 			len(b.Findings), len(b.Waivers))
-	}
-	for _, f := range b.Findings {
-		if f.File == "" || f.Analyzer == "" || f.Msg == "" || f.Reason == "" {
-			t.Errorf("baseline finding %+v is missing a field (reason is mandatory)", f)
-		}
-	}
-	for _, w := range b.Waivers {
-		if w.File == "" || w.Analyzer == "" || w.Reason == "" {
-			t.Errorf("baseline waiver %+v is missing a field (reason is mandatory)", w)
-		}
 	}
 }

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cgNode finds the graph node of a fixture function by its rendered
+// name ("cgfix.helper", "A.WorkCG").
+func cgNode(t *testing.T, g *CallGraph, pkg *Package, name string) *CGNode {
+	t.Helper()
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn != nil && cgName(fn) == name {
+				if n := g.Node(fn); n != nil {
+					return n
+				}
+				t.Fatalf("function %s has no graph node", name)
+			}
+		}
+	}
+	t.Fatalf("no declaration named %s in fixture", name)
+	return nil
+}
+
+// edgeStrings renders a node's outgoing edges as "kind callee" in
+// source order.
+func edgeStrings(n *CGNode) []string {
+	out := make([]string, 0, len(n.Out))
+	for _, e := range n.Out {
+		out = append(out, fmt.Sprintf("%s %s", e.Kind, cgName(e.Callee.Fn)))
+	}
+	return out
+}
+
+// TestCallGraphEdges pins the exact edge set of each construction
+// case: static calls, goroutine launches, defer in loops, method
+// values, function-typed field assignment, interface dispatch fan-out,
+// and concrete method calls.
+func TestCallGraphEdges(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "callgraph"), "repro/internal/cgfix")
+	g := pkg.Mod.Graph()
+	for _, tc := range []struct {
+		caller string
+		edges  []string
+	}{
+		{"cgfix.CallsHelper", []string{"call cgfix.helper"}},
+		{"cgfix.Spawns", []string{"go cgfix.sleeps"}},
+		{"cgfix.DefersInLoop", []string{"defer cgfix.sleeps"}},
+		{"cgfix.MethodValue", []string{"ref A.WorkCG"}},
+		{"cgfix.FieldAssign", []string{"ref cgfix.helper2"}},
+		{"cgfix.Dispatch", []string{"iface A.WorkCG", "iface B.WorkCG"}},
+		{"cgfix.Concrete", []string{"call A.WorkCG"}},
+		{"cgfix.Nested", []string{"call cgfix.mid"}},
+		{"cgfix.helper", nil},
+	} {
+		t.Run(tc.caller, func(t *testing.T) {
+			n := cgNode(t, g, pkg, tc.caller)
+			got := edgeStrings(n)
+			if strings.Join(got, "; ") != strings.Join(tc.edges, "; ") {
+				t.Errorf("edges of %s = %v, want %v", tc.caller, got, tc.edges)
+			}
+		})
+	}
+}
+
+// TestCallGraphSummaries pins the propagation semantics: defers carry
+// effects to the caller, goroutine launches do not (the spawn itself
+// allocates), and multi-frame chains render edge by edge.
+func TestCallGraphSummaries(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "callgraph"), "repro/internal/cgfix")
+	g := pkg.Mod.Graph()
+	check := func(name string, eff Effect, want bool) {
+		t.Helper()
+		if got := cgNode(t, g, pkg, name).Has(eff); got != want {
+			t.Errorf("%s.Has(%s) = %v, want %v", name, eff, got, want)
+		}
+	}
+	check("cgfix.helper", EffAlloc, false)
+	check("cgfix.sleeps", EffBlock, true)
+	check("cgfix.locks", EffLock, true)
+
+	// Defer propagates the callee's block effect; go does not, but the
+	// spawn itself is an allocation.
+	check("cgfix.DefersInLoop", EffBlock, true)
+	check("cgfix.Spawns", EffBlock, false)
+	check("cgfix.Spawns", EffAlloc, true)
+
+	// Interface dispatch reaches the implementers (clean here).
+	check("cgfix.Dispatch", EffLock, false)
+
+	// Two-frame chain with the witness rendered edge by edge.
+	check("cgfix.Nested", EffLock, true)
+	if got, want := cgNode(t, g, pkg, "cgfix.Nested").Chain(EffLock),
+		"cgfix.Nested -> cgfix.mid -> cgfix.locks: sync.Mutex.Lock"; got != want {
+		t.Errorf("Chain = %q, want %q", got, want)
+	}
+	if got := cgNode(t, g, pkg, "cgfix.helper").Chain(EffLock); got != "" {
+		t.Errorf("Chain on an effect-free node = %q, want empty", got)
+	}
+}

@@ -178,6 +178,9 @@ func completionOf(body *ast.BlockStmt) completion {
 					if id, ok := y.Fun.(*ast.Ident); ok && id.Name == "recover" {
 						c.recover = true
 					}
+					if id, ok := y.Fun.(*ast.Ident); ok && id.Name == "close" && len(y.Args) == 1 {
+						c.chanSig = true
+					}
 					if sel, ok := y.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
 						if wg := lastIdentOf(sel.X); wg != "" {
 							c.wgNames = append(c.wgNames, wg)
@@ -189,6 +192,12 @@ func completionOf(body *ast.BlockStmt) completion {
 		case *ast.Ident:
 			if fun.Name == "recover" {
 				c.recover = true
+			}
+			// defer close(done): closing a completion channel releases
+			// every waiter, the strongest join signal a goroutine can
+			// leave behind.
+			if fun.Name == "close" && len(d.Call.Args) == 1 {
+				c.chanSig = true
 			}
 		}
 		return true

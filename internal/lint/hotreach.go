@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// hotreach extends hotalloc's contract across function boundaries: a
+// //lint:hotpath function may not *reach* an allocating, formatting,
+// locking, or channel-blocking function through any call chain rooted
+// in its innermost loops. hotalloc already flags direct allocation
+// syntax (make/append/fmt/boxing) in those loops; hotreach adds
+//
+//   - calls to module functions whose transitive summary (callgraph.go)
+//     carries any of the four effects, with the offending call chain
+//     spelled out edge by edge in the finding;
+//   - direct calls to locking/blocking stdlib functions (sync mutex
+//     acquisition, WaitGroup waits, sleeps, I/O) — effects hotalloc
+//     does not cover;
+//   - channel operations (send, receive, escape-less select) written
+//     directly in the loop.
+//
+// The per-iteration cost of an innermost loop is multiplied by the trip
+// count of every enclosing loop, so anything the loop body reaches runs
+// at the kernel's full iteration rate — exactly the budget the paper's
+// real-time constraint protects.
+type hotreach struct{}
+
+func (hotreach) Name() string { return "hotreach" }
+
+func (hotreach) Doc() string {
+	return "innermost loops of //lint:hotpath functions may not reach allocating, " +
+		"formatting, locking, or channel-blocking code through any call chain " +
+		"(module-wide call-graph summaries; the finding reports the chain)"
+}
+
+func (h hotreach) Run(pkg *Package) []Finding {
+	var out []Finding
+	var graph *CallGraph
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, "hotpath") || fd.Body == nil || !containsLoop(fd.Body) {
+				continue
+			}
+			if graph == nil {
+				graph = pkg.Mod.Graph()
+			}
+			for _, loop := range innermostLoops(fd.Body) {
+				out = append(out, h.checkLoop(pkg, graph, loop)...)
+			}
+		}
+	}
+	return out
+}
+
+func (hotreach) checkLoop(pkg *Package, graph *CallGraph, loop ast.Node) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos, msg string) {
+		out = append(out, Finding{Pos: pkg.Fset.Position(pos), Analyzer: "hotreach", Msg: msg})
+	}
+	exempt := exemptCommOps(loop)
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if !exempt[x] {
+				flag(x.Pos(), "channel send inside the innermost loop of a //lint:hotpath function blocks the kernel per iteration")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !exempt[x] {
+				flag(x.Pos(), "channel receive inside the innermost loop of a //lint:hotpath function blocks the kernel per iteration")
+			}
+		case *ast.SelectStmt:
+			if !selectHasEscape(x) {
+				flag(x.Pos(), "select without default inside the innermost loop of a //lint:hotpath function blocks the kernel per iteration")
+			}
+		case *ast.GoStmt:
+			flag(x.Pos(), "go statement inside the innermost loop of a //lint:hotpath function spawns a goroutine per iteration")
+		case *ast.CallExpr:
+			// Direct stdlib locking/blocking (alloc and fmt are
+			// hotalloc's findings; re-reporting them here would double
+			// up on every make in a hot loop).
+			if eff, desc, ok := classifyCall(pkg, x); ok && (eff == EffLock || eff == EffBlock) {
+				flag(x.Pos(), desc+" inside the innermost loop of a //lint:hotpath function "+eff.String()+" per iteration")
+			}
+			// Transitive reach through module callees.
+			for _, target := range calleeTargets(graph, pkg, x) {
+				for eff := Effect(0); eff < numEffects; eff++ {
+					if !target.Has(eff) {
+						continue
+					}
+					flag(x.Pos(), "call in a //lint:hotpath innermost loop reaches code that "+
+						eff.String()+": "+target.Chain(eff))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

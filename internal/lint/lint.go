@@ -11,6 +11,14 @@
 // based float comparison in the numerical kernels, and allocation-free
 // innermost loops on the annotated hot paths.
 //
+// Since v3 the suite is interprocedural: callgraph.go builds a
+// module-wide call graph with bottom-up effect summaries, and three
+// analyzers consume it — hotreach (a //lint:hotpath kernel may not
+// reach allocating/formatting/locking/blocking code through any call
+// chain), ctxprop (a ctx parameter must flow to every context-capable
+// callee), and lockscope (nothing blocking is reachable while a
+// sync.Mutex is held in the service/telemetry/parallel layers).
+//
 // Suppressions: a comment of the form
 //
 //	//lint:ignore <analyzer> <reason>
@@ -59,12 +67,14 @@ type Analyzer interface {
 // Analyzers returns the full simlint suite in stable order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
-		ctxflow{},
+		ctxprop{},
 		spanend{},
 		errwrap{},
 		floateq{},
 		hotalloc{},
+		hotreach{},
 		concsafe{},
+		lockscope{},
 		phaseorder{},
 		coordspace{},
 	}

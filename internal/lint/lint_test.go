@@ -82,13 +82,15 @@ func TestAnalyzerFixtures(t *testing.T) {
 		importPath string
 	}{
 		// The import paths masquerade the fixtures into each analyzer's
-		// scope (ctxflow wants a pipeline package, floateq a kernel one).
-		{"ctxflow", "repro/internal/fem/ctxfixture"},
+		// scope (ctxprop wants a pipeline package, floateq a kernel one).
+		{"ctxprop", "repro/internal/fem/ctxfixture"},
 		{"spanend", "repro/internal/spanfixture"},
 		{"errwrap", "repro/internal/errfixture"},
 		{"floateq", "repro/internal/solver/floatfixture"},
 		{"hotalloc", "repro/internal/hotfixture"},
+		{"hotreach", "repro/internal/hotreachfix"},
 		{"concsafe", "repro/internal/par/concfixture"},
+		{"lockscope", "repro/internal/par/lockfixture"},
 		{"phaseorder", "repro/internal/phasefixture"},
 		{"coordspace", "repro/internal/mesh/coordfixture"},
 	} {
@@ -234,7 +236,7 @@ func TestAnalyzerNamesStable(t *testing.T) {
 		}
 	}
 	if got, want := strings.Join(names, " "),
-		"ctxflow spanend errwrap floateq hotalloc concsafe phaseorder coordspace"; got != want {
+		"ctxprop spanend errwrap floateq hotalloc hotreach concsafe lockscope phaseorder coordspace"; got != want {
 		t.Errorf("Analyzers() = %q, want %q", got, want)
 	}
 }
@@ -276,6 +278,12 @@ func TestDeterministicOutput(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadAll: %v", err)
 	}
+	// The module itself is clean, so fold two finding-rich fixtures into
+	// the run: the determinism check needs a non-trivial report, and the
+	// fixtures exercise the interprocedural analyzers' chain rendering.
+	pkgs = append(pkgs,
+		loadFixture(t, filepath.Join("testdata", "src", "ctxprop"), "repro/internal/fem/ctxfixture"),
+		loadFixture(t, filepath.Join("testdata", "src", "lockscope"), "repro/internal/par/lockfixture"))
 	render := func() string {
 		var b strings.Builder
 		if err := WriteText(&b, mod.Root, Run(pkgs, Analyzers())); err != nil {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked, comment-preserving package of the
@@ -53,6 +54,13 @@ type Module struct {
 	std    types.ImporterFrom
 	info   *types.Info
 	loadWG map[string]bool // cycle guard
+	// graph memoizes the module-wide call graph (callgraph.go); the
+	// generation counter invalidates it when more packages are loaded
+	// (fixture tests share one Module). graphMu serializes the analyzer
+	// goroutines RunAll spawns.
+	graphMu  sync.Mutex
+	graph    *CallGraph
+	graphGen int
 	// decls indexes every loaded FuncDecl by the position of its name,
 	// which is exactly what types.Func.Pos() reports for module-internal
 	// functions — so analyzers can jump from a resolved callee to its
@@ -124,23 +132,7 @@ func modulePath(gomod string) (string, error) {
 // non-test Go files, skipping hidden directories and testdata. The
 // returned packages are sorted by import path.
 func (m *Module) LoadAll() ([]*Package, error) {
-	var dirs []string
-	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != m.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-			return filepath.SkipDir
-		}
-		if hasGoFiles(path) {
-			dirs = append(dirs, path)
-		}
-		return nil
-	})
+	dirs, err := moduleGoDirs(m.Root)
 	if err != nil {
 		return nil, err
 	}

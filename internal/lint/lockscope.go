@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+	"strings"
+)
+
+// lockscopeScope lists the packages that hold sync.Mutex locks around
+// shared state on the request path: the service layer, the telemetry
+// sinks, and the parallel runtime.
+var lockscopeScope = []string{
+	"internal/service",
+	"internal/obs",
+	"internal/par",
+}
+
+// lockscope proves, along CFG paths joined with call-graph summaries,
+// that no blocking operation is reachable while a sync.Mutex or
+// sync.RWMutex is held. The held-lock set is a forward may-analysis
+// over the function's CFG (gen at X.Lock()/X.RLock(), kill at
+// X.Unlock()/X.RUnlock(); a deferred unlock keeps the lock held to the
+// function exit, which is exactly the scope a deferred unlock creates).
+// At every node where the set is non-empty, the analyzer flags
+//
+//   - channel sends, receives, and blocking select comm clauses;
+//   - acquisition of a second lock (nested locking orders deadlocks);
+//   - calls to blocking stdlib functions (sleeps, I/O, waits);
+//   - calls to module functions whose call-graph summary says they
+//     acquire locks or block, with the offending chain in the finding.
+//
+// A critical section that blocks turns the paper's per-request mutex
+// into a convoy: every goroutine contending for the lock inherits the
+// block, which is precisely what the real-time solve budget cannot
+// absorb.
+type lockscope struct{}
+
+func (lockscope) Name() string { return "lockscope" }
+
+func (lockscope) Doc() string {
+	return "no blocking operation — channel op, second lock acquisition, blocking " +
+		"stdlib call, or a call whose summary reaches one — may occur while a " +
+		"sync.Mutex/RWMutex is held in internal/service, internal/obs, internal/par " +
+		"(CFG paths joined with call-graph summaries)"
+}
+
+func (l lockscope) Run(pkg *Package) []Finding {
+	if !inScope(pkg.RelPath, lockscopeScope) {
+		return nil
+	}
+	var out []Finding
+	var graph *CallGraph
+	for _, file := range pkg.Files {
+		for _, fs := range funcScopes(file) {
+			if !acquiresMutex(pkg, fs.body) {
+				continue
+			}
+			if graph == nil {
+				graph = pkg.Mod.Graph()
+			}
+			out = append(out, l.checkBody(pkg, graph, fs.body)...)
+		}
+	}
+	return out
+}
+
+// acquiresMutex is the cheap pre-filter: does this body lock anything
+// in its own statements (literals and deferred calls excluded)?
+func acquiresMutex(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	walkOwnCode(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && !found {
+			if _, acq, _ := mutexOp(pkg, call); acq {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// walkOwnCode visits the subtree without descending into nested
+// function literals (their own scope) or defer statements (they run at
+// function exit, outside the critical section the dataflow tracks).
+func walkOwnCode(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		}
+		return f(x)
+	})
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex acquisition or
+// release and names the lock by its receiver expression.
+func mutexOp(pkg *Package, call *ast.CallExpr) (key string, acquire, release bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	var acq, rel bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		rel = true
+	default:
+		return "", false, false
+	}
+	t := pkg.Info.Types[sel.X].Type
+	if t == nil {
+		return "", false, false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acq, rel
+}
+
+func (l lockscope) checkBody(pkg *Package, graph *CallGraph, body *ast.BlockStmt) []Finding {
+	c := BuildCFG(body)
+	exempt := exemptCommOps(body)
+
+	// The fact is the sorted set of held lock names; meet is union
+	// (may-held: a lock held on any path into the block counts).
+	transfer := func(bl *Block, in []string) []string {
+		held := slices.Clone(in)
+		for _, n := range bl.Nodes {
+			held = applyLockOps(pkg, n, held)
+		}
+		return held
+	}
+	in := Forward(c, nil, heldUnion, transfer, slices.Equal)
+
+	var out []Finding
+	for _, bl := range c.Blocks {
+		held := slices.Clone(in[bl])
+		for _, n := range bl.Nodes {
+			if len(held) > 0 {
+				out = append(out, l.flagNode(pkg, graph, n, held, exempt)...)
+			}
+			held = applyLockOps(pkg, n, held)
+		}
+	}
+	return out
+}
+
+// applyLockOps folds one CFG node's lock acquisitions and releases
+// into the held set. Deferred unlocks are not kills: the lock stays
+// held through every following node, which is the defer's actual scope.
+func applyLockOps(pkg *Package, n ast.Node, held []string) []string {
+	walkOwnCode(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, acq, rel := mutexOp(pkg, call); acq || rel {
+			if acq {
+				held = heldInsert(held, key)
+			} else {
+				held = heldRemove(held, key)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// flagNode reports every blocking operation in one CFG node executed
+// with the given locks held.
+func (l lockscope) flagNode(pkg *Package, graph *CallGraph, n ast.Node, held []string, exempt map[ast.Node]bool) []Finding {
+	heldDesc := strings.Join(held, ", ")
+	var out []Finding
+	flag := func(pos token.Pos, msg string) {
+		out = append(out, Finding{Pos: pkg.Fset.Position(pos), Analyzer: "lockscope", Msg: msg})
+	}
+	// A bare channel-typed node is a range-over-channel head (the CFG
+	// stores the range expression as the loop-head node).
+	if e, ok := n.(ast.Expr); ok {
+		if t := pkg.Info.Types[e].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				flag(e.Pos(), "range over a channel while "+heldDesc+" is held blocks every goroutine contending for the lock")
+			}
+		}
+	}
+	walkOwnCode(n, func(x ast.Node) bool {
+		switch y := x.(type) {
+		case *ast.SendStmt:
+			if !exempt[y] {
+				flag(y.Pos(), "channel send while "+heldDesc+" is held blocks every goroutine contending for the lock")
+			}
+		case *ast.UnaryExpr:
+			if y.Op == token.ARROW && !exempt[y] {
+				flag(y.Pos(), "channel receive while "+heldDesc+" is held blocks every goroutine contending for the lock")
+			}
+		case *ast.CallExpr:
+			if key, acq, rel := mutexOp(pkg, y); acq || rel {
+				if acq {
+					if slices.Contains(held, key) {
+						flag(y.Pos(), "reacquisition of "+key+" while it is already held deadlocks")
+					} else {
+						flag(y.Pos(), "acquisition of "+key+" while "+heldDesc+" is held nests critical sections (lock-ordering hazard)")
+					}
+				}
+				return true
+			}
+			if eff, desc, ok := classifyCall(pkg, y); ok {
+				switch eff {
+				case EffLock:
+					flag(y.Pos(), desc+" while "+heldDesc+" is held nests critical sections (lock-ordering hazard)")
+				case EffBlock:
+					flag(y.Pos(), desc+" while "+heldDesc+" is held blocks every goroutine contending for the lock")
+				}
+			}
+			for _, target := range calleeTargets(graph, pkg, y) {
+				for _, eff := range []Effect{EffLock, EffBlock} {
+					if !target.Has(eff) {
+						continue
+					}
+					flag(y.Pos(), "call while "+heldDesc+" is held reaches code that "+
+						eff.String()+": "+target.Chain(eff))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// heldInsert / heldRemove / heldUnion maintain the sorted held-lock
+// set without mutating their inputs (Forward requires fresh facts).
+func heldInsert(held []string, key string) []string {
+	i, found := slices.BinarySearch(held, key)
+	if found {
+		return held
+	}
+	return slices.Insert(slices.Clone(held), i, key)
+}
+
+func heldRemove(held []string, key string) []string {
+	i, found := slices.BinarySearch(held, key)
+	if !found {
+		return held
+	}
+	return slices.Delete(slices.Clone(held), i, i+1)
+}
+
+func heldUnion(a, b []string) []string {
+	out := slices.Clone(a)
+	for _, k := range b {
+		out = heldInsert(out, k)
+	}
+	return out
+}

@@ -30,6 +30,7 @@ func (s suppressionIndex) covers(analyzer string, pos token.Position) bool {
 // silently not suppressing.
 var knownDirectives = map[string]bool{
 	"hotpath":    true,
+	"noescape":   true, // perfgate escape-analysis contract; see cmd/perfgate
 	"phase":      true, // solver phase contracts; see phaseorder.go
 	"coordspace": true, // frame-conversion marker; see coordspace.go
 }

@@ -1,0 +1,75 @@
+// Package cgfix exercises call-graph construction: one declaration per
+// edge-resolution case, asserted edge-exactly by callgraph_test.go.
+package cgfix
+
+import (
+	"sync"
+	"time"
+)
+
+// WorkerCG is implemented by A (value receiver) and B (pointer
+// receiver); the method name is deliberately unique module-wide so the
+// dispatch fan-out below is closed over this file.
+type WorkerCG interface{ WorkCG() }
+
+// A implements WorkerCG on the value.
+type A struct{}
+
+// WorkCG does nothing.
+func (A) WorkCG() {}
+
+// B implements WorkerCG on the pointer.
+type B struct{}
+
+// WorkCG does nothing.
+func (*B) WorkCG() {}
+
+func helper()  {}
+func helper2() {}
+
+func sleeps() { time.Sleep(time.Millisecond) }
+
+var mu sync.Mutex
+
+func locks() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// CallsHelper is the plain static-call case.
+func CallsHelper() { helper() }
+
+// Spawns launches a declared function on a goroutine.
+func Spawns() { go sleeps() }
+
+// DefersInLoop defers a declared function inside a loop.
+func DefersInLoop(n int) {
+	for i := 0; i < n; i++ {
+		defer sleeps()
+	}
+}
+
+// MethodValue binds a method without calling it: a ref edge.
+func MethodValue(a A) func() {
+	f := a.WorkCG
+	return f
+}
+
+type holder struct{ fn func() }
+
+// FieldAssign stores a declared function in a function-typed field: a
+// ref edge (the holder may invoke it later).
+func FieldAssign(h *holder) { h.fn = helper2 }
+
+// Dispatch calls through the interface: conservative fan-out to every
+// implementing type's method.
+func Dispatch(w WorkerCG) { w.WorkCG() }
+
+// Concrete calls the method on a concrete receiver: one static edge.
+func Concrete(a A) { a.WorkCG() }
+
+// Nested reaches locks through two frames, for the summary and chain
+// assertions.
+func Nested() { mid() }
+
+func mid() { locks() }

@@ -1,0 +1,111 @@
+// Package lockfixture exercises the lockscope analyzer. The test
+// loads it under repro/internal/par/lockfixture, inside the analyzer's
+// service/obs/par scope.
+package lockfixture
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc is the clean critical section: lock, mutate, unlock.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// get holds its lock around pure arithmetic: clean on its own, but a
+// lock-summary source for Snapshot below.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// SlowInc sleeps inside the deferred-unlock critical section.
+func (c *counter) SlowInc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(time.Millisecond) // want lockscope "time.Sleep while c.mu is held"
+	c.n++
+}
+
+// WaitInc receives from a channel with the lock held.
+func (c *counter) WaitInc(ch chan int) {
+	c.mu.Lock()
+	c.n += <-ch // want lockscope "channel receive while c.mu is held"
+	c.mu.Unlock()
+}
+
+// DrainInc receives first and locks after: clean.
+func (c *counter) DrainInc(ch chan int) {
+	v := <-ch
+	c.mu.Lock()
+	c.n += v
+	c.mu.Unlock()
+}
+
+// Poll uses a select with a default escape under the lock: the comm
+// op cannot block, so nothing fires.
+func (c *counter) Poll(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-ch:
+		c.n += v
+	default:
+	}
+}
+
+// MaybeSleep releases on both paths before sleeping: clean.
+func (c *counter) MaybeSleep(b bool) {
+	if b {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// Leaky locks on one path only; the may-analysis joins the branches,
+// so the sleep after the if runs with the lock possibly held.
+func (c *counter) Leaky(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	time.Sleep(time.Millisecond) // want lockscope "time.Sleep while c.mu is held"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+type pair struct {
+	a, b sync.Mutex
+}
+
+// Both nests the second acquisition inside the first.
+func (p *pair) Both() {
+	p.a.Lock()
+	p.b.Lock() // want lockscope "lock-ordering hazard"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+type table struct {
+	mu sync.Mutex
+	c  counter
+}
+
+// Snapshot calls a lock-taking method while holding its own lock: the
+// call-graph summary carries the nested acquisition across the call.
+func (t *table) Snapshot() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.c.get() // want lockscope "counter.get: sync.Mutex.Lock"
+}

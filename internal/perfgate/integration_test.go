@@ -1,0 +1,51 @@
+package perfgate
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestModulePassesPerfgate is the self-check mirroring cmd/perfgate in
+// make check: the real compile of this module, gated against the
+// committed baseline, must be clean — and every //lint:noescape kernel
+// must compile with zero heap escapes.
+func TestModulePassesPerfgate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module with diagnostic flags")
+	}
+	root := filepath.Join("..", "..")
+	rep, err := Analyze(root)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	base, err := LoadBaseline(filepath.Join(root, ".perfgate-baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	for _, f := range Gate(rep, base) {
+		t.Errorf("%s", f)
+	}
+
+	// The paper's kernels must be under contract. Their annotations live
+	// in the tree; this pins that nobody silently drops one.
+	wantKernels := map[string]bool{
+		"CSR.MulVec":          false,
+		"CSR.MulVecRows":      false,
+		"elementStiffness":    false,
+		"gmresCycle":          false,
+		"distanceTransform1D": false,
+	}
+	for _, k := range rep.Kernels {
+		if _, ok := wantKernels[k.Name]; ok {
+			wantKernels[k.Name] = true
+		}
+		if k.Escapes != 0 {
+			t.Errorf("kernel %s (%s) compiles with %d heap escapes, want 0", k.Name, k.File, k.Escapes)
+		}
+	}
+	for name, seen := range wantKernels {
+		if !seen {
+			t.Errorf("kernel %s is no longer //lint:noescape-annotated", name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package perfgate
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// errWriter makes the table rendering linear: the first write error
+// sticks and every later printf becomes a no-op.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+// WriteMarkdown renders the run as a GitHub-flavored job summary: the
+// kernel contract table, the per-package ratchet diff against the
+// baseline, and any findings. CI appends this to $GITHUB_STEP_SUMMARY.
+func WriteMarkdown(w io.Writer, rep *Report, base *Baseline, findings []Finding) error {
+	ew := &errWriter{w: w}
+	status := "clean"
+	if len(findings) > 0 {
+		status = fmt.Sprintf("%d finding(s)", len(findings))
+	}
+	ew.printf("## perfgate: %s\n\n", status)
+	ew.printf("### //lint:noescape kernels\n\n")
+	ew.printf("| kernel | file | escapes |\n|---|---|---|\n")
+	for _, k := range rep.Kernels {
+		mark := "0 ✓"
+		if k.Escapes > 0 {
+			mark = fmt.Sprintf("**%d ✗**", k.Escapes)
+		}
+		ew.printf("| `%s` | %s | %s |\n", k.Name, k.File, mark)
+	}
+	ew.printf("\n### Per-package ratchet (vs baseline)\n\n")
+	ew.printf("| package | escapes | bounds checks |\n|---|---|---|\n")
+	pkgs := map[string]bool{}
+	for p := range rep.Counts {
+		pkgs[p] = true
+	}
+	for p := range base.Packages {
+		pkgs[p] = true
+	}
+	names := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	cell := func(got, allowed int) string {
+		switch {
+		case got == allowed:
+			return fmt.Sprintf("%d", got)
+		case got > allowed:
+			return fmt.Sprintf("**%d** (baseline %d) ✗", got, allowed)
+		default:
+			return fmt.Sprintf("%d (baseline %d, stale)", got, allowed)
+		}
+	}
+	for _, p := range names {
+		got := rep.Counts[p]
+		allowed := base.Packages[p]
+		ew.printf("| %s | %s | %s |\n", p,
+			cell(got.Escapes, allowed.Escapes), cell(got.BoundsChecks, allowed.BoundsChecks))
+	}
+	if len(findings) > 0 {
+		ew.printf("\n### Findings\n\n")
+		for _, f := range findings {
+			ew.printf("- `%s`\n", f.String())
+		}
+	}
+	ew.printf("\n")
+	return ew.err
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -107,6 +108,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 type Admin struct {
 	ln  net.Listener
 	srv *http.Server
+	// done is closed when the serve goroutine exits; serveErr carries
+	// its terminal error (nil on the ErrServerClosed shutdown path) and
+	// is published to Close through the close(done) happens-before edge.
+	done     chan struct{}
+	serveErr error
 }
 
 // ServeAdmin starts the admin surface on addr (e.g. "127.0.0.1:8077",
@@ -117,14 +123,15 @@ func ServeAdmin(s *Service, addr string) (*Admin, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: admin listen %s: %w", addr, err)
 	}
-	a := &Admin{ln: ln, srv: &http.Server{Handler: AdminHandler(s)}}
-	//lint:ignore concsafe the admin server goroutine lives for the process and is joined through srv.Close, not a WaitGroup
+	a := &Admin{ln: ln, srv: &http.Server{Handler: AdminHandler(s)}, done: make(chan struct{})}
 	go func() {
+		defer close(a.done)
 		// ErrServerClosed after Close is the normal shutdown path; any
 		// other serve error just ends the admin surface, never the
-		// registration service itself.
-		//lint:ignore errwrap serve errors end only the admin surface and have no caller to report to
-		_ = a.srv.Serve(ln)
+		// registration service itself — it surfaces on Close.
+		if err := a.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			a.serveErr = fmt.Errorf("service: admin serve: %w", err)
+		}
 	}()
 	return a, nil
 }
@@ -134,7 +141,14 @@ func (a *Admin) Addr() string {
 	return a.ln.Addr().String()
 }
 
-// Close stops the admin server. The registration service is unaffected.
+// Close stops the admin server, waits for the serve goroutine to
+// exit, and reports any abnormal serve error it died with. The
+// registration service is unaffected.
 func (a *Admin) Close() error {
-	return a.srv.Close()
+	err := a.srv.Close()
+	<-a.done
+	if a.serveErr != nil {
+		return a.serveErr
+	}
+	return err
 }

@@ -91,15 +91,38 @@ type Service struct {
 	jobOrder []string
 }
 
-// managedSession pairs a core.Session with the mutex that serializes
+// managedSession pairs a core.Session with the gate that serializes
 // its scans: the session's statistical tissue model mutates from scan
 // to scan, so two scans of one surgery must not interleave, while scans
-// of different surgeries run in parallel across the pool.
+// of different surgeries run in parallel across the pool. The gate is
+// a one-slot channel rather than a mutex so that no lock is held
+// across the scan itself (the whole registration pipeline would sit in
+// the critical section — see the lockscope analyzer) and a waiting
+// worker can abandon the wait when the job's context dies.
 type managedSession struct {
 	id   string
-	mu   sync.Mutex
+	gate chan struct{}
 	sess *core.Session
 }
+
+func newManagedSession(id string, sess *core.Session) *managedSession {
+	return &managedSession{id: id, gate: make(chan struct{}, 1), sess: sess}
+}
+
+// acquire claims the session's scan slot, or gives up when ctx ends
+// first — a queued job whose caller has gone away should release its
+// worker, not wait for a slot it will never use.
+func (ms *managedSession) acquire(ctx context.Context) error {
+	select {
+	case ms.gate <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees the scan slot taken by acquire.
+func (ms *managedSession) release() { <-ms.gate }
 
 // New starts a service with the given options.
 func New(opts Options) *Service {
@@ -152,7 +175,7 @@ func (s *Service) OpenSession(id string, cfg core.Config, preop *volume.Scalar, 
 	if _, dup := s.sessions[id]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateSession, id)
 	}
-	s.sessions[id] = &managedSession{id: id, sess: sess}
+	s.sessions[id] = newManagedSession(id, sess)
 	return nil
 }
 
@@ -195,13 +218,17 @@ func (s *Service) Submit(ctx context.Context, sessionID string, intraop *volume.
 	if intraop == nil {
 		return nil, fmt.Errorf("service: nil intraoperative scan")
 	}
+	// Explicit unlocks rather than a deferred one: the metric updates
+	// at the end take the aggregator's own lock, which must not nest
+	// inside s.mu (lockscope).
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, ErrClosed
 	}
 	ms, ok := s.sessions[sessionID]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, sessionID)
 	}
 	s.jobSeq++
@@ -217,10 +244,12 @@ func (s *Service) Submit(ctx context.Context, sessionID string, intraop *volume.
 	select {
 	case s.queue <- j:
 		s.retainJobLocked(j)
+		s.mu.Unlock()
 		s.agg.submittedScan()
 		return j, nil
 	default:
 		s.jobSeq-- // the id was never issued
+		s.mu.Unlock()
 		s.agg.shedScan()
 		return nil, ErrQueueFull
 	}
@@ -333,13 +362,17 @@ func (s *Service) runJob(j *Job) {
 		s.agg.scanDone(nil, err)
 		return
 	}
-	// Scans of one session are serialized; the observer swap below is
-	// protected by the same per-session lock.
-	j.ms.mu.Lock()
+	// Scans of one session are serialized by the session gate; the
+	// observer swap below is protected by the same slot.
+	if err := j.ms.acquire(ctx); err != nil {
+		j.finish(nil, err)
+		s.agg.scanDone(nil, err)
+		return
+	}
 	j.ms.sess.SetObserver(core.MultiObserver(&jobRecorder{j: j}, &s.agg))
 	res, err := j.ms.sess.RegisterScanContext(ctx, j.intraop)
 	j.ms.sess.SetObserver(nil)
-	j.ms.mu.Unlock()
+	j.ms.release()
 	j.finish(res, err)
 	s.agg.scanDone(res, err)
 }

@@ -56,7 +56,7 @@ func TestServiceShedCounter(t *testing.T) {
 	svc.mu.Lock()
 	ms := svc.sessions["or"]
 	svc.mu.Unlock()
-	ms.mu.Lock()
+	ms.gate <- struct{}{} // stall the worker on the session gate
 
 	j1, err := svc.Submit(context.Background(), "or", c.Intraop)
 	if err != nil {
@@ -73,7 +73,7 @@ func TestServiceShedCounter(t *testing.T) {
 	if _, err := svc.Submit(context.Background(), "or", c.Intraop); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
-	ms.mu.Unlock()
+	<-ms.gate // release the worker
 	for _, j := range []*Job{j1, j2} {
 		if _, err := j.Wait(context.Background()); err != nil {
 			t.Errorf("job failed: %v", err)
@@ -363,7 +363,7 @@ func TestJobStatusLifecycle(t *testing.T) {
 	svc.mu.Lock()
 	ms := svc.sessions["or"]
 	svc.mu.Unlock()
-	ms.mu.Lock()
+	ms.gate <- struct{}{} // stall the worker on the session gate
 	j, err := svc.Submit(context.Background(), "or", c.Intraop)
 	if err != nil {
 		t.Fatal(err)
@@ -375,7 +375,7 @@ func TestJobStatusLifecycle(t *testing.T) {
 	if st := j.Status(); st.State != "running" {
 		t.Errorf("state = %q, want running", st.State)
 	}
-	ms.mu.Unlock()
+	<-ms.gate // release the worker
 	if _, err := j.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}

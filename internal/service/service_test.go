@@ -234,7 +234,7 @@ func TestServiceQueueFull(t *testing.T) {
 	svc.mu.Lock()
 	ms := svc.sessions["or"]
 	svc.mu.Unlock()
-	ms.mu.Lock() // stall the worker inside runJob
+	ms.gate <- struct{}{} // stall the worker inside runJob
 
 	j1, err := svc.Submit(context.Background(), "or", c.Intraop)
 	if err != nil {
@@ -253,7 +253,7 @@ func TestServiceQueueFull(t *testing.T) {
 	if _, err := svc.Submit(context.Background(), "or", c.Intraop); !errors.Is(err, ErrQueueFull) {
 		t.Errorf("err = %v, want ErrQueueFull", err)
 	}
-	ms.mu.Unlock()
+	<-ms.gate // release the worker
 	var wg sync.WaitGroup
 	for _, j := range []*Job{j1, j2} {
 		wg.Add(1)

@@ -76,6 +76,174 @@ func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]fl
 	return GMRESContext(context.Background(), a, b, x0, m, opts)
 }
 
+// gmresWorkspace holds every buffer one GMRES solve reuses across
+// restart cycles, so the hot cycle kernel performs no allocation at
+// all: the Krylov basis v and Hessenberg h are carved out of flat
+// backing arrays, and hist caps at the restart length.
+type gmresWorkspace struct {
+	r, z, w, zw []float64
+	v, h        [][]float64
+	cs, sn, g   []float64
+	y           []float64
+	// hist collects this cycle's per-iteration relative residuals; the
+	// caller copies them into Stats.History between cycles.
+	hist []float64
+}
+
+// newGMRESWorkspace allocates the buffers for an n-dimensional solve
+// with the given restart length.
+func newGMRESWorkspace(n, restart int) *gmresWorkspace {
+	ws := &gmresWorkspace{
+		r:    make([]float64, n),
+		z:    make([]float64, n),
+		w:    make([]float64, n),
+		zw:   make([]float64, n),
+		v:    make([][]float64, restart+1),
+		h:    make([][]float64, restart+1),
+		cs:   make([]float64, restart),
+		sn:   make([]float64, restart),
+		g:    make([]float64, restart+1),
+		y:    make([]float64, restart),
+		hist: make([]float64, 0, restart),
+	}
+	vBack := make([]float64, (restart+1)*n)
+	for i := range ws.v {
+		ws.v[i] = vBack[i*n : (i+1)*n]
+	}
+	hBack := make([]float64, (restart+1)*restart)
+	for i := range ws.h {
+		ws.h[i] = hBack[i*restart : (i+1)*restart]
+	}
+	return ws
+}
+
+// gmresCycle runs one restart cycle of left-preconditioned GMRES(m):
+// residual, Arnoldi with modified Gram-Schmidt, Givens rotations, and
+// the triangular solve updating x in place. It is the allocation-free
+// inner kernel of the solver — all state lives in ws, counters go to
+// stats, and the caller owns the per-cycle span instrumentation and
+// context checks.
+//
+// matvec is passed as a func value rather than (matrix, partition)
+// so the parallel path's fan-out closure is allocated once by the
+// caller instead of being inlined — and re-allocated — here.
+//
+//lint:hotpath
+//lint:noescape
+func gmresCycle(matvec func(in, out []float64), b, x []float64, m Preconditioner,
+	ws *gmresWorkspace, restart, maxIter int, tol, beta0 float64, recordHistory bool,
+	stats *Stats) (converged bool, entryRel, exitRel float64) {
+	r, z, w, zw := ws.r, ws.z, ws.w, ws.zw
+	v, h := ws.v, ws.h
+	cs, sn, g, y := ws.cs, ws.sn, ws.g, ws.y
+	ws.hist = ws.hist[:0]
+
+	// r = M^{-1} (b - A x)
+	matvec(x, r)
+	stats.MatVecs++
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	stats.AXPYs++
+	m.Apply(r, z)
+	stats.PCApplies++
+	beta := norm2(z)
+	stats.DotProducts++
+	if numeric.Zero(stats.InitialResid) {
+		stats.InitialResid = beta
+	}
+	entryRel = beta / beta0
+	if entryRel <= tol {
+		stats.Converged = true
+		stats.FinalResRel = entryRel
+		return true, entryRel, entryRel
+	}
+	inv := 1 / beta
+	for i := range z {
+		v[0][i] = z[i] * inv
+	}
+	for i := range g {
+		g[i] = 0
+	}
+	g[0] = beta
+
+	k := 0
+	for ; k < restart && stats.Iterations < maxIter; k++ {
+		stats.Iterations++
+		// w = M^{-1} A v_k
+		matvec(v[k], w)
+		stats.MatVecs++
+		m.Apply(w, zw)
+		stats.PCApplies++
+		// Modified Gram-Schmidt.
+		for i := 0; i <= k; i++ {
+			h[i][k] = dot(zw, v[i])
+			stats.DotProducts++
+			for j := range zw {
+				zw[j] -= h[i][k] * v[i][j]
+			}
+			stats.AXPYs++
+		}
+		h[k+1][k] = norm2(zw)
+		stats.DotProducts++
+		if h[k+1][k] > 1e-300 {
+			inv := 1 / h[k+1][k]
+			for j := range zw {
+				v[k+1][j] = zw[j] * inv
+			}
+		} else {
+			// Happy breakdown: exact solution in current subspace.
+			for j := range v[k+1] {
+				v[k+1][j] = 0
+			}
+		}
+		// Apply accumulated Givens rotations to the new column.
+		for i := 0; i < k; i++ {
+			t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+			h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+			h[i][k] = t
+		}
+		// New rotation to zero h[k+1][k].
+		denom := math.Hypot(h[k][k], h[k+1][k])
+		if numeric.Zero(denom) {
+			cs[k], sn[k] = 1, 0
+		} else {
+			cs[k] = h[k][k] / denom
+			sn[k] = h[k+1][k] / denom
+		}
+		h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+		h[k+1][k] = 0
+		g[k+1] = -sn[k] * g[k]
+		g[k] = cs[k] * g[k]
+
+		if recordHistory {
+			ws.hist = append(ws.hist, math.Abs(g[k+1])/beta0)
+		}
+		if math.Abs(g[k+1])/beta0 <= tol {
+			k++
+			break
+		}
+	}
+	// Solve the upper triangular system h y = g for the first k
+	// coefficients and update x.
+	for i := k - 1; i >= 0; i-- {
+		y[i] = g[i]
+		for j := i + 1; j < k; j++ {
+			y[i] -= h[i][j] * y[j]
+		}
+		if numeric.NonZero(h[i][i]) {
+			y[i] /= h[i][i]
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := range x {
+			x[j] += y[i] * v[i][j]
+		}
+		stats.AXPYs++
+	}
+	return false, entryRel, math.Abs(g[k]) / beta0
+}
+
 // GMRESContext solves A x = b with left-preconditioned restarted
 // GMRES(m), starting from x0 (nil means zero). It returns the solution
 // and iteration statistics. The iteration stops when the preconditioned
@@ -83,8 +251,6 @@ func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]fl
 // reached (Converged reports which). The context is checked once per
 // restart cycle: a cancelled or deadline-expired context aborts within
 // one cycle, returning the best iterate so far together with ctx.Err().
-//
-//lint:hotpath
 func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
 	n := a.N
 	if len(b) != n {
@@ -124,17 +290,14 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 	}
 
 	var stats Stats
-	r := make([]float64, n)
-	z := make([]float64, n)
-	w := make([]float64, n)
-	zw := make([]float64, n)
+	ws := newGMRESWorkspace(n, restart)
 
 	// Convergence is relative to ||M^{-1} b|| (the PETSc convention),
 	// which makes warm starts converge immediately instead of chasing a
 	// tolerance relative to an already-tiny initial residual.
-	m.Apply(b, z)
+	m.Apply(b, ws.z)
 	stats.PCApplies++
-	bNorm := norm2(z)
+	bNorm := norm2(ws.z)
 	stats.DotProducts++
 	if numeric.Zero(bNorm) {
 		// b = 0: solution is x = 0 regardless of x0.
@@ -143,23 +306,6 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 	}
 
 	beta0 := bNorm
-
-	// Krylov basis and Hessenberg matrix, each carved out of one flat
-	// backing allocation (contiguous rows, no per-row make).
-	v := make([][]float64, restart+1)
-	vBack := make([]float64, (restart+1)*n)
-	for i := range v {
-		v[i] = vBack[i*n : (i+1)*n]
-	}
-	h := make([][]float64, restart+1)
-	hBack := make([]float64, (restart+1)*restart)
-	for i := range h {
-		h[i] = hBack[i*restart : (i+1)*restart]
-	}
-	cs := make([]float64, restart)
-	sn := make([]float64, restart)
-	g := make([]float64, restart+1)
-	y := make([]float64, restart)
 
 	cycle := 0
 	for stats.Iterations < maxIter {
@@ -172,118 +318,25 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 		// Each restart cycle runs in a closure holding one trace span
 		// (nil tracer: no-ops), so the span End can be deferred per cycle
 		// and convergence traces line up with the per-stage span
-		// timeline.
+		// timeline. The numerical work itself lives in gmresCycle, which
+		// is span-free and allocation-free (//lint:noescape).
 		converged := func() bool {
 			_, span := obs.StartSpan(ctx, obs.SpanGMRESCycle)
 			defer span.End(nil)
 			span.SetAttr("cycle", cycle)
 			histStart := len(stats.History)
-			// r = M^{-1} (b - A x)
-			matvec(x, r)
-			stats.MatVecs++
-			for i := range r {
-				r[i] = b[i] - r[i]
+			done, entryRel, exitRel := gmresCycle(matvec, b, x, m,
+				ws, restart, maxIter, tol, beta0, opts.RecordHistory, &stats)
+			if opts.RecordHistory {
+				stats.History = append(stats.History, ws.hist...)
 			}
-			stats.AXPYs++
-			m.Apply(r, z)
-			stats.PCApplies++
-			beta := norm2(z)
-			stats.DotProducts++
-			if numeric.Zero(stats.InitialResid) {
-				stats.InitialResid = beta
-			}
-			span.SetAttr("entry_rel_residual", beta/beta0)
-			if beta/beta0 <= tol {
-				stats.Converged = true
-				stats.FinalResRel = beta / beta0
+			span.SetAttr("entry_rel_residual", entryRel)
+			if done {
 				span.SetAttr("converged", true)
 				return true
 			}
-			inv := 1 / beta
-			for i := range z {
-				v[0][i] = z[i] * inv
-			}
-			for i := range g {
-				g[i] = 0
-			}
-			g[0] = beta
-
-			k := 0
-			for ; k < restart && stats.Iterations < maxIter; k++ {
-				stats.Iterations++
-				// w = M^{-1} A v_k
-				matvec(v[k], w)
-				stats.MatVecs++
-				m.Apply(w, zw)
-				stats.PCApplies++
-				// Modified Gram-Schmidt.
-				for i := 0; i <= k; i++ {
-					h[i][k] = dot(zw, v[i])
-					stats.DotProducts++
-					for j := range zw {
-						zw[j] -= h[i][k] * v[i][j]
-					}
-					stats.AXPYs++
-				}
-				h[k+1][k] = norm2(zw)
-				stats.DotProducts++
-				if h[k+1][k] > 1e-300 {
-					inv := 1 / h[k+1][k]
-					for j := range zw {
-						v[k+1][j] = zw[j] * inv
-					}
-				} else {
-					// Happy breakdown: exact solution in current subspace.
-					for j := range v[k+1] {
-						v[k+1][j] = 0
-					}
-				}
-				// Apply accumulated Givens rotations to the new column.
-				for i := 0; i < k; i++ {
-					t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
-					h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
-					h[i][k] = t
-				}
-				// New rotation to zero h[k+1][k].
-				denom := math.Hypot(h[k][k], h[k+1][k])
-				if numeric.Zero(denom) {
-					cs[k], sn[k] = 1, 0
-				} else {
-					cs[k] = h[k][k] / denom
-					sn[k] = h[k+1][k] / denom
-				}
-				h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
-				h[k+1][k] = 0
-				g[k+1] = -sn[k] * g[k]
-				g[k] = cs[k] * g[k]
-
-				if opts.RecordHistory {
-					stats.History = append(stats.History, math.Abs(g[k+1])/beta0)
-				}
-				if math.Abs(g[k+1])/beta0 <= tol {
-					k++
-					break
-				}
-			}
-			// Solve the upper triangular system h y = g for the first k
-			// coefficients and update x.
-			for i := k - 1; i >= 0; i-- {
-				y[i] = g[i]
-				for j := i + 1; j < k; j++ {
-					y[i] -= h[i][j] * y[j]
-				}
-				if numeric.NonZero(h[i][i]) {
-					y[i] /= h[i][i]
-				}
-			}
-			for i := 0; i < k; i++ {
-				for j := range x {
-					x[j] += y[i] * v[i][j]
-				}
-				stats.AXPYs++
-			}
 			span.SetAttr("iterations_total", stats.Iterations)
-			span.SetAttr("exit_rel_residual", math.Abs(g[k])/beta0)
+			span.SetAttr("exit_rel_residual", exitRel)
 			if opts.RecordHistory && len(stats.History) > histStart {
 				// The residual trace of this cycle, exported so tooling can
 				// reconstruct convergence curves from the span stream alone.
@@ -298,14 +351,14 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 		cycle++
 	}
 	// Final residual check.
-	matvec(x, r)
+	matvec(x, ws.r)
 	stats.MatVecs++
-	for i := range r {
-		r[i] = b[i] - r[i]
+	for i := range ws.r {
+		ws.r[i] = b[i] - ws.r[i]
 	}
-	m.Apply(r, z)
+	m.Apply(ws.r, ws.z)
 	stats.PCApplies++
-	rel := norm2(z) / beta0
+	rel := norm2(ws.z) / beta0
 	stats.FinalResRel = rel
 	stats.Converged = rel <= tol
 	return x, stats, nil

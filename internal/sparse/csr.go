@@ -138,11 +138,19 @@ func (m *CSR) At(i, j int) float64 {
 // not alias.
 //
 //lint:hotpath
+//lint:noescape
 func (m *CSR) MulVec(x, y []float64) {
+	rp, col, val := m.RowPtr, m.Col, m.Val
 	for i := 0; i < m.N; i++ {
+		lo, hi := rp[i], rp[i+1]
+		row := val[lo:hi]
+		// Re-slicing cols to row's length lets the compiler prove the
+		// two slices stride together, eliminating the cols[k] bounds
+		// check inside the loop (verified by cmd/perfgate).
+		cols := col[lo:hi][:len(row)]
 		sum := 0.0
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			sum += m.Val[p] * x[m.Col[p]]
+		for k, v := range row {
+			sum += v * x[cols[k]]
 		}
 		y[i] = sum
 	}
@@ -152,11 +160,16 @@ func (m *CSR) MulVec(x, y []float64) {
 // distributed matrix-vector product.
 //
 //lint:hotpath
+//lint:noescape
 func (m *CSR) MulVecRows(x, y []float64, lo, hi int) {
+	rp, col, val := m.RowPtr, m.Col, m.Val
 	for i := lo; i < hi; i++ {
+		start, end := rp[i], rp[i+1]
+		row := val[start:end]
+		cols := col[start:end][:len(row)]
 		sum := 0.0
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			sum += m.Val[p] * x[m.Col[p]]
+		for k, v := range row {
+			sum += v * x[cols[k]]
 		}
 		y[i] = sum
 	}

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Repository check: formatting, build + vet, the project-native simlint
-# static-analysis suite, the full test suite, and the
-# concurrency-sensitive packages (pipeline cancellation, registration
-# service, telemetry, FEM assembly/solve, the parallel primitives, the
-# kNN classifier) under the race detector.
+# static-analysis suite, the perfgate compiler-fact gate (escape and
+# bounds-check ratchet plus the //lint:noescape kernel contract), the
+# full test suite, fuzz smoke runs, and the whole module under the race
+# detector (short mode).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,12 +20,14 @@ echo "== go vet ./..."
 go vet ./...
 echo "== simlint ./..."
 go run ./cmd/simlint ./...
+echo "== perfgate"
+go run ./cmd/perfgate
 echo "== go test ./..."
 go test ./...
-echo "== go test -fuzz (10s each: edt distance transform, sparse SpMV)"
+echo "== go test -fuzz (10s each: edt distance transform, sparse SpMV, GMRES vs dense)"
 go test -short -run='^$' -fuzz=FuzzDistanceTransform -fuzztime=10s ./internal/edt
 go test -short -run='^$' -fuzz=FuzzSpMVAgainstDense -fuzztime=10s ./internal/sparse
-echo "== go test -race (concurrency-sensitive packages)"
-go test -race ./internal/core/... ./internal/service/... ./internal/obs/... \
-	./internal/fem/... ./internal/par/... ./internal/classify/...
+go test -short -run='^$' -fuzz=FuzzGMRESAgainstDense -fuzztime=10s ./internal/solver
+echo "== go test -race -short ./..."
+go test -race -short ./...
 echo "== OK"
