@@ -28,9 +28,12 @@ perfgate:
 check:
 	sh scripts/check.sh
 
-# Benchmarks: the Go micro-benchmarks plus a pipeline-level run that
-# writes per-stage latency quantiles (from the obs histograms) to
-# BENCH_obs.json.
+# Benchmarks: the Go micro-benchmarks, a pipeline-level run that writes
+# per-stage latency quantiles (from the obs histograms) to
+# BENCH_obs.json, and the streaming update-vs-cold comparison that
+# writes BENCH_incremental.json (and fails if the incremental re-solve
+# loses its speedup).
 bench:
 	$(GO) test -bench=. -benchmem -short ./...
 	$(GO) run ./cmd/benchobs -runs 5 -size 32 -out BENCH_obs.json
+	$(GO) run ./cmd/benchincr -size 64 -updates 4 -out BENCH_incremental.json

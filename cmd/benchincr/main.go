@@ -1,0 +1,215 @@
+// Command benchincr benchmarks the incremental re-solve path against
+// cold registration on a streaming phantom: one baseline registration
+// followed by a sequence of scans with growing brain shift, processed
+// once through Session.Update (warm-started, patched boundary
+// conditions, cached preconditioner) and once through a full cold
+// Register. It writes the per-step latencies, solver reuse diagnostics
+// and the update-vs-cold speedup to a JSON report, and can gate a CI
+// run against a committed baseline report.
+//
+//	go run ./cmd/benchincr -size 64 -updates 4 -out BENCH_incremental.json
+//	go run ./cmd/benchincr -size 64 -updates 4 -out - -check BENCH_incremental.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/phantom"
+)
+
+// stepReport is one streamed scan measured on both paths.
+type stepReport struct {
+	ShiftMM          float64 `json:"shift_mm"`
+	UpdateMS         float64 `json:"update_ms"`
+	ColdMS           float64 `json:"cold_ms"`
+	Speedup          float64 `json:"speedup"`
+	UpdateIterations int     `json:"update_iterations"`
+	ColdIterations   int     `json:"cold_iterations"`
+	IterationsSaved  int     `json:"iterations_saved"`
+	DOFsPatched      int     `json:"dofs_patched"`
+	PCCacheHit       bool    `json:"pc_cache_hit"`
+	WarmStarted      bool    `json:"warm_started"`
+	EntryResRel      float64 `json:"entry_res_rel"`
+	// MaxDivergenceMM is the largest nodal displacement difference
+	// between the update and the cold registration of the same scan —
+	// the equivalence the incremental path promises.
+	MaxDivergenceMM float64 `json:"max_divergence_mm"`
+}
+
+// report is the BENCH_incremental.json schema.
+type report struct {
+	Size            int          `json:"size"`
+	Updates         int          `json:"updates"`
+	Ranks           int          `json:"ranks"`
+	GoMaxProcs      int          `json:"gomaxprocs"`
+	BaselineMS      float64      `json:"baseline_register_ms"`
+	UpdateMeanMS    float64      `json:"update_mean_ms"`
+	ColdMeanMS      float64      `json:"cold_mean_ms"`
+	Speedup         float64      `json:"speedup"`
+	MaxDivergenceMM float64      `json:"max_divergence_mm"`
+	Steps           []stepReport `json:"steps"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchincr: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	size := flag.Int("size", 64, "phantom grid size")
+	updates := flag.Int("updates", 4, "streamed scans after the baseline")
+	ranks := flag.Int("ranks", runtime.NumCPU(), "parallel ranks")
+	out := flag.String("out", "BENCH_incremental.json", "report path (- for stdout)")
+	check := flag.String("check", "", "committed baseline report to gate against (CI regression check)")
+	minSpeedup := flag.Float64("min-speedup", 3, "fail unless update is this much faster than cold")
+	flag.Parse()
+	if *updates < 1 {
+		fatalf("-updates must be at least 1")
+	}
+
+	// Baseline shift plus a stream of scans with the shift growing as
+	// the resection progresses — the paper's repeated-acquisition
+	// pattern.
+	shifts := make([]float64, *updates+1)
+	for i := range shifts {
+		shifts[i] = 3 + 3*float64(i)/float64(*updates)
+	}
+	p := phantom.DefaultParams(*size)
+	p.NoiseStd = 2
+	stream := phantom.GenerateStream(p, shifts)
+
+	cfg := core.DefaultConfig()
+	cfg.SkipRigid = true // all scans share the scanner frame
+	cfg.Ranks = *ranks
+
+	ctx := context.Background()
+	warm, err := core.NewSession(cfg, stream.Case.Preop, stream.Case.PreopLabels)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cold, err := core.NewSession(cfg, stream.Case.Preop, stream.Case.PreopLabels)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	t0 := time.Now()
+	if _, err := warm.Register(ctx, stream.Case.Intraop); err != nil {
+		fatalf("baseline register: %v", err)
+	}
+	baselineMS := float64(time.Since(t0)) / float64(time.Millisecond)
+	if _, err := cold.Register(ctx, stream.Case.Intraop); err != nil {
+		fatalf("cold baseline register: %v", err)
+	}
+
+	rep := report{
+		Size:       *size,
+		Updates:    *updates,
+		Ranks:      *ranks,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		BaselineMS: baselineMS,
+	}
+	var updTotal, coldTotal float64
+	for i, step := range stream.Steps {
+		tu := time.Now()
+		ru, err := warm.Update(ctx, step.Intraop)
+		if err != nil {
+			fatalf("update %d: %v", i+1, err)
+		}
+		updMS := float64(time.Since(tu)) / float64(time.Millisecond)
+
+		tc := time.Now()
+		rc, err := cold.Register(ctx, step.Intraop)
+		if err != nil {
+			fatalf("cold register %d: %v", i+1, err)
+		}
+		coldMS := float64(time.Since(tc)) / float64(time.Millisecond)
+
+		if ru.Update == nil || !ru.Incremental {
+			fatalf("update %d did not take the incremental path", i+1)
+		}
+		maxDiff := 0.0
+		for n := range ru.NodeDisplacements {
+			if d := ru.NodeDisplacements[n].Sub(rc.NodeDisplacements[n]).MaxAbs(); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		sr := stepReport{
+			ShiftMM:          step.ShiftMagnitude,
+			UpdateMS:         updMS,
+			ColdMS:           coldMS,
+			Speedup:          coldMS / updMS,
+			UpdateIterations: ru.SolveStats.Iterations,
+			ColdIterations:   rc.SolveStats.Iterations,
+			IterationsSaved:  ru.Update.IterationsSaved,
+			DOFsPatched:      ru.Update.DOFsPatched,
+			PCCacheHit:       ru.Update.PCCacheHit,
+			WarmStarted:      ru.Update.WarmStarted,
+			EntryResRel:      ru.Update.EntryResRel,
+			MaxDivergenceMM:  maxDiff,
+		}
+		rep.Steps = append(rep.Steps, sr)
+		updTotal += updMS
+		coldTotal += coldMS
+		if maxDiff > rep.MaxDivergenceMM {
+			rep.MaxDivergenceMM = maxDiff
+		}
+		fmt.Fprintf(os.Stderr,
+			"step %d/%d: shift %.1fmm update %.0fms (%d iters) cold %.0fms (%d iters) %.1fx, diverge %.2gmm\n",
+			i+1, len(stream.Steps), step.ShiftMagnitude, updMS, sr.UpdateIterations,
+			coldMS, sr.ColdIterations, sr.Speedup, maxDiff)
+	}
+	rep.UpdateMeanMS = updTotal / float64(len(stream.Steps))
+	rep.ColdMeanMS = coldTotal / float64(len(stream.Steps))
+	rep.Speedup = rep.ColdMeanMS / rep.UpdateMeanMS
+	fmt.Fprintf(os.Stderr, "update mean %.0fms vs cold mean %.0fms: %.1fx speedup\n",
+		rep.UpdateMeanMS, rep.ColdMeanMS, rep.Speedup)
+
+	if rep.Speedup < *minSpeedup {
+		fatalf("speedup %.2fx below required %.2fx", rep.Speedup, *minSpeedup)
+	}
+	if rep.MaxDivergenceMM > 1e-3 {
+		fatalf("update diverged from cold solve by %g mm (want <= 1e-3)", rep.MaxDivergenceMM)
+	}
+	if *check != "" {
+		buf, err := os.ReadFile(*check)
+		if err != nil {
+			fatalf("read baseline: %v", err)
+		}
+		var base report
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fatalf("parse baseline %s: %v", *check, err)
+		}
+		// Half the committed speedup is the regression floor: CI machines
+		// are noisy, but a real regression (lost cache hit, cold seed)
+		// erases the gap entirely rather than halving it.
+		floor := base.Speedup / 2
+		if rep.Speedup < floor {
+			fatalf("speedup %.2fx regressed below %.2fx (half the committed %.2fx in %s)",
+				rep.Speedup, floor, base.Speedup, *check)
+		}
+		fmt.Fprintf(os.Stderr, "check against %s passed: %.1fx >= %.1fx\n", *check, rep.Speedup, floor)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

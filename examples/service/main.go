@@ -60,7 +60,12 @@ func main() {
 		cases[r.id] = c
 		cfg := core.DefaultConfig()
 		cfg.SkipRigid = true
-		if err := svc.OpenSession(r.id, cfg, c.Preop, c.PreopLabels); err != nil {
+		if err := svc.Open(service.SessionSpec{
+			ID:          r.id,
+			Config:      cfg,
+			Preop:       c.Preop,
+			PreopLabels: c.PreopLabels,
+		}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -89,6 +94,19 @@ func main() {
 		}(r)
 	}
 	wg.Wait()
+
+	// A follow-up acquisition in or-1, streamed through the incremental
+	// update path: the baseline established by the full registration
+	// above is reused (mesh, preconditioner factors, displacement seed)
+	// and only the boundary patch plus a warm-started solve runs.
+	fmt.Println("\nStreaming a follow-up scan through the incremental update path:")
+	if res, err := svc.Update(context.Background(), "or-1", cases["or-1"].Intraop); err != nil {
+		log.Fatal(err)
+	} else if res.Update != nil {
+		fmt.Printf("  incremental: %d boundary DOFs patched, pc cache hit %v, %d solve iters (%d saved)\n",
+			res.Update.DOFsPatched, res.Update.PCCacheHit,
+			res.SolveStats.Iterations, res.Update.IterationsSaved)
+	}
 
 	// A scan whose time budget runs out during the FEM solve: the
 	// service degrades to the rigid-only alignment rather than leaving

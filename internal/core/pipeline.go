@@ -167,6 +167,14 @@ type Result struct {
 	// Timings is the per-stage timeline (Figure 6).
 	Timings []StageTiming
 
+	// Incremental marks a result produced by the streaming update path
+	// (Session.Update): the preop-only stages (rigid alignment, EDT
+	// localization channels, mesh generation, surface relaxation) were
+	// reused from the session baseline instead of recomputed.
+	Incremental bool
+	// Update reports the incremental-path diagnostics; nil on cold runs.
+	Update *IncrementalStats
+
 	// Degraded marks a rigid-only fallback result: the context deadline
 	// expired after the surface stage, so the biomechanical refinement
 	// was abandoned and Warped is just the rigidly aligned preoperative
@@ -257,18 +265,20 @@ func (p *Pipeline) Run(preop *volume.Scalar, preopLabels *volume.Labels, intraop
 // returned, marked Degraded, instead of an error — the surgeon still
 // gets the rigid alignment on time.
 func (p *Pipeline) RunContext(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels, intraop *volume.Scalar) (*Result, error) {
-	res, _, err := p.runContext(ctx, preop, preopLabels, intraop, nil)
+	res, _, err := p.runContext(ctx, preop, preopLabels, intraop, nil, nil)
 	return res, err
 }
 
 // runContext is the shared implementation: when cl is non-nil its
 // prototypes are refreshed from the new scan (the paper's automatic
 // statistical model update for successive intraoperative acquisitions)
-// instead of sampling fresh ones. With a tracer on the context (see
-// package obs) the whole run becomes a span hierarchy: pipeline.run →
-// per-stage spans → the nested solver/assembly/classification spans.
+// instead of sampling fresh ones. When cache is non-nil the run fills
+// it with the baseline artifacts the incremental update path reuses.
+// With a tracer on the context (see package obs) the whole run becomes
+// a span hierarchy: pipeline.run → per-stage spans → the nested
+// solver/assembly/classification spans.
 func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels,
-	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
+	intraop *volume.Scalar, cl *classify.Classifier, cache *sessionCache) (*Result, *classify.Classifier, error) {
 	if p.cfgErr != nil {
 		return nil, nil, p.cfgErr
 	}
@@ -285,7 +295,7 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 	ctx, runSpan := obs.StartSpan(ctx, obs.SpanPipelineRun)
 	var runErr error
 	defer func() { runSpan.End(runErr) }()
-	res, cl, err := p.runStages(ctx, preop, preopLabels, intraop, cl)
+	res, cl, err := p.runStages(ctx, preop, preopLabels, intraop, cl, cache)
 	if res != nil {
 		runSpan.SetAttr("degraded", res.Degraded)
 	}
@@ -293,19 +303,15 @@ func (p *Pipeline) runContext(ctx context.Context, preop *volume.Scalar, preopLa
 	return res, cl, err
 }
 
-// runStages executes the six pipeline stages.
-func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels,
-	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
-	cfg := p.cfg
-	ob := cfg.observer()
-	res := &Result{}
-	// stage times one pipeline stage, emits the observer events and a
-	// trace span, and attributes any failure (including context
-	// cancellation checked on entry) to the stage via *StageError. The
-	// stage body receives a derived context so work it starts (solver
-	// restart cycles, classification batches, assembly) nests under the
-	// stage span.
-	stage := func(name string, fn func(ctx context.Context) error) error {
+// newStageRunner returns the stage executor shared by the cold and
+// incremental paths: it times one pipeline stage, emits the observer
+// events and a trace span, and attributes any failure (including
+// context cancellation checked on entry) to the stage via *StageError.
+// The stage body receives a derived context so work it starts (solver
+// restart cycles, classification batches, assembly) nests under the
+// stage span.
+func newStageRunner(ctx context.Context, ob Observer, res *Result) func(name string, fn func(ctx context.Context) error) error {
+	return func(name string, fn func(ctx context.Context) error) error {
 		if err := ctx.Err(); err != nil {
 			return &StageError{Stage: name, Err: err}
 		}
@@ -326,6 +332,15 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 		}
 		return nil
 	}
+}
+
+// runStages executes the six pipeline stages.
+func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels,
+	intraop *volume.Scalar, cl *classify.Classifier, cache *sessionCache) (*Result, *classify.Classifier, error) {
+	cfg := p.cfg
+	ob := cfg.observer()
+	res := &Result{}
+	stage := newStageRunner(ctx, ob, res)
 
 	// Stage 1: rigid registration. The preoperative data is aligned to
 	// the intraoperative frame by MI maximization.
@@ -369,6 +384,11 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 			edt.Saturated(alignedLabels, volume.LabelBrain, cfg.EDTSaturation),
 			edt.Saturated(alignedLabels, volume.LabelVentricle, cfg.EDTSaturation),
 			edt.Saturated(alignedLabels, volume.LabelCSF, cfg.EDTSaturation),
+		}
+		if cache != nil {
+			// The localization channels derive from the preoperative
+			// segmentation only; updates reuse them as-is.
+			cache.edtChannels = channels[1:]
 		}
 		if cl == nil {
 			// First scan: build the statistical model. Prototype
@@ -464,6 +484,12 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 		if err != nil {
 			return err
 		}
+		if cache != nil {
+			// Updates re-evolve this relaxed preoperative surface onto
+			// each new intraoperative boundary, so their node set (and
+			// with it the Dirichlet row set) matches the baseline's.
+			cache.relaxedSurf = relaxed.Final
+		}
 		// Now deform the relaxed preoperative surface onto the
 		// classified intraoperative brain: these displacements are the
 		// physical surface correspondences.
@@ -512,27 +538,28 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 	}
 	res.SolveStats = solveRes.Stats
 	res.NodeDisplacements = solveRes.NodeU
-	// Tissue stress summary from the solved deformation.
-	if strains, err := sys.Strains(solveRes.NodeU); err == nil {
-		if stresses, err := sys.Stresses(strains, cfg.Materials); err == nil {
-			sum := 0.0
-			for _, st := range stresses {
-				vm := st.VonMises()
-				sum += vm
-				if vm > res.PeakVonMises {
-					res.PeakVonMises = vm
-				}
-			}
-			if len(stresses) > 0 {
-				res.MeanVonMises = sum / float64(len(stresses))
-			}
-		}
+	if cache != nil {
+		cache.rigid = res.Rigid
+		cache.alignedPreop = alignedPreop
+		cache.mesh = m
+		cache.sys = sys
+		cache.prevU = solveRes.U
+		cache.coldIterations = solveRes.Stats.Iterations
 	}
+	stressSummary(sys, solveRes.NodeU, cfg.Materials, res)
 
 	// Stage 6: resample the preoperative data through the computed
 	// volumetric deformation (the paper's ~0.5 s display step).
 	if err := stage(StageResample, func(_ context.Context) error {
-		res.Forward = sys.DisplacementField(solveRes.NodeU, intraop.Grid)
+		if cache != nil {
+			// Sessions keep the voxel→element interpolation table: it
+			// depends only on the mesh and the grid, so every incremental
+			// update rasterizes its solution through it as a dense gather.
+			cache.interp = sys.BuildInterpTable(intraop.Grid)
+			res.Forward = cache.interp.Apply(solveRes.NodeU)
+		} else {
+			res.Forward = sys.DisplacementField(solveRes.NodeU, intraop.Grid)
+		}
 		res.Backward = res.Forward.Invert(4)
 		res.Warped = res.Backward.WarpScalar(alignedPreop)
 		return nil
@@ -543,13 +570,42 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 		return nil, nil, err
 	}
 
-	// Match-quality metrics (Figure 4d analogue). The paper judges the
-	// match "by the very small intensity differences at the boundary of
-	// the simulated deformed brain and the air gap inside the skull":
-	// accordingly the metric is computed over a band around the
-	// intraoperative brain boundary, where residual differences are
-	// attributable to misregistration rather than to resected tissue
-	// (whose intensity no deformation can reproduce).
+	matchMetrics(res, intraop, alignedPreop, intraLabels)
+	return res, cl, nil
+}
+
+// stressSummary fills the Von Mises stress summary of res from the
+// solved deformation (best effort: degenerate elements skip it).
+func stressSummary(sys *fem.System, nodeU []geom.Vec3, mats fem.Table, res *Result) {
+	strains, err := sys.Strains(nodeU)
+	if err != nil {
+		return
+	}
+	stresses, err := sys.Stresses(strains, mats)
+	if err != nil {
+		return
+	}
+	sum := 0.0
+	for _, st := range stresses {
+		vm := st.VonMises()
+		sum += vm
+		if vm > res.PeakVonMises {
+			res.PeakVonMises = vm
+		}
+	}
+	if len(stresses) > 0 {
+		res.MeanVonMises = sum / float64(len(stresses))
+	}
+}
+
+// matchMetrics computes the match-quality metrics (Figure 4d analogue).
+// The paper judges the match "by the very small intensity differences
+// at the boundary of the simulated deformed brain and the air gap
+// inside the skull": accordingly the metric is computed over a band
+// around the intraoperative brain boundary, where residual differences
+// are attributable to misregistration rather than to resected tissue
+// (whose intensity no deformation can reproduce).
+func matchMetrics(res *Result, intraop, alignedPreop *volume.Scalar, intraLabels *volume.Labels) {
 	band := brainBoundaryBand(intraLabels)
 	if d, err := alignedPreop.AbsDiff(intraop); err == nil {
 		res.RigidMeanAbsDiff = d.ComputeStats(band).Mean
@@ -557,7 +613,6 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 	if d, err := res.Warped.AbsDiff(intraop); err == nil {
 		res.MatchMeanAbsDiff = d.ComputeStats(band).Mean
 	}
-	return res, cl, nil
 }
 
 // brainBoundaryBand masks the voxels within a few millimetres of the

@@ -15,11 +15,19 @@ import (
 // model is built on the first scan; for every later scan the recorded
 // prototype voxel locations update it automatically, exactly as the
 // paper describes.
+// Incremental updates: Register runs the full pipeline and retains the
+// baseline artifacts (rigid alignment, localization channels, mesh,
+// relaxed surface, assembled FEM system, displacement field); Update
+// then re-solves a newly streamed scan incrementally against that
+// baseline — model refresh, one surface evolution, a Dirichlet
+// right-hand-side patch and a warm-started solve — at a fraction of the
+// cold cost.
 type Session struct {
 	pipeline    *Pipeline
 	preop       *volume.Scalar
 	preopLabels *volume.Labels
 	classifier  *classify.Classifier
+	cache       *sessionCache
 	results     []*Result
 }
 
@@ -44,24 +52,49 @@ func NewSession(cfg Config, preop *volume.Scalar, preopLabels *volume.Labels) (*
 	}, nil
 }
 
-// RegisterScan registers one newly acquired intraoperative scan with a
-// background context; see RegisterScanContext.
-func (s *Session) RegisterScan(intraop *volume.Scalar) (*Result, error) {
-	return s.RegisterScanContext(context.Background(), intraop)
+// Register registers one newly acquired intraoperative scan against
+// the preoperative preparation with the full pipeline and returns the
+// registration result. The first call builds the tissue statistical
+// model; later calls refresh it from the new image at the recorded
+// prototype locations. The context bounds the run with the same
+// semantics as Pipeline.RunContext: cancellation yields a *StageError,
+// a deadline expiring after the surface stage yields a Degraded
+// rigid-only result. A degraded or failed scan advances neither the
+// statistical model nor the incremental-update baseline. Sessions are
+// not safe for concurrent use; the service layer serializes scans per
+// session.
+func (s *Session) Register(ctx context.Context, intraop *volume.Scalar) (*Result, error) {
+	cache := &sessionCache{}
+	res, cl, err := s.pipeline.runContext(ctx, s.preop, s.preopLabels, intraop, s.classifier, cache)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Degraded {
+		s.classifier = cl
+		if cache.complete() {
+			s.cache = cache
+		}
+	}
+	s.results = append(s.results, res)
+	return res, nil
 }
 
-// RegisterScanContext registers one newly acquired intraoperative scan
-// against the preoperative preparation and returns the registration
-// result. The first call builds the tissue statistical model; later
-// calls refresh it from the new image at the recorded prototype
-// locations. The context bounds the run with the same semantics as
-// Pipeline.RunContext: cancellation yields a *StageError, a deadline
-// expiring after the surface stage yields a Degraded rigid-only result.
-// A degraded or failed scan does not advance the statistical model.
-// Sessions are not safe for concurrent use; the service layer
-// serializes scans per session.
-func (s *Session) RegisterScanContext(ctx context.Context, intraop *volume.Scalar) (*Result, error) {
-	res, cl, err := s.pipeline.runContext(ctx, s.preop, s.preopLabels, intraop, s.classifier)
+// Update incrementally re-registers a newly streamed intraoperative
+// scan against the baseline established by the last successful
+// Register: the preop-only stages (rigid alignment, localization
+// channels, mesh generation, surface relaxation) are reused, the
+// Dirichlet right-hand side is patched for the boundary displacements
+// that changed, the factorized preconditioner is kept, and GMRES is
+// warm-started from the previous displacement field. Returns
+// ErrNoBaseline before the first successful Register. Accuracy matches
+// a cold Register of the same scan to solver tolerance; the result
+// carries the reuse diagnostics in Result.Update. Context semantics
+// match Register.
+func (s *Session) Update(ctx context.Context, intraop *volume.Scalar) (*Result, error) {
+	if !s.cache.complete() {
+		return nil, ErrNoBaseline
+	}
+	res, cl, err := s.pipeline.updateContext(ctx, s.cache, intraop, s.classifier)
 	if err != nil {
 		return nil, err
 	}
@@ -72,8 +105,29 @@ func (s *Session) RegisterScanContext(ctx context.Context, intraop *volume.Scala
 	return res, nil
 }
 
+// HasBaseline reports whether a completed full registration is
+// available for Update to build on.
+func (s *Session) HasBaseline() bool { return s.cache.complete() }
+
+// RegisterScan registers one intraoperative scan with a background
+// context.
+//
+// Deprecated: use Register with context.Background(). Retained as a
+// thin wrapper for one release cycle.
+func (s *Session) RegisterScan(intraop *volume.Scalar) (*Result, error) {
+	return s.Register(context.Background(), intraop)
+}
+
+// RegisterScanContext registers one intraoperative scan.
+//
+// Deprecated: use Register; it is the same operation under the
+// canonical context-first name.
+func (s *Session) RegisterScanContext(ctx context.Context, intraop *volume.Scalar) (*Result, error) {
+	return s.Register(ctx, intraop)
+}
+
 // SetObserver installs (or clears, with nil) the observer receiving
-// per-stage events of subsequent RegisterScan calls. It must not be
+// per-stage events of subsequent Register/Update calls. It must not be
 // called while a scan is in flight.
 func (s *Session) SetObserver(obs Observer) {
 	s.pipeline.cfg.Observer = obs

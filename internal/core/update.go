@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/classify"
+	"repro/internal/edt"
+	"repro/internal/fem"
+	"repro/internal/mesh"
+	"repro/internal/obs"
+	"repro/internal/surface"
+	"repro/internal/transform"
+	"repro/internal/volume"
+)
+
+// ErrNoBaseline reports an Update against a session that has no
+// completed full registration to build on.
+var ErrNoBaseline = errors.New("core: no baseline registration; run Register before Update")
+
+// IncrementalStats reports what the incremental update path reused and
+// saved relative to a cold registration.
+type IncrementalStats struct {
+	// DOFsPatched is the number of Dirichlet DOFs whose prescribed
+	// displacement actually changed since the previous solve.
+	DOFsPatched int
+	// PCCacheHit reports that the factorized preconditioner was reused
+	// (true whenever the stiffness matrix was unchanged).
+	PCCacheHit bool
+	// WarmStarted reports that the solve was seeded with the previous
+	// displacement field.
+	WarmStarted bool
+	// EntryResRel is the relative preconditioned residual of the seeded
+	// iterate: 1.0 would mean the seed was worthless, values ≪ 1 mean
+	// most of the solve was inherited.
+	EntryResRel float64
+	// IterationsSaved is the iteration count saved relative to the
+	// session's baseline cold solve (0 when the update needed as many).
+	IterationsSaved int
+}
+
+// sessionCache holds the baseline artifacts an incremental update
+// reuses: everything derived from the preoperative preparation alone
+// (rigid alignment, localization channels, mesh, relaxed surface) plus
+// the assembled/constrained FEM system, its cached preconditioner and
+// the previous displacement solution. It is (re)filled by each
+// successful full registration.
+type sessionCache struct {
+	rigid        transform.Rigid
+	alignedPreop *volume.Scalar
+	// edtChannels are the preop-derived spatial localization channels of
+	// the classifier (brain/ventricle/CSF saturated distance maps).
+	edtChannels []*volume.Scalar
+	mesh        *mesh.Mesh
+	// relaxedSurf is the discretization-relaxed preoperative brain
+	// surface; updates evolve it onto each new intraoperative boundary.
+	relaxedSurf *mesh.TriMesh
+	// sys is the assembled, Dirichlet-eliminated system of the baseline
+	// solve; updates patch its RHS in place.
+	sys *fem.System
+	// interp is the voxel→element interpolation table of the baseline
+	// mesh on the session grid; updates rasterize their solution through
+	// it instead of re-locating every voxel.
+	interp *fem.InterpTable
+	// prevU seeds the next warm-started solve.
+	prevU []float64
+	// coldIterations is the baseline cold solve's iteration count, the
+	// reference for IncrementalStats.IterationsSaved.
+	coldIterations int
+}
+
+// complete reports whether the cache holds everything an update needs.
+func (c *sessionCache) complete() bool {
+	return c != nil && c.alignedPreop != nil && len(c.edtChannels) == 3 &&
+		c.mesh != nil && c.relaxedSurf != nil && c.sys != nil && c.prevU != nil
+}
+
+// updateContext runs the incremental re-solve for one streaming
+// intraoperative scan against a session baseline. Only the stages that
+// depend on the new image run — classifier refresh + classification,
+// one surface evolution, the Dirichlet patch + warm-started solve, and
+// resampling; rigid alignment, the localization channels and the mesh
+// are reused from the baseline (the head is fixed in the scanner frame
+// for the duration of the case, so the rigid pose does not drift
+// between acquisitions). Context semantics match RunContext, including
+// the degraded rigid-only fallback on deadline expiry after the
+// surface stage.
+func (p *Pipeline) updateContext(ctx context.Context, cache *sessionCache,
+	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
+	if p.cfgErr != nil {
+		return nil, nil, p.cfgErr
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if intraop == nil {
+		return nil, nil, fmt.Errorf("core: nil input volume")
+	}
+	if !cache.complete() || cl == nil {
+		return nil, nil, ErrNoBaseline
+	}
+	if !intraop.Grid.SameShape(cache.alignedPreop.Grid) {
+		return nil, nil, fmt.Errorf("core: update scan grid %v differs from session grid %v",
+			intraop.Grid, cache.alignedPreop.Grid)
+	}
+	ctx, runSpan := obs.StartSpan(ctx, obs.SpanPipelineUpdate)
+	var runErr error
+	defer func() { runSpan.End(runErr) }()
+	res, cl, err := p.updateStages(ctx, cache, intraop, cl)
+	if res != nil {
+		runSpan.SetAttr("degraded", res.Degraded)
+		if res.Update != nil {
+			runSpan.SetAttr("dofs_patched", res.Update.DOFsPatched)
+			runSpan.SetAttr("pc_cache_hit", res.Update.PCCacheHit)
+		}
+	}
+	runErr = err
+	return res, cl, err
+}
+
+// updateStages executes the intraoperative stage subset of an
+// incremental update.
+func (p *Pipeline) updateStages(ctx context.Context, cache *sessionCache,
+	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
+	cfg := p.cfg
+	ob := cfg.observer()
+	res := &Result{
+		Rigid:        cache.rigid,
+		AlignedPreop: cache.alignedPreop,
+		Mesh:         cache.mesh,
+		Incremental:  true,
+	}
+	stage := newStageRunner(ctx, ob, res)
+	alignedPreop := cache.alignedPreop
+
+	// Classification: the statistical model refreshes from the new image
+	// at the recorded prototype locations (never re-sampled — the
+	// baseline owns the prototype geometry); the preop-derived
+	// localization channels are reused verbatim.
+	var intraLabels *volume.Labels
+	if err := stage(StageClassify, func(ctx context.Context) error {
+		channels := make([]*volume.Scalar, 0, 1+len(cache.edtChannels))
+		channels = append(channels, intraop)
+		channels = append(channels, cache.edtChannels...)
+		if err := cl.RefreshFeaturesRobustContext(ctx, channels, 4, 5); err != nil {
+			return err
+		}
+		cl.Workers = cfg.Ranks
+		var err error
+		if len(cl.Prototypes) >= 128 {
+			intraLabels, err = cl.ClassifyKDContext(ctx, channels)
+		} else {
+			intraLabels, err = cl.ClassifyContext(ctx, channels)
+		}
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	res.IntraopLabels = intraLabels
+
+	// Surface displacement: one evolution, from the cached relaxed
+	// preoperative surface onto the new intraoperative boundary. Using
+	// the same starting surface as the baseline keeps the vertex-to-node
+	// map — and therefore the Dirichlet row set — identical.
+	var surfRes *surface.Result
+	if err := stage(StageSurface, func(ctx context.Context) error {
+		phiIntra := edt.SignedOfSet(intraLabels, brainSet, 0).SmoothGaussian(1.0)
+		var err error
+		surfRes, err = surface.EvolveContext(ctx, cache.relaxedSurf,
+			surface.SignedDistanceForce{Phi: phiIntra}, cfg.Surface)
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	res.Surface = surfRes
+
+	// Biomechanical simulation, incrementally: patch the right-hand side
+	// for the boundary displacements that changed, keep the stiffness
+	// matrix and its preconditioner factors, and warm-start GMRES from
+	// the previous displacement field.
+	sys := cache.sys
+	upd := &IncrementalStats{}
+	res.Update = upd
+	var solveRes *fem.SolveResult
+	if err := stage(StageSolve, func(ctx context.Context) error {
+		changed, err := sys.PatchDirichlet(ctx, surfRes.BoundaryConditions())
+		if err != nil {
+			return err
+		}
+		upd.DOFsPatched = changed
+		sopts := cfg.Solver
+		if cfg.RecordSolveHistory {
+			sopts.RecordHistory = true
+		}
+		solveRes, err = sys.SolveWarmContext(ctx, cache.prevU, sopts)
+		if solveRes != nil {
+			sp := obs.SpanFromContext(ctx)
+			sp.SetAttr("solver_iterations", solveRes.Stats.Iterations)
+			sp.SetAttr("solver_converged", solveRes.Stats.Converged)
+			sp.SetAttr("solver_final_rel_residual", solveRes.Stats.FinalResRel)
+		}
+		return err
+	}); err != nil {
+		if p.degrade(err, res, intraop, alignedPreop, intraLabels) {
+			return res, cl, nil
+		}
+		return nil, nil, err
+	}
+	res.SolveStats = solveRes.Stats
+	res.NodeDisplacements = solveRes.NodeU
+	upd.PCCacheHit = solveRes.PCCacheHit
+	upd.WarmStarted = solveRes.Stats.WarmStarted
+	upd.EntryResRel = solveRes.Stats.EntryResRel
+	if cache.coldIterations > solveRes.Stats.Iterations {
+		upd.IterationsSaved = cache.coldIterations - solveRes.Stats.Iterations
+	}
+	cache.prevU = solveRes.U
+	stressSummary(sys, solveRes.NodeU, cfg.Materials, res)
+
+	// Resampling: the cached interpolation table turns the forward-field
+	// rasterization into a dense gather; inversion and warping match the
+	// cold path exactly.
+	if err := stage(StageResample, func(_ context.Context) error {
+		if cache.interp == nil {
+			cache.interp = sys.BuildInterpTable(intraop.Grid)
+		}
+		res.Forward = cache.interp.Apply(solveRes.NodeU)
+		res.Backward = res.Forward.Invert(4)
+		res.Warped = res.Backward.WarpScalar(alignedPreop)
+		return nil
+	}); err != nil {
+		if p.degrade(err, res, intraop, alignedPreop, intraLabels) {
+			return res, cl, nil
+		}
+		return nil, nil, err
+	}
+	matchMetrics(res, intraop, alignedPreop, intraLabels)
+	return res, cl, nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/phantom"
+)
+
+// streamPair generates a baseline scan and a later scan of the same
+// case with a grown brain shift — the streaming acquisition pattern.
+func streamPair(t *testing.T) (*phantom.Case, *phantom.Case) {
+	t.Helper()
+	p1 := phantom.DefaultParams(32)
+	p1.ShiftMagnitude = 3
+	p2 := p1
+	p2.ShiftMagnitude = 5
+	return phantom.Generate(p1), phantom.Generate(p2)
+}
+
+// TestUpdateEquivalentToColdRegister is the warm-start equivalence
+// test of the incremental path: registering the second scan through
+// Update must land on the same displacement field — and the same
+// match quality — as a cold Register of the same scan, because the
+// patched system is mathematically identical to the re-assembled one.
+func TestUpdateEquivalentToColdRegister(t *testing.T) {
+	c1, c2 := streamPair(t)
+	ctx := context.Background()
+
+	cold, err := NewSession(fastConfig(), c1.Preop, c1.PreopLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewSession(fastConfig(), c1.Preop, c1.PreopLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.HasBaseline() {
+		t.Fatal("baseline claimed before any registration")
+	}
+	if _, err := cold.Register(ctx, c1.Intraop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Register(ctx, c1.Intraop); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.HasBaseline() {
+		t.Fatal("successful Register did not establish a baseline")
+	}
+
+	rc, err := cold.Register(ctx, c2.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := warm.Update(ctx, c2.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !ru.Incremental || ru.Update == nil {
+		t.Fatal("update result not marked incremental")
+	}
+	if rc.Incremental {
+		t.Fatal("cold result marked incremental")
+	}
+	if !ru.Update.WarmStarted || !ru.Update.PCCacheHit {
+		t.Fatalf("update did not reuse the baseline: %+v", ru.Update)
+	}
+	if ru.Update.DOFsPatched == 0 {
+		t.Fatal("grown shift patched no Dirichlet DOFs")
+	}
+	if ru.Update.EntryResRel >= 1 {
+		t.Errorf("warm seed entry residual %g not below a cold start", ru.Update.EntryResRel)
+	}
+	if !ru.SolveStats.Converged {
+		t.Fatalf("update solve did not converge: %+v", ru.SolveStats)
+	}
+
+	// The update path runs only the intraoperative stage subset.
+	want := []string{StageClassify, StageSurface, StageSolve, StageResample}
+	if len(ru.Timings) != len(want) {
+		t.Fatalf("update ran %d stages %v, want %v", len(ru.Timings), ru.Timings, want)
+	}
+	for i, s := range want {
+		if ru.Timings[i].Name != s {
+			t.Fatalf("update stage %d = %q, want %q", i, ru.Timings[i].Name, s)
+		}
+	}
+
+	// Displacement-field equivalence (the acceptance criterion): same
+	// mesh, so nodal displacements are directly comparable.
+	if len(ru.NodeDisplacements) != len(rc.NodeDisplacements) {
+		t.Fatalf("node count differs: %d vs %d", len(ru.NodeDisplacements), len(rc.NodeDisplacements))
+	}
+	maxDiff := 0.0
+	for n := range ru.NodeDisplacements {
+		if d := ru.NodeDisplacements[n].Sub(rc.NodeDisplacements[n]).MaxAbs(); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Errorf("update diverged from cold solve by %g mm at a node (want <= 1e-3)", maxDiff)
+	}
+
+	// And the delivered image quality must match the cold path's.
+	if ru.MatchMeanAbsDiff >= ru.RigidMeanAbsDiff {
+		t.Errorf("update match %v did not beat rigid %v", ru.MatchMeanAbsDiff, ru.RigidMeanAbsDiff)
+	}
+	reldiff := (ru.MatchMeanAbsDiff - rc.MatchMeanAbsDiff) / rc.MatchMeanAbsDiff
+	if reldiff > 0.01 || reldiff < -0.01 {
+		t.Errorf("update match quality %v differs from cold %v by %.2f%%",
+			ru.MatchMeanAbsDiff, rc.MatchMeanAbsDiff, 100*reldiff)
+	}
+
+	if warm.ScanCount() != 2 {
+		t.Errorf("scan count = %d after Register+Update, want 2", warm.ScanCount())
+	}
+}
+
+func TestUpdateWithoutBaseline(t *testing.T) {
+	c1, _ := streamPair(t)
+	sess, err := NewSession(fastConfig(), c1.Preop, c1.PreopLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Update(context.Background(), c1.Intraop); !errors.Is(err, ErrNoBaseline) {
+		t.Fatalf("Update before Register: err = %v, want ErrNoBaseline", err)
+	}
+}
+
+// TestUpdateCancellationMidUpdate cancels the context while the update
+// is evolving the surface: the update must abort with a *StageError
+// naming the surface stage, not advance the session, and leave the
+// baseline intact for a retry.
+func TestUpdateCancellationMidUpdate(t *testing.T) {
+	c1, c2 := streamPair(t)
+	sess, err := NewSession(fastConfig(), c1.Preop, c1.PreopLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Register(context.Background(), c1.Intraop); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess.SetObserver(FuncObserver{OnStart: func(stage string) {
+		if stage == StageSurface {
+			cancel()
+		}
+	}})
+	_, uerr := sess.Update(ctx, c2.Intraop)
+	sess.SetObserver(nil)
+	if !errors.Is(uerr, context.Canceled) {
+		t.Fatalf("mid-update cancellation: err = %v, want context.Canceled", uerr)
+	}
+	var se *StageError
+	if !errors.As(uerr, &se) || se.Stage != StageSurface {
+		t.Fatalf("cancellation not attributed to the surface stage: %v", uerr)
+	}
+	if sess.ScanCount() != 1 {
+		t.Errorf("canceled update was recorded (scan count %d)", sess.ScanCount())
+	}
+
+	// The baseline survives; a retry with a live context succeeds.
+	if !sess.HasBaseline() {
+		t.Fatal("cancellation destroyed the baseline")
+	}
+	ru, err := sess.Update(context.Background(), c2.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ru.SolveStats.Converged || !ru.Update.PCCacheHit {
+		t.Fatalf("retry after cancellation did not reuse the baseline: %+v", ru.Update)
+	}
+}
+
+// TestUpdateDeadlineDegradesClinically checks the clinical fallback on
+// the update path: a deadline that expires as the incremental solve
+// starts yields the rigid-only Degraded result rather than an error,
+// exactly like the cold path.
+func TestUpdateDeadlineDegradesClinically(t *testing.T) {
+	c1, c2 := streamPair(t)
+	sess, err := NewSession(fastConfig(), c1.Preop, c1.PreopLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Register(context.Background(), c1.Intraop); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := newExpirableCtx()
+	sess.SetObserver(FuncObserver{OnStart: func(stage string) {
+		if stage == StageSolve {
+			ctx.expire()
+		}
+	}})
+	res, err := sess.Update(ctx, c2.Intraop)
+	sess.SetObserver(nil)
+	if err != nil {
+		t.Fatalf("deadline after surface must degrade, not fail: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("update result not marked Degraded")
+	}
+	if !res.Incremental {
+		t.Error("degraded update lost the Incremental mark")
+	}
+	if res.Warped != res.AlignedPreop {
+		t.Error("degraded update did not deliver the rigid-only image")
+	}
+	if res.NodeDisplacements != nil {
+		t.Error("degraded update carries a displacement field")
+	}
+	// The degraded scan is recorded but must not advance the warm-start
+	// seed; the next update still solves against the last good baseline.
+	ru, err := sess.Update(context.Background(), c2.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ru.SolveStats.Converged || !ru.Update.PCCacheHit {
+		t.Fatalf("update after degraded scan did not reuse the baseline: %+v", ru.Update)
+	}
+}

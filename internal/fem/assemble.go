@@ -2,6 +2,7 @@ package fem
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/numeric"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/solver"
 	"repro/internal/sparse"
 )
 
@@ -75,7 +77,35 @@ type System struct {
 	AssemblyTime time.Duration
 	// Constrained marks DOFs fixed by Dirichlet conditions.
 	Constrained []bool
+
+	// bcVal holds the currently prescribed value of each constrained DOF
+	// (zero elsewhere); bcCoupling holds, per constrained DOF, the
+	// stiffness coupling that ApplyDirichlet moved to the right-hand
+	// side. Together they let PatchDirichlet update F for changed
+	// boundary displacements without re-eliminating the matrix.
+	bcVal      []float64
+	bcCoupling map[int]dirichletCoupling
+	// nConstrained counts constrained DOFs, for the set-equality check
+	// of PatchDirichlet.
+	nConstrained int
+	// pcCache keeps the factorized block-Jacobi preconditioner alive
+	// across solves of the same stiffness matrix (keyed on CSR identity,
+	// so any rebuild of K misses automatically).
+	pcCache solver.PCCache
 }
+
+// dirichletCoupling records the original column entries K0[i][j] of one
+// constrained DOF j against the unconstrained rows i, in the order they
+// were eliminated.
+type dirichletCoupling struct {
+	rows []int32
+	coef []float64
+}
+
+// ErrBoundarySetChanged reports that an incremental patch named a
+// different constrained node set than the one eliminated by
+// ApplyDirichlet; the caller must fall back to a full re-assembly.
+var ErrBoundarySetChanged = errors.New("fem: Dirichlet boundary set changed; full re-assembly required")
 
 // DOFPartition returns the row partition of the 3N-dimensional system
 // corresponding to the node partition (contiguous, nodes*3).
@@ -228,6 +258,10 @@ func assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 // original system", as the paper puts it). The stiffness matrix is
 // rebuilt; call once with all conditions.
 //
+// The eliminated coupling is retained on the System so that a later
+// PatchDirichlet can re-prescribe displacements for the same node set
+// without touching the matrix.
+//
 //lint:phase requires=assembled provides=bc-applied forbids=bc-applied
 func (s *System) ApplyDirichlet(bc map[int32]geom.Vec3) error {
 	if len(bc) == 0 {
@@ -246,25 +280,90 @@ func (s *System) ApplyDirichlet(bc map[int32]geom.Vec3) error {
 		val[3*int(node)+1] = d.Y
 		val[3*int(node)+2] = d.Z
 	}
+	coupling := make(map[int]dirichletCoupling, 3*len(bc))
+	nc := 0
 	k := s.K
 	nb := sparse.NewBuilder(s.NumDOF)
 	for i := 0; i < s.NumDOF; i++ {
 		if s.Constrained[i] {
 			nb.Add(i, i, 1)
 			s.F[i] = val[i]
+			nc++
 			continue
 		}
 		for p := k.RowPtr[i]; p < k.RowPtr[i+1]; p++ {
 			j := int(k.Col[p])
 			if s.Constrained[j] {
 				s.F[i] -= k.Val[p] * val[j]
+				c := coupling[j]
+				c.rows = append(c.rows, int32(i))
+				c.coef = append(c.coef, k.Val[p])
+				coupling[j] = c
 			} else {
 				nb.Add(i, j, k.Val[p])
 			}
 		}
 	}
 	s.K = nb.Build()
+	s.bcVal = val
+	s.bcCoupling = coupling
+	s.nConstrained = nc
+	// The eliminated matrix is a new CSR, so the identity-keyed cache
+	// would miss anyway; dropping the stale factors frees them now.
+	s.pcCache.Invalidate()
 	return nil
+}
+
+// PatchDirichlet re-prescribes the surface displacements of an already
+// constrained system. The boundary node set must be exactly the set
+// given to ApplyDirichlet (the incremental path re-evolves the same
+// surface, so its vertex-to-node map is stable); a different set
+// returns ErrBoundarySetChanged and leaves the system untouched.
+//
+// Only the right-hand side changes: for each DOF whose prescribed value
+// moved by delta, the retained coupling updates the unconstrained
+// equations (F[i] -= K0[i][j]*delta) and the identity row is set to the
+// new value. The stiffness matrix — and with it the cached
+// preconditioner factors — stays valid. Returns the number of DOFs
+// whose value actually changed.
+//
+//lint:phase requires=assembled,bc-applied
+func (s *System) PatchDirichlet(ctx context.Context, bc map[int32]geom.Vec3) (changed int, err error) {
+	_, span := obs.StartSpan(ctx, obs.SpanFEMPatchBC)
+	defer func() { span.End(err) }()
+	if s.bcVal == nil {
+		return 0, fmt.Errorf("fem: PatchDirichlet before ApplyDirichlet: %w", ErrBoundarySetChanged)
+	}
+	if 3*len(bc) != s.nConstrained {
+		return 0, fmt.Errorf("fem: %d boundary nodes, eliminated system has %d: %w",
+			len(bc), s.nConstrained/3, ErrBoundarySetChanged)
+	}
+	for node := range bc {
+		if node < 0 || int(node) >= s.Mesh.NumNodes() || !s.Constrained[3*int(node)] {
+			return 0, fmt.Errorf("fem: node %d not constrained by the baseline solve: %w",
+				node, ErrBoundarySetChanged)
+		}
+	}
+	for node, d := range bc {
+		vals := [3]float64{d.X, d.Y, d.Z}
+		for i := 0; i < 3; i++ {
+			dof := 3*int(node) + i
+			delta := vals[i] - s.bcVal[dof]
+			if numeric.Zero(delta) {
+				continue
+			}
+			c := s.bcCoupling[dof]
+			for p, row := range c.rows {
+				s.F[row] -= c.coef[p] * delta
+			}
+			s.F[dof] = vals[i]
+			s.bcVal[dof] = vals[i]
+			changed++
+		}
+	}
+	span.SetAttr("dofs_changed", changed)
+	span.SetAttr("dofs_constrained", s.nConstrained)
+	return changed, nil
 }
 
 // ConstrainedPerRank returns, for the DOF partition, how many of each

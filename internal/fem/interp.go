@@ -1,0 +1,132 @@
+package fem
+
+import (
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// InterpTable caches the voxel→element interpolation of a mesh onto a
+// grid: for every voxel inside the mesh, the four node indices of its
+// containing element and their barycentric shape weights. The table is
+// a pure function of the mesh geometry and the grid, so a session can
+// build it once and rasterize every subsequent displacement solution
+// with a dense gather instead of re-locating each voxel — the
+// incremental-update analogue of the preconditioner cache, for the
+// paper's resampling step.
+type InterpTable struct {
+	grid volume.Grid
+	// vox is the linear voxel index of each covered voxel, in element
+	// rasterization order (so overlapping coverage overwrites exactly
+	// like DisplacementField does).
+	vox []int32
+	// nodes and w hold four node indices and four weights per entry.
+	nodes []int32
+	w     []float64
+}
+
+// rasterize visits every (voxel, element) pair where the voxel center
+// lies inside the element, calling fn with the voxel coordinates, the
+// element's node indices and the barycentric shape weights. It is the
+// shared coverage loop of DisplacementField and BuildInterpTable:
+// iterating voxels-in-element is far cheaper than point-locating every
+// voxel in an unstructured mesh.
+func (s *System) rasterize(g volume.Grid, fn func(i, j, k int, nodes [4]int32, w [4]float64)) {
+	m := s.Mesh
+	for e := range m.Tets {
+		t := m.TetGeom(e)
+		sc, err := t.Shape()
+		if err != nil {
+			continue // degenerate element contributes nothing
+		}
+		// Voxel bounding box of the element.
+		lo := t.P[0]
+		hi := t.P[0]
+		for _, p := range t.P[1:] {
+			if p.X < lo.X {
+				lo.X = p.X
+			}
+			if p.Y < lo.Y {
+				lo.Y = p.Y
+			}
+			if p.Z < lo.Z {
+				lo.Z = p.Z
+			}
+			if p.X > hi.X {
+				hi.X = p.X
+			}
+			if p.Y > hi.Y {
+				hi.Y = p.Y
+			}
+			if p.Z > hi.Z {
+				hi.Z = p.Z
+			}
+		}
+		vlo := g.Voxel(lo).Floor()
+		vhi := g.Voxel(hi).Floor()
+		i0, j0, k0 := vlo.I, vlo.J, vlo.K
+		i1, j1, k1 := vhi.I+1, vhi.J+1, vhi.K+1
+		nodes := m.Tets[e]
+		for k := maxInt(k0, 0); k <= minInt(k1, g.NZ-1); k++ {
+			for j := maxInt(j0, 0); j <= minInt(j1, g.NY-1); j++ {
+				for i := maxInt(i0, 0); i <= minInt(i1, g.NX-1); i++ {
+					p := g.World(i, j, k)
+					// Barycentric test with a small tolerance so shared
+					// faces are covered by at least one element.
+					var w [4]float64
+					inside := true
+					for a := 0; a < 4; a++ {
+						w[a] = sc.Eval(a, p)
+						if w[a] < -1e-9 {
+							inside = false
+							break
+						}
+					}
+					if !inside {
+						continue
+					}
+					fn(i, j, k, nodes, w)
+				}
+			}
+		}
+	}
+}
+
+// BuildInterpTable computes the voxel→element interpolation table of
+// this system's mesh on grid g. Applying the table reproduces
+// DisplacementField exactly (same coverage, same weights, same
+// overwrite order); building it costs one rasterization, the same work
+// DisplacementField spends per call.
+func (s *System) BuildInterpTable(g volume.Grid) *InterpTable {
+	t := &InterpTable{grid: g}
+	s.rasterize(g, func(i, j, k int, nodes [4]int32, w [4]float64) {
+		t.vox = append(t.vox, int32(g.Index(i, j, k)))
+		t.nodes = append(t.nodes, nodes[0], nodes[1], nodes[2], nodes[3])
+		t.w = append(t.w, w[0], w[1], w[2], w[3])
+	})
+	return t
+}
+
+// Covered returns how many voxels the table interpolates.
+func (t *InterpTable) Covered() int { return len(t.vox) }
+
+// Grid returns the grid the table was built for.
+func (t *InterpTable) Grid() volume.Grid { return t.grid }
+
+// Apply rasterizes nodal displacements through the cached table onto a
+// dense backward-warp field — bit-identical to
+// System.DisplacementField(nodeU, Grid()) at a fraction of the cost.
+func (t *InterpTable) Apply(nodeU []geom.Vec3) *volume.Field {
+	f := volume.NewField(t.grid)
+	for n := range t.vox {
+		b := 4 * n
+		var d geom.Vec3
+		for a := 0; a < 4; a++ {
+			d = d.Add(nodeU[t.nodes[b+a]].Scale(t.w[b+a]))
+		}
+		idx := t.vox[n]
+		f.DX[idx] = float32(d.X)
+		f.DY[idx] = float32(d.Y)
+		f.DZ[idx] = float32(d.Z)
+	}
+	return f
+}

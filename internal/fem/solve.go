@@ -22,8 +22,12 @@ type SolveResult struct {
 	Stats solver.Stats
 	// SolveTime is the measured wall-clock solve time.
 	SolveTime time.Duration
-	// PCSetupTime is the block Jacobi factorization time.
+	// PCSetupTime is the block Jacobi factorization time (≈0 on a
+	// preconditioner-cache hit).
 	PCSetupTime time.Duration
+	// PCCacheHit reports that the factorized preconditioner was reused
+	// from a previous solve of the same stiffness matrix.
+	PCCacheHit bool
 }
 
 // Solve runs the solver with a background context; see SolveContext.
@@ -41,6 +45,28 @@ func (s *System) Solve(opts solver.Options) (*SolveResult, error) {
 //
 //lint:phase requires=assembled,bc-applied
 func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveResult, error) {
+	return s.solve(ctx, opts, nil)
+}
+
+// SolveWarmContext is SolveContext seeded with a previous displacement
+// solution x0 (length NumDOF) — the incremental re-solve entry point.
+// When the boundary displacements moved only a little since the
+// previous solve, the seeded iterate starts near the new solution and
+// GMRES converges in a fraction of the cold iteration count; the
+// preconditioner factors are reused from the solve that produced x0
+// whenever the stiffness matrix is unchanged.
+//
+//lint:phase requires=assembled,bc-applied
+func (s *System) SolveWarmContext(ctx context.Context, x0 []float64, opts solver.Options) (*SolveResult, error) {
+	if len(x0) != s.NumDOF {
+		return nil, fmt.Errorf("fem: warm-start seed length %d != %d DOFs", len(x0), s.NumDOF)
+	}
+	return s.solve(ctx, opts, x0)
+}
+
+// solve is the shared cold/warm solve body: preconditioner via the
+// identity-keyed cache, then GMRES from x0 (nil = zero start).
+func (s *System) solve(ctx context.Context, opts solver.Options, x0 []float64) (*SolveResult, error) {
 	anyBC := false
 	for _, c := range s.Constrained {
 		if c {
@@ -62,15 +88,26 @@ func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveR
 	defer func() { span.End(serr) }()
 	span.SetAttr("dofs", s.NumDOF)
 	pcStart := time.Now()
-	pc, err := solver.NewBlockJacobiILU0(s.K, opts.Partition)
+	pc, pcHit, err := s.pcCache.BlockJacobiILU0(s.K, opts.Partition)
 	if err != nil {
 		serr = fmt.Errorf("fem: preconditioner setup: %w", err)
 		return nil, serr
 	}
 	pcTime := time.Since(pcStart)
 	span.SetAttr("pc_setup_ms", float64(pcTime)/float64(time.Millisecond))
+	span.SetAttr("pc_cache_hit", pcHit)
 	start := time.Now()
-	u, stats, err := solver.GMRESContext(ctx, s.K, s.F, nil, pc, opts)
+	var (
+		u     []float64
+		stats solver.Stats
+	)
+	if x0 != nil {
+		u, stats, err = solver.GMRESWarmContext(ctx, s.K, s.F, x0, pc, opts)
+		span.SetAttr("warm_start", true)
+		span.SetAttr("entry_rel_residual", stats.EntryResRel)
+	} else {
+		u, stats, err = solver.GMRESContext(ctx, s.K, s.F, nil, pc, opts)
+	}
 	span.SetAttr("iterations", stats.Iterations)
 	span.SetAttr("converged", stats.Converged)
 	span.SetAttr("final_rel_residual", stats.FinalResRel)
@@ -84,7 +121,14 @@ func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveR
 		Stats:       stats,
 		SolveTime:   time.Since(start),
 		PCSetupTime: pcTime,
+		PCCacheHit:  pcHit,
 	}, nil
+}
+
+// PCCacheStats reports the cumulative preconditioner-cache hit and miss
+// counts of this system's solves.
+func (s *System) PCCacheStats() (hits, misses uint64) {
+	return s.pcCache.Stats()
 }
 
 // DisplacementField rasterizes the solved nodal displacements onto a
@@ -95,71 +139,13 @@ func (s *System) SolveContext(ctx context.Context, opts solver.Options) (*SolveR
 // configuration (the paper's ~0.5 s resampling step).
 func (s *System) DisplacementField(nodeU []geom.Vec3, g volume.Grid) *volume.Field {
 	f := volume.NewField(g)
-	// Locate the element containing each voxel by rasterizing elements:
-	// iterating voxels-in-element is far cheaper than point-locating
-	// every voxel in an unstructured mesh.
-	m := s.Mesh
-	for e := range m.Tets {
-		t := m.TetGeom(e)
-		sc, err := t.Shape()
-		if err != nil {
-			continue // degenerate element contributes nothing
+	s.rasterize(g, func(i, j, k int, nodes [4]int32, w [4]float64) {
+		var d geom.Vec3
+		for a := 0; a < 4; a++ {
+			d = d.Add(nodeU[nodes[a]].Scale(w[a]))
 		}
-		// Voxel bounding box of the element.
-		lo := t.P[0]
-		hi := t.P[0]
-		for _, p := range t.P[1:] {
-			if p.X < lo.X {
-				lo.X = p.X
-			}
-			if p.Y < lo.Y {
-				lo.Y = p.Y
-			}
-			if p.Z < lo.Z {
-				lo.Z = p.Z
-			}
-			if p.X > hi.X {
-				hi.X = p.X
-			}
-			if p.Y > hi.Y {
-				hi.Y = p.Y
-			}
-			if p.Z > hi.Z {
-				hi.Z = p.Z
-			}
-		}
-		vlo := g.Voxel(lo).Floor()
-		vhi := g.Voxel(hi).Floor()
-		i0, j0, k0 := vlo.I, vlo.J, vlo.K
-		i1, j1, k1 := vhi.I+1, vhi.J+1, vhi.K+1
-		nodes := m.Tets[e]
-		for k := maxInt(k0, 0); k <= minInt(k1, g.NZ-1); k++ {
-			for j := maxInt(j0, 0); j <= minInt(j1, g.NY-1); j++ {
-				for i := maxInt(i0, 0); i <= minInt(i1, g.NX-1); i++ {
-					p := g.World(i, j, k)
-					// Barycentric test with a small tolerance so shared
-					// faces are covered by at least one element.
-					var w [4]float64
-					inside := true
-					for a := 0; a < 4; a++ {
-						w[a] = sc.Eval(a, p)
-						if w[a] < -1e-9 {
-							inside = false
-							break
-						}
-					}
-					if !inside {
-						continue
-					}
-					var d geom.Vec3
-					for a := 0; a < 4; a++ {
-						d = d.Add(nodeU[nodes[a]].Scale(w[a]))
-					}
-					f.Set(i, j, k, d)
-				}
-			}
-		}
-	}
+		f.Set(i, j, k, d)
+	})
 	return f
 }
 

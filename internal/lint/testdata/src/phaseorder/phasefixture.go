@@ -79,3 +79,40 @@ func CallerEstablished() {
 	ApplyBC()
 	Solve()
 }
+
+// PatchBC stands in for fem.PatchDirichlet: the incremental update
+// entry point. It rewrites RHS entries for already-eliminated rows, so
+// it needs the boundary conditions applied — but unlike ApplyBC it may
+// run any number of times and does not re-establish the phase.
+//
+//lint:phase requires=assembled,bc-applied
+func PatchBC() {}
+
+// GoodIncremental is the blessed streaming-update order: one full
+// application, then repeated patch + solve rounds.
+func GoodIncremental(n int) {
+	Assemble()
+	ApplyBC()
+	for i := 0; i < n; i++ {
+		PatchBC()
+		Solve()
+	}
+}
+
+// PatchBeforeBC patches rows that were never eliminated.
+func PatchBeforeBC() {
+	Assemble()
+	PatchBC() // want phaseorder "is not established on every path"
+	ApplyBC()
+	Solve()
+}
+
+// PatchOnBranch only applies the BCs on one branch, so the patch on the
+// join cannot rely on them.
+func PatchOnBranch(cond bool) {
+	Assemble()
+	if cond {
+		ApplyBC()
+	}
+	PatchBC() // want phaseorder "is not established on every path"
+}

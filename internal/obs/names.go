@@ -11,6 +11,14 @@ const (
 	// SpanPipelineRun is the root span of one intraoperative
 	// registration (parents the six stage spans).
 	SpanPipelineRun = "pipeline.run"
+	// SpanPipelineUpdate is the root span of one incremental re-solve:
+	// a streaming intraoperative update against a registered baseline,
+	// running only the intraoperative stage subset.
+	SpanPipelineUpdate = "pipeline.update"
+	// SpanFEMPatchBC covers the Dirichlet delta patch of the incremental
+	// path: right-hand-side updates for the boundary displacements that
+	// changed since the previous solve, with the stiffness matrix kept.
+	SpanFEMPatchBC = "fem.patch_bc"
 	// SpanFEMAssemble covers the parallel element-stiffness assembly.
 	SpanFEMAssemble = "fem.assemble"
 	// SpanFEMSolve covers preconditioner setup plus the Krylov solve; it
@@ -31,12 +39,14 @@ const (
 // SpanNames maps each vocabulary span name to a one-line description,
 // for discoverability (simlint -list, dashboards, docs).
 var SpanNames = map[string]string{
-	SpanPipelineRun:   "root span of one intraoperative registration",
-	SpanFEMAssemble:   "parallel element-stiffness assembly",
-	SpanFEMSolve:      "preconditioner setup + Krylov solve",
-	SpanGMRESCycle:    "one GMRES restart cycle",
-	SpanKNNBatch:      "one k-NN classification worker batch",
-	SpanSurfaceEvolve: "one active-surface evolution",
+	SpanPipelineRun:    "root span of one intraoperative registration",
+	SpanPipelineUpdate: "root span of one incremental streaming update",
+	SpanFEMAssemble:    "parallel element-stiffness assembly",
+	SpanFEMSolve:       "preconditioner setup + Krylov solve",
+	SpanFEMPatchBC:     "Dirichlet delta patch for an incremental re-solve",
+	SpanGMRESCycle:     "one GMRES restart cycle",
+	SpanKNNBatch:       "one k-NN classification worker batch",
+	SpanSurfaceEvolve:  "one active-surface evolution",
 }
 
 // KnownSpanName reports whether name belongs to the span vocabulary.

@@ -1,0 +1,76 @@
+package phantom
+
+import (
+	"math/rand"
+
+	"repro/internal/volume"
+)
+
+// StreamStep is one later intraoperative acquisition of a streaming
+// case: the same anatomy re-scanned after the brain shift has grown.
+type StreamStep struct {
+	// ShiftMagnitude is the peak brain-shift displacement of this
+	// acquisition, mm.
+	ShiftMagnitude float64
+	// Intraop is the simulated scan, rendered with fresh scanner noise
+	// (the paper notes scan-to-scan MR intensity variability).
+	Intraop *volume.Scalar
+	// IntraopLabels is the deformed segmentation with the resection
+	// cavity marked — the ideal classification output for this step.
+	IntraopLabels *volume.Labels
+	// Truth is the ground-truth deformation of this step relative to the
+	// preoperative anatomy (backward-warp convention, like Case.Truth).
+	Truth *volume.Field
+}
+
+// Stream is a streaming intraoperative acquisition: one baseline case
+// plus a sequence of later scans of the same anatomy under a growing
+// brain shift. It models the paper's sessions in which "other scans
+// were acquired as the surgeon checked the progress of tumor
+// resection" — the workload the incremental update path is built for.
+type Stream struct {
+	// Case is the baseline: the preoperative preparation and the first
+	// intraoperative scan, deformed by shifts[0].
+	Case *Case
+	// Steps are the later acquisitions, one per remaining shift
+	// magnitude, in acquisition order.
+	Steps []StreamStep
+}
+
+// GenerateStream builds a streaming case: the preoperative anatomy is
+// generated once, the first shift magnitude becomes the baseline
+// intraoperative scan (Stream.Case), and every remaining magnitude
+// yields one later acquisition of the same anatomy. All steps share the
+// preoperative segmentation, so registrations of successive steps are
+// directly comparable; each step's scan carries its own noise
+// realization. At least one shift magnitude is required.
+func GenerateStream(p Params, shifts []float64) *Stream {
+	if len(shifts) == 0 {
+		panic("phantom: GenerateStream requires at least one shift magnitude")
+	}
+	base := p
+	base.ShiftMagnitude = shifts[0]
+	c := Generate(base)
+	st := &Stream{Case: c}
+	for i, mag := range shifts[1:] {
+		sp := p
+		sp.ShiftMagnitude = mag
+		truth := BrainShiftField(c.Grid, c.PreopLabels, sp)
+		intraLabels := truth.WarpLabels(c.PreopLabels)
+		for j, lab := range intraLabels.Data {
+			if lab == volume.LabelTumor {
+				intraLabels.Data[j] = volume.LabelResection
+			}
+		}
+		// Offset the noise seed per step the same way Generate offsets it
+		// for the baseline scan, so no two scans share a realization.
+		rng := rand.New(rand.NewSource(p.Seed + 9973 + int64(i+1)*7919))
+		st.Steps = append(st.Steps, StreamStep{
+			ShiftMagnitude: mag,
+			Intraop:        RenderMR(intraLabels, sp, rng),
+			IntraopLabels:  intraLabels,
+			Truth:          truth,
+		})
+	}
+	return st
+}

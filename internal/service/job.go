@@ -32,6 +32,18 @@ type StageEvent struct {
 	HasCounters bool
 }
 
+// JobKind distinguishes the two scan-processing paths of the service.
+type JobKind string
+
+const (
+	// JobRegister is a full cold registration (all six pipeline stages).
+	JobRegister JobKind = "register"
+	// JobUpdate is an incremental re-solve of a streaming scan against
+	// the session baseline (warm-started solve, patched boundary
+	// conditions, cached preconditioner).
+	JobUpdate JobKind = "update"
+)
+
 // Job is the handle of one submitted scan.
 type Job struct {
 	// ID is the service-assigned job identifier ("j000042"), unique for
@@ -40,6 +52,10 @@ type Job struct {
 	ID string
 	// SessionID names the surgical session the scan belongs to.
 	SessionID string
+	// Kind is the requested processing path. An update submitted before
+	// the session has a baseline falls back to a full registration at
+	// run time (see FellBack in the job status).
+	Kind JobKind
 
 	ctx     context.Context
 	ms      *managedSession
@@ -51,11 +67,12 @@ type Job struct {
 
 	// mu guards everything below: the admin server reads jobs while
 	// workers mutate them.
-	mu      sync.Mutex
-	started time.Time
-	result  *core.Result
-	err     error
-	events  []StageEvent
+	mu       sync.Mutex
+	started  time.Time
+	fellBack bool
+	result   *core.Result
+	err      error
+	events   []StageEvent
 }
 
 // Done returns a channel closed when the job has finished.
@@ -104,6 +121,22 @@ func (j *Job) setStarted(t time.Time) {
 	j.mu.Unlock()
 }
 
+// markFellBack records that an update job ran as a full registration
+// because the session had no baseline yet.
+func (j *Job) markFellBack() {
+	j.mu.Lock()
+	j.fellBack = true
+	j.mu.Unlock()
+}
+
+// FellBack reports whether an update job fell back to a full
+// registration.
+func (j *Job) FellBack() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fellBack
+}
+
 // finish records the terminal result. The done channel is closed by the
 // caller afterwards, so Wait observes result and err fully written.
 func (j *Job) finish(res *core.Result, err error) {
@@ -127,10 +160,14 @@ type JobStageStatus struct {
 // JobStatus is the wire form of a job on the admin surface: the live
 // stage timeline plus the terminal outcome once there is one.
 type JobStatus struct {
-	ID        string    `json:"id"`
-	SessionID string    `json:"session_id"`
-	State     string    `json:"state"` // queued | running | done
-	Enqueued  time.Time `json:"enqueued"`
+	ID        string `json:"id"`
+	SessionID string `json:"session_id"`
+	Kind      string `json:"kind"`  // register | update
+	State     string `json:"state"` // queued | running | done
+	// FellBack marks an update that ran as a full registration because
+	// the session had no baseline.
+	FellBack bool      `json:"fell_back,omitempty"`
+	Enqueued time.Time `json:"enqueued"`
 	// QueueWaitMS is how long the job sat in the queue (zero while
 	// still queued).
 	QueueWaitMS float64          `json:"queue_wait_ms"`
@@ -142,7 +179,7 @@ type JobStatus struct {
 // Status snapshots the job for the admin surface. Safe to call at any
 // point in the job's life, including while stages are running.
 func (j *Job) Status() JobStatus {
-	st := JobStatus{ID: j.ID, SessionID: j.SessionID, Enqueued: j.enqueued}
+	st := JobStatus{ID: j.ID, SessionID: j.SessionID, Kind: string(j.Kind), Enqueued: j.enqueued}
 	finished := false
 	select {
 	case <-j.done:
@@ -158,6 +195,7 @@ func (j *Job) Status() JobStatus {
 	default:
 		st.State = "queued"
 	}
+	st.FellBack = j.fellBack
 	if !j.started.IsZero() {
 		st.QueueWaitMS = float64(j.started.Sub(j.enqueued)) / float64(time.Millisecond)
 	}

@@ -53,10 +53,24 @@ type Metrics struct {
 	Failed   int
 	Degraded int
 	Canceled int
-	// Shed counts submissions rejected with ErrQueueFull. Shed
-	// submissions never become scans, so they are tracked separately
-	// instead of silently vanishing from the aggregates.
+	// Shed counts submissions rejected with ErrQueueFull — both queue
+	// overflow and early elective-QoS shedding. Shed submissions never
+	// become scans, so they are tracked separately instead of silently
+	// vanishing from the aggregates.
 	Shed int
+	// Updates counts finished scans that ran the incremental re-solve
+	// path (a subset of Scans); UpdateFallbacks counts update
+	// submissions that ran as full registrations because the session had
+	// no baseline yet.
+	Updates         int
+	UpdateFallbacks int
+	// WarmIterationsSaved totals the GMRES iterations the warm-started
+	// updates saved relative to their sessions' baseline cold solves.
+	WarmIterationsSaved int
+	// PCCacheHits / PCCacheMisses count preconditioner-cache outcomes
+	// across delivered incremental solves.
+	PCCacheHits   int
+	PCCacheMisses int
 	// SolveNotConverged counts successfully delivered scans whose GMRES
 	// solve stopped at MaxIter without reaching tolerance — previously
 	// indistinguishable from a converged solve in service metrics.
@@ -76,6 +90,10 @@ func (m Metrics) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scans=%d failed=%d degraded=%d canceled=%d shed=%d notconverged=%d assemblyGflop=%.3f\n",
 		m.Scans, m.Failed, m.Degraded, m.Canceled, m.Shed, m.SolveNotConverged, m.AssemblyFlops/1e9)
+	if m.Updates > 0 || m.UpdateFallbacks > 0 {
+		fmt.Fprintf(&b, "updates=%d fallbacks=%d warmItersSaved=%d pcCacheHit=%d pcCacheMiss=%d\n",
+			m.Updates, m.UpdateFallbacks, m.WarmIterationsSaved, m.PCCacheHits, m.PCCacheMisses)
+	}
 	names := make([]string, 0, len(m.Stages))
 	for n := range m.Stages {
 		names = append(names, n)
@@ -98,18 +116,23 @@ type aggregator struct {
 	reg  *obs.Registry
 	coll *obs.StageCollector
 
-	mu            sync.Mutex
-	scans         int
-	failed        int
-	degraded      int
-	canceled      int
-	shed          int
-	notConverged  int
-	submitted     int
-	assemblyFlops float64
-	imbalanceMax  float64
-	stageErrs     map[string]int
-	stageSeen     map[string]bool
+	mu              sync.Mutex
+	scans           int
+	failed          int
+	degraded        int
+	canceled        int
+	shed            int
+	notConverged    int
+	submitted       int
+	updates         int
+	updateFallbacks int
+	warmItersSaved  int
+	pcCacheHits     int
+	pcCacheMisses   int
+	assemblyFlops   float64
+	imbalanceMax    float64
+	stageErrs       map[string]int
+	stageSeen       map[string]bool
 }
 
 func (a *aggregator) init(reg *obs.Registry) {
@@ -162,14 +185,31 @@ func (a *aggregator) shedScan() {
 		"Scan submissions rejected because the queue was full.").Inc()
 }
 
+// updateFellBack records an update job that ran as a full registration
+// because its session had no baseline yet.
+func (a *aggregator) updateFellBack() {
+	a.mu.Lock()
+	a.updateFallbacks++
+	a.mu.Unlock()
+	a.reg.Counter("brainsim_update_fallbacks_total",
+		"Update submissions that ran as full registrations (no baseline).").Inc()
+}
+
 // scanDone records the outcome of one finished job in exactly one
 // bucket. Degraded takes priority: a deadline observed mid-degradation
 // (after the surface stage) is the clinical fallback working as
-// designed, and must not leak into Canceled as well.
-func (a *aggregator) scanDone(res *core.Result, err error) {
+// designed, and must not leak into Canceled as well. kind is the
+// effective processing path (an update that fell back reports as
+// JobRegister); elapsed is the worker wall-clock time of the job, fed
+// to the update-vs-cold latency histograms when the scan was delivered.
+func (a *aggregator) scanDone(kind JobKind, elapsed time.Duration, res *core.Result, err error) {
 	outcome := "completed"
+	incr := res != nil && res.Incremental
 	a.mu.Lock()
 	a.scans++
+	if incr {
+		a.updates++
+	}
 	switch {
 	case res != nil && res.Degraded:
 		a.degraded++
@@ -185,10 +225,26 @@ func (a *aggregator) scanDone(res *core.Result, err error) {
 		if res != nil && !res.SolveStats.Converged {
 			a.notConverged++
 		}
+		if incr && res.Update != nil {
+			a.warmItersSaved += res.Update.IterationsSaved
+			if res.Update.PCCacheHit {
+				a.pcCacheHits++
+			} else {
+				a.pcCacheMisses++
+			}
+		}
 	}
 	a.mu.Unlock()
 	a.reg.Counter("brainsim_scans_total",
 		"Finished scans by outcome.", obs.Label{Key: "outcome", Value: outcome}).Inc()
+	if err == nil && res != nil {
+		// Delivered (completed or degraded): the update-vs-cold latency
+		// split of the scan wall-clock, one histogram per job kind.
+		a.reg.Histogram("brainsim_scan_seconds",
+			"Worker wall-clock time per delivered scan by processing path.",
+			obs.DefaultLatencyBuckets, obs.Label{Key: "kind", Value: string(kind)}).
+			Observe(elapsed.Seconds())
+	}
 	if outcome == "completed" && res != nil {
 		a.reg.Counter("brainsim_solver_iterations_total",
 			"GMRES iterations across all delivered scans.").Add(float64(res.SolveStats.Iterations))
@@ -201,6 +257,18 @@ func (a *aggregator) scanDone(res *core.Result, err error) {
 		a.reg.Counter("brainsim_solver_solves_total",
 			"Completed biomechanical solves by convergence.",
 			obs.Label{Key: "converged", Value: conv}).Inc()
+		if incr && res.Update != nil {
+			a.reg.Counter("brainsim_warmstart_iterations_saved_total",
+				"GMRES iterations saved by warm-started incremental updates.").
+				Add(float64(res.Update.IterationsSaved))
+			hit := "hit"
+			if !res.Update.PCCacheHit {
+				hit = "miss"
+			}
+			a.reg.Counter("brainsim_pc_cache_total",
+				"Preconditioner cache outcomes of incremental solves.",
+				obs.Label{Key: "result", Value: hit}).Inc()
+		}
 	}
 }
 
@@ -215,6 +283,11 @@ func (a *aggregator) snapshot() Metrics {
 		Degraded:             a.degraded,
 		Canceled:             a.canceled,
 		Shed:                 a.shed,
+		Updates:              a.updates,
+		UpdateFallbacks:      a.updateFallbacks,
+		WarmIterationsSaved:  a.warmItersSaved,
+		PCCacheHits:          a.pcCacheHits,
+		PCCacheMisses:        a.pcCacheMisses,
 		SolveNotConverged:    a.notConverged,
 		AssemblyFlops:        a.assemblyFlops,
 		AssemblyImbalanceMax: a.imbalanceMax,

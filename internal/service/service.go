@@ -101,12 +101,13 @@ type Service struct {
 // worker can abandon the wait when the job's context dies.
 type managedSession struct {
 	id   string
+	qos  QoSClass
 	gate chan struct{}
 	sess *core.Session
 }
 
-func newManagedSession(id string, sess *core.Session) *managedSession {
-	return &managedSession{id: id, gate: make(chan struct{}, 1), sess: sess}
+func newManagedSession(id string, qos QoSClass, sess *core.Session) *managedSession {
+	return &managedSession{id: id, qos: qos, gate: make(chan struct{}, 1), sess: sess}
 }
 
 // acquire claims the session's scan slot, or gives up when ctx ends
@@ -156,14 +157,68 @@ func (s *Service) Registry() *obs.Registry {
 	return s.opts.Registry
 }
 
-// OpenSession prepares a surgical session from the preoperative data
-// under the given id. The configuration is validated up front — the
-// operating room is not the place to discover a bad parameter mid-scan.
-func (s *Service) OpenSession(id string, cfg core.Config, preop *volume.Scalar, preopLabels *volume.Labels) error {
-	if err := cfg.Validate(); err != nil {
+// QoSClass classifies a session's scans for admission control under
+// load. The distinction matters only when the queue backs up.
+type QoSClass string
+
+const (
+	// QoSUrgent scans (the default) may fill the whole queue — a scan
+	// the surgeon is waiting on is never shed while capacity remains.
+	QoSUrgent QoSClass = "urgent"
+	// QoSElective scans are shed once the queue is half full, keeping
+	// headroom for urgent sessions: batch re-processing and research
+	// traffic yields to the operating room.
+	QoSElective QoSClass = "elective"
+)
+
+// SessionSpec describes a surgical session to open. The struct form
+// (rather than positional arguments) leaves room for per-session policy
+// to grow without breaking every caller.
+type SessionSpec struct {
+	// ID names the session; required and unique among open sessions.
+	ID string
+	// Config is the pipeline configuration.
+	Config core.Config
+	// Preop and PreopLabels are the preoperative preparation.
+	Preop       *volume.Scalar
+	PreopLabels *volume.Labels
+	// QoS is the admission class under load; empty means QoSUrgent.
+	QoS QoSClass
+}
+
+// Validate reports every problem with the spec at once, mirroring
+// core.Config.Validate: the operating room is not the place to discover
+// a bad parameter mid-scan.
+func (sp SessionSpec) Validate() error {
+	var errs []error
+	if sp.ID == "" {
+		errs = append(errs, errors.New("ID must be non-empty"))
+	}
+	switch sp.QoS {
+	case "", QoSUrgent, QoSElective:
+	default:
+		errs = append(errs, fmt.Errorf("unknown QoS class %q", sp.QoS))
+	}
+	if err := sp.Config.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("service: invalid session spec: %w", errors.Join(errs...))
+}
+
+// Open prepares a surgical session from the preoperative data described
+// by spec. The spec is validated up front.
+func (s *Service) Open(spec SessionSpec) error {
+	if err := spec.Validate(); err != nil {
 		return err
 	}
-	sess, err := core.NewSession(cfg, preop, preopLabels)
+	qos := spec.QoS
+	if qos == "" {
+		qos = QoSUrgent
+	}
+	sess, err := core.NewSession(spec.Config, spec.Preop, spec.PreopLabels)
 	if err != nil {
 		return err
 	}
@@ -172,11 +227,19 @@ func (s *Service) OpenSession(id string, cfg core.Config, preop *volume.Scalar, 
 	if s.closed {
 		return ErrClosed
 	}
-	if _, dup := s.sessions[id]; dup {
-		return fmt.Errorf("%w: %q", ErrDuplicateSession, id)
+	if _, dup := s.sessions[spec.ID]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateSession, spec.ID)
 	}
-	s.sessions[id] = newManagedSession(id, sess)
+	s.sessions[spec.ID] = newManagedSession(spec.ID, qos, sess)
 	return nil
+}
+
+// OpenSession prepares a surgical session under the given id.
+//
+// Deprecated: use Open with a SessionSpec; the positional signature
+// cannot grow per-session policy (QoS class, retention, ...).
+func (s *Service) OpenSession(id string, cfg core.Config, preop *volume.Scalar, preopLabels *volume.Labels) error {
+	return s.Open(SessionSpec{ID: id, Config: cfg, Preop: preop, PreopLabels: preopLabels})
 }
 
 // CloseSession forgets a session. Scans already queued or in flight
@@ -204,14 +267,29 @@ func (s *Service) Session(id string) (*core.Session, error) {
 	return ms.sess, nil
 }
 
-// Submit enqueues one newly acquired intraoperative scan for the given
-// session and returns immediately with a Job handle; use Job.Wait for
-// the result. ctx governs the whole job — queue wait included — and is
-// further bounded by Options.ScanTimeout once the job starts. A full
-// queue fails fast with ErrQueueFull rather than blocking the scanner;
-// shed submissions are counted (Metrics.Shed, brainsim_shed_total) so
-// overload is visible on the admin surface.
+// Submit enqueues one newly acquired intraoperative scan for a full
+// registration of the given session and returns immediately with a Job
+// handle; use Job.Wait for the result. ctx governs the whole job —
+// queue wait included — and is further bounded by Options.ScanTimeout
+// once the job starts. A full queue fails fast with ErrQueueFull rather
+// than blocking the scanner; shed submissions are counted
+// (Metrics.Shed, brainsim_shed_total) so overload is visible on the
+// admin surface. Sessions opened with QoSElective are shed earlier,
+// once the queue is half full.
 func (s *Service) Submit(ctx context.Context, sessionID string, intraop *volume.Scalar) (*Job, error) {
+	return s.submit(ctx, sessionID, intraop, JobRegister)
+}
+
+// SubmitUpdate enqueues one streaming intraoperative scan for an
+// incremental re-solve against the session's baseline (see
+// core.Session.Update). A session without a baseline — no successful
+// full registration yet — runs the job as a full registration instead
+// and marks it FellBack; admission and context semantics match Submit.
+func (s *Service) SubmitUpdate(ctx context.Context, sessionID string, intraop *volume.Scalar) (*Job, error) {
+	return s.submit(ctx, sessionID, intraop, JobUpdate)
+}
+
+func (s *Service) submit(ctx context.Context, sessionID string, intraop *volume.Scalar, kind JobKind) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -231,10 +309,18 @@ func (s *Service) Submit(ctx context.Context, sessionID string, intraop *volume.
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, sessionID)
 	}
+	if ms.qos == QoSElective && len(s.queue) >= cap(s.queue)/2 {
+		// Elective sessions only use the front half of the queue; the
+		// back half is reserved headroom for urgent scans.
+		s.mu.Unlock()
+		s.agg.shedScan()
+		return nil, ErrQueueFull
+	}
 	s.jobSeq++
 	j := &Job{
 		ID:        fmt.Sprintf("j%06d", s.jobSeq),
 		SessionID: sessionID,
+		Kind:      kind,
 		ctx:       ctx,
 		ms:        ms,
 		intraop:   intraop,
@@ -313,6 +399,15 @@ func (s *Service) Register(ctx context.Context, sessionID string, intraop *volum
 	return j.Wait(ctx)
 }
 
+// Update is the synchronous convenience wrapper: SubmitUpdate + Wait.
+func (s *Service) Update(ctx context.Context, sessionID string, intraop *volume.Scalar) (*core.Result, error) {
+	j, err := s.SubmitUpdate(ctx, sessionID, intraop)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
 // Metrics returns a snapshot of the aggregate per-stage metrics
 // accumulated over every scan processed so far.
 func (s *Service) Metrics() Metrics {
@@ -348,7 +443,8 @@ func (s *Service) worker() {
 // job and feeding the aggregate metrics.
 func (s *Service) runJob(j *Job) {
 	defer close(j.done)
-	j.setStarted(time.Now())
+	start := time.Now()
+	j.setStarted(start)
 	ctx := j.ctx
 	if s.opts.ScanTimeout > 0 {
 		var cancel context.CancelFunc
@@ -359,20 +455,35 @@ func (s *Service) runJob(j *Job) {
 		// Abandoned while queued (caller gave up or deadline passed):
 		// don't waste a worker on it.
 		j.finish(nil, err)
-		s.agg.scanDone(nil, err)
+		s.agg.scanDone(j.Kind, 0, nil, err)
 		return
 	}
 	// Scans of one session are serialized by the session gate; the
 	// observer swap below is protected by the same slot.
 	if err := j.ms.acquire(ctx); err != nil {
 		j.finish(nil, err)
-		s.agg.scanDone(nil, err)
+		s.agg.scanDone(j.Kind, 0, nil, err)
 		return
 	}
+	// The effective kind is resolved under the gate: HasBaseline is
+	// written by the previous scan of this session, which the gate
+	// serializes against.
+	kind := j.Kind
+	if kind == JobUpdate && !j.ms.sess.HasBaseline() {
+		kind = JobRegister
+		j.markFellBack()
+		s.agg.updateFellBack()
+	}
 	j.ms.sess.SetObserver(core.MultiObserver(&jobRecorder{j: j}, &s.agg))
-	res, err := j.ms.sess.RegisterScanContext(ctx, j.intraop)
+	var res *core.Result
+	var err error
+	if kind == JobUpdate {
+		res, err = j.ms.sess.Update(ctx, j.intraop)
+	} else {
+		res, err = j.ms.sess.Register(ctx, j.intraop)
+	}
 	j.ms.sess.SetObserver(nil)
 	j.ms.release()
 	j.finish(res, err)
-	s.agg.scanDone(res, err)
+	s.agg.scanDone(kind, time.Since(start), res, err)
 }

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/phantom"
+)
+
+// streamCase generates a baseline scan plus a later scan of the same
+// case with a grown brain shift — the streaming acquisition pattern the
+// update path exists for.
+func streamCase(n int, seed int64) (*phantom.Case, *phantom.Case) {
+	p1 := phantom.DefaultParams(n)
+	p1.NoiseStd = 2
+	p1.ShiftMagnitude = 3
+	p1.Seed = seed
+	p2 := p1
+	p2.ShiftMagnitude = 5
+	return phantom.Generate(p1), phantom.Generate(p2)
+}
+
+// TestServiceUpdateFlow drives the first-class update job kind end to
+// end: open with a SessionSpec, register the baseline, then stream an
+// update and check the job surface and aggregate metrics reflect the
+// incremental path.
+func TestServiceUpdateFlow(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	c1, c2 := streamCase(24, 11)
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c1.Preop, PreopLabels: c1.PreopLabels}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register(context.Background(), "or", c1.Intraop); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := svc.SubmitUpdate(context.Background(), "or", c2.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Kind != JobUpdate {
+		t.Errorf("job kind = %q, want %q", j.Kind, JobUpdate)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incremental || res.Update == nil {
+		t.Fatal("update job did not take the incremental path")
+	}
+	if !res.Update.WarmStarted || !res.Update.PCCacheHit {
+		t.Fatalf("update did not reuse the baseline: %+v", res.Update)
+	}
+	if j.FellBack() {
+		t.Error("update with a baseline reported FellBack")
+	}
+	st := j.Status()
+	if st.Kind != "update" || st.FellBack {
+		t.Errorf("job status kind=%q fellBack=%v, want update/false", st.Kind, st.FellBack)
+	}
+
+	m := svc.Metrics()
+	if m.Scans != 2 || m.Updates != 1 || m.UpdateFallbacks != 0 {
+		t.Errorf("metrics = %+v, want Scans=2 Updates=1 UpdateFallbacks=0", m)
+	}
+	if m.PCCacheHits != 1 || m.PCCacheMisses != 0 {
+		t.Errorf("pc cache metrics hit=%d miss=%d, want 1/0", m.PCCacheHits, m.PCCacheMisses)
+	}
+	if m.WarmIterationsSaved != res.Update.IterationsSaved {
+		t.Errorf("WarmIterationsSaved = %d, want %d", m.WarmIterationsSaved, res.Update.IterationsSaved)
+	}
+	if !strings.Contains(m.String(), "updates=1") {
+		t.Errorf("metrics report missing update line:\n%s", m.String())
+	}
+}
+
+// TestServiceUpdateFallsBackWithoutBaseline: an update submitted before
+// any full registration must run as a cold registration, be marked
+// FellBack, and count in Metrics.UpdateFallbacks — the streaming client
+// never sees an error for being first.
+func TestServiceUpdateFallsBackWithoutBaseline(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	defer svc.Close()
+	c1, c2 := streamCase(24, 12)
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c1.Preop, PreopLabels: c1.PreopLabels}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := svc.Update(context.Background(), "or", c1.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incremental {
+		t.Fatal("first update reported incremental without a baseline")
+	}
+	jobs := svc.Jobs()
+	if len(jobs) != 1 || !jobs[0].FellBack() {
+		t.Fatalf("fallback not recorded on the job: %+v", jobs)
+	}
+	m := svc.Metrics()
+	if m.UpdateFallbacks != 1 || m.Updates != 0 {
+		t.Errorf("metrics = %+v, want UpdateFallbacks=1 Updates=0", m)
+	}
+
+	// The fallback established the baseline: the next update is real.
+	res2, err := svc.Update(context.Background(), "or", c2.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Incremental {
+		t.Fatal("second update did not take the incremental path")
+	}
+	if m := svc.Metrics(); m.Updates != 1 || m.UpdateFallbacks != 1 {
+		t.Errorf("metrics = %+v, want Updates=1 UpdateFallbacks=1", m)
+	}
+}
+
+// TestServiceElectiveQoSShedding is a white-box admission test: with no
+// workers draining the queue, elective sessions must be shed once the
+// queue is half full while urgent sessions may fill it entirely.
+func TestServiceElectiveQoSShedding(t *testing.T) {
+	svc := &Service{
+		opts:     Options{QueueDepth: 4, Registry: obs.NewRegistry()},
+		queue:    make(chan *Job, 4),
+		sessions: make(map[string]*managedSession),
+		jobs:     make(map[string]*Job),
+	}
+	svc.agg.init(svc.opts.Registry)
+	defer svc.Close() // no workers: close only drains bookkeeping
+
+	c, _ := streamCase(24, 13)
+	if err := svc.Open(SessionSpec{ID: "urgent-or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Open(SessionSpec{ID: "batch", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels, QoS: QoSElective}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Below the half-full mark the elective session is admitted.
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Submit(context.Background(), "batch", c.Intraop); err != nil {
+			t.Fatalf("elective submit %d under light load: %v", i, err)
+		}
+	}
+	// At half capacity every further elective submission is shed ...
+	if _, err := svc.SubmitUpdate(context.Background(), "batch", c.Intraop); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("elective submit at half capacity: err = %v, want ErrQueueFull", err)
+	}
+	// ... while urgent scans may use the reserved back half.
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Submit(context.Background(), "urgent-or", c.Intraop); err != nil {
+			t.Fatalf("urgent submit %d into reserved headroom: %v", i, err)
+		}
+	}
+	if _, err := svc.Submit(context.Background(), "urgent-or", c.Intraop); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("urgent submit into full queue: err = %v, want ErrQueueFull", err)
+	}
+	m := svc.Metrics()
+	if m.Shed != 2 {
+		t.Errorf("Shed = %d, want 2 (one elective, one urgent)", m.Shed)
+	}
+}
+
+// TestSessionSpecValidate reports every defect at once.
+func TestSessionSpecValidate(t *testing.T) {
+	c, _ := streamCase(24, 14)
+	bad := SessionSpec{Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels, QoS: "stat"}
+	bad.Config.KNN = 0
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	for _, want := range []string{"ID must be non-empty", "stat", "KNN"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("validation error %q missing %q", err, want)
+		}
+	}
+	good := SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}

@@ -44,6 +44,13 @@ type Stats struct {
 	Converged    bool
 	FinalResRel  float64
 	InitialResid float64
+	// EntryResRel is the relative preconditioned residual of the initial
+	// iterate (1.0 for a zero start; ≪ 1 for a good warm start) — the
+	// quantity that makes the warm-start benefit measurable.
+	EntryResRel float64
+	// WarmStarted reports that the solve was seeded with a previous
+	// solution through GMRESWarmContext.
+	WarmStarted bool
 	// History holds the per-iteration relative residual when
 	// Options.RecordHistory is set.
 	History []float64
@@ -149,10 +156,11 @@ func gmresCycle(matvec func(in, out []float64), b, x []float64, m Preconditioner
 	stats.PCApplies++
 	beta := norm2(z)
 	stats.DotProducts++
+	entryRel = beta / beta0
 	if numeric.Zero(stats.InitialResid) {
 		stats.InitialResid = beta
+		stats.EntryResRel = entryRel
 	}
-	entryRel = beta / beta0
 	if entryRel <= tol {
 		stats.Converged = true
 		stats.FinalResRel = entryRel
@@ -362,6 +370,24 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 	stats.FinalResRel = rel
 	stats.Converged = rel <= tol
 	return x, stats, nil
+}
+
+// GMRESWarmContext is the warm-start entry point of the incremental
+// re-solve path: it solves A x = b exactly like GMRESContext but seeds
+// the iteration with x0, a previous solution of a nearby system (the
+// displacement field of the last intraoperative solve). Because
+// convergence is measured relative to ||M^{-1} b||, a good seed shows
+// up directly as a small Stats.EntryResRel and correspondingly fewer
+// iterations; the solve is marked Stats.WarmStarted for metrics. A nil
+// or wrongly sized seed is an error — callers without a previous
+// solution should use GMRESContext.
+func GMRESWarmContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
+	if len(x0) != a.N {
+		return nil, Stats{}, fmt.Errorf("solver: warm-start seed length %d != n %d", len(x0), a.N)
+	}
+	x, stats, err := GMRESContext(ctx, a, b, x0, m, opts)
+	stats.WarmStarted = true
+	return x, stats, err
 }
 
 // CG solves A x = b with a background context; see CGContext.
