@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint perfgate check bench
+.PHONY: build test lint perfgate check bench benchreport
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,17 @@ check:
 
 # Benchmarks: the Go micro-benchmarks, a pipeline-level run that writes
 # per-stage latency quantiles (from the obs histograms) to
-# BENCH_obs.json, and the streaming update-vs-cold comparison that
-# writes BENCH_incremental.json (and fails if the incremental re-solve
-# loses its speedup).
+# BENCH_obs.json, the streaming update-vs-cold comparison that writes
+# BENCH_incremental.json (and fails if the incremental re-solve loses
+# its speedup), then the trajectory report comparing the fresh numbers
+# against the previously committed ones (BENCH_REPORT.md/.json).
 bench:
 	$(GO) test -bench=. -benchmem -short ./...
 	$(GO) run ./cmd/benchobs -runs 5 -size 32 -out BENCH_obs.json
 	$(GO) run ./cmd/benchincr -size 64 -updates 4 -out BENCH_incremental.json
+	$(GO) run ./cmd/benchreport -out BENCH_REPORT
+
+# Perf-trajectory gate alone: validate the committed BENCH artifacts'
+# invariants and compare them against the previous commit's values.
+benchreport:
+	$(GO) run ./cmd/benchreport -check

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodObs = `{"runs":5,"size":32,"ranks":1,"total_seconds":0.9,
+"stages":[{"stage":"resampling","count":5,"p50_ms":22,"p99_ms":23,"mean_ms":22.5}],
+"solver_nonconverged_runs":0,"assembly_imbalance_max":1}`
+
+const goodIncr = `{"size":64,"updates":2,"update_mean_ms":500,"cold_mean_ms":1800,
+"speedup":3.6,"max_divergence_mm":0.0002,
+"steps":[{"warm_started":true,"iterations_saved":30,"speedup":3.5},
+{"warm_started":true,"iterations_saved":28,"speedup":3.7}]}`
+
+func TestLoadObsInvariants(t *testing.T) {
+	if _, viol := loadObs([]byte(goodObs), "x"); len(viol) != 0 {
+		t.Fatalf("clean artifact flagged: %v", viol)
+	}
+	for _, tc := range []struct {
+		name, json, want string
+	}{
+		{"malformed", "{", "malformed JSON"},
+		{"no runs", `{"runs":0,"total_seconds":1,"stages":[{"stage":"s","count":1}]}`, "runs = 0"},
+		{"no stages", `{"runs":1,"total_seconds":1,"stages":[]}`, "no stages"},
+		{"nonconverged", `{"runs":1,"total_seconds":1,
+			"stages":[{"stage":"s","count":1}],"solver_nonconverged_runs":2}`, "solver_nonconverged_runs = 2"},
+	} {
+		_, viol := loadObs([]byte(tc.json), "x")
+		if len(viol) == 0 {
+			t.Errorf("%s: no violation", tc.name)
+			continue
+		}
+		found := false
+		for _, v := range viol {
+			if strings.Contains(v, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing %q", tc.name, viol, tc.want)
+		}
+	}
+}
+
+func TestLoadIncrInvariants(t *testing.T) {
+	if _, viol := loadIncr([]byte(goodIncr), "x"); len(viol) != 0 {
+		t.Fatalf("clean artifact flagged: %v", viol)
+	}
+	slow := strings.Replace(goodIncr, `"speedup":3.6`, `"speedup":0.8`, 1)
+	if _, viol := loadIncr([]byte(slow), "x"); len(viol) == 0 {
+		t.Error("speedup < 1 not flagged")
+	}
+	diverged := strings.Replace(goodIncr, `"max_divergence_mm":0.0002`, `"max_divergence_mm":0.5`, 1)
+	if _, viol := loadIncr([]byte(diverged), "x"); len(viol) == 0 {
+		t.Error("divergence beyond the equivalence bound not flagged")
+	}
+	cold := strings.Replace(goodIncr, `"warm_started":true,"iterations_saved":30`,
+		`"warm_started":false,"iterations_saved":30`, 1)
+	if _, viol := loadIncr([]byte(cold), "x"); len(viol) == 0 {
+		t.Error("cold-started update step not flagged")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	obsCur, _ := loadObs([]byte(goodObs), "x")
+	incrCur, _ := loadIncr([]byte(goodIncr), "x")
+
+	// Identical baseline: everything ok.
+	ms := compare(obsCur, obsCur, incrCur, incrCur, "o", "i", 0.5)
+	for _, m := range ms {
+		if m.Regression {
+			t.Errorf("identical baseline flagged %s %s", m.File, m.Metric)
+		}
+		if !m.HasBase {
+			t.Errorf("%s %s lost its baseline", m.File, m.Metric)
+		}
+	}
+
+	// A doubled runtime and a halved-and-then-some speedup regress.
+	obsBase := *obsCur
+	obsBase.TotalSeconds = obsCur.TotalSeconds / 2.1
+	incrBase := *incrCur
+	incrBase.Speedup = incrCur.Speedup * 2.5
+	ms = compare(obsCur, &obsBase, incrCur, &incrBase, "o", "i", 0.5)
+	want := map[string]bool{"total_seconds": true, "speedup": true}
+	got := map[string]bool{}
+	for _, m := range ms {
+		if m.Regression {
+			got[m.Metric] = true
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("%s not flagged as regression; deltas: %+v", k, ms)
+		}
+	}
+	if got["max_divergence_mm"] {
+		t.Error("unchanged divergence flagged")
+	}
+
+	// A baseline from a different configuration is not comparable.
+	other := *obsCur
+	other.Size = 16
+	ms = compare(obsCur, &other, nil, nil, "o", "i", 0.5)
+	for _, m := range ms {
+		if m.HasBase {
+			t.Errorf("%s compared against a different-size baseline", m.Metric)
+		}
+	}
+}
+
+func TestRenderMarkdownShape(t *testing.T) {
+	obsCur, _ := loadObs([]byte(goodObs), "x")
+	incrCur, _ := loadIncr([]byte(goodIncr), "x")
+	rep := trajectoryReport{
+		BaselineRef: "HEAD",
+		Metrics:     compare(obsCur, obsCur, incrCur, incrCur, "o", "i", 0.5),
+		Violations:  []string{"x: example violation"},
+	}
+	md := renderMarkdown(&rep, obsCur, incrCur)
+	for _, want := range []string{
+		"# Perf trajectory", "## Tracked metrics", "total_seconds",
+		"## Pipeline stages", "resampling",
+		"## Incremental path", "3.60x",
+		"## Violations", "example violation",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -14,7 +14,10 @@
 // Observability: -trace writes a JSONL span trace of the run (stages,
 // FEM assembly/solve, GMRES restart cycles, k-NN batches, surface
 // iterations); -admin serves /metrics (Prometheus) and /debug/pprof/
-// for the duration of the run.
+// for the duration of the run. Progress goes to stderr as structured
+// slog records (-log text|json, -v for debug), each stamped with the
+// active span and trace ID; the result report itself stays plain text
+// on stdout so it can be piped.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -47,6 +51,31 @@ type cliOptions struct {
 	tracePath                          string
 	adminAddr                          string
 	recordHistory                      bool
+	logFormat                          string
+	verbose                            bool
+}
+
+// newLogger builds the run's structured logger: slog to stderr in the
+// chosen format, wrapped in the obs context handler so every record is
+// stamped with the active span and trace ID (the result report itself
+// stays plain text on stdout). Progress lines are Info; -v lowers the
+// threshold to Debug.
+func newLogger(o cliOptions) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if o.verbose {
+		level = slog.LevelDebug
+	}
+	ho := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	switch o.logFormat {
+	case "text":
+		inner = slog.NewTextHandler(os.Stderr, ho)
+	case "json":
+		inner = slog.NewJSONHandler(os.Stderr, ho)
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text or json)", o.logFormat)
+	}
+	return obs.NewLogger(inner), nil
 }
 
 func main() {
@@ -70,6 +99,8 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL span trace of the run")
 	flag.StringVar(&o.adminAddr, "admin", "", "serve /metrics and /debug/pprof/ on this address during the run (e.g. 127.0.0.1:8077)")
 	flag.BoolVar(&o.recordHistory, "record-history", false, "record the per-iteration GMRES residual history (larger traces)")
+	flag.StringVar(&o.logFormat, "log", "text", "structured log format on stderr: text or json")
+	flag.BoolVar(&o.verbose, "v", false, "log at debug level")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -79,13 +110,18 @@ func main() {
 }
 
 func run(o cliOptions) error {
+	log, err := newLogger(o)
+	if err != nil {
+		return err
+	}
+
 	var preop, intraop *volume.Scalar
 	var labels *volume.Labels
 	var truth *phantom.Case
 
 	if o.preopPath == "" {
-		fmt.Printf("generating synthetic neurosurgery case (%d^3, %.1fmm shift, seed %d)...\n",
-			o.size, o.shift, o.seed)
+		log.Info("generating synthetic neurosurgery case",
+			"size", o.size, "shift_mm", o.shift, "seed", o.seed)
 		p := phantom.DefaultParams(o.size)
 		p.ShiftMagnitude = o.shift
 		p.Seed = o.seed
@@ -104,7 +140,7 @@ func run(o cliOptions) error {
 					return err
 				}
 			}
-			fmt.Println("wrote synthetic case volumes to", o.saveCase)
+			log.Info("wrote synthetic case volumes", "dir", o.saveCase)
 		}
 	} else {
 		if o.intraopPath == "" {
@@ -122,7 +158,7 @@ func run(o cliOptions) error {
 				return fmt.Errorf("loading labels: %w", err)
 			}
 		} else {
-			fmt.Println("segmenting preoperative scan automatically...")
+			log.Info("segmenting preoperative scan automatically")
 			if labels, err = segment.Head(preop, segment.DefaultOptions()); err != nil {
 				return fmt.Errorf("automatic segmentation: %w", err)
 			}
@@ -154,11 +190,12 @@ func run(o cliOptions) error {
 		srv := &http.Server{Addr: o.adminAddr, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "brainsim: admin server:", err)
+				log.Error("admin server failed", "err", err)
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("admin surface on http://%s/metrics (pprof under /debug/pprof/)\n", o.adminAddr)
+		log.Info("admin surface up", "addr", o.adminAddr,
+			"metrics", "http://"+o.adminAddr+"/metrics", "pprof", "http://"+o.adminAddr+"/debug/pprof/")
 	}
 
 	if o.tracePath != "" {
@@ -171,15 +208,16 @@ func run(o cliOptions) error {
 		ctx = obs.WithTracer(ctx, tracer)
 		defer func() {
 			if err := tracer.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "brainsim: trace:", err)
+				log.Error("span trace write failed", "err", err)
 			} else {
-				fmt.Println("wrote span trace to", o.tracePath)
+				log.Info("wrote span trace", "path", o.tracePath)
 			}
 		}()
 	}
 
-	fmt.Printf("running pipeline (%d ranks, cell size %d, %s materials)...\n",
-		o.ranks, o.cellSize, map[bool]string{false: "homogeneous", true: "heterogeneous"}[o.hetero])
+	log.InfoContext(ctx, "running pipeline",
+		"ranks", o.ranks, "cell_size", o.cellSize,
+		"materials", map[bool]string{false: "homogeneous", true: "heterogeneous"}[o.hetero])
 	res, err := core.New(cfg).RunContext(ctx, preop, labels, intraop)
 	if err != nil {
 		return err
@@ -207,19 +245,19 @@ func run(o cliOptions) error {
 		if err := volume.SaveField(o.fieldOut, res.Backward); err != nil {
 			return err
 		}
-		fmt.Println("wrote deformation field to", o.fieldOut)
+		log.Info("wrote deformation field", "path", o.fieldOut)
 	}
 	if o.warpedOut != "" {
 		if err := volume.SaveScalar(o.warpedOut, res.Warped); err != nil {
 			return err
 		}
-		fmt.Println("wrote warped preoperative scan to", o.warpedOut)
+		log.Info("wrote warped preoperative scan", "path", o.warpedOut)
 	}
 	if o.labelsOut != "" {
 		if err := volume.SaveLabels(o.labelsOut, res.IntraopLabels); err != nil {
 			return err
 		}
-		fmt.Println("wrote intraoperative classification to", o.labelsOut)
+		log.Info("wrote intraoperative classification", "path", o.labelsOut)
 	}
 	return nil
 }

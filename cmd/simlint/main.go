@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and the span vocabulary they enforce, then exit")
+	list := flag.Bool("list", false, "list the analyzers and the span/metric/event vocabularies they enforce, then exit")
 	format := flag.String("format", "text", "report format: text, json, or sarif")
 	baselinePath := flag.String("baseline", ".simlint-baseline.json",
 		"baseline file relative to the module root (\"none\" disables baseline filtering)")
@@ -122,22 +122,28 @@ func main() {
 	}
 }
 
-// printList writes the analyzer inventory plus the span vocabulary the
-// spanend analyzer checks literals against.
+// printList writes the analyzer inventory plus the telemetry
+// vocabularies the spanend and metricname analyzers check literals
+// against.
 func printList(analyzers []lint.Analyzer) {
 	fmt.Println("simlint analyzers:")
 	for _, a := range analyzers {
 		fmt.Printf("  %-10s %s\n", a.Name(), a.Doc())
 	}
-	fmt.Println("\nbrainsim span vocabulary (obs.SpanNames):")
-	names := make([]string, 0, len(obs.SpanNames))
-	for n := range obs.SpanNames {
-		names = append(names, n)
+	vocab := func(title string, m map[string]string, width int) {
+		fmt.Printf("\n%s:\n", title)
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-*s %s\n", width, n, m[n])
+		}
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Printf("  %-16s %s\n", n, obs.SpanNames[n])
-	}
+	vocab("brainsim span vocabulary (obs.SpanNames)", obs.SpanNames, 16)
+	vocab("brainsim metric vocabulary (obs.MetricNames)", obs.MetricNames, 40)
+	vocab("brainsim event vocabulary (obs.EventNames)", obs.EventNames, 16)
 	fmt.Println("\nsuppress a finding with:  //lint:ignore <analyzer> <reason> (must be registered in the baseline)")
 	fmt.Println("annotate a kernel with:   //lint:hotpath (enables hotalloc + hotreach checks)")
 	fmt.Println("pin a kernel's escapes:   //lint:noescape (enforced by cmd/perfgate against compiler facts)")

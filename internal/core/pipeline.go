@@ -531,7 +531,7 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 		}
 		return err
 	}); err != nil {
-		if degraded := p.degrade(err, res, intraop, alignedPreop, intraLabels); degraded {
+		if degraded := p.degrade(ctx, err, res, intraop, alignedPreop, intraLabels); degraded {
 			return res, cl, nil
 		}
 		return nil, nil, err
@@ -564,7 +564,7 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 		res.Warped = res.Backward.WarpScalar(alignedPreop)
 		return nil
 	}); err != nil {
-		if degraded := p.degrade(err, res, intraop, alignedPreop, intraLabels); degraded {
+		if degraded := p.degrade(ctx, err, res, intraop, alignedPreop, intraLabels); degraded {
 			return res, cl, nil
 		}
 		return nil, nil, err
@@ -635,7 +635,7 @@ func brainBoundaryBand(intraLabels *volume.Labels) []bool {
 // failed; the rigid-only alignment is delivered instead, marked as
 // Degraded. It reports whether the fallback applied, filling res in
 // place when it did.
-func (p *Pipeline) degrade(err error, res *Result, intraop, alignedPreop *volume.Scalar, intraLabels *volume.Labels) bool {
+func (p *Pipeline) degrade(ctx context.Context, err error, res *Result, intraop, alignedPreop *volume.Scalar, intraLabels *volume.Labels) bool {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
@@ -646,6 +646,10 @@ func (p *Pipeline) degrade(err error, res *Result, intraop, alignedPreop *volume
 	}
 	res.Degraded = true
 	res.DegradedReason = fmt.Sprintf("deadline expired during %s", stageName)
+	// The in-flight record of the decision: which stage the deadline
+	// interrupted, visible in the flight recorder even when the caller
+	// discards the Result.
+	obs.Emit(ctx, obs.EventPipelineDegraded, map[string]any{"stage": stageName})
 	// The delivered image is the rigid alignment; both match metrics
 	// describe it, so downstream comparisons correctly see no
 	// biomechanical improvement.

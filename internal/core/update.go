@@ -202,7 +202,7 @@ func (p *Pipeline) updateStages(ctx context.Context, cache *sessionCache,
 		}
 		return err
 	}); err != nil {
-		if p.degrade(err, res, intraop, alignedPreop, intraLabels) {
+		if p.degrade(ctx, err, res, intraop, alignedPreop, intraLabels) {
 			return res, cl, nil
 		}
 		return nil, nil, err
@@ -230,7 +230,7 @@ func (p *Pipeline) updateStages(ctx context.Context, cache *sessionCache,
 		res.Warped = res.Backward.WarpScalar(alignedPreop)
 		return nil
 	}); err != nil {
-		if p.degrade(err, res, intraop, alignedPreop, intraLabels) {
+		if p.degrade(ctx, err, res, intraop, alignedPreop, intraLabels) {
 			return res, cl, nil
 		}
 		return nil, nil, err

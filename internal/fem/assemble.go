@@ -150,6 +150,13 @@ func AssembleContext(ctx context.Context, m *mesh.Mesh, mats Table, pt par.Parti
 		span.SetAttr("imbalance", snap.Imbalance)
 		span.SetAttr("elements", m.NumTets())
 		span.SetAttr("nodes", m.NumNodes())
+		obs.Emit(ctx, obs.EventFEMAssembly, map[string]any{
+			"ranks":     snap.Ranks,
+			"flops":     snap.TotalFlops,
+			"imbalance": snap.Imbalance,
+			"elements":  m.NumTets(),
+			"nodes":     m.NumNodes(),
+		})
 	}
 	return sys, err
 }
@@ -363,6 +370,10 @@ func (s *System) PatchDirichlet(ctx context.Context, bc map[int32]geom.Vec3) (ch
 	}
 	span.SetAttr("dofs_changed", changed)
 	span.SetAttr("dofs_constrained", s.nConstrained)
+	obs.Emit(ctx, obs.EventFEMPatch, map[string]any{
+		"dofs_changed":     changed,
+		"dofs_constrained": s.nConstrained,
+	})
 	return changed, nil
 }
 

@@ -69,6 +69,7 @@ func Analyzers() []Analyzer {
 	return []Analyzer{
 		ctxprop{},
 		spanend{},
+		metricname{},
 		errwrap{},
 		floateq{},
 		hotalloc{},

@@ -85,6 +85,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		// scope (ctxprop wants a pipeline package, floateq a kernel one).
 		{"ctxprop", "repro/internal/fem/ctxfixture"},
 		{"spanend", "repro/internal/spanfixture"},
+		{"metricname", "repro/internal/metricfixture"},
 		{"errwrap", "repro/internal/errfixture"},
 		{"floateq", "repro/internal/solver/floatfixture"},
 		{"hotalloc", "repro/internal/hotfixture"},
@@ -236,7 +237,7 @@ func TestAnalyzerNamesStable(t *testing.T) {
 		}
 	}
 	if got, want := strings.Join(names, " "),
-		"ctxprop spanend errwrap floateq hotalloc hotreach concsafe lockscope phaseorder coordspace"; got != want {
+		"ctxprop spanend metricname errwrap floateq hotalloc hotreach concsafe lockscope phaseorder coordspace"; got != want {
 		t.Errorf("Analyzers() = %q, want %q", got, want)
 	}
 }

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// metricname enforces the shared telemetry vocabulary in
+// internal/obs/names.go over the whole module: a literal metric name
+// handed to the obs registry constructors (Counter, Gauge, Histogram)
+// must be registered in obs.MetricNames, and a literal event name
+// handed to obs.Emit must be registered in obs.EventNames. Grafana
+// dashboards and the flight-recorder tooling key off these names;
+// a freehand literal silently forks the series. Non-literal names
+// (the obs.Metric*/obs.Event* constants, computed names) are accepted
+// as-is — the constants are the vocabulary. Span names get the same
+// treatment from the spanend analyzer.
+type metricname struct{}
+
+func (metricname) Name() string { return "metricname" }
+
+func (metricname) Doc() string {
+	return "metric-name literals passed to obs Registry.Counter/Gauge/Histogram must " +
+		"belong to the obs.MetricNames vocabulary, and event-name literals passed to " +
+		"obs.Emit to obs.EventNames; use the obs.Metric*/obs.Event* constants"
+}
+
+func (m metricname) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			switch {
+			case isFuncNamed(fn, "internal/obs", "Counter"),
+				isFuncNamed(fn, "internal/obs", "Gauge"),
+				isFuncNamed(fn, "internal/obs", "Histogram"):
+				out = append(out, m.checkLiteral(pkg, call, 0, "metric",
+					obs.KnownMetricName, "obs.MetricNames", "obs.Metric*")...)
+			case isFuncNamed(fn, "internal/obs", "Emit"):
+				out = append(out, m.checkLiteral(pkg, call, 1, "event",
+					obs.KnownEventName, "obs.EventNames", "obs.Event*")...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkLiteral validates the argIdx-th argument when it is a string
+// literal; anything else (constants, variables) passes.
+func (metricname) checkLiteral(pkg *Package, call *ast.CallExpr, argIdx int,
+	kind string, known func(string) bool, vocab, constants string) []Finding {
+	if len(call.Args) <= argIdx {
+		return nil
+	}
+	lit, ok := ast.Unparen(call.Args[argIdx]).(*ast.BasicLit)
+	if !ok {
+		return nil
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil
+	}
+	if known(name) {
+		return nil
+	}
+	return []Finding{{
+		Pos:      pkg.Fset.Position(lit.Pos()),
+		Analyzer: "metricname",
+		Msg: kind + " name " + strconv.Quote(name) +
+			" is not in the brainsim telemetry vocabulary (" + vocab + "); " +
+			"add it there or use the " + constants + " constants",
+	}}
+}

@@ -1,0 +1,36 @@
+// Package metricfixture exercises the metricname analyzer: literal
+// metric names handed to the obs registry constructors must come from
+// obs.MetricNames, literal event names handed to obs.Emit from
+// obs.EventNames; the shared constants and computed names pass.
+package metricfixture
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Freehand invents metric names outside the vocabulary.
+func Freehand(reg *obs.Registry) {
+	reg.Counter("my_adhoc_total", "h").Inc()                         // want metricname "not in the brainsim telemetry vocabulary"
+	reg.Gauge("my_adhoc_depth", "h").Set(1)                          // want metricname "not in the brainsim telemetry vocabulary"
+	reg.Histogram("my_adhoc_seconds", "h", []float64{1}).Observe(.5) // want metricname "not in the brainsim telemetry vocabulary"
+}
+
+// FreehandEvent invents an event name outside the vocabulary.
+func FreehandEvent(ctx context.Context) {
+	obs.Emit(ctx, "job.adhoc", nil) // want metricname "not in the brainsim telemetry vocabulary"
+}
+
+// Vocabulary uses the shared constants; nothing fires.
+func Vocabulary(ctx context.Context, reg *obs.Registry) {
+	reg.Counter(obs.MetricScans, "h").Inc()
+	reg.Gauge(obs.MetricQueueDepth, "h").Set(1)
+	obs.Emit(ctx, obs.EventSolverSolve, nil)
+}
+
+// Computed names are accepted as-is: the analyzer only judges
+// literals.
+func Computed(reg *obs.Registry, name string) {
+	reg.Counter(name, "h").Inc()
+}

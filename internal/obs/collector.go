@@ -6,26 +6,6 @@ import (
 	"repro/internal/par"
 )
 
-// Shared metric names. The service layer, cmd/brainsim and cmd/benchobs
-// all publish under this vocabulary, so dashboards built against one
-// surface work against the others.
-const (
-	// MetricStageSeconds is the per-stage latency histogram family,
-	// labeled {stage="..."} with the core.Stage* names.
-	MetricStageSeconds = "brainsim_stage_seconds"
-	// MetricStageErrors counts stage executions that failed (including
-	// context cancellations), labeled {stage="..."}.
-	MetricStageErrors = "brainsim_stage_errors_total"
-	// MetricAssemblyFlops totals the per-rank FEM assembly work.
-	MetricAssemblyFlops = "brainsim_assembly_flops_total"
-	// MetricAssemblyImbalance is the most recent max/mean per-rank
-	// assembly work ratio (1.0 = perfectly balanced).
-	MetricAssemblyImbalance = "brainsim_assembly_imbalance"
-	// MetricAssemblyImbalanceMax is the worst imbalance seen — the
-	// quantity the paper's load-balancing discussion revolves around.
-	MetricAssemblyImbalanceMax = "brainsim_assembly_imbalance_max"
-)
-
 // StageCollector feeds pipeline observer events into a Registry: stage
 // wall-clock times into per-stage latency histograms, stage failures
 // into error counters, and the FEM assembly work counters into

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplarRendering(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("brainsim_scan_seconds", "scan latency", []float64{1, 10})
+	h.Observe(0.5)
+	h.ObserveExemplar(5, "trace_id", "j000042")
+	h.ObserveExemplar(100, "trace_id", "j000043")
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The 0.5 observation set no exemplar: its bucket line must stay
+	// plain Prometheus text.
+	if !strings.Contains(out, `le="1"} 1`) || strings.Contains(out, `le="1"} 1 #`) {
+		t.Errorf("le=1 bucket should have no exemplar:\n%s", out)
+	}
+	// The 5 and 100 observations annotate their buckets, including +Inf.
+	if !strings.Contains(out, `le="10"} 2 # {trace_id="j000042"} 5`) {
+		t.Errorf("le=10 bucket missing its exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"} 3 # {trace_id="j000043"} 100`) {
+		t.Errorf("+Inf bucket missing its exemplar:\n%s", out)
+	}
+}
+
+func TestHistogramExemplarNewestWins(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("brainsim_scan_seconds", "", []float64{10})
+	h.ObserveExemplar(3, "trace_id", "j000001")
+	h.ObserveExemplar(4, "trace_id", "j000002")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `{trace_id="j000002"} 4`) {
+		t.Errorf("newest exemplar should win:\n%s", out)
+	}
+	if strings.Contains(out, "j000001") {
+		t.Errorf("stale exemplar retained:\n%s", out)
+	}
+}
+
+func TestHistogramWithoutExemplarsUnchanged(t *testing.T) {
+	// Plain Observe must keep the exposition byte-identical to the
+	// pre-exemplar format: no stray " #" anywhere.
+	reg := NewRegistry()
+	h := reg.Histogram("brainsim_scan_seconds", "", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") && strings.Contains(b.String(), "} # ") {
+		t.Errorf("plain histogram grew exemplar syntax:\n%s", b.String())
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.Contains(line, "_bucket") && strings.Contains(line, " # ") {
+			t.Errorf("bucket line has exemplar syntax without an exemplar: %s", line)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// FlightRecord is one entry in a flight recorder: a finished span, a
+// structured event (see Emit), or a log record (see ContextHandler).
+// Every record carries the session/job identity and the innermost span
+// that were on the context when it was produced, so a dump can be
+// correlated line-by-line with the trace stream and the job log.
+type FlightRecord struct {
+	Time time.Time `json:"t"`
+	// Kind is "span", "event" or "log".
+	Kind    string `json:"kind"`
+	Session string `json:"session,omitempty"`
+	Job     string `json:"job,omitempty"`
+	// Span and SpanID identify the record's span: for span records the
+	// span itself, for events and logs the innermost enclosing span.
+	Span   string `json:"span,omitempty"`
+	SpanID uint64 `json:"span_id,omitempty"`
+	// Trace is the root-span id of the span tree the record belongs to.
+	Trace uint64 `json:"trace,omitempty"`
+	// Name is the span name, event name, or log message.
+	Name string `json:"name"`
+	// Level is the log level of "log" records.
+	Level string `json:"level,omitempty"`
+	// DurMS is the span duration of "span" records.
+	DurMS float64        `json:"dur_ms,omitempty"`
+	Err   string         `json:"err,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// defaultFlightRecorderCap bounds a recorder created with a
+// non-positive capacity.
+const defaultFlightRecorderCap = 256
+
+// FlightRecorder is a bounded ring buffer of recent telemetry records —
+// the per-session black box. Recording is cheap and never blocks the
+// recording goroutine beyond one short mutex; once the ring is full the
+// oldest record is overwritten. When a job degrades, falls back, is
+// shed, or fails to converge, the service snapshots the ring into a
+// JSONL dump (see the service layer's flight-dump triggers), so the
+// records leading up to the anomaly are preserved even though live
+// recording continues. Safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []FlightRecord
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewFlightRecorder returns a recorder retaining the last capacity
+// records (non-positive: a default of 256).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightRecorderCap
+	}
+	return &FlightRecorder{buf: make([]FlightRecord, 0, capacity)}
+}
+
+// Record appends one record, overwriting the oldest when full.
+func (r *FlightRecorder) Record(rec FlightRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.full = true
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len reports how many records are currently retained.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Capacity reports the ring bound.
+func (r *FlightRecorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.buf)
+}
+
+// Total reports how many records were ever recorded; Total()-Len() of
+// them have been overwritten by newer ones.
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot copies the retained records, oldest first. The copy shares
+// no state with the ring; recording continues undisturbed.
+func (r *FlightRecorder) Snapshot() []FlightRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightRecord, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// WriteJSONL writes the retained records oldest-first, one JSON object
+// per line — the dump format of the /sessions/{id}/flightrecorder admin
+// endpoint.
+func (r *FlightRecorder) WriteJSONL(w io.Writer) error {
+	return WriteFlightRecords(w, r.Snapshot())
+}
+
+// WriteFlightRecords writes records as JSONL — the shared encoder of
+// live-ring and retained-dump serving.
+func WriteFlightRecords(w io.Writer, recs []FlightRecord) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFlightRecords parses a JSONL flight dump back into records — the
+// inverse of WriteJSONL, for tests and offline analysis.
+func ReadFlightRecords(r io.Reader) ([]FlightRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []FlightRecord
+	for {
+		var rec FlightRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+const (
+	sessionIDKey ctxKey = iota + 16 // offset clear of the tracer/span keys
+	jobIDKey
+	recorderKey
+)
+
+// WithSessionID returns a context carrying the surgical session id;
+// spans, events and log records produced under it are stamped with it.
+func WithSessionID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, sessionIDKey, id)
+}
+
+// SessionIDFromContext returns the context's session id, or "".
+func SessionIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(sessionIDKey).(string)
+	return id
+}
+
+// WithJobID returns a context carrying the service job id; spans,
+// events and log records produced under it are stamped with it.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey, id)
+}
+
+// JobIDFromContext returns the context's job id, or "".
+func JobIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey).(string)
+	return id
+}
+
+// WithFlightRecorder returns a context carrying the flight recorder;
+// spans ended, events emitted and log records handled under it are
+// recorded there.
+func WithFlightRecorder(ctx context.Context, r *FlightRecorder) context.Context {
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// FlightRecorderFromContext returns the context's flight recorder, or
+// nil.
+func FlightRecorderFromContext(ctx context.Context) *FlightRecorder {
+	r, _ := ctx.Value(recorderKey).(*FlightRecorder)
+	return r
+}
+
+// Emit records one structured event into the context's flight recorder,
+// stamped with the session/job identity and the innermost span. Event
+// names come from the EventNames vocabulary; attrs must be
+// JSON-serializable (non-finite floats are stringified, as in
+// Span.SetAttr). Without a recorder on the context Emit is a no-op, so
+// instrumented code needs no guards; the per-call cost is two context
+// lookups.
+func Emit(ctx context.Context, name string, attrs map[string]any) {
+	r := FlightRecorderFromContext(ctx)
+	if r == nil {
+		return
+	}
+	for k, v := range attrs {
+		if f, ok := v.(float64); ok && (math.IsNaN(f) || math.IsInf(f, 0)) {
+			attrs[k] = fmt.Sprintf("%g", f)
+		}
+	}
+	rec := FlightRecord{
+		Time:    time.Now(),
+		Kind:    "event",
+		Session: SessionIDFromContext(ctx),
+		Job:     JobIDFromContext(ctx),
+		Name:    name,
+		Attrs:   attrs,
+	}
+	if sp := SpanFromContext(ctx); sp != nil {
+		rec.Span = sp.Name()
+		rec.SpanID = sp.ID()
+		rec.Trace = sp.TraceID()
+	}
+	r.Record(rec)
+}

@@ -22,13 +22,23 @@ var DefaultLatencyBuckets = []float64{
 // and sum are tracked alongside, so quantile estimates can be clamped
 // to the observed range. All methods are safe for concurrent use.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // strictly increasing upper bounds; +Inf implicit
-	counts []uint64  // len(bounds)+1, last is the overflow bucket
-	sum    float64
-	count  uint64
-	min    float64
-	max    float64
+	mu        sync.Mutex
+	bounds    []float64 // strictly increasing upper bounds; +Inf implicit
+	counts    []uint64  // len(bounds)+1, last is the overflow bucket
+	exemplars []exemplar
+	sum       float64
+	count     uint64
+	min       float64
+	max       float64
+}
+
+// exemplar is the most recent annotated observation of one bucket —
+// the OpenMetrics-style breadcrumb that links a latency bucket back to
+// a concrete trace or job id.
+type exemplar struct {
+	key, val string
+	value    float64
+	set      bool
 }
 
 // newHistogram builds a histogram over the given upper bounds (nil
@@ -58,6 +68,18 @@ func newHistogram(bounds []float64) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, "", "")
+}
+
+// ObserveExemplar records one value and attaches an exemplar label to
+// the bucket it lands in (e.g. trace_id = the job's trace id), shown
+// inline on the bucket's exposition line. The newest exemplar per
+// bucket wins. An empty labelVal records plainly, like Observe.
+func (h *Histogram) ObserveExemplar(v float64, labelKey, labelVal string) {
+	h.observe(v, labelKey, labelVal)
+}
+
+func (h *Histogram) observe(v float64, exKey, exVal string) {
 	if math.IsNaN(v) {
 		return
 	}
@@ -72,6 +94,12 @@ func (h *Histogram) Observe(v float64) {
 		h.max = v
 	}
 	h.count++
+	if exVal != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]exemplar, len(h.counts))
+		}
+		h.exemplars[i] = exemplar{key: exKey, val: exVal, value: v, set: true}
+	}
 	h.mu.Unlock()
 }
 
@@ -157,19 +185,32 @@ func (h *Histogram) Summary() HistSummary {
 }
 
 // write renders the histogram in Prometheus text format: cumulative
-// _bucket series, then _sum and _count.
+// _bucket series, then _sum and _count. Buckets that carry an exemplar
+// get it appended inline, OpenMetrics style:
+//
+//	name_bucket{le="0.5"} 12 # {trace_id="j0001"} 0.43
+//
+// Plain Observe calls never set exemplars, so histograms without them
+// render byte-identical to the pre-exemplar format.
 func (h *Histogram) write(w *bufio.Writer, name, labels string) {
 	h.mu.Lock()
 	bounds := h.bounds
 	counts := append([]uint64(nil), h.counts...)
+	exs := append([]exemplar(nil), h.exemplars...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
+	suffix := func(i int) string {
+		if i >= len(exs) || !exs[i].set {
+			return ""
+		}
+		return fmt.Sprintf(" # {%s=%q} %g", exs[i].key, exs[i].val, exs[i].value)
+	}
 	cum := uint64(0)
 	for i, b := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, appendLabel(labels, "le", fmt.Sprintf("%g", b)), cum)
+		fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", name, appendLabel(labels, "le", fmt.Sprintf("%g", b)), cum, suffix(i))
 	}
-	fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, appendLabel(labels, "le", "+Inf"), count)
+	fmt.Fprintf(w, "%s_bucket{%s} %d%s\n", name, appendLabel(labels, "le", "+Inf"), count, suffix(len(bounds)))
 	fmt.Fprintf(w, "%s_sum%s %v\n", name, braces(labels), sum)
 	fmt.Fprintf(w, "%s_count%s %d\n", name, braces(labels), count)
 }

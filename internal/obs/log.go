@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+)
+
+// ContextHandler is a slog.Handler decorator that stamps every record
+// with the telemetry identity carried on the logging context — session
+// id, job id, and the innermost active span — and tees the record into
+// the context's flight recorder. It is the bridge between the logging
+// plane and the tracing plane: a log line in the service journal and a
+// span in the trace stream that share session/job/span ids describe the
+// same moment of the same solve.
+type ContextHandler struct {
+	inner slog.Handler
+}
+
+// NewContextHandler wraps inner with context stamping.
+func NewContextHandler(inner slog.Handler) *ContextHandler {
+	return &ContextHandler{inner: inner}
+}
+
+// NewLogger returns a logger writing JSON records at level through a
+// ContextHandler — the service's standard logger shape.
+func NewLogger(h slog.Handler) *slog.Logger {
+	return slog.New(NewContextHandler(h))
+}
+
+// Enabled implements slog.Handler.
+func (h *ContextHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler: it appends session/job/span
+// attributes from ctx, forwards to the wrapped handler, and records the
+// line into the context's flight recorder (if any).
+func (h *ContextHandler) Handle(ctx context.Context, r slog.Record) error {
+	session := SessionIDFromContext(ctx)
+	job := JobIDFromContext(ctx)
+	sp := SpanFromContext(ctx)
+	if session != "" {
+		r.AddAttrs(slog.String("session", session))
+	}
+	if job != "" {
+		r.AddAttrs(slog.String("job", job))
+	}
+	if sp != nil {
+		r.AddAttrs(slog.String("span", sp.Name()),
+			slog.Uint64("span_id", sp.ID()),
+			slog.Uint64("trace", sp.TraceID()))
+	}
+	err := h.inner.Handle(ctx, r)
+	if rec := FlightRecorderFromContext(ctx); rec != nil {
+		fr := FlightRecord{
+			Time:    r.Time,
+			Kind:    "log",
+			Session: session,
+			Job:     job,
+			Name:    r.Message,
+			Level:   r.Level.String(),
+		}
+		if sp != nil {
+			fr.Span = sp.Name()
+			fr.SpanID = sp.ID()
+			fr.Trace = sp.TraceID()
+		}
+		r.Attrs(func(a slog.Attr) bool {
+			switch a.Key {
+			case "session", "job", "span", "span_id", "trace":
+				return true // identity already on the record envelope
+			}
+			if fr.Attrs == nil {
+				fr.Attrs = make(map[string]any)
+			}
+			fr.Attrs[a.Key] = a.Value.Resolve().Any()
+			return true
+		})
+		rec.Record(fr)
+	}
+	return err
+}
+
+// WithAttrs implements slog.Handler.
+func (h *ContextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &ContextHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *ContextHandler) WithGroup(name string) slog.Handler {
+	return &ContextHandler{inner: h.inner.WithGroup(name)}
+}
+
+// nopHandler drops every record. (log/slog gained a stock discard
+// handler after the Go version this module targets, so we carry our
+// own.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nopLoggerOnce struct {
+	sync.Once
+	l *slog.Logger
+}
+
+// NopLogger returns a logger that discards everything — the default
+// when no logger is configured, so call sites never nil-check.
+func NopLogger() *slog.Logger {
+	nopLoggerOnce.Do(func() {
+		nopLoggerOnce.l = slog.New(nopHandler{})
+	})
+	return nopLoggerOnce.l
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultGCPauseBuckets spans stop-the-world GC pauses (seconds): tens
+// of microseconds in steady state, up to tens of milliseconds when the
+// heap is churning through a full re-register.
+var DefaultGCPauseBuckets = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+}
+
+// RuntimeCollector samples Go runtime health — heap, goroutines, GC
+// cycles and pause times — into a Registry. A real-time solve that
+// suddenly misses its budget with healthy solver telemetry usually
+// means the runtime, not the numerics: a GC pause inside the solve
+// window or a goroutine leak in the worker pool, which these series
+// expose. Sample is safe for concurrent use and cheap enough to call
+// both from a background ticker and at /metrics scrape time.
+type RuntimeCollector struct {
+	reg *Registry
+
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+// NewRuntimeCollector returns a collector publishing into reg.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	c := &RuntimeCollector{reg: reg}
+	// Baseline the GC cycle count so the first Sample doesn't replay
+	// every pause since process start into the histogram.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.lastNumGC = ms.NumGC
+	return c
+}
+
+// Sample takes one snapshot of the runtime and publishes it. New GC
+// pauses since the previous Sample are each observed into the pause
+// histogram (the runtime keeps the last 256 pauses; sampling slower
+// than 256 GC cycles loses the overflow, which the cycle counter still
+// accounts for in aggregate).
+func (c *RuntimeCollector) Sample() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goroutines := runtime.NumGoroutine()
+
+	c.mu.Lock()
+	prev := c.lastNumGC
+	c.lastNumGC = ms.NumGC
+	c.mu.Unlock()
+
+	newGC := ms.NumGC - prev
+	if newGC > uint32(len(ms.PauseNs)) {
+		newGC = uint32(len(ms.PauseNs))
+	}
+
+	// Publish after releasing our own mutex — instrument locks and the
+	// collector lock never nest.
+	c.reg.Gauge(MetricRuntimeHeapBytes,
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).").Set(float64(ms.HeapAlloc))
+	c.reg.Gauge(MetricRuntimeGoroutines,
+		"Live goroutine count.").Set(float64(goroutines))
+	c.reg.Counter(MetricRuntimeGCCycles,
+		"Completed GC cycles.").Add(float64(newGC))
+	if newGC > 0 {
+		h := c.reg.Histogram(MetricRuntimeGCPauseSeconds,
+			"Stop-the-world GC pause durations in seconds.", DefaultGCPauseBuckets)
+		for i := uint32(0); i < newGC; i++ {
+			// PauseNs is a circular buffer indexed by cycle number.
+			pause := ms.PauseNs[(ms.NumGC-1-i)%uint32(len(ms.PauseNs))]
+			h.Observe(float64(pause) / 1e9)
+		}
+	}
+}

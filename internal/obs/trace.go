@@ -46,16 +46,27 @@ func (t *Tracer) emit(rec SpanRecord) {
 	}
 }
 
+// spanSeq issues span ids for spans created without a tracer (a flight
+// recorder alone on the context still needs distinct ids).
+var spanSeq atomic.Uint64
+
 // SpanRecord is the JSONL schema of one emitted span. Parent is 0 for
-// root spans; reconstruct the hierarchy by chasing Parent ids.
+// root spans; reconstruct the hierarchy by chasing Parent ids. Trace is
+// the root span's id, shared by the whole tree, and Session/Job carry
+// the identity stamped on the context (see WithSessionID/WithJobID) —
+// the correlation keys that line the trace stream up with the service's
+// job log and flight-recorder dumps.
 type SpanRecord struct {
-	Name   string         `json:"name"`
-	ID     uint64         `json:"id"`
-	Parent uint64         `json:"parent,omitempty"`
-	Start  time.Time      `json:"start"`
-	DurMS  float64        `json:"dur_ms"`
-	Err    string         `json:"err,omitempty"`
-	Attrs  map[string]any `json:"attrs,omitempty"`
+	Name    string         `json:"name"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Trace   uint64         `json:"trace,omitempty"`
+	Session string         `json:"session,omitempty"`
+	Job     string         `json:"job,omitempty"`
+	Start   time.Time      `json:"start"`
+	DurMS   float64        `json:"dur_ms"`
+	Err     string         `json:"err,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
 }
 
 // ReadSpans parses a JSONL trace back into records — the inverse of
@@ -77,18 +88,48 @@ func ReadSpans(r io.Reader) ([]SpanRecord, error) {
 
 // Span is one timed, attributed region of work. The zero of *Span is
 // nil, and every method is nil-safe, so call sites need no tracer
-// guards: without a tracer on the context, StartSpan returns a nil span
-// and the instrumentation costs one context lookup.
+// guards: without a tracer or flight recorder on the context, StartSpan
+// returns a nil span and the instrumentation costs two context lookups.
 type Span struct {
-	t      *Tracer
-	name   string
-	id     uint64
-	parent uint64
-	start  time.Time
+	t       *Tracer
+	rec     *FlightRecorder
+	name    string
+	id      uint64
+	parent  uint64
+	trace   uint64
+	session string
+	job     string
+	start   time.Time
 
 	mu    sync.Mutex
 	attrs map[string]any
 	ended bool
+}
+
+// Name returns the span's name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// ID returns the span's id (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the id of the span tree's root span (0 for a nil
+// span) — the stable handle the exemplar and flight-recorder surfaces
+// correlate on.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
 }
 
 // SetAttr attaches a key/value attribute to the span. Values must be
@@ -110,8 +151,9 @@ func (s *Span) SetAttr(key string, v any) {
 	s.mu.Unlock()
 }
 
-// End closes the span and emits its record; err, when non-nil, is
-// recorded on the span. End is idempotent — later calls are ignored.
+// End closes the span and emits its record to the tracer and the flight
+// recorder (whichever the span's context carried); err, when non-nil,
+// is recorded on the span. End is idempotent — later calls are ignored.
 func (s *Span) End(err error) {
 	if s == nil {
 		return
@@ -124,18 +166,40 @@ func (s *Span) End(err error) {
 	s.ended = true
 	attrs := s.attrs
 	s.mu.Unlock()
-	rec := SpanRecord{
-		Name:   s.name,
-		ID:     s.id,
-		Parent: s.parent,
-		Start:  s.start,
-		DurMS:  float64(time.Since(s.start)) / float64(time.Millisecond),
-		Attrs:  attrs,
-	}
+	durMS := float64(time.Since(s.start)) / float64(time.Millisecond)
+	errStr := ""
 	if err != nil {
-		rec.Err = err.Error()
+		errStr = err.Error()
 	}
-	s.t.emit(rec)
+	if s.t != nil {
+		s.t.emit(SpanRecord{
+			Name:    s.name,
+			ID:      s.id,
+			Parent:  s.parent,
+			Trace:   s.trace,
+			Session: s.session,
+			Job:     s.job,
+			Start:   s.start,
+			DurMS:   durMS,
+			Err:     errStr,
+			Attrs:   attrs,
+		})
+	}
+	if s.rec != nil {
+		s.rec.Record(FlightRecord{
+			Time:    s.start,
+			Kind:    "span",
+			Session: s.session,
+			Job:     s.job,
+			Span:    s.name,
+			SpanID:  s.id,
+			Trace:   s.trace,
+			Name:    s.name,
+			DurMS:   durMS,
+			Err:     errStr,
+			Attrs:   attrs,
+		})
+	}
 }
 
 type ctxKey int
@@ -166,23 +230,34 @@ func SpanFromContext(ctx context.Context) *Span {
 }
 
 // StartSpan opens a span named name under the context's current span
-// and returns a derived context carrying it. Without a tracer on the
-// context it returns (ctx, nil); the nil span's methods are no-ops, so
-// instrumented code needs no guards. Every span must be closed with
-// End.
+// and returns a derived context carrying it. Without a tracer or flight
+// recorder on the context it returns (ctx, nil); the nil span's methods
+// are no-ops, so instrumented code needs no guards. Every span must be
+// closed with End.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	t := TracerFromContext(ctx)
-	if t == nil {
+	rec := FlightRecorderFromContext(ctx)
+	if t == nil && rec == nil {
 		return ctx, nil
 	}
 	s := &Span{
-		t:     t,
-		name:  name,
-		id:    t.next.Add(1),
-		start: time.Now(),
+		t:       t,
+		rec:     rec,
+		name:    name,
+		session: SessionIDFromContext(ctx),
+		job:     JobIDFromContext(ctx),
+		start:   time.Now(),
+	}
+	if t != nil {
+		s.id = t.next.Add(1)
+	} else {
+		s.id = spanSeq.Add(1)
 	}
 	if parent := SpanFromContext(ctx); parent != nil {
 		s.parent = parent.id
+		s.trace = parent.trace
+	} else {
+		s.trace = s.id
 	}
 	return context.WithValue(ctx, spanKey, s), s
 }

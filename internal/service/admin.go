@@ -13,27 +13,31 @@ import (
 
 // AdminHandler builds the service's admin HTTP surface:
 //
-//	/metrics        Prometheus text exposition of the obs registry
-//	/healthz        liveness: are pool workers running
-//	/readyz         readiness: is there queue headroom to accept scans
-//	/jobs           JSON list of retained jobs (oldest first)
-//	/jobs/{id}      JSON status of one job, live stage timeline included
-//	/debug/pprof/   runtime profiling (CPU, heap, goroutines, ...)
+//	/metrics                      Prometheus text exposition of the obs registry
+//	/healthz                      liveness: are pool workers running
+//	/readyz                       readiness: is there queue headroom to accept scans
+//	/jobs                         JSON list of retained jobs (oldest first)
+//	/jobs/{id}                    JSON status of one job, live stage timeline included
+//	/sessions                     JSON list of open sessions with flight-recorder state
+//	/sessions/{id}/flightrecorder JSONL of the session's live flight-recorder ring;
+//	                              ?dump=last serves the last automatic anomaly dump instead
+//	/debug/pprof/                 runtime profiling (CPU, heap, goroutines, ...)
 //
 // The handler holds only the *Service; mount it wherever the deployment
 // wants (ServeAdmin below binds it to its own listener).
 func AdminHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		// Point-in-time gauges are refreshed at scrape time, so the
-		// exposition reflects the queue as it is now, not as it was at
-		// the last state change.
+		// Point-in-time gauges and the runtime sample are refreshed at
+		// scrape time, so the exposition reflects the service as it is
+		// now, not as it was at the last state change.
+		s.SampleRuntime()
 		reg := s.Registry()
-		reg.Gauge("brainsim_queue_depth",
+		reg.Gauge(obs.MetricQueueDepth,
 			"Accepted scans waiting for a worker.").Set(float64(s.QueueDepth()))
-		reg.Gauge("brainsim_queue_capacity",
+		reg.Gauge(obs.MetricQueueCapacity,
 			"Configured scan queue bound.").Set(float64(s.QueueCapacity()))
-		reg.Gauge("brainsim_workers_alive",
+		reg.Gauge(obs.MetricWorkersAlive,
 			"Worker-pool goroutines currently running.").Set(float64(s.WorkersAlive()))
 		reg.Handler().ServeHTTP(w, r)
 	})
@@ -91,6 +95,41 @@ func AdminHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Sessions())
+	})
+	mux.HandleFunc("/sessions/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/sessions/")
+		id, sub, found := strings.Cut(rest, "/")
+		if !found || id == "" || sub != "flightrecorder" {
+			http.NotFound(w, r)
+			return
+		}
+		if r.URL.Query().Get("dump") == "last" {
+			// The frozen anomaly dump, JSON-wrapped with its trigger
+			// metadata; 404 distinguishes "no anomaly yet" from an
+			// unknown session.
+			d, err := s.SessionLastDump(id)
+			if err != nil {
+				writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+				return
+			}
+			if d == nil {
+				writeJSON(w, http.StatusNotFound, map[string]any{
+					"error": fmt.Sprintf("session %q has no flight-recorder dump", id)})
+				return
+			}
+			writeJSON(w, http.StatusOK, d)
+			return
+		}
+		recs, err := s.SessionFlightRecords(id)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = obs.WriteFlightRecords(w, recs)
 	})
 	obs.RegisterPprof(mux)
 	return mux

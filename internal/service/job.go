@@ -251,18 +251,35 @@ func (j *Job) Timeline() string {
 	return b.String()
 }
 
+// maxJobStageEvents bounds one job's retained stage-event history; a
+// pathological pipeline cannot grow a job's memory without bound. The
+// six-stage pipeline stays far below it, so drops only ever happen on
+// runaway instrumentation — and are counted when they do.
+const maxJobStageEvents = 64
+
 // jobRecorder is the per-job core.Observer: it turns the pipeline's
 // callbacks into the job's StageEvent log. Stages of one job are
 // sequential, so StageDone always completes the most recent event.
 type jobRecorder struct {
-	j *Job
+	j   *Job
+	agg *aggregator
 }
 
 // StageStart implements core.Observer.
 func (r *jobRecorder) StageStart(stage string) {
 	r.j.mu.Lock()
-	defer r.j.mu.Unlock()
 	r.j.events = append(r.j.events, StageEvent{Stage: stage, Start: time.Now()})
+	dropped := 0
+	if len(r.j.events) > maxJobStageEvents {
+		dropped = len(r.j.events) - maxJobStageEvents
+		r.j.events = append(r.j.events[:0], r.j.events[dropped:]...)
+	}
+	r.j.mu.Unlock()
+	// The drop metric is fed outside j.mu: instrument locks never nest
+	// inside job locks.
+	if r.agg != nil {
+		r.agg.stageEventsDropped(dropped)
+	}
 }
 
 // StageDone implements core.Observer.

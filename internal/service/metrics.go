@@ -172,7 +172,7 @@ func (a *aggregator) submittedScan() {
 	a.mu.Lock()
 	a.submitted++
 	a.mu.Unlock()
-	a.reg.Counter("brainsim_submissions_total",
+	a.reg.Counter(obs.MetricSubmissions,
 		"Scan submissions accepted into the queue.").Inc()
 }
 
@@ -181,7 +181,7 @@ func (a *aggregator) shedScan() {
 	a.mu.Lock()
 	a.shed++
 	a.mu.Unlock()
-	a.reg.Counter("brainsim_shed_total",
+	a.reg.Counter(obs.MetricShed,
 		"Scan submissions rejected because the queue was full.").Inc()
 }
 
@@ -191,18 +191,56 @@ func (a *aggregator) updateFellBack() {
 	a.mu.Lock()
 	a.updateFallbacks++
 	a.mu.Unlock()
-	a.reg.Counter("brainsim_update_fallbacks_total",
+	a.reg.Counter(obs.MetricUpdateFallbacks,
 		"Update submissions that ran as full registrations (no baseline).").Inc()
 }
+
+// jobsEvicted records finished jobs dropped from the bounded admin
+// retention window.
+func (a *aggregator) jobsEvicted(n int) {
+	if n <= 0 {
+		return
+	}
+	a.reg.Counter(obs.MetricJobsEvicted,
+		"Finished jobs evicted from the bounded admin retention window.").Add(float64(n))
+}
+
+// stageEventsDropped records per-job stage events discarded at the
+// bounded event-history limit.
+func (a *aggregator) stageEventsDropped(n int) {
+	if n <= 0 {
+		return
+	}
+	a.reg.Counter(obs.MetricStageEventsDropped,
+		"Per-job stage events dropped at the bounded history limit.").Add(float64(n))
+}
+
+// flightDumped records one automatic flight-recorder dump by trigger.
+func (a *aggregator) flightDumped(trigger string) {
+	a.reg.Counter(obs.MetricFlightDumps,
+		"Automatic flight-recorder dumps by trigger.",
+		obs.Label{Key: "trigger", Value: trigger}).Inc()
+}
+
+// solverIterationBuckets spans per-solve GMRES iteration counts, from
+// warm-started few-iteration updates up to a MaxIter-bound cold solve.
+var solverIterationBuckets = []float64{1, 2, 5, 10, 20, 30, 50, 75, 100, 150, 200, 300, 500, 1000}
+
+// entryResidualBuckets spans the entry relative residual: 1.0 is a
+// cold start, anything well below it is a warm start paying off.
+var entryResidualBuckets = []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1}
 
 // scanDone records the outcome of one finished job in exactly one
 // bucket. Degraded takes priority: a deadline observed mid-degradation
 // (after the surface stage) is the clinical fallback working as
 // designed, and must not leak into Canceled as well. kind is the
 // effective processing path (an update that fell back reports as
-// JobRegister); elapsed is the worker wall-clock time of the job, fed
-// to the update-vs-cold latency histograms when the scan was delivered.
-func (a *aggregator) scanDone(kind JobKind, elapsed time.Duration, res *core.Result, err error) {
+// JobRegister); jobID annotates the latency histogram bucket as a
+// trace_id exemplar, linking a bad bucket to a concrete /jobs/{id} and
+// flight-recorder trail; elapsed is the worker wall-clock time of the
+// job, fed to the update-vs-cold latency histograms when the scan was
+// delivered.
+func (a *aggregator) scanDone(kind JobKind, jobID string, elapsed time.Duration, res *core.Result, err error) {
 	outcome := "completed"
 	incr := res != nil && res.Incremental
 	a.mu.Lock()
@@ -235,37 +273,53 @@ func (a *aggregator) scanDone(kind JobKind, elapsed time.Duration, res *core.Res
 		}
 	}
 	a.mu.Unlock()
-	a.reg.Counter("brainsim_scans_total",
+	a.reg.Counter(obs.MetricScans,
 		"Finished scans by outcome.", obs.Label{Key: "outcome", Value: outcome}).Inc()
 	if err == nil && res != nil {
 		// Delivered (completed or degraded): the update-vs-cold latency
-		// split of the scan wall-clock, one histogram per job kind.
-		a.reg.Histogram("brainsim_scan_seconds",
+		// split of the scan wall-clock, one histogram per job kind, with
+		// the job id as a trace exemplar on the bucket it lands in.
+		a.reg.Histogram(obs.MetricScanSeconds,
 			"Worker wall-clock time per delivered scan by processing path.",
 			obs.DefaultLatencyBuckets, obs.Label{Key: "kind", Value: string(kind)}).
-			Observe(elapsed.Seconds())
+			ObserveExemplar(elapsed.Seconds(), "trace_id", jobID)
 	}
 	if outcome == "completed" && res != nil {
-		a.reg.Counter("brainsim_solver_iterations_total",
-			"GMRES iterations across all delivered scans.").Add(float64(res.SolveStats.Iterations))
+		st := res.SolveStats
+		a.reg.Counter(obs.MetricSolverIterationsTotal,
+			"GMRES iterations across all delivered scans.").Add(float64(st.Iterations))
+		a.reg.Histogram(obs.MetricSolverIterations,
+			"GMRES iterations per delivered solve.",
+			solverIterationBuckets).ObserveExemplar(float64(st.Iterations), "trace_id", jobID)
+		a.reg.Histogram(obs.MetricSolverEntryResidual,
+			"Relative preconditioned residual of the initial iterate per solve.",
+			entryResidualBuckets).Observe(st.EntryResRel)
+		a.reg.Counter(obs.MetricSolverRestarts,
+			"GMRES restart cycles beyond the first across delivered solves.").Add(float64(st.Restarts))
+		a.reg.Counter(obs.MetricSolverStagnated,
+			"GMRES restart cycles that reduced the residual by less than 1%.").Add(float64(st.StagnatedCycles))
+		if st.Diverged {
+			a.reg.Counter(obs.MetricSolverDiverged,
+				"Delivered solves in which a restart cycle increased the residual.").Inc()
+		}
 		conv := "true"
-		if !res.SolveStats.Converged {
+		if !st.Converged {
 			conv = "false"
-			a.reg.Counter("brainsim_solver_nonconverged_total",
+			a.reg.Counter(obs.MetricSolverNonConverged,
 				"Delivered scans whose GMRES solve hit MaxIter without converging.").Inc()
 		}
-		a.reg.Counter("brainsim_solver_solves_total",
+		a.reg.Counter(obs.MetricSolverSolves,
 			"Completed biomechanical solves by convergence.",
 			obs.Label{Key: "converged", Value: conv}).Inc()
 		if incr && res.Update != nil {
-			a.reg.Counter("brainsim_warmstart_iterations_saved_total",
+			a.reg.Counter(obs.MetricWarmItersSaved,
 				"GMRES iterations saved by warm-started incremental updates.").
 				Add(float64(res.Update.IterationsSaved))
 			hit := "hit"
 			if !res.Update.PCCacheHit {
 				hit = "miss"
 			}
-			a.reg.Counter("brainsim_pc_cache_total",
+			a.reg.Counter(obs.MetricPCCache,
 				"Preconditioner cache outcomes of incremental solves.",
 				obs.Label{Key: "result", Value: hit}).Inc()
 		}

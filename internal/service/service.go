@@ -21,6 +21,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,9 +52,9 @@ var (
 	ErrUnknownJob = errors.New("service: unknown job")
 )
 
-// jobRetention bounds how many finished jobs are kept addressable on
-// the admin surface before the oldest are evicted.
-const jobRetention = 1024
+// defaultJobRetention bounds how many finished jobs are kept
+// addressable on the admin surface before the oldest are evicted.
+const defaultJobRetention = 1024
 
 // Options configures the service.
 type Options struct {
@@ -68,6 +72,28 @@ type Options struct {
 	// histograms, outcome counters, assembly gauges). Nil allocates a
 	// private registry, reachable via Service.Registry.
 	Registry *obs.Registry
+	// JobRetention bounds how many jobs stay addressable on the admin
+	// surface; the oldest beyond it are evicted (counted in
+	// brainsim_jobs_evicted_total). Default 1024.
+	JobRetention int
+	// FlightRecorderSize bounds each session's flight-recorder ring (the
+	// per-session black box of recent spans, events and log records).
+	// Default 256 records.
+	FlightRecorderSize int
+	// FlightDumpDir, when non-empty, additionally writes every automatic
+	// flight-recorder dump as a JSONL file "<session>-<job>.jsonl" in
+	// that directory; dumps are always retrievable in memory via
+	// /sessions/{id}/flightrecorder regardless.
+	FlightDumpDir string
+	// RuntimeSampleInterval, when positive, starts a background sampler
+	// feeding runtime health (heap, goroutines, GC pauses) into the
+	// registry at that period. The /metrics endpoint also samples at
+	// scrape time, so zero just means scrape-driven sampling only.
+	RuntimeSampleInterval time.Duration
+	// Logger receives the service's structured log records (through an
+	// obs.ContextHandler, so records carry session/job/span identity).
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
 // Service is a concurrent registration service. Create it with New,
@@ -78,6 +104,11 @@ type Service struct {
 	queue chan *Job
 	wg    sync.WaitGroup
 	agg   aggregator
+	rt    *obs.RuntimeCollector
+	log   *slog.Logger
+
+	// stopSampler ends the background runtime sampler (nil when none).
+	stopSampler chan struct{}
 
 	// workersAlive tracks workers that have started and not yet exited —
 	// the liveness signal behind /healthz.
@@ -104,10 +135,49 @@ type managedSession struct {
 	qos  QoSClass
 	gate chan struct{}
 	sess *core.Session
+	// fr is the session's flight recorder: the bounded ring of recent
+	// spans, events and log records that backs the automatic anomaly
+	// dumps and the /sessions/{id}/flightrecorder endpoint.
+	fr *obs.FlightRecorder
+
+	// dumpMu guards lastDump. It is a leaf lock: never acquired while
+	// holding Service.mu or any instrument lock.
+	dumpMu   sync.Mutex
+	lastDump *FlightDump
 }
 
-func newManagedSession(id string, qos QoSClass, sess *core.Session) *managedSession {
-	return &managedSession{id: id, qos: qos, gate: make(chan struct{}, 1), sess: sess}
+func newManagedSession(id string, qos QoSClass, sess *core.Session, frSize int) *managedSession {
+	return &managedSession{
+		id: id, qos: qos, gate: make(chan struct{}, 1), sess: sess,
+		fr: obs.NewFlightRecorder(frSize),
+	}
+}
+
+// setDump stores the session's most recent automatic dump.
+func (ms *managedSession) setDump(d *FlightDump) {
+	ms.dumpMu.Lock()
+	ms.lastDump = d
+	ms.dumpMu.Unlock()
+}
+
+// LastDump returns the most recent automatic flight-recorder dump of
+// the session, or nil if none was triggered yet.
+func (ms *managedSession) LastDump() *FlightDump {
+	ms.dumpMu.Lock()
+	defer ms.dumpMu.Unlock()
+	return ms.lastDump
+}
+
+// FlightDump is one automatically captured flight-recorder snapshot:
+// the records that led up to a job anomaly (degradation, fallback,
+// shed, non-convergence, failure), frozen at the moment the trigger
+// fired while live recording continued.
+type FlightDump struct {
+	SessionID string             `json:"session_id"`
+	JobID     string             `json:"job_id,omitempty"`
+	Trigger   string             `json:"trigger"` // degraded | fallback | shed | nonconverged | failed
+	Time      time.Time          `json:"time"`
+	Records   []obs.FlightRecord `json:"records"`
 }
 
 // acquire claims the session's scan slot, or gives up when ctx ends
@@ -136,11 +206,19 @@ func New(opts Options) *Service {
 	if opts.Registry == nil {
 		opts.Registry = obs.NewRegistry()
 	}
+	if opts.JobRetention <= 0 {
+		opts.JobRetention = defaultJobRetention
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.NopLogger()
+	}
 	s := &Service{
 		opts:     opts,
 		queue:    make(chan *Job, opts.QueueDepth),
 		sessions: make(map[string]*managedSession),
 		jobs:     make(map[string]*Job),
+		rt:       obs.NewRuntimeCollector(opts.Registry),
+		log:      opts.Logger,
 	}
 	s.agg.init(opts.Registry)
 	s.wg.Add(opts.Workers)
@@ -148,13 +226,49 @@ func New(opts Options) *Service {
 		s.workersAlive.Add(1)
 		go s.worker()
 	}
+	if opts.RuntimeSampleInterval > 0 {
+		s.stopSampler = make(chan struct{})
+		s.wg.Add(1)
+		go s.sampleRuntime(opts.RuntimeSampleInterval)
+	}
 	return s
+}
+
+// sampleRuntime feeds runtime health into the registry until Close.
+func (s *Service) sampleRuntime(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.rt.Sample()
+		case <-s.stopSampler:
+			return
+		}
+	}
+}
+
+// SampleRuntime takes one runtime-health sample into the registry —
+// called by the admin /metrics handler at scrape time so the exposition
+// is current even without a background sampler.
+func (s *Service) SampleRuntime() {
+	s.rt.Sample()
 }
 
 // Registry returns the obs registry holding the service's metrics —
 // the same one the admin server exposes on /metrics.
 func (s *Service) Registry() *obs.Registry {
 	return s.opts.Registry
+}
+
+// logger returns the configured logger, or the nop logger for a
+// zero-value Service built without New (white-box tests).
+func (s *Service) logger() *slog.Logger {
+	if s.log == nil {
+		return obs.NopLogger()
+	}
+	return s.log
 }
 
 // QoSClass classifies a session's scans for admission control under
@@ -230,7 +344,7 @@ func (s *Service) Open(spec SessionSpec) error {
 	if _, dup := s.sessions[spec.ID]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateSession, spec.ID)
 	}
-	s.sessions[spec.ID] = newManagedSession(spec.ID, qos, sess)
+	s.sessions[spec.ID] = newManagedSession(spec.ID, qos, sess, s.opts.FlightRecorderSize)
 	return nil
 }
 
@@ -265,6 +379,97 @@ func (s *Service) Session(id string) (*core.Session, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
 	}
 	return ms.sess, nil
+}
+
+// managed returns the managed session wrapper for id.
+func (s *Service) managed(id string) (*managedSession, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	return ms, nil
+}
+
+// FlightDumpInfo summarizes one automatic dump on /sessions (the full
+// records are on /sessions/{id}/flightrecorder?dump=last).
+type FlightDumpInfo struct {
+	JobID   string    `json:"job_id,omitempty"`
+	Trigger string    `json:"trigger"`
+	Time    time.Time `json:"time"`
+	Records int       `json:"records"`
+}
+
+// SessionStatus is the wire form of one open session on /sessions.
+type SessionStatus struct {
+	ID          string `json:"id"`
+	QoS         string `json:"qos"`
+	HasBaseline bool   `json:"has_baseline"`
+	Scans       int    `json:"scans"`
+	// FlightRecords / FlightCapacity / FlightTotal describe the
+	// session's flight-recorder ring: currently retained, the bound, and
+	// ever recorded.
+	FlightRecords  int             `json:"flight_records"`
+	FlightCapacity int             `json:"flight_capacity"`
+	FlightTotal    uint64          `json:"flight_total"`
+	LastDump       *FlightDumpInfo `json:"last_dump,omitempty"`
+}
+
+func (ms *managedSession) status() SessionStatus {
+	st := SessionStatus{
+		ID:             ms.id,
+		QoS:            string(ms.qos),
+		HasBaseline:    ms.sess.HasBaseline(),
+		Scans:          ms.sess.ScanCount(),
+		FlightRecords:  ms.fr.Len(),
+		FlightCapacity: ms.fr.Capacity(),
+		FlightTotal:    ms.fr.Total(),
+	}
+	if d := ms.LastDump(); d != nil {
+		st.LastDump = &FlightDumpInfo{
+			JobID: d.JobID, Trigger: d.Trigger, Time: d.Time, Records: len(d.Records),
+		}
+	}
+	return st
+}
+
+// Sessions snapshots every open session for the admin surface, sorted
+// by id.
+func (s *Service) Sessions() []SessionStatus {
+	s.mu.Lock()
+	mss := make([]*managedSession, 0, len(s.sessions))
+	for _, ms := range s.sessions {
+		mss = append(mss, ms)
+	}
+	s.mu.Unlock()
+	// Status reads take session-local leaf locks; outside s.mu.
+	out := make([]SessionStatus, 0, len(mss))
+	for _, ms := range mss {
+		out = append(out, ms.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SessionFlightRecords returns the live contents of a session's flight
+// recorder, oldest first.
+func (s *Service) SessionFlightRecords(id string) ([]obs.FlightRecord, error) {
+	ms, err := s.managed(id)
+	if err != nil {
+		return nil, err
+	}
+	return ms.fr.Snapshot(), nil
+}
+
+// SessionLastDump returns a session's most recent automatic
+// flight-recorder dump (nil when no anomaly has triggered one).
+func (s *Service) SessionLastDump(id string) (*FlightDump, error) {
+	ms, err := s.managed(id)
+	if err != nil {
+		return nil, err
+	}
+	return ms.LastDump(), nil
 }
 
 // Submit enqueues one newly acquired intraoperative scan for a full
@@ -313,7 +518,7 @@ func (s *Service) submit(ctx context.Context, sessionID string, intraop *volume.
 		// Elective sessions only use the front half of the queue; the
 		// back half is reserved headroom for urgent scans.
 		s.mu.Unlock()
-		s.agg.shedScan()
+		s.shedJob(ms, kind, "elective headroom")
 		return nil, ErrQueueFull
 	}
 	s.jobSeq++
@@ -329,27 +534,53 @@ func (s *Service) submit(ctx context.Context, sessionID string, intraop *volume.
 	}
 	select {
 	case s.queue <- j:
-		s.retainJobLocked(j)
+		evicted := s.retainJobLocked(j)
 		s.mu.Unlock()
 		s.agg.submittedScan()
+		s.agg.jobsEvicted(evicted)
 		return j, nil
 	default:
 		s.jobSeq-- // the id was never issued
 		s.mu.Unlock()
-		s.agg.shedScan()
+		s.shedJob(ms, kind, "queue full")
 		return nil, ErrQueueFull
 	}
 }
 
+// shedJob accounts one load-shed submission: the shed metric, a
+// job.shed event in the session's flight recorder, and an automatic
+// dump — a shed scan is an anomaly the surgeon will ask about. Called
+// WITHOUT s.mu held.
+func (s *Service) shedJob(ms *managedSession, kind JobKind, why string) {
+	s.agg.shedScan()
+	ms.fr.Record(obs.FlightRecord{
+		Time:    time.Now(),
+		Kind:    "event",
+		Session: ms.id,
+		Name:    obs.EventJobShed,
+		Attrs:   map[string]any{"kind": string(kind), "reason": why},
+	})
+	s.dumpFlight(ms, "", "shed")
+	s.logger().Warn("scan shed", "session", ms.id, "kind", string(kind), "reason", why)
+}
+
 // retainJobLocked registers the job for admin lookup and evicts the
-// oldest beyond the retention window. Caller holds s.mu.
-func (s *Service) retainJobLocked(j *Job) {
+// oldest beyond the retention window, returning how many were evicted
+// (the caller feeds the eviction metric after releasing s.mu — metric
+// locks never nest inside it). Caller holds s.mu.
+func (s *Service) retainJobLocked(j *Job) (evicted int) {
+	retention := s.opts.JobRetention
+	if retention <= 0 {
+		retention = defaultJobRetention
+	}
 	s.jobs[j.ID] = j
 	s.jobOrder = append(s.jobOrder, j.ID)
-	for len(s.jobOrder) > jobRetention {
+	for len(s.jobOrder) > retention {
 		delete(s.jobs, s.jobOrder[0])
 		s.jobOrder = s.jobOrder[1:]
+		evicted++
 	}
+	return evicted
 }
 
 // Job returns the job with the given id, if still retained.
@@ -426,6 +657,9 @@ func (s *Service) Close() error {
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
+	if s.stopSampler != nil {
+		close(s.stopSampler)
+	}
 	s.wg.Wait()
 	return nil
 }
@@ -440,12 +674,17 @@ func (s *Service) worker() {
 }
 
 // runJob executes one queued scan, recording per-stage events on the
-// job and feeding the aggregate metrics.
+// job and feeding the aggregate metrics. The scan runs under a context
+// stamped with the session/job identity and the session's flight
+// recorder, so every span the pipeline opens, every event the solver
+// emits, and every log record written below lands in the session's
+// black box with matching ids.
 func (s *Service) runJob(j *Job) {
 	defer close(j.done)
 	start := time.Now()
 	j.setStarted(start)
-	ctx := j.ctx
+	ctx := obs.WithFlightRecorder(
+		obs.WithJobID(obs.WithSessionID(j.ctx, j.SessionID), j.ID), j.ms.fr)
 	if s.opts.ScanTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.ScanTimeout)
@@ -455,14 +694,14 @@ func (s *Service) runJob(j *Job) {
 		// Abandoned while queued (caller gave up or deadline passed):
 		// don't waste a worker on it.
 		j.finish(nil, err)
-		s.agg.scanDone(j.Kind, 0, nil, err)
+		s.agg.scanDone(j.Kind, j.ID, 0, nil, err)
 		return
 	}
 	// Scans of one session are serialized by the session gate; the
 	// observer swap below is protected by the same slot.
 	if err := j.ms.acquire(ctx); err != nil {
 		j.finish(nil, err)
-		s.agg.scanDone(j.Kind, 0, nil, err)
+		s.agg.scanDone(j.Kind, j.ID, 0, nil, err)
 		return
 	}
 	// The effective kind is resolved under the gate: HasBaseline is
@@ -473,8 +712,12 @@ func (s *Service) runJob(j *Job) {
 		kind = JobRegister
 		j.markFellBack()
 		s.agg.updateFellBack()
+		obs.Emit(ctx, obs.EventJobFallback, map[string]any{"requested": string(JobUpdate)})
+		s.logger().WarnContext(ctx, "update fell back to full registration: no baseline")
 	}
-	j.ms.sess.SetObserver(core.MultiObserver(&jobRecorder{j: j}, &s.agg))
+	s.logger().InfoContext(ctx, "scan started", "kind", string(kind),
+		"queue_wait_ms", float64(start.Sub(j.enqueued))/float64(time.Millisecond))
+	j.ms.sess.SetObserver(core.MultiObserver(&jobRecorder{j: j, agg: &s.agg}, &s.agg))
 	var res *core.Result
 	var err error
 	if kind == JobUpdate {
@@ -485,5 +728,68 @@ func (s *Service) runJob(j *Job) {
 	j.ms.sess.SetObserver(nil)
 	j.ms.release()
 	j.finish(res, err)
-	s.agg.scanDone(kind, time.Since(start), res, err)
+	s.agg.scanDone(kind, j.ID, time.Since(start), res, err)
+
+	// Anomaly triage: any of these outcomes freezes the flight recorder
+	// into a retrievable dump. One dump per job, worst trigger wins.
+	switch {
+	case err != nil:
+		obs.Emit(ctx, obs.EventJobFailed, map[string]any{"error": err.Error()})
+		s.logger().ErrorContext(ctx, "scan failed", "error", err.Error())
+		s.dumpFlight(j.ms, j.ID, "failed")
+	case res != nil && res.Degraded:
+		obs.Emit(ctx, obs.EventJobDegraded, nil)
+		s.logger().WarnContext(ctx, "scan degraded to rigid-only result")
+		s.dumpFlight(j.ms, j.ID, "degraded")
+	case res != nil && !res.SolveStats.Converged:
+		s.logger().WarnContext(ctx, "solve did not converge",
+			"iterations", res.SolveStats.Iterations,
+			"final_rel_residual", res.SolveStats.FinalResRel)
+		s.dumpFlight(j.ms, j.ID, "nonconverged")
+	case j.FellBack():
+		s.dumpFlight(j.ms, j.ID, "fallback")
+	default:
+		s.logger().InfoContext(ctx, "scan completed", "kind", string(kind),
+			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
+	}
+}
+
+// dumpFlight freezes the session's flight recorder into a FlightDump:
+// retained on the session (served by /sessions/{id}/flightrecorder),
+// optionally written as JSONL to Options.FlightDumpDir, and counted by
+// trigger. Live recording continues in the ring.
+func (s *Service) dumpFlight(ms *managedSession, jobID, trigger string) {
+	d := &FlightDump{
+		SessionID: ms.id,
+		JobID:     jobID,
+		Trigger:   trigger,
+		Time:      time.Now(),
+		Records:   ms.fr.Snapshot(),
+	}
+	ms.setDump(d)
+	s.agg.flightDumped(trigger)
+	if dir := s.opts.FlightDumpDir; dir != "" {
+		name := ms.id
+		if jobID != "" {
+			name += "-" + jobID
+		}
+		path := filepath.Join(dir, name+".jsonl")
+		if err := writeDumpFile(path, d.Records); err != nil {
+			s.logger().Error("flight-recorder dump write failed", "path", path, "error", err.Error())
+		}
+	}
+}
+
+// writeDumpFile writes one dump as a JSONL file.
+func writeDumpFile(path string, recs []obs.FlightRecord) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return obs.WriteFlightRecords(f, recs)
 }

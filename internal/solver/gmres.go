@@ -51,6 +51,16 @@ type Stats struct {
 	// WarmStarted reports that the solve was seeded with a previous
 	// solution through GMRESWarmContext.
 	WarmStarted bool
+	// Restarts counts GMRES restart cycles beyond the first (0 when the
+	// solve converged within one cycle).
+	Restarts int
+	// StagnatedCycles counts restart cycles that reduced the relative
+	// residual by less than 1% — the signature of a preconditioner that
+	// has stopped helping.
+	StagnatedCycles int
+	// Diverged reports that some cycle ended with a larger relative
+	// residual than it entered with.
+	Diverged bool
 	// History holds the per-iteration relative residual when
 	// Options.RecordHistory is set.
 	History []float64
@@ -260,6 +270,31 @@ func gmresCycle(matvec func(in, out []float64), b, x []float64, m Preconditioner
 // restart cycle: a cancelled or deadline-expired context aborts within
 // one cycle, returning the best iterate so far together with ctx.Err().
 func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]float64, Stats, error) {
+	return gmres(ctx, a, b, x0, m, opts, false)
+}
+
+// emitSolveEvent publishes one solver.solve convergence event into the
+// context's flight recorder — the per-solve numerical-health record
+// (iterations, residual trajectory, restart/stagnation/divergence
+// counters) that lets a post-hoc dump answer "why did this solve take
+// 40 iterations". A no-op without a recorder on the context.
+func emitSolveEvent(ctx context.Context, stats *Stats) {
+	obs.Emit(ctx, obs.EventSolverSolve, map[string]any{
+		"iterations":         stats.Iterations,
+		"matvecs":            stats.MatVecs,
+		"converged":          stats.Converged,
+		"entry_rel_residual": stats.EntryResRel,
+		"final_rel_residual": stats.FinalResRel,
+		"restarts":           stats.Restarts,
+		"stagnated_cycles":   stats.StagnatedCycles,
+		"diverged":           stats.Diverged,
+		"warm_started":       stats.WarmStarted,
+	})
+}
+
+// gmres is the shared body of GMRESContext and GMRESWarmContext; warm
+// marks the statistics (and the solve event) as warm-started.
+func gmres(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options, warm bool) ([]float64, Stats, error) {
 	n := a.N
 	if len(b) != n {
 		return nil, Stats{}, fmt.Errorf("solver: rhs length %d != n %d", len(b), n)
@@ -298,6 +333,7 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 	}
 
 	var stats Stats
+	stats.WarmStarted = warm
 	ws := newGMRESWorkspace(n, restart)
 
 	// Convergence is relative to ||M^{-1} b|| (the PETSc convention),
@@ -310,6 +346,7 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 	if numeric.Zero(bNorm) {
 		// b = 0: solution is x = 0 regardless of x0.
 		stats.Converged = true
+		emitSolveEvent(ctx, &stats)
 		return make([]float64, n), stats, nil
 	}
 
@@ -321,6 +358,7 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 		// inner iterations, yet bounds the abort latency to one cycle.
 		if err := ctx.Err(); err != nil {
 			stats.FinalResRel = math.NaN()
+			emitSolveEvent(ctx, &stats)
 			return x, stats, err
 		}
 		// Each restart cycle runs in a closure holding one trace span
@@ -333,8 +371,15 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 			defer span.End(nil)
 			span.SetAttr("cycle", cycle)
 			histStart := len(stats.History)
+			itersBefore := stats.Iterations
 			done, entryRel, exitRel := gmresCycle(matvec, b, x, m,
 				ws, restart, maxIter, tol, beta0, opts.RecordHistory, &stats)
+			// A restart is a cycle that iterated after a previous cycle
+			// already had; the zero-iteration pass confirming convergence
+			// of the prior cycle's iterate is not one.
+			if itersBefore > 0 && stats.Iterations > itersBefore {
+				stats.Restarts++
+			}
 			if opts.RecordHistory {
 				stats.History = append(stats.History, ws.hist...)
 			}
@@ -342,6 +387,17 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 			if done {
 				span.SetAttr("converged", true)
 				return true
+			}
+			// A cycle that barely moved the residual means the
+			// preconditioned Krylov space has stagnated; one that raised it
+			// means divergence. Both are flight-recorder material.
+			if exitRel > entryRel {
+				stats.Diverged = true
+				span.SetAttr("diverged", true)
+			}
+			if exitRel > 0.99*entryRel {
+				stats.StagnatedCycles++
+				span.SetAttr("stagnated", true)
 			}
 			span.SetAttr("iterations_total", stats.Iterations)
 			span.SetAttr("exit_rel_residual", exitRel)
@@ -354,6 +410,7 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 			return false
 		}()
 		if converged {
+			emitSolveEvent(ctx, &stats)
 			return x, stats, nil
 		}
 		cycle++
@@ -369,6 +426,7 @@ func GMRESContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Precond
 	rel := norm2(ws.z) / beta0
 	stats.FinalResRel = rel
 	stats.Converged = rel <= tol
+	emitSolveEvent(ctx, &stats)
 	return x, stats, nil
 }
 
@@ -385,9 +443,7 @@ func GMRESWarmContext(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Pre
 	if len(x0) != a.N {
 		return nil, Stats{}, fmt.Errorf("solver: warm-start seed length %d != n %d", len(x0), a.N)
 	}
-	x, stats, err := GMRESContext(ctx, a, b, x0, m, opts)
-	stats.WarmStarted = true
-	return x, stats, err
+	return gmres(ctx, a, b, x0, m, opts, true)
 }
 
 // CG solves A x = b with a background context; see CGContext.

@@ -22,6 +22,8 @@ echo "== simlint ./..."
 go run ./cmd/simlint ./...
 echo "== perfgate"
 go run ./cmd/perfgate
+echo "== benchreport -check"
+go run ./cmd/benchreport -check > /dev/null
 echo "== go test ./..."
 go test ./...
 echo "== go test -fuzz (10s each: edt distance transform, sparse SpMV, GMRES vs dense)"
