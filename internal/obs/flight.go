@@ -17,6 +17,10 @@ import (
 // that were on the context when it was produced, so a dump can be
 // correlated line-by-line with the trace stream and the job log.
 type FlightRecord struct {
+	// Time is when the record was produced — the end time for "span"
+	// records (ring order is End order, so dumps stay monotonically
+	// timestamped; the span's start is Time minus DurMS), the emit time
+	// for events, the log time for logs.
 	Time time.Time `json:"t"`
 	// Kind is "span", "event" or "log".
 	Kind    string `json:"kind"`
@@ -215,7 +219,8 @@ func FlightRecorderFromContext(ctx context.Context) *FlightRecorder {
 // stamped with the session/job identity and the innermost span. Event
 // names come from the EventNames vocabulary; attrs must be
 // JSON-serializable (non-finite floats are stringified, as in
-// Span.SetAttr). Without a recorder on the context Emit is a no-op, so
+// Span.SetAttr; the caller's map is never modified and may be reused).
+// Without a recorder on the context Emit is a no-op, so
 // instrumented code needs no guards; the per-call cost is two context
 // lookups.
 func Emit(ctx context.Context, name string, attrs map[string]any) {
@@ -223,9 +228,19 @@ func Emit(ctx context.Context, name string, attrs map[string]any) {
 	if r == nil {
 		return
 	}
-	for k, v := range attrs {
-		if f, ok := v.(float64); ok && (math.IsNaN(f) || math.IsInf(f, 0)) {
-			attrs[k] = fmt.Sprintf("%g", f)
+	// Copy attrs (stringifying non-finite floats in the copy) so the
+	// retained record never aliases the caller's map — the caller may
+	// reuse or mutate it after Emit returns, including concurrently with
+	// a ring dump.
+	var copied map[string]any
+	if len(attrs) > 0 {
+		copied = make(map[string]any, len(attrs))
+		for k, v := range attrs {
+			if f, ok := v.(float64); ok && (math.IsNaN(f) || math.IsInf(f, 0)) {
+				copied[k] = fmt.Sprintf("%g", f)
+			} else {
+				copied[k] = v
+			}
 		}
 	}
 	rec := FlightRecord{
@@ -234,7 +249,7 @@ func Emit(ctx context.Context, name string, attrs map[string]any) {
 		Session: SessionIDFromContext(ctx),
 		Job:     JobIDFromContext(ctx),
 		Name:    name,
-		Attrs:   attrs,
+		Attrs:   copied,
 	}
 	if sp := SpanFromContext(ctx); sp != nil {
 		rec.Span = sp.Name()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 )
@@ -122,8 +123,36 @@ func TestEmitStampsContextIdentity(t *testing.T) {
 	if sp.Session != "or-7" || sp.Job != "j000042" {
 		t.Errorf("span identity = session %q job %q, want or-7/j000042", sp.Session, sp.Job)
 	}
+	// Span records are stamped with the span's end time, so the ring's
+	// arrival order is also timestamp order: the span that ended after
+	// the event it encloses must not be timestamped before it.
+	if sp.Time.Before(ev.Time) {
+		t.Errorf("span record time %v precedes enclosed event time %v; want end-time stamping", sp.Time, ev.Time)
+	}
 }
 
 func TestEmitWithoutRecorderIsNoop(t *testing.T) {
 	Emit(context.Background(), EventSolverSolve, nil) // must not panic
+}
+
+func TestEmitDoesNotAliasCallerAttrs(t *testing.T) {
+	// The caller's map must come back untouched — non-finite floats are
+	// stringified in a copy — and the retained record must not observe
+	// mutations the caller makes after Emit returns.
+	r := NewFlightRecorder(4)
+	ctx := WithFlightRecorder(context.Background(), r)
+	attrs := map[string]any{"residual": math.Inf(1), "iterations": 40.0}
+	Emit(ctx, EventSolverSolve, attrs)
+
+	if v, ok := attrs["residual"].(float64); !ok || !math.IsInf(v, 1) {
+		t.Errorf("Emit rewrote the caller's map: residual = %v (%T)", attrs["residual"], attrs["residual"])
+	}
+	attrs["iterations"] = 999.0 // caller reuses the map afterwards
+	rec := r.Snapshot()[0]
+	if rec.Attrs["residual"] != "+Inf" {
+		t.Errorf("record residual = %v, want stringified +Inf", rec.Attrs["residual"])
+	}
+	if rec.Attrs["iterations"] != 40.0 {
+		t.Errorf("record iterations = %v, want the value at Emit time", rec.Attrs["iterations"])
+	}
 }

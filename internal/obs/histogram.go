@@ -73,8 +73,10 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveExemplar records one value and attaches an exemplar label to
 // the bucket it lands in (e.g. trace_id = the job's trace id), shown
-// inline on the bucket's exposition line. The newest exemplar per
-// bucket wins. An empty labelVal records plainly, like Observe.
+// inline on the bucket's line in the OpenMetrics exposition (the 0.0.4
+// text format has no exemplar syntax and renders plain). The newest
+// exemplar per bucket wins. An empty labelVal records plainly, like
+// Observe.
 func (h *Histogram) ObserveExemplar(v float64, labelKey, labelVal string) {
 	h.observe(v, labelKey, labelVal)
 }
@@ -185,14 +187,16 @@ func (h *Histogram) Summary() HistSummary {
 }
 
 // write renders the histogram in Prometheus text format: cumulative
-// _bucket series, then _sum and _count. Buckets that carry an exemplar
-// get it appended inline, OpenMetrics style:
+// _bucket series, then _sum and _count. In the OpenMetrics exposition
+// (exemplars true), buckets that carry an exemplar get it appended
+// inline:
 //
 //	name_bucket{le="0.5"} 12 # {trace_id="j0001"} 0.43
 //
-// Plain Observe calls never set exemplars, so histograms without them
-// render byte-identical to the pre-exemplar format.
-func (h *Histogram) write(w *bufio.Writer, name, labels string) {
+// The 0.0.4 text format has no exemplar syntax — a conforming scraper
+// expects at most a timestamp after the value — so with exemplars
+// false every bucket line renders plain.
+func (h *Histogram) write(w *bufio.Writer, name, labels string, exemplars bool) {
 	h.mu.Lock()
 	bounds := h.bounds
 	counts := append([]uint64(nil), h.counts...)
@@ -200,7 +204,7 @@ func (h *Histogram) write(w *bufio.Writer, name, labels string) {
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
 	suffix := func(i int) string {
-		if i >= len(exs) || !exs[i].set {
+		if !exemplars || i >= len(exs) || !exs[i].set {
 			return ""
 		}
 		return fmt.Sprintf(" # {%s=%q} %g", exs[i].key, exs[i].val, exs[i].value)

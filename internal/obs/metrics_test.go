@@ -108,7 +108,7 @@ func TestHistogramBucketEdges(t *testing.T) {
 	h.Observe(3) // +Inf
 	var b strings.Builder
 	bw := bufio.NewWriter(&b)
-	h.write(bw, "m", "")
+	h.write(bw, "m", "", false)
 	if err := bw.Flush(); err != nil {
 		t.Fatal(err)
 	}

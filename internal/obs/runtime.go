@@ -51,12 +51,19 @@ func (c *RuntimeCollector) Sample() {
 	runtime.ReadMemStats(&ms)
 	goroutines := runtime.NumGoroutine()
 
+	// Concurrent Samples read MemStats outside the lock, so a snapshot
+	// with a newer NumGC can acquire the lock first; the stale snapshot
+	// must then count zero new cycles and must not regress lastNumGC
+	// (an unsigned prev-ahead subtraction would underflow and replay 256
+	// stale pauses).
 	c.mu.Lock()
-	prev := c.lastNumGC
-	c.lastNumGC = ms.NumGC
+	var newGC uint32
+	if ms.NumGC > c.lastNumGC {
+		newGC = ms.NumGC - c.lastNumGC
+		c.lastNumGC = ms.NumGC
+	}
 	c.mu.Unlock()
 
-	newGC := ms.NumGC - prev
 	if newGC > uint32(len(ms.PauseNs)) {
 		newGC = uint32(len(ms.PauseNs))
 	}

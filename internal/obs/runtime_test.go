@@ -59,6 +59,38 @@ func TestRuntimeCollectorSampleIdempotentDelta(t *testing.T) {
 	}
 }
 
+func TestRuntimeCollectorStaleSampleNoUnderflow(t *testing.T) {
+	// Concurrent Samples read MemStats outside the collector lock, so a
+	// sample holding an older NumGC can reach the lock after a newer one
+	// already advanced lastNumGC. The stale sample must count zero new
+	// cycles — not underflow the unsigned delta, replay 256 stale
+	// pauses, and regress the baseline.
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.mu.Lock()
+	c.lastNumGC = ms.NumGC + 5 // as if a newer sample won the race
+	c.mu.Unlock()
+
+	before := reg.Counter(MetricRuntimeGCCycles, "").Value()
+	c.Sample() // stale relative to the advanced baseline
+	after := reg.Counter(MetricRuntimeGCCycles, "").Value()
+	if after != before {
+		t.Errorf("stale sample added %v GC cycles, want 0", after-before)
+	}
+	c.mu.Lock()
+	last := c.lastNumGC
+	c.mu.Unlock()
+	if last < ms.NumGC+5 {
+		t.Errorf("stale sample regressed lastNumGC to %v, want >= %v", last, ms.NumGC+5)
+	}
+	if h := reg.Histogram(MetricRuntimeGCPauseSeconds, "", DefaultGCPauseBuckets); h.Summary().Count > 0 {
+		t.Errorf("stale sample observed %d pauses, want 0", h.Summary().Count)
+	}
+}
+
 func TestRuntimeCollectorNilSafety(t *testing.T) {
 	var c *RuntimeCollector
 	c.Sample() // must not panic

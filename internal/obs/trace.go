@@ -166,7 +166,8 @@ func (s *Span) End(err error) {
 	s.ended = true
 	attrs := s.attrs
 	s.mu.Unlock()
-	durMS := float64(time.Since(s.start)) / float64(time.Millisecond)
+	end := time.Now()
+	durMS := float64(end.Sub(s.start)) / float64(time.Millisecond)
 	errStr := ""
 	if err != nil {
 		errStr = err.Error()
@@ -186,8 +187,11 @@ func (s *Span) End(err error) {
 		})
 	}
 	if s.rec != nil {
+		// Records land in the ring in End order, so stamp the end time —
+		// dumps stay monotonically timestamped (the start is recoverable
+		// as Time - DurMS; the trace stream's SpanRecord keeps Start).
 		s.rec.Record(FlightRecord{
-			Time:    s.start,
+			Time:    end,
 			Kind:    "span",
 			Session: s.session,
 			Job:     s.job,

@@ -283,6 +283,37 @@ func TestAdminEndpoints(t *testing.T) {
 			t.Errorf("/metrics missing %q in:\n%s", want, body)
 		}
 	}
+	// The 0.0.4 default scrape must stay exemplar-free (exemplars are
+	// illegal in that grammar and would fail the whole scrape).
+	if strings.Contains(body, "# {") {
+		t.Errorf("0.0.4 /metrics scrape carries exemplar syntax:\n%s", body)
+	}
+
+	// An OpenMetrics scrape carries the job-ID exemplars on the scan
+	// latency buckets, plus the mandatory EOF trailer.
+	req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics /metrics content type %q", ct)
+	}
+	if !strings.Contains(string(omBody), `# {trace_id="`) {
+		t.Errorf("OpenMetrics /metrics missing exemplar annotation:\n%s", omBody)
+	}
+	if !strings.HasSuffix(string(omBody), "# EOF\n") {
+		t.Errorf("OpenMetrics /metrics missing # EOF trailer:\n%s", omBody)
+	}
 
 	code, body, _ = get("/healthz")
 	if code != http.StatusOK {
