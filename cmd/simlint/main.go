@@ -149,6 +149,8 @@ func printList(analyzers []lint.Analyzer) {
 	fmt.Println("pin a kernel's escapes:   //lint:noescape (enforced by cmd/perfgate against compiler facts)")
 	fmt.Println("declare phase contracts:  //lint:phase requires=... provides=... forbids=...")
 	fmt.Println("mark frame conversions:   //lint:coordspace conversion")
+	fmt.Println("declare aliasing rules:   //lint:noalias <param>,<param> (call sites checked by slice provenance)")
+	fmt.Println("declare shape contracts:  //lint:shape len(A)==len(B) ... | //lint:shape validator")
 }
 
 // matchesAny reports whether the module-relative package path matches

@@ -29,9 +29,13 @@ const inf = 1e20
 // distanceTransform1D computes the 1D squared-distance transform of
 // f (sampled at integer positions with the given spacing) using the
 // lower envelope of parabolas. The result is written into d, which must
-// have the same length as f. v and z are scratch slices of length n and
-// n+1 respectively.
+// have the same length as f and may not alias it (d is written while
+// the envelope still reads f). v and z are scratch slices of length n
+// and n+1 respectively; the contracts are checked at every call site by
+// simlint's aliasguard and shapecheck.
 //
+//lint:noalias f,d
+//lint:shape len(d)==len(f) len(z)==len(v)+1
 //lint:hotpath
 //lint:noescape
 func distanceTransform1D(f, d []float64, v []int, z []float64, spacing float64) {
@@ -40,6 +44,15 @@ func distanceTransform1D(f, d []float64, v []int, z []float64, spacing float64) 
 		return
 	}
 	sp2 := spacing * spacing
+	// The parabola-intersection division below divides by sp2; a zero or
+	// non-finite spacing would make every envelope boundary NaN and the
+	// `s > z[k]` walk misbehave silently (NaN compares false). The
+	// callers panic on bad spacing before the sweep loops; this kernel
+	// only bails (a panic's message string would escape, breaking the
+	// //lint:noescape contract).
+	if !(sp2 > 0) || math.IsInf(sp2, 0) {
+		return
+	}
 	k := 0
 	v[0] = 0
 	// The envelope boundaries need true infinities: with the finite inf
@@ -81,6 +94,13 @@ func distanceTransform1D(f, d []float64, v []int, z []float64, spacing float64) 
 // voxel where mask is true. Voxels inside the mask get 0. When the mask
 // is empty every voxel gets +inf (represented as a value >= 1e19).
 func SquaredFromMask(g volume.Grid, mask []bool) []float64 {
+	// distanceTransform1D divides by spacing² along each axis; validate
+	// once per volume here so the pinned kernel stays panic-free.
+	for _, sp := range [3]float64{g.Spacing.X, g.Spacing.Y, g.Spacing.Z} {
+		if !(sp > 0) || math.IsInf(sp, 0) {
+			panic("edt: voxel spacing must be positive and finite")
+		}
+	}
 	n := g.Len()
 	d := make([]float64, n)
 	for i := range d {
@@ -206,11 +226,19 @@ func SignedOfSet(l *volume.Labels, inSet func(volume.Label) bool, saturation flo
 	inside := SquaredFromMask(l.Grid, inv)
 	s := volume.NewScalar(l.Grid)
 	for i := range s.Data {
-		var d float64
+		sq := outside[i]
 		if mask[i] {
-			d = -math.Sqrt(inside[i])
-		} else {
-			d = math.Sqrt(outside[i])
+			sq = inside[i]
+		}
+		if sq < 0 {
+			// Squared distances are non-negative by construction; clamp
+			// envelope round-off so Sqrt can never emit NaN into the
+			// saturation comparisons below.
+			sq = 0
+		}
+		d := math.Sqrt(sq)
+		if mask[i] {
+			d = -d
 		}
 		if saturation > 0 {
 			if d > saturation {

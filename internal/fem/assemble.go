@@ -63,6 +63,10 @@ const elementStiffnessFlops = 600
 
 // System is an assembled linear elastic system K u = f over the mesh
 // DOFs (3 per node: node n owns DOFs 3n..3n+2).
+// The solver indexes F and Constrained by DOF without bounds slack,
+// per the declared shape contract.
+//
+//lint:shape len(F)==NumDOF len(Constrained)==NumDOF
 type System struct {
 	Mesh   *mesh.Mesh
 	K      *sparse.CSR
@@ -351,22 +355,42 @@ func (s *System) PatchDirichlet(ctx context.Context, bc map[int32]geom.Vec3) (ch
 				node, ErrBoundarySetChanged)
 		}
 	}
-	for node, d := range bc {
-		vals := [3]float64{d.X, d.Y, d.Z}
-		for i := 0; i < 3; i++ {
-			dof := 3*int(node) + i
-			delta := vals[i] - s.bcVal[dof]
-			if numeric.Zero(delta) {
-				continue
-			}
-			c := s.bcCoupling[dof]
-			for p, row := range c.rows {
-				s.F[row] -= c.coef[p] * delta
-			}
-			s.F[dof] = vals[i]
-			s.bcVal[dof] = vals[i]
-			changed++
+	// Iterate in DOF order, not map order: a free row coupled to several
+	// moving boundary DOFs accumulates several -= terms into F, and float
+	// accumulation must run in a fixed order for the bit-reproducible
+	// re-solves the warm-start equality tests assume.
+	for dof, con := range s.Constrained {
+		if !con {
+			continue
 		}
+		d, ok := bc[int32(dof/3)]
+		if !ok {
+			continue
+		}
+		var v float64
+		switch dof % 3 {
+		case 0:
+			v = d.X
+		case 1:
+			v = d.Y
+		default:
+			v = d.Z
+		}
+		delta := v - s.bcVal[dof]
+		if numeric.Zero(delta) {
+			continue
+		}
+		c := s.bcCoupling[dof]
+		// Re-slicing coef to rows' length proves the two stride together,
+		// eliminating the coef[p] bounds check (cf. sparse.MulVec).
+		rows := c.rows
+		coef := c.coef[:len(rows)]
+		for p, row := range rows {
+			s.F[row] -= coef[p] * delta
+		}
+		s.F[dof] = v
+		s.bcVal[dof] = v
+		changed++
 	}
 	span.SetAttr("dofs_changed", changed)
 	span.SetAttr("dofs_constrained", s.nConstrained)

@@ -12,7 +12,10 @@ import (
 // build it once and rasterize every subsequent displacement solution
 // with a dense gather instead of re-locating each voxel — the
 // incremental-update analogue of the preconditioner cache, for the
-// paper's resampling step.
+// paper's resampling step. Apply gathers four nodes and weights per
+// covered voxel, per the declared shape contract.
+//
+//lint:shape len(nodes)==4*len(vox) len(w)==4*len(vox)
 type InterpTable struct {
 	grid volume.Grid
 	// vox is the linear voxel index of each covered voxel, in element
@@ -22,6 +25,17 @@ type InterpTable struct {
 	// nodes and w hold four node indices and four weights per entry.
 	nodes []int32
 	w     []float64
+}
+
+// checkShape validates the four-entries-per-voxel invariant Apply's
+// gather loop indexes by; simlint's shapecheck analyzer requires it
+// after the append-built construction in BuildInterpTable.
+//
+//lint:shape validator
+func (t *InterpTable) checkShape() {
+	if len(t.nodes) != 4*len(t.vox) || len(t.w) != 4*len(t.vox) {
+		panic("fem: inconsistent InterpTable shape: nodes/weights are not 4 per covered voxel")
+	}
 }
 
 // rasterize visits every (voxel, element) pair where the voxel center
@@ -103,6 +117,7 @@ func (s *System) BuildInterpTable(g volume.Grid) *InterpTable {
 		t.nodes = append(t.nodes, nodes[0], nodes[1], nodes[2], nodes[3])
 		t.w = append(t.w, w[0], w[1], w[2], w[3])
 	})
+	t.checkShape()
 	return t
 }
 

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// aliasguard enforces //lint:noalias contracts on kernel slice
+// parameters. A kernel whose correctness depends on its slice arguments
+// not sharing a backing array (CSR MulVec writing y while reading x,
+// the EDT row transform, the GMRES cycle) declares the contract in its
+// doc comment:
+//
+//	//lint:noalias x,y
+//
+// and aliasguard verifies every call site by backing-array provenance
+// (provenance.go): if two contract arguments may derive from the same
+// root — the same variable, field chain, or allocation site — the call
+// is reported. Distinct named roots are assumed distinct, so correct
+// call sites stay clean without waivers; the y = A·y corruption the
+// contract targets always shows the same root on both sides.
+//
+// The contract propagates: a function that forwards two of its *own*
+// slice parameters into a callee's noalias pair inherits the proof
+// obligation and must declare //lint:noalias on them itself, so the
+// requirement surfaces in the API documentation of every wrapper
+// (function literals cannot carry doc comments and are exempt — their
+// parameters are assumed distinct, like any other distinct roots).
+type aliasguard struct{}
+
+func (aliasguard) Name() string { return "aliasguard" }
+
+func (aliasguard) Doc() string {
+	return "//lint:noalias slice-parameter contracts verified at every call site by backing-array provenance"
+}
+
+// parseNoaliasDirective extracts the parameter names of a
+// //lint:noalias directive; syntax diagnostics live in suppressions().
+func parseNoaliasDirective(doc *ast.CommentGroup) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//lint:noalias")
+		if !ok {
+			continue
+		}
+		var names []string
+		for _, n := range strings.Split(strings.TrimSpace(rest), ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names, true
+	}
+	return nil, false
+}
+
+func (aliasguard) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		// Semantic validation of contracts declared in this package.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			out = append(out, checkNoaliasDecl(pkg, fd)...)
+		}
+		for _, sc := range funcScopes(file) {
+			out = append(out, checkNoaliasCalls(pkg, sc)...)
+		}
+	}
+	return out
+}
+
+// checkNoaliasDecl validates a declared contract against the
+// function's actual parameter list.
+func checkNoaliasDecl(pkg *Package, fd *ast.FuncDecl) []Finding {
+	names, ok := parseNoaliasDirective(fd.Doc)
+	if !ok {
+		return nil
+	}
+	var out []Finding
+	pos := pkg.Fset.Position(fd.Name.Pos())
+	if len(names) < 2 {
+		out = append(out, Finding{Pos: pos, Analyzer: "aliasguard",
+			Msg: "//lint:noalias on " + fd.Name.Name + " needs at least two parameter names"})
+	}
+	params := paramIndex(pkg, fd)
+	for _, n := range names {
+		obj, ok := params[n]
+		if !ok {
+			out = append(out, Finding{Pos: pos, Analyzer: "aliasguard",
+				Msg: "//lint:noalias names " + strconvQuote(n) + " which is not a parameter of " + fd.Name.Name})
+			continue
+		}
+		if !isSliceType(obj.Type()) {
+			out = append(out, Finding{Pos: pos, Analyzer: "aliasguard",
+				Msg: "//lint:noalias names " + strconvQuote(n) + " which is not slice-typed on " + fd.Name.Name})
+		}
+	}
+	return out
+}
+
+// paramIndex maps a declaration's parameter names to their objects.
+func paramIndex(pkg *Package, fd *ast.FuncDecl) map[string]*types.Var {
+	out := make(map[string]*types.Var)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				out[name.Name] = obj
+			}
+		}
+	}
+	return out
+}
+
+// noaliasContract resolves a call's //lint:noalias contract to argument
+// positions: the callee's declared names mapped through its flattened
+// parameter list.
+func noaliasContract(pkg *Package, call *ast.CallExpr) (fn *types.Func, argIdx []int, names []string) {
+	fn = calleeFunc(pkg, call)
+	if fn == nil || pkg.Mod == nil {
+		return nil, nil, nil
+	}
+	decl := pkg.Mod.FuncDecl(fn)
+	if decl == nil {
+		return nil, nil, nil
+	}
+	declared, ok := parseNoaliasDirective(decl.Doc)
+	if !ok || len(declared) < 2 {
+		return nil, nil, nil
+	}
+	flat := flatParamNames(decl)
+	for _, n := range declared {
+		for i, pn := range flat {
+			if pn == n {
+				if i < len(call.Args) {
+					argIdx = append(argIdx, i)
+					names = append(names, n)
+				}
+				break
+			}
+		}
+	}
+	if len(argIdx) < 2 {
+		return nil, nil, nil
+	}
+	return fn, argIdx, names
+}
+
+func flatParamNames(decl *ast.FuncDecl) []string {
+	var out []string
+	if decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, name.Name)
+		}
+	}
+	return out
+}
+
+// checkNoaliasCalls verifies every contract call site within one
+// function scope.
+func checkNoaliasCalls(pkg *Package, sc funcScope) []Finding {
+	// Collect the contract calls first; the value-flow build is lazy so
+	// scopes without contract calls stay cheap.
+	var calls []*ast.CallExpr
+	inspectShallow(sc.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, _, _ := noaliasContract(pkg, call); fn != nil {
+				calls = append(calls, call)
+			}
+		}
+		return true
+	})
+	if len(calls) == 0 {
+		return nil
+	}
+	vf := buildValueFlow(pkg, sc)
+	res := &provResolver{pkg: pkg, vf: vf,
+		summary: func(fn *types.Func) *provSummary { return pkg.Mod.SliceSummary(pkg, fn) }}
+
+	ownParams := make(map[*types.Var]string)
+	var ownContract []string
+	if sc.decl != nil {
+		for name, obj := range paramIndex(pkg, sc.decl) {
+			ownParams[obj] = name
+		}
+		ownContract, _ = parseNoaliasDirective(sc.decl.Doc)
+	}
+
+	var out []Finding
+	for _, call := range calls {
+		fn, argIdx, names := noaliasContract(pkg, call)
+		provs := make([]provSet, len(argIdx))
+		for i, ai := range argIdx {
+			provs[i] = res.sliceProv(call.Args[ai], 0)
+		}
+		for i := 0; i < len(argIdx); i++ {
+			for j := i + 1; j < len(argIdx); j++ {
+				if shared := sharedRoots(provs[i], provs[j]); len(shared) > 0 {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Analyzer: "aliasguard",
+						Msg: fn.Name() + " requires non-aliasing arguments " + strconvQuote(names[i]) +
+							" and " + strconvQuote(names[j]) + " (//lint:noalias) but both may derive from " +
+							shared[0].String(),
+					})
+					continue
+				}
+				out = append(out, checkPropagation(pkg, sc, call, fn,
+					provs[i], provs[j], names[i], names[j], ownParams, ownContract)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkPropagation reports a forwarding scope that passes two of its
+// own parameters into a noalias pair without carrying the contract.
+func checkPropagation(pkg *Package, sc funcScope, call *ast.CallExpr, fn *types.Func,
+	pa, pb provSet, na, nb string, ownParams map[*types.Var]string, ownContract []string) []Finding {
+	if sc.decl == nil {
+		return nil
+	}
+	fa, okA := soleOwnParam(pa, ownParams)
+	fb, okB := soleOwnParam(pb, ownParams)
+	if !okA || !okB || fa == fb {
+		return nil
+	}
+	if containsStr(ownContract, fa) && containsStr(ownContract, fb) {
+		return nil
+	}
+	return []Finding{{
+		Pos:      pkg.Fset.Position(call.Pos()),
+		Analyzer: "aliasguard",
+		Msg: sc.decl.Name.Name + " forwards its parameters " + strconvQuote(fa) + " and " + strconvQuote(fb) +
+			" into the //lint:noalias pair " + strconvQuote(na) + "," + strconvQuote(nb) + " of " + fn.Name() +
+			" but does not declare //lint:noalias " + fa + "," + fb + " itself",
+	}}
+}
+
+// soleOwnParam reports the enclosing declaration's parameter a
+// provenance set resolves to, when that is all it resolves to.
+func soleOwnParam(s provSet, ownParams map[*types.Var]string) (string, bool) {
+	name, found := "", false
+	for r := range s {
+		if r.kind != "var" || r.path != "" {
+			return "", false
+		}
+		n, ok := ownParams[r.obj]
+		if !ok {
+			return "", false
+		}
+		if found && n != name {
+			return "", false
+		}
+		name, found = n, true
+	}
+	return name, found
+}
+
+func containsStr(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

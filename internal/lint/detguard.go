@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detguard enforces determinism discipline in the numerical packages.
+// The warm-start equality tests (PR 6) and the BENCH trajectory gate
+// (PR 7) assume solves are bit-reproducible; Go randomizes map
+// iteration order per run, so two patterns silently break that:
+//
+//   - float accumulation inside `range` over a map: compound float
+//     assignments (+=, -=, *=, /=) re-associate in iteration order, and
+//     float addition does not associate bitwise;
+//   - building ordered output inside `range` over a map: appending to a
+//     slice in iteration order, unless the function visibly sorts that
+//     slice afterwards (the collect-then-sort idiom is the fix, so it
+//     is recognized and accepted).
+//
+// Assignments that target disjoint elements (s.F[row] = v) are
+// order-independent and stay clean. Separately, functions pinned by
+// //lint:hotpath or //lint:noescape are kernels whose behavior must be
+// a pure function of their inputs: calls into math/rand and wall-clock
+// reads (time.Now / time.Since) inside them are reported module-wide.
+type detguard struct{}
+
+func (detguard) Name() string { return "detguard" }
+
+func (detguard) Doc() string {
+	return "no map-iteration-order float accumulation or unsorted ordered output; no math/rand or time.Now in pinned kernels"
+}
+
+// detguardScope limits the map-range rules to the packages whose
+// outputs feed reproducibility tests.
+var detguardScope = []string{
+	"internal/fem", "internal/solver", "internal/sparse",
+	"internal/edt", "internal/classify", "internal/numeric",
+}
+
+func (detguard) Run(pkg *Package) []Finding {
+	var out []Finding
+	mapRules := inScope(pkg.RelPath, detguardScope)
+	for _, file := range pkg.Files {
+		for _, sc := range funcScopes(file) {
+			if mapRules {
+				out = append(out, checkMapRangeOrder(pkg, sc)...)
+			}
+			out = append(out, checkKernelPurity(pkg, sc)...)
+		}
+	}
+	return out
+}
+
+// checkMapRangeOrder scans one scope's range-over-map statements for
+// order-dependent accumulation and unsorted output.
+func checkMapRangeOrder(pkg *Package, sc funcScope) []Finding {
+	var out []Finding
+	inspectShallow(sc.body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(pkg, rs.X) {
+			return true
+		}
+		inspectShallow(rs.Body, func(x ast.Node) bool {
+			st, ok := x.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if isFloatExpr(pkg, st.Lhs[0]) {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(st.TokPos),
+						Analyzer: "detguard",
+						Msg: "float accumulation inside range over a map depends on iteration order; " +
+							"iterate a sorted key list (or the dense index) for bit-reproducible results",
+					})
+				}
+			case token.ASSIGN, token.DEFINE:
+				out = append(out, checkMapOrderedAppend(pkg, sc, st)...)
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// checkMapOrderedAppend flags `s = append(s, ...)` under a map range
+// unless s is visibly sorted later in the same function.
+func checkMapOrderedAppend(pkg *Package, sc funcScope, st *ast.AssignStmt) []Finding {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return nil
+	} else if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	target := lhsVar(pkg, st.Lhs[0])
+	if target == nil {
+		return nil
+	}
+	if sortedAfter(pkg, sc, st.End(), target) {
+		return nil
+	}
+	return []Finding{{
+		Pos:      pkg.Fset.Position(st.Pos()),
+		Analyzer: "detguard",
+		Msg: "appending to " + strconvQuote(target.Name()) + " inside range over a map emits " +
+			"map-iteration order; sort the slice afterwards or iterate sorted keys",
+	}}
+}
+
+// sortedAfter reports whether the function visibly sorts the variable
+// after the given position: a call to sort.* or slices.Sort* whose
+// first argument is (or closes over) the variable.
+func sortedAfter(pkg *Package, sc funcScope, after token.Pos, target *types.Var) bool {
+	found := false
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || len(call.Args) == 0 {
+			return true
+		}
+		pkgPath := ""
+		if fn.Pkg() != nil {
+			pkgPath = fn.Pkg().Path()
+		}
+		if pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		// The sorted operand is the first argument (sort.Slice(s, less),
+		// slices.Sort(s), sort.Ints(s)) or referenced inside a
+		// comparator closure.
+		mentions := false
+		ast.Inspect(call.Args[0], func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				if obj, _ := pkg.Info.Uses[id].(*types.Var); obj == target {
+					mentions = true
+				}
+			}
+			return !mentions
+		})
+		if mentions {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkKernelPurity reports nondeterminism sources inside pinned
+// kernels: math/rand calls and wall-clock reads.
+func checkKernelPurity(pkg *Package, sc funcScope) []Finding {
+	if sc.decl == nil ||
+		(!hasDirective(sc.decl.Doc, "hotpath") && !hasDirective(sc.decl.Doc, "noescape")) {
+		return nil
+	}
+	var out []Finding
+	inspectShallow(sc.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch p := fn.Pkg().Path(); {
+		case p == "math/rand" || p == "math/rand/v2":
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "detguard",
+				Msg: "math/rand call in pinned kernel " + sc.decl.Name.Name +
+					" (//lint:hotpath///lint:noescape code must be deterministic)",
+			})
+		case p == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "detguard",
+				Msg: "wall-clock read (time." + fn.Name() + ") in pinned kernel " + sc.decl.Name.Name +
+					"; time the kernel from the caller instead",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func isMapExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}

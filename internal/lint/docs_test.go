@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// analyzerRowRe matches a documentation table row whose first column is
+// a backticked analyzer name: "| `ctxprop` | ... |".
+var analyzerRowRe = regexp.MustCompile("^\\| `([a-z]+)` \\| (.+)\\|$")
+
+// sectionAnalyzerRows extracts analyzer-name table rows from one
+// markdown section: everything between the heading line and the next
+// "## " heading.
+func sectionAnalyzerRows(t *testing.T, path, heading string) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]string)
+	in := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, heading) {
+			in = true
+			continue
+		}
+		if in && strings.HasPrefix(line, "## ") {
+			break
+		}
+		if !in {
+			continue
+		}
+		if m := analyzerRowRe.FindStringSubmatch(line); m != nil {
+			if _, dup := rows[m[1]]; dup {
+				t.Errorf("%s: analyzer %q documented twice in section %q", path, m[1], heading)
+			}
+			rows[m[1]] = m[2]
+		}
+	}
+	if !in {
+		t.Fatalf("%s: section %q not found", path, heading)
+	}
+	return rows
+}
+
+// TestDocsMatchAnalyzerRoster pins documentation parity: the analyzer
+// tables in README (Static analysis) and DESIGN §7a must list exactly
+// the analyzers Analyzers() registers — an analyzer added without docs,
+// or docs for a renamed/removed analyzer, fail here rather than rot.
+func TestDocsMatchAnalyzerRoster(t *testing.T) {
+	roster := make(map[string]bool)
+	var names []string
+	for _, a := range Analyzers() {
+		roster[a.Name()] = true
+		names = append(names, a.Name())
+	}
+	sort.Strings(names)
+
+	for _, doc := range []struct {
+		path    string
+		heading string
+	}{
+		{filepath.Join("..", "..", "README.md"), "## Static analysis"},
+		{filepath.Join("..", "..", "DESIGN.md"), "## 7a."},
+	} {
+		rows := sectionAnalyzerRows(t, doc.path, doc.heading)
+		for _, name := range names {
+			cell, ok := rows[name]
+			if !ok {
+				t.Errorf("%s %q: analyzer %q is registered but undocumented", doc.path, doc.heading, name)
+				continue
+			}
+			if strings.TrimSpace(cell) == "" {
+				t.Errorf("%s %q: analyzer %q has an empty description cell", doc.path, doc.heading, name)
+			}
+		}
+		for name := range rows {
+			if !roster[name] {
+				t.Errorf("%s %q: documents %q, which Analyzers() does not register", doc.path, doc.heading, name)
+			}
+		}
+	}
+}

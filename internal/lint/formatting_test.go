@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"bytes"
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTestdataExemptFromGofmt pins the formatting-gate carve-out.
+// Analyzer fixtures under testdata are invisible to the go tool (build,
+// vet, test all skip testdata directories), and the gofmt gates in
+// scripts/check.sh and ci.yml exclude the same paths — fixtures exist
+// to exercise analyzers, not to be style-clean, and future fixtures
+// must be writable without fighting the formatter. The gofmt fixture
+// is a deliberately unformatted canary: if it ever comes back
+// formatted, someone ran a blanket gofmt over testdata and the
+// exclusion is no longer exercised.
+func TestTestdataExemptFromGofmt(t *testing.T) {
+	path := filepath.Join("testdata", "src", "gofmt", "notformatted.go")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := format.Source(data)
+	if err != nil {
+		t.Fatalf("canary fixture must stay parseable: %v", err)
+	}
+	if bytes.Equal(formatted, data) {
+		t.Fatalf("%s is gofmt-clean; the testdata-exclusion canary is gone", path)
+	}
+
+	// The gate itself must carve testdata out: both the local check
+	// script and the CI workflow run gofmt through a find that prunes
+	// testdata paths.
+	for _, gate := range []string{
+		filepath.Join("..", "..", "scripts", "check.sh"),
+		filepath.Join("..", "..", ".github", "workflows", "ci.yml"),
+	} {
+		script, err := os.ReadFile(gate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(script), `-not -path '*/testdata/*'`) {
+			t.Errorf("%s: gofmt gate no longer excludes testdata paths", gate)
+		}
+	}
+}

@@ -78,6 +78,10 @@ func Analyzers() []Analyzer {
 		lockscope{},
 		phaseorder{},
 		coordspace{},
+		aliasguard{},
+		nanguard{},
+		detguard{},
+		shapecheck{},
 	}
 }
 

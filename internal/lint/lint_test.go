@@ -94,6 +94,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"lockscope", "repro/internal/par/lockfixture"},
 		{"phaseorder", "repro/internal/phasefixture"},
 		{"coordspace", "repro/internal/mesh/coordfixture"},
+		{"aliasguard", "repro/internal/aliasfixture"},
+		{"nanguard", "repro/internal/solver/nanfixture"},
+		{"detguard", "repro/internal/fem/detfixture"},
+		{"shapecheck", "repro/internal/shapefixture"},
 	} {
 		t.Run(tc.dir, func(t *testing.T) {
 			pkg := loadFixture(t, filepath.Join("testdata", "src", tc.dir), tc.importPath)
@@ -225,6 +229,67 @@ func TestMalformedDirectives(t *testing.T) {
 	}
 }
 
+// TestDirectiveSyntax checks the lint pseudo-analyzer's validation of
+// the contract directives: malformed //lint:noalias and //lint:shape
+// arguments are reported at the directive itself, alongside the
+// semantic diagnostics the analyzers anchor on the declaration. The
+// cases live inline rather than in a fixture because a want comment
+// appended to a directive line would become part of the directive's
+// own argument.
+func TestDirectiveSyntax(t *testing.T) {
+	const src = `package dirsyntax
+
+// One names a single parameter.
+//
+//lint:noalias x
+func One(x []float64) {}
+
+// Bad names a non-identifier.
+//
+//lint:noalias x,2y
+func Bad(x, y []float64) {}
+
+// Shapes has two unparseable relations.
+//
+//lint:shape len(a)=len(b) bogus
+func Shapes(a, b []float64) {}
+
+// Empty has no argument at all.
+//
+//lint:shape
+func Empty(a []float64) {}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "dirsyntax.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, dir, "repro/internal/dirsyntax")
+	findings := Run([]*Package{pkg}, Analyzers())
+	want := []struct {
+		line     int
+		analyzer string
+		substr   string
+	}{
+		{5, "lint", "malformed directive: want //lint:noalias <param>,<param>"},
+		{6, "aliasguard", "needs at least two parameter names"},
+		{10, "lint", `"2y" is not an identifier`},
+		{11, "aliasguard", `"2y" which is not a parameter of Bad`},
+		// Same position: ties sort by message, "bogus" before "len(".
+		{15, "lint", `"bogus" does not parse`},
+		{15, "lint", `"len(a)=len(b)" does not parse`},
+		{20, "lint", "malformed directive: want //lint:shape validator | <relation>"},
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(want), findingList(findings))
+	}
+	for i, w := range want {
+		f := findings[i]
+		if f.Analyzer != w.analyzer || f.Pos.Line != w.line || !strings.Contains(f.Msg, w.substr) {
+			t.Errorf("finding %d = %s, want %s at line %d matching %q", i, f, w.analyzer, w.line, w.substr)
+		}
+	}
+}
+
 // TestAnalyzerNamesStable pins the suite roster: the names appear in
 // //lint:ignore directives across the tree, so removals or renames must
 // be deliberate.
@@ -237,7 +302,8 @@ func TestAnalyzerNamesStable(t *testing.T) {
 		}
 	}
 	if got, want := strings.Join(names, " "),
-		"ctxprop spanend metricname errwrap floateq hotalloc hotreach concsafe lockscope phaseorder coordspace"; got != want {
+		"ctxprop spanend metricname errwrap floateq hotalloc hotreach concsafe lockscope phaseorder coordspace"+
+			" aliasguard nanguard detguard shapecheck"; got != want {
 		t.Errorf("Analyzers() = %q, want %q", got, want)
 	}
 }

@@ -66,6 +66,31 @@ type Module struct {
 	// functions — so analyzers can jump from a resolved callee to its
 	// declaration (and its doc comment) in any loaded package.
 	decls map[token.Pos]*ast.FuncDecl
+	// typeSpecs indexes every loaded type declaration the same way
+	// (types.TypeName.Pos() is the position of the spec's name), with
+	// the doc comment resolved per the usual Go rule: the spec's own doc
+	// when present, else the enclosing GenDecl's.
+	typeSpecs map[token.Pos]*TypeDecl
+	// provMu serializes the slice-provenance summary cache in
+	// provenance.go across the analyzer goroutines RunAll spawns.
+	provMu   sync.Mutex
+	provSums map[*types.Func]*provSummary
+	provWork map[*types.Func]bool
+}
+
+// TypeDecl pairs a type spec with its effective doc comment.
+type TypeDecl struct {
+	Spec *ast.TypeSpec
+	Doc  *ast.CommentGroup
+}
+
+// TypeSpec returns the declaration of a module-internal named type, or
+// nil when the type is external or not yet loaded.
+func (m *Module) TypeSpec(tn *types.TypeName) *TypeDecl {
+	if tn == nil {
+		return nil
+	}
+	return m.typeSpecs[tn.Pos()]
 }
 
 // NewModule prepares a loader for the module rooted at root (the
@@ -97,8 +122,11 @@ func NewModule(root string) (*Module, error) {
 			Uses:       make(map[*ast.Ident]types.Object),
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		},
-		loadWG: make(map[string]bool),
-		decls:  make(map[token.Pos]*ast.FuncDecl),
+		loadWG:    make(map[string]bool),
+		decls:     make(map[token.Pos]*ast.FuncDecl),
+		typeSpecs: make(map[token.Pos]*TypeDecl),
+		provSums:  make(map[*types.Func]*provSummary),
+		provWork:  make(map[*types.Func]bool),
 	}, nil
 }
 
@@ -223,8 +251,24 @@ func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	for _, f := range files {
 		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok {
-				m.decls[fd.Name.Pos()] = fd
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				m.decls[decl.Name.Pos()] = decl
+			case *ast.GenDecl:
+				if decl.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = decl.Doc
+					}
+					m.typeSpecs[ts.Name.Pos()] = &TypeDecl{Spec: ts, Doc: doc}
+				}
 			}
 		}
 	}

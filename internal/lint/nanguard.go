@@ -1,0 +1,530 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// nanguard tracks possibly-non-finite float values into comparison
+// branches. IEEE comparisons against NaN are silently false, so a NaN
+// residual reaching a convergence test (`rel <= tol`) does not stop the
+// solver — it loops to the iteration cap and reports a plausible-looking
+// non-convergence, or worse, a stagnation test mis-fires. The analyzer
+// runs in the numerical packages (solver, fem, numeric, edt) and taints:
+//
+//   - float division whose denominator is not proven: a non-zero
+//     constant, an integer-derived factor, or an identifier previously
+//     compared against a constant or passed through numeric.Zero /
+//     numeric.NonZero / numeric.Finite / math.IsNaN / math.IsInf;
+//   - math.Sqrt / math.Log (and friends) of an unproven argument —
+//     syntactically non-negative arguments (squares, absolute values,
+//     sums of such) are accepted for Sqrt;
+//   - strconv.ParseFloat results and math.NaN().
+//
+// Taint propagates through assignments and arithmetic along CFG paths
+// (may-analysis; the guard set is a must-analysis, so a guard on one
+// branch does not launder the other). A tainted value reaching <, <=,
+// >, or >= is reported; ==/!= on floats is floateq's domain. Guards are
+// recognized flow-insensitively at their statement (the codebase's
+// guard-then-return idiom), trading branch sensitivity for zero
+// false positives on the early-return style the kernels use.
+// math.Inf(±1) is deliberately NOT a taint source: the kernels use
+// infinities as loop sentinels (`best := math.Inf(1)`), and comparing
+// against a deliberate infinity is well-defined.
+type nanguard struct{}
+
+func (nanguard) Name() string { return "nanguard" }
+
+func (nanguard) Doc() string {
+	return "possibly-NaN/Inf values (unproven division, Sqrt/Log, float parsing) must not reach comparisons unguarded"
+}
+
+var nanguardScope = []string{"internal/solver", "internal/fem", "internal/numeric", "internal/edt"}
+
+func (nanguard) Run(pkg *Package) []Finding {
+	if !inScope(pkg.RelPath, nanguardScope) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, sc := range funcScopes(file) {
+			out = append(out, checkNanFlow(pkg, sc)...)
+		}
+	}
+	return out
+}
+
+// nanFact is the dataflow fact: tainted is a may-set (the variable may
+// hold a non-finite value on some path), checked a must-set (the
+// variable was guard-compared on every path).
+type nanFact struct {
+	tainted map[*types.Var]bool
+	checked map[*types.Var]bool
+}
+
+func (f nanFact) clone() nanFact {
+	g := nanFact{tainted: make(map[*types.Var]bool, len(f.tainted)), checked: make(map[*types.Var]bool, len(f.checked))}
+	for k := range f.tainted {
+		g.tainted[k] = true
+	}
+	for k := range f.checked {
+		g.checked[k] = true
+	}
+	return g
+}
+
+func nanMeet(a, b nanFact) nanFact {
+	out := nanFact{tainted: make(map[*types.Var]bool, len(a.tainted)+len(b.tainted)), checked: make(map[*types.Var]bool)}
+	for k := range a.tainted {
+		out.tainted[k] = true
+	}
+	for k := range b.tainted {
+		out.tainted[k] = true
+	}
+	for k := range a.checked {
+		if b.checked[k] {
+			out.checked[k] = true
+		}
+	}
+	return out
+}
+
+func nanEqual(a, b nanFact) bool {
+	if len(a.tainted) != len(b.tainted) || len(a.checked) != len(b.checked) {
+		return false
+	}
+	for k := range a.tainted {
+		if !b.tainted[k] {
+			return false
+		}
+	}
+	for k := range a.checked {
+		if !b.checked[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkNanFlow(pkg *Package, sc funcScope) []Finding {
+	c := BuildCFG(sc.body)
+	entry := nanFact{tainted: make(map[*types.Var]bool), checked: make(map[*types.Var]bool)}
+	in := Forward(c, entry, nanMeet,
+		func(bl *Block, f nanFact) nanFact {
+			g := f.clone()
+			for _, n := range bl.Nodes {
+				nanTransfer(pkg, n, &g, nil)
+			}
+			return g
+		},
+		nanEqual,
+	)
+	var out []Finding
+	for _, bl := range c.Blocks {
+		f, ok := in[bl]
+		if !ok {
+			continue
+		}
+		g := f.clone()
+		for _, n := range bl.Nodes {
+			nanTransfer(pkg, n, &g, &out)
+		}
+	}
+	return out
+}
+
+// nanTransfer applies one CFG node to the fact, optionally reporting
+// tainted comparisons. Order within the node: findings first (against
+// the incoming fact), then guard effects, then assignments.
+func nanTransfer(pkg *Package, n ast.Node, f *nanFact, report *[]Finding) {
+	if _, ok := n.(*ast.LabeledStmt); ok {
+		return // the labeled statement is its own node
+	}
+	if report != nil {
+		inspectShallow(n, func(x ast.Node) bool {
+			be, ok := x.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			if !isFloatExpr(pkg, be.X) && !isFloatExpr(pkg, be.Y) {
+				return true
+			}
+			for _, operand := range [2]ast.Expr{be.X, be.Y} {
+				if bad, why := nanSuspect(pkg, operand, *f); bad {
+					*report = append(*report, Finding{
+						Pos:      pkg.Fset.Position(be.OpPos),
+						Analyzer: "nanguard",
+						Msg: "comparison consumes a possibly non-finite value (" + why +
+							"); guard with math.IsNaN/math.IsInf or numeric.Finite first",
+					})
+					break
+				}
+			}
+			return true
+		})
+	}
+	// Guard effects: IsNaN/IsInf/Zero/NonZero/Finite calls and
+	// comparisons against constants mark their identifier proven.
+	inspectShallow(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.CallExpr:
+			if obj := guardedIdent(pkg, e); obj != nil {
+				f.checked[obj] = true
+				delete(f.tainted, obj)
+			}
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				if isConstExpr(pkg, e.Y) {
+					markChecked(pkg, e.X, f)
+				}
+				if isConstExpr(pkg, e.X) {
+					markChecked(pkg, e.Y, f)
+				}
+			}
+		}
+		return true
+	})
+	// Definitions.
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		nanAssign(pkg, st, f)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					nanValueSpec(pkg, vs, f)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		// ±1 preserves finiteness classification; nothing to do.
+	}
+}
+
+func nanAssign(pkg *Package, st *ast.AssignStmt, f *nanFact) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		parseFloat := len(st.Rhs) == 1 && isParseFloatCall(pkg, st.Rhs[0])
+		for i, lhs := range st.Lhs {
+			obj := lhsVar(pkg, lhs)
+			if obj == nil {
+				continue
+			}
+			if parseFloat {
+				if i == 0 {
+					f.tainted[obj] = true
+				}
+				delete(f.checked, obj)
+				continue
+			}
+			if len(st.Rhs) != len(st.Lhs) {
+				delete(f.tainted, obj)
+				delete(f.checked, obj)
+				continue
+			}
+			nanDefine(pkg, obj, st.Rhs[i], f)
+		}
+	default: // compound op=
+		obj := lhsVar(pkg, st.Lhs[0])
+		if obj == nil {
+			return
+		}
+		delete(f.checked, obj)
+		if bad, _ := nanSuspect(pkg, st.Rhs[0], *f); bad {
+			f.tainted[obj] = true
+		}
+		if st.Tok == token.QUO_ASSIGN && !provenDenominator(pkg, st.Rhs[0], *f) {
+			f.tainted[obj] = true
+		}
+	}
+}
+
+func nanValueSpec(pkg *Package, vs *ast.ValueSpec, f *nanFact) {
+	for i, name := range vs.Names {
+		obj, _ := pkg.Info.Defs[name].(*types.Var)
+		if obj == nil {
+			continue
+		}
+		if len(vs.Values) == len(vs.Names) {
+			nanDefine(pkg, obj, vs.Values[i], f)
+			continue
+		}
+		delete(f.tainted, obj)
+		delete(f.checked, obj)
+	}
+}
+
+// nanDefine records `obj = rhs`: taint from the RHS, checkedness by
+// copy propagation (a copy of a checked variable, or a constant).
+func nanDefine(pkg *Package, obj *types.Var, rhs ast.Expr, f *nanFact) {
+	if bad, _ := nanSuspect(pkg, rhs, *f); bad {
+		f.tainted[obj] = true
+	} else {
+		delete(f.tainted, obj)
+	}
+	delete(f.checked, obj)
+	if isConstExpr(pkg, rhs) {
+		f.checked[obj] = true
+		return
+	}
+	if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+		if src, ok := pkg.Info.Uses[id].(*types.Var); ok && f.checked[src] {
+			f.checked[obj] = true
+		}
+	}
+}
+
+// lhsVar resolves an assignable ident to its variable object.
+func lhsVar(pkg *Package, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj, ok := pkg.Info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	obj, _ := pkg.Info.Uses[id].(*types.Var)
+	return obj
+}
+
+// nanSuspect reports whether an expression may evaluate non-finite
+// under the current fact, with a reason for the finding.
+func nanSuspect(pkg *Package, e ast.Expr, f nanFact) (bool, string) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[x].(*types.Var); ok && f.tainted[obj] {
+			return true, strconvQuote(x.Name) + " may hold a NaN/Inf value here"
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.QUO:
+			if isFloatExpr(pkg, x) && !provenDenominator(pkg, x.Y, f) {
+				return true, "division by unproven denominator " + exprShort(x.Y)
+			}
+			if bad, why := nanSuspect(pkg, x.X, f); bad {
+				return true, why
+			}
+		case token.ADD, token.SUB, token.MUL:
+			if bad, why := nanSuspect(pkg, x.X, f); bad {
+				return true, why
+			}
+			if bad, why := nanSuspect(pkg, x.Y, f); bad {
+				return true, why
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			return nanSuspect(pkg, x.X, f)
+		}
+	case *ast.CallExpr:
+		return nanSuspectCall(pkg, x, f)
+	}
+	return false, ""
+}
+
+// nanSuspectCall classifies math calls whose result may be NaN.
+func nanSuspectCall(pkg *Package, call *ast.CallExpr, f nanFact) (bool, string) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		// A conversion: float64(x) of a float operand keeps its class.
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 &&
+			isFloatExpr(pkg, call.Args[0]) {
+			return nanSuspect(pkg, call.Args[0], f)
+		}
+		return false, ""
+	}
+	switch {
+	case isFuncNamed(fn, "math", "NaN"):
+		return true, "math.NaN() sentinel in arithmetic"
+	case isFuncNamed(fn, "math", "Sqrt"):
+		if len(call.Args) == 1 && !provenNonNegative(pkg, call.Args[0], f) {
+			return true, "math.Sqrt of unproven argument " + exprShort(call.Args[0])
+		}
+	case isFuncNamed(fn, "math", "Log") || isFuncNamed(fn, "math", "Log2") ||
+		isFuncNamed(fn, "math", "Log10") || isFuncNamed(fn, "math", "Log1p") ||
+		isFuncNamed(fn, "math", "Asin") || isFuncNamed(fn, "math", "Acos"):
+		if len(call.Args) == 1 && !provenCheckedOperand(pkg, call.Args[0], f) {
+			return true, fn.Pkg().Name() + "." + fn.Name() + " of unproven argument " + exprShort(call.Args[0])
+		}
+	case isFuncNamed(fn, "math", "Abs") || isFuncNamed(fn, "math", "Min") || isFuncNamed(fn, "math", "Max"):
+		for _, a := range call.Args {
+			if bad, why := nanSuspect(pkg, a, f); bad {
+				return bad, why
+			}
+		}
+	}
+	return false, ""
+}
+
+// provenDenominator reports whether a division by e cannot produce a
+// non-finite result from float data: a non-zero constant, a checked
+// identifier, an integer-derived factor (the kernels' loop geometry:
+// int-valued factors are structurally non-zero there, and int division
+// by zero panics loudly rather than yielding NaN), or a product of
+// proven factors.
+func provenDenominator(pkg *Package, e ast.Expr, f nanFact) bool {
+	e = ast.Unparen(e)
+	if !isFloatExpr(pkg, e) {
+		return true // integer arithmetic cannot silently go NaN
+	}
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		v, ok := constant.Float64Val(tv.Value)
+		return ok && v != 0
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj, ok := pkg.Info.Uses[x].(*types.Var)
+		return ok && f.checked[obj]
+	case *ast.BinaryExpr:
+		if x.Op == token.MUL {
+			return provenDenominator(pkg, x.X, f) && provenDenominator(pkg, x.Y, f)
+		}
+	case *ast.CallExpr:
+		// float64(intExpr) conversions: integer-derived, see above.
+		if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 &&
+			!isFloatExpr(pkg, x.Args[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// provenCheckedOperand accepts a checked identifier or a positive
+// constant.
+func provenCheckedOperand(pkg *Package, e ast.Expr, f nanFact) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		v, ok := constant.Float64Val(tv.Value)
+		return ok && v > 0
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj, ok := pkg.Info.Uses[id].(*types.Var)
+		return ok && f.checked[obj]
+	}
+	return false
+}
+
+// provenNonNegative accepts what provenCheckedOperand does plus the
+// syntactically non-negative shapes norms are built from: squares,
+// absolute values, and sums/products of non-negatives.
+func provenNonNegative(pkg *Package, e ast.Expr, f nanFact) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		v, ok := constant.Float64Val(tv.Value)
+		return ok && v >= 0
+	}
+	if provenCheckedOperand(pkg, e, f) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD:
+			return provenNonNegative(pkg, x.X, f) && provenNonNegative(pkg, x.Y, f)
+		case token.MUL:
+			if sameIdent(x.X, x.Y) {
+				return true // v*v
+			}
+			return provenNonNegative(pkg, x.X, f) && provenNonNegative(pkg, x.Y, f)
+		}
+	case *ast.CallExpr:
+		if fn := calleeFunc(pkg, x); fn != nil && isFuncNamed(fn, "math", "Abs") {
+			return true
+		}
+	}
+	return false
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ia, ok1 := ast.Unparen(a).(*ast.Ident)
+	ib, ok2 := ast.Unparen(b).(*ast.Ident)
+	return ok1 && ok2 && ia.Name == ib.Name
+}
+
+// guardedIdent recognizes the guard calls: math.IsNaN(x),
+// math.IsInf(x, _), numeric.Zero/NonZero/Finite(x), with x an
+// identifier or math.Abs(identifier).
+func guardedIdent(pkg *Package, call *ast.CallExpr) *types.Var {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || len(call.Args) == 0 {
+		return nil
+	}
+	ok := isFuncNamed(fn, "math", "IsNaN") || isFuncNamed(fn, "math", "IsInf") ||
+		isFuncNamed(fn, "internal/numeric", "Zero") || isFuncNamed(fn, "internal/numeric", "NonZero") ||
+		isFuncNamed(fn, "internal/numeric", "Finite")
+	if !ok {
+		return nil
+	}
+	arg := ast.Unparen(call.Args[0])
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if afn := calleeFunc(pkg, inner); afn != nil && isFuncNamed(afn, "math", "Abs") && len(inner.Args) == 1 {
+			arg = ast.Unparen(inner.Args[0])
+		}
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, _ := pkg.Info.Uses[id].(*types.Var)
+	return obj
+}
+
+// markChecked records a comparison-against-constant guard on an
+// identifier (possibly through math.Abs).
+func markChecked(pkg *Package, e ast.Expr, f *nanFact) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pkg, call); fn != nil && isFuncNamed(fn, "math", "Abs") && len(call.Args) == 1 {
+			e = ast.Unparen(call.Args[0])
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		f.checked[obj] = true
+	}
+}
+
+// isConstExpr reports a compile-time constant expression.
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isParseFloatCall(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pkg, call)
+	return fn != nil && isFuncNamed(fn, "strconv", "ParseFloat")
+}
+
+func isFloatExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprShort renders a small expression for findings, capped so messages
+// stay one line.
+func exprShort(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return strconvQuote(s)
+}

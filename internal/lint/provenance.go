@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file resolves slice *backing-array provenance* on top of the
+// value-flow layer (valueflow.go): given a slice-typed expression, which
+// storage can it be a view of? The answer is a set of roots — a
+// parameter or local variable, a struct-field chain, a fresh allocation
+// site, or unknown. Re-slicing preserves the root (x[a:b] views x's
+// array), indexing a slice-of-slices narrows it to an element, and
+// calls into module functions are resolved through memoized
+// interprocedural summaries riding the call graph's declaration index:
+// a summary records, per result, whether the returned slice aliases a
+// parameter, the receiver, a receiver field, or fresh storage.
+//
+// aliasguard consumes this to enforce //lint:noalias contracts: two
+// arguments that share a non-unknown root may share a backing array.
+// The analysis is deliberately a *must-not-prove-distinct* design:
+// distinct named roots are assumed distinct (the loader sees every
+// module call site, and the codebase does not launder slices through
+// interfaces), which keeps the contract checkable at zero waivers.
+
+// A provRoot identifies one possible backing store of a slice.
+type provRoot struct {
+	// kind is "var" (parameter, local, captured, or package variable),
+	// "fresh" (an allocation site), or "unknown". path qualifies var
+	// roots with a field/element chain (".Val", "[*]").
+	kind string
+	obj  *types.Var
+	path string
+	pos  token.Pos
+}
+
+// String renders the root for findings ("parameter x", "ws.v[*]", ...).
+func (r provRoot) String() string {
+	switch r.kind {
+	case "var":
+		return r.obj.Name() + r.path
+	case "fresh":
+		return "fresh allocation"
+	default:
+		return "unknown origin"
+	}
+}
+
+type provSet map[provRoot]bool
+
+func (s provSet) add(r provRoot) { s[r] = true }
+
+func (s provSet) union(t provSet) {
+	for r := range t {
+		s[r] = true
+	}
+}
+
+// sharedRoots returns the non-unknown roots two provenance sets have in
+// common, sorted for deterministic findings.
+func sharedRoots(a, b provSet) []provRoot {
+	var out []provRoot
+	for r := range a {
+		if r.kind != "unknown" && b[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].kind != out[j].kind {
+			return out[i].kind < out[j].kind
+		}
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].path < out[j].path
+	})
+	return out
+}
+
+// provResolver resolves provenance within one function scope. summary
+// looks interprocedural return-slice summaries up; the indirection lets
+// the locked summary computation reuse the resolver without re-entering
+// the module mutex.
+type provResolver struct {
+	pkg     *Package
+	vf      *ValueFlow
+	summary func(*types.Func) *provSummary
+}
+
+const provMaxDepth = 10
+
+// sliceProv resolves the possible backing-array roots of a slice-typed
+// expression.
+func (r *provResolver) sliceProv(e ast.Expr, depth int) provSet {
+	out := make(provSet)
+	if depth > provMaxDepth {
+		out.add(provRoot{kind: "unknown", pos: e.Pos()})
+		return out
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		r.identProv(x, depth, out)
+	case *ast.SliceExpr:
+		// x[a:b] views x's backing array.
+		out.union(r.sliceProv(x.X, depth+1))
+	case *ast.IndexExpr:
+		// v[i] on a slice-of-slices: the element's own array. Elements
+		// of the same container conservatively share a root (v[i] and
+		// v[j] may be the same slice).
+		for root := range r.sliceProv(x.X, depth+1) {
+			root.path += "[*]"
+			out.add(root)
+		}
+	case *ast.SelectorExpr:
+		r.selectorProv(x, depth, out)
+	case *ast.CompositeLit:
+		out.add(provRoot{kind: "fresh", pos: e.Pos()})
+	case *ast.CallExpr:
+		r.callProv(x, depth, out)
+	default:
+		out.add(provRoot{kind: "unknown", pos: e.Pos()})
+	}
+	if len(out) == 0 {
+		out.add(provRoot{kind: "unknown", pos: e.Pos()})
+	}
+	return out
+}
+
+// identProv resolves an identifier: tracked locals chase their reaching
+// definitions (the phi: the union over all of them); everything else —
+// parameters, captured and package-level variables — is its own root.
+func (r *provResolver) identProv(id *ast.Ident, depth int, out provSet) {
+	obj, ok := r.pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		out.add(provRoot{kind: "unknown", pos: id.Pos()})
+		return
+	}
+	defs := r.vf.ReachingDefs(id)
+	if !r.vf.IsLocal(obj) || defs == nil {
+		out.add(provRoot{kind: "var", obj: obj})
+		return
+	}
+	for _, d := range defs {
+		switch d.Kind {
+		case VFParam, VFCaptured:
+			out.add(provRoot{kind: "var", obj: obj})
+		case VFDecl:
+			// var x []T: nil slice, no backing array yet; distinct site.
+			out.add(provRoot{kind: "fresh", pos: d.Pos})
+		case VFAssign:
+			if d.ResultIndex >= 0 {
+				if call, ok := ast.Unparen(d.RHS).(*ast.CallExpr); ok {
+					r.callResultProv(call, d.ResultIndex, depth+1, out)
+					continue
+				}
+				out.add(provRoot{kind: "unknown", pos: d.Pos})
+				continue
+			}
+			out.union(r.sliceProv(d.RHS, depth+1))
+		default: // VFCompound, VFRange
+			out.add(provRoot{kind: "unknown", pos: d.Pos})
+		}
+	}
+}
+
+// selectorProv resolves x.F: a field chain rooted at x's own roots.
+func (r *provResolver) selectorProv(sel *ast.SelectorExpr, depth int, out provSet) {
+	if _, isField := r.pkg.Info.Selections[sel]; !isField {
+		// Package-qualified identifier (pkg.Var) or method value.
+		if obj, ok := r.pkg.Info.Uses[sel.Sel].(*types.Var); ok {
+			out.add(provRoot{kind: "var", obj: obj})
+			return
+		}
+		out.add(provRoot{kind: "unknown", pos: sel.Pos()})
+		return
+	}
+	for root := range r.baseProv(sel.X, depth+1) {
+		root.path += "." + sel.Sel.Name
+		out.add(root)
+	}
+}
+
+// baseProv resolves the base of a selector chain: unlike sliceProv it
+// treats any variable as a root without chasing slice semantics (the
+// base is a struct or pointer, not a slice).
+func (r *provResolver) baseProv(e ast.Expr, depth int) provSet {
+	out := make(provSet)
+	if depth > provMaxDepth {
+		out.add(provRoot{kind: "unknown", pos: e.Pos()})
+		return out
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := r.pkg.Info.Uses[x].(*types.Var); ok {
+			out.add(provRoot{kind: "var", obj: obj})
+			return out
+		}
+	case *ast.SelectorExpr:
+		if _, isField := r.pkg.Info.Selections[x]; isField {
+			for root := range r.baseProv(x.X, depth+1) {
+				root.path += "." + x.Sel.Name
+				out.add(root)
+			}
+			return out
+		}
+		if obj, ok := r.pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			out.add(provRoot{kind: "var", obj: obj})
+			return out
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return r.baseProv(x.X, depth+1)
+		}
+	case *ast.StarExpr:
+		return r.baseProv(x.X, depth+1)
+	}
+	out.add(provRoot{kind: "unknown", pos: e.Pos()})
+	return out
+}
+
+// callProv resolves a call in slice position: builtins with known
+// semantics, then module functions through their summaries.
+func (r *provResolver) callProv(call *ast.CallExpr, depth int, out provSet) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := r.pkg.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				// append may return its first argument's array or a
+				// fresh one.
+				out.union(r.sliceProv(call.Args[0], depth+1))
+			}
+			// make, new, and the rest of the builtins that can appear in
+			// slice position allocate fresh storage.
+			out.add(provRoot{kind: "fresh", pos: call.Pos()})
+			return
+		}
+	}
+	// A type conversion in slice position ([]byte(s)) allocates.
+	if tv, ok := r.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		out.add(provRoot{kind: "fresh", pos: call.Pos()})
+		return
+	}
+	r.callResultProv(call, 0, depth, out)
+}
+
+// callResultProv maps one result of a module-function call through its
+// interprocedural summary into the caller's provenance space.
+func (r *provResolver) callResultProv(call *ast.CallExpr, result, depth int, out provSet) {
+	fn := calleeFunc(r.pkg, call)
+	var sum *provSummary
+	if fn != nil && r.summary != nil {
+		sum = r.summary(fn)
+	}
+	if sum == nil || result >= len(sum.results) {
+		out.add(provRoot{kind: "unknown", pos: call.Pos()})
+		return
+	}
+	var recv ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := r.pkg.Info.Selections[sel]; isMethod {
+			recv = sel.X
+		}
+	}
+	for _, sr := range sum.results[result] {
+		switch sr.kind {
+		case "fresh":
+			out.add(provRoot{kind: "fresh", pos: call.Pos()})
+		case "param":
+			if sr.param < len(call.Args) {
+				out.union(r.sliceProv(call.Args[sr.param], depth+1))
+			} else {
+				out.add(provRoot{kind: "unknown", pos: call.Pos()})
+			}
+		case "recv":
+			if recv == nil {
+				out.add(provRoot{kind: "unknown", pos: call.Pos()})
+				continue
+			}
+			if sr.path == "" {
+				out.union(r.sliceProv(recv, depth+1))
+				continue
+			}
+			for root := range r.baseProv(recv, depth+1) {
+				root.path += sr.path
+				out.add(root)
+			}
+		default:
+			out.add(provRoot{kind: "unknown", pos: call.Pos()})
+		}
+	}
+	if len(sum.results[result]) == 0 {
+		out.add(provRoot{kind: "unknown", pos: call.Pos()})
+	}
+}
+
+// A sumRoot is one abstract root in a function's return-slice summary,
+// expressed in the callee's own terms so call sites can translate it.
+type sumRoot struct {
+	kind  string // "param", "recv", "fresh", "unknown"
+	param int
+	path  string // field chain for recv roots (".Val")
+}
+
+// provSummary records, per result index, the abstract roots each
+// returned slice may view.
+type provSummary struct {
+	results [][]sumRoot
+}
+
+// SliceSummary returns the memoized return-slice provenance summary of
+// a module function, or nil for external functions. Safe for concurrent
+// use by the analyzer goroutines.
+func (m *Module) SliceSummary(pkg *Package, fn *types.Func) *provSummary {
+	m.provMu.Lock()
+	defer m.provMu.Unlock()
+	return m.sliceSummaryLocked(pkg, fn)
+}
+
+// sliceSummaryLocked computes a summary bottom-up, memoized, with a
+// recursion cycle guard (a cycle degrades to unknown). Assumes provMu.
+func (m *Module) sliceSummaryLocked(pkg *Package, fn *types.Func) *provSummary {
+	if sum, ok := m.provSums[fn]; ok {
+		return sum
+	}
+	decl := m.FuncDecl(fn)
+	if decl == nil || decl.Body == nil {
+		m.provSums[fn] = nil
+		return nil
+	}
+	if m.provWork[fn] {
+		return nil // recursion: callers fall back to unknown
+	}
+	m.provWork[fn] = true
+	defer delete(m.provWork, fn)
+
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		m.provSums[fn] = nil
+		return nil
+	}
+	nres := sig.Results().Len()
+	sum := &provSummary{results: make([][]sumRoot, nres)}
+	if nres > 0 {
+		sc := funcScope{decl: decl, typ: decl.Type, body: decl.Body}
+		vf := buildValueFlow(pkg, sc)
+		res := &provResolver{pkg: pkg, vf: vf,
+			summary: func(callee *types.Func) *provSummary { return m.sliceSummaryLocked(pkg, callee) }}
+		seen := make([]map[sumRoot]bool, nres)
+		for i := range seen {
+			seen[i] = make(map[sumRoot]bool)
+		}
+		inspectShallow(decl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			if len(ret.Results) != nres {
+				// Naked return (or tuple forwarding): unknown.
+				for i := 0; i < nres; i++ {
+					seen[i][sumRoot{kind: "unknown"}] = true
+				}
+				return true
+			}
+			for i, e := range ret.Results {
+				if !isSliceType(sig.Results().At(i).Type()) {
+					continue
+				}
+				for root := range res.sliceProv(e, 0) {
+					seen[i][m.abstractRoot(sig, root)] = true
+				}
+			}
+			return true
+		})
+		for i := range seen {
+			var roots []sumRoot
+			for sr := range seen[i] {
+				roots = append(roots, sr)
+			}
+			sort.Slice(roots, func(a, b int) bool {
+				x, y := roots[a], roots[b]
+				if x.kind != y.kind {
+					return x.kind < y.kind
+				}
+				if x.param != y.param {
+					return x.param < y.param
+				}
+				return x.path < y.path
+			})
+			sum.results[i] = roots
+		}
+	}
+	m.provSums[fn] = sum
+	return sum
+}
+
+// abstractRoot translates a concrete root of the callee's scope into
+// summary terms: parameters by index, the receiver (optionally with a
+// field chain), fresh allocations, everything else unknown.
+func (m *Module) abstractRoot(sig *types.Signature, root provRoot) sumRoot {
+	switch root.kind {
+	case "fresh":
+		return sumRoot{kind: "fresh"}
+	case "var":
+		if recv := sig.Recv(); recv != nil && root.obj == recv {
+			return sumRoot{kind: "recv", path: root.path}
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if root.obj == sig.Params().At(i) && root.path == "" {
+				return sumRoot{kind: "param", param: i}
+			}
+		}
+	}
+	return sumRoot{kind: "unknown"}
+}
+
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

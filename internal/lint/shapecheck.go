@@ -1,0 +1,768 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// shapecheck verifies declared //lint:shape length-relation contracts
+// on struct fields and function parameters. The sparse kernels index
+// by trusted cross-slice invariants (a CSR's rowPtr has n+1 entries,
+// vals and cols run in lockstep to rowPtr[n]; the GMRES workspace is
+// sized by the Krylov dimension), and a construction that breaks one
+// surfaces as an index panic — or silent corruption — deep inside a
+// hot loop. Contracts are declared in doc comments:
+//
+//	//lint:shape len(RowPtr)==N+1 len(Val)==len(Col) len(Val)==RowPtr[N]
+//
+// on a struct type (names are fields) or a function (names are
+// parameters). At every composite literal of a contracted type the
+// analyzer resolves each side through the value-flow layer — make
+// lengths, re-slicings, literal lengths, chased through reaching
+// definitions — and reports relations that are provably violated.
+// Relations it cannot resolve statically (appended slices, rowPtr[n]
+// subscripts) must be discharged at runtime: the type declares one
+// validating method with
+//
+//	//lint:shape validator
+//
+// and the construction (or any assignment replacing a contracted
+// field's slice header) must be followed by a call to it in the same
+// function. Call sites of contracted functions are checked the same
+// way; unresolvable arguments pass silently (the fixtures pin the
+// firing cases).
+type shapecheck struct{}
+
+func (shapecheck) Name() string { return "shapecheck" }
+
+func (shapecheck) Doc() string {
+	return "//lint:shape length-relation contracts on struct fields and parameters, checked at construction and mutation sites"
+}
+
+// shapeAtom is one operand of a relation term.
+type shapeAtom struct {
+	kind  string // "len", "name", "const", "index"
+	name  string // field/parameter name for len/name/index
+	index string // subscript name for index (RowPtr[N])
+	c     int64  // value for const
+}
+
+// shapeTerm is mul*atom+add.
+type shapeTerm struct {
+	atom shapeAtom
+	mul  int64
+	add  int64
+}
+
+// shapeRel is one lhs==rhs relation.
+type shapeRel struct {
+	lhs, rhs shapeTerm
+	src      string // as written, for findings
+}
+
+// parseShapeDirective extracts a //lint:shape directive's relations.
+// validator reports the `//lint:shape validator` marker form. Syntax
+// diagnostics live in suppressions(); a malformed relation parses as
+// absent here.
+func parseShapeDirective(doc *ast.CommentGroup) (rels []shapeRel, validator, ok bool) {
+	if doc == nil {
+		return nil, false, false
+	}
+	for _, c := range doc.List {
+		rest, found := strings.CutPrefix(c.Text, "//lint:shape")
+		if !found {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "validator" {
+			return nil, true, true
+		}
+		for _, field := range strings.Fields(rest) {
+			if rel, ok := parseShapeRel(field); ok {
+				rels = append(rels, rel)
+			}
+		}
+		return rels, false, true
+	}
+	return nil, false, false
+}
+
+func parseShapeRel(s string) (shapeRel, bool) {
+	lhs, rhs, found := strings.Cut(s, "==")
+	if !found {
+		return shapeRel{}, false
+	}
+	lt, ok1 := parseShapeTerm(lhs)
+	rt, ok2 := parseShapeTerm(rhs)
+	if !ok1 || !ok2 {
+		return shapeRel{}, false
+	}
+	return shapeRel{lhs: lt, rhs: rt, src: s}, true
+}
+
+// parseShapeTerm parses [INT*]atom[±INT]; atom is len(NAME), NAME,
+// NAME[NAME], or INT.
+func parseShapeTerm(s string) (shapeTerm, bool) {
+	t := shapeTerm{mul: 1}
+	if i := strings.IndexByte(s, '*'); i >= 0 {
+		m, err := strconv.ParseInt(s[:i], 10, 64)
+		if err != nil {
+			return t, false
+		}
+		t.mul = m
+		s = s[i+1:]
+	}
+	// A trailing ±INT, scanned from the end so len(x)+1 parses.
+	for i := len(s) - 1; i > 0; i-- {
+		if s[i] == '+' || s[i] == '-' {
+			if v, err := strconv.ParseInt(s[i:], 10, 64); err == nil {
+				t.add = v
+				s = s[:i]
+			}
+			break
+		}
+		if s[i] < '0' || s[i] > '9' {
+			break
+		}
+	}
+	switch {
+	case strings.HasPrefix(s, "len(") && strings.HasSuffix(s, ")"):
+		name := s[4 : len(s)-1]
+		if !identLike(name) {
+			return t, false
+		}
+		t.atom = shapeAtom{kind: "len", name: name}
+	case strings.HasSuffix(s, "]"):
+		base, idx, found := strings.Cut(strings.TrimSuffix(s, "]"), "[")
+		if !found || !identLike(base) || !identLike(idx) {
+			return t, false
+		}
+		t.atom = shapeAtom{kind: "index", name: base, index: idx}
+	default:
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			t.atom = shapeAtom{kind: "const", c: v}
+			return t, true
+		}
+		if !identLike(s) {
+			return t, false
+		}
+		t.atom = shapeAtom{kind: "name", name: s}
+	}
+	return t, true
+}
+
+func identLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// shapeNames lists the field/parameter names a contract references.
+func shapeNames(rels []shapeRel) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(a shapeAtom) {
+		for _, n := range []string{a.name, a.index} {
+			if n != "" && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	for _, r := range rels {
+		add(r.lhs.atom)
+		add(r.rhs.atom)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Resolved length values and their comparison.
+
+// shapeVal is a resolved symbolic value: mul*base+add, or a constant
+// when base is empty. known=false is "could not resolve".
+type shapeVal struct {
+	known bool
+	base  string
+	mul   int64
+	add   int64
+	c     int64
+}
+
+func shapeConst(c int64) shapeVal { return shapeVal{known: true, c: c} }
+
+func (v shapeVal) scale(mul, add int64) shapeVal {
+	if !v.known {
+		return v
+	}
+	if v.base == "" {
+		return shapeConst(mul*v.c + add)
+	}
+	return shapeVal{known: true, base: v.base, mul: mul * v.mul, add: mul*v.add + add}
+}
+
+// shapeOutcome of comparing two resolved values.
+type shapeOutcome int
+
+const (
+	shapeUnresolved shapeOutcome = iota
+	shapeProven
+	shapeDisproven
+)
+
+func compareShapeVals(a, b shapeVal) shapeOutcome {
+	if !a.known || !b.known {
+		return shapeUnresolved
+	}
+	if a.base == "" && b.base == "" {
+		if a.c == b.c {
+			return shapeProven
+		}
+		return shapeDisproven
+	}
+	if a.base != "" && a.base == b.base && a.mul == b.mul {
+		if a.add == b.add {
+			return shapeProven
+		}
+		return shapeDisproven
+	}
+	return shapeUnresolved
+}
+
+// canonValue canonicalizes an integer-valued expression to mul*base+add
+// by folding constants and peeling constant addends/factors.
+func canonValue(pkg *Package, e ast.Expr) shapeVal {
+	if e == nil {
+		return shapeConst(0)
+	}
+	e = ast.Unparen(e)
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+			return shapeConst(v)
+		}
+		return shapeVal{}
+	}
+	if be, ok := e.(*ast.BinaryExpr); ok {
+		switch be.Op {
+		case token.ADD, token.SUB:
+			sign := int64(1)
+			if be.Op == token.SUB {
+				sign = -1
+			}
+			if c, ok := intConst(pkg, be.Y); ok {
+				return canonValue(pkg, be.X).scale(1, sign*c)
+			}
+			if c, ok := intConst(pkg, be.X); ok && be.Op == token.ADD {
+				return canonValue(pkg, be.Y).scale(1, c)
+			}
+		case token.MUL:
+			if c, ok := intConst(pkg, be.Y); ok {
+				return canonValue(pkg, be.X).scale(c, 0)
+			}
+			if c, ok := intConst(pkg, be.X); ok {
+				return canonValue(pkg, be.Y).scale(c, 0)
+			}
+		}
+	}
+	return shapeVal{known: true, base: types.ExprString(e), mul: 1}
+}
+
+func intConst(pkg *Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+// lengthOf resolves the length of a slice-valued expression: make
+// lengths, literal element counts, re-slicings, and identifiers chased
+// through their reaching definitions (all definitions must agree).
+func lengthOf(pkg *Package, vf *ValueFlow, e ast.Expr, depth int) shapeVal {
+	if depth > provMaxDepth {
+		return shapeVal{}
+	}
+	if e == nil {
+		return shapeConst(0)
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if _, isNil := pkg.Info.Uses[x].(*types.Nil); isNil {
+			return shapeConst(0)
+		}
+		obj, ok := pkg.Info.Uses[x].(*types.Var)
+		if !ok || !vf.IsLocal(obj) {
+			return shapeVal{}
+		}
+		defs := vf.ReachingDefs(x)
+		if len(defs) == 0 {
+			return shapeVal{}
+		}
+		var have shapeVal
+		for i, d := range defs {
+			var v shapeVal
+			switch {
+			case d.Kind == VFDecl:
+				v = shapeConst(0)
+			case d.Kind == VFAssign && d.ResultIndex < 0:
+				v = lengthOf(pkg, vf, d.RHS, depth+1)
+			default:
+				return shapeVal{}
+			}
+			if !v.known {
+				return shapeVal{}
+			}
+			if i > 0 && compareShapeVals(have, v) != shapeProven {
+				return shapeVal{}
+			}
+			have = v
+		}
+		return have
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" && len(x.Args) >= 2 {
+				return canonValue(pkg, x.Args[1])
+			}
+		}
+		return shapeVal{}
+	case *ast.CompositeLit:
+		if isSliceExprType(pkg, x) && !hasKeyedElts(x) {
+			return shapeConst(int64(len(x.Elts)))
+		}
+		return shapeVal{}
+	case *ast.SliceExpr:
+		if x.Low == nil && x.High == nil {
+			return lengthOf(pkg, vf, x.X, depth+1)
+		}
+		if x.Low == nil && x.High != nil {
+			return canonValue(pkg, x.High)
+		}
+		lo, okLo := intConst(pkg, x.Low)
+		hi, okHi := intConst(pkg, x.High)
+		if okLo && okHi {
+			return shapeConst(hi - lo)
+		}
+		return shapeVal{}
+	}
+	return shapeVal{}
+}
+
+func isSliceExprType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Type != nil && isSliceType(tv.Type)
+}
+
+func hasKeyedElts(cl *ast.CompositeLit) bool {
+	for _, e := range cl.Elts {
+		if _, ok := e.(*ast.KeyValueExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Contract lookup.
+
+// typeShapeContract resolves the //lint:shape contract of a named
+// struct type, with its validator method (if declared).
+func typeShapeContract(pkg *Package, named *types.Named) (rels []shapeRel, validator *types.Func) {
+	if pkg.Mod == nil {
+		return nil, nil
+	}
+	td := pkg.Mod.TypeSpec(named.Obj())
+	if td == nil {
+		return nil, nil
+	}
+	rels, isValidator, ok := parseShapeDirective(td.Doc)
+	if !ok || isValidator || len(rels) == 0 {
+		return nil, nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if decl := pkg.Mod.FuncDecl(m); decl != nil {
+			if _, isVal, ok := parseShapeDirective(decl.Doc); ok && isVal {
+				validator = m
+				break
+			}
+		}
+	}
+	return rels, validator
+}
+
+// namedStructOf unwraps a (possibly pointer-to) named struct type.
+func namedStructOf(t types.Type) (*types.Named, *types.Struct) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+// ---------------------------------------------------------------------
+// The analyzer.
+
+func (shapecheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		out = append(out, checkShapeDecls(pkg, file)...)
+		for _, sc := range funcScopes(file) {
+			out = append(out, checkShapeSites(pkg, file, sc)...)
+		}
+	}
+	return out
+}
+
+// checkShapeDecls semantically validates contracts declared in this
+// file: names must exist, validators must be methods.
+func checkShapeDecls(pkg *Package, file *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			rels, isValidator, ok := parseShapeDirective(d.Doc)
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(d.Name.Pos())
+			if isValidator {
+				if d.Recv == nil {
+					out = append(out, Finding{Pos: pos, Analyzer: "shapecheck",
+						Msg: "//lint:shape validator must be declared on a method"})
+				}
+				continue
+			}
+			params := flatParamNames(d)
+			for _, n := range shapeNames(rels) {
+				if !containsStr(params, n) {
+					out = append(out, Finding{Pos: pos, Analyzer: "shapecheck",
+						Msg: "//lint:shape names " + strconvQuote(n) + " which is not a parameter of " + d.Name.Name})
+				}
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = d.Doc
+				}
+				rels, isValidator, ok := parseShapeDirective(doc)
+				if !ok || isValidator {
+					continue
+				}
+				pos := pkg.Fset.Position(ts.Name.Pos())
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					out = append(out, Finding{Pos: pos, Analyzer: "shapecheck",
+						Msg: "//lint:shape relations may only be declared on struct types or functions"})
+					continue
+				}
+				var fields []string
+				for _, f := range st.Fields.List {
+					for _, n := range f.Names {
+						fields = append(fields, n.Name)
+					}
+				}
+				for _, n := range shapeNames(rels) {
+					if !containsStr(fields, n) {
+						out = append(out, Finding{Pos: pos, Analyzer: "shapecheck",
+							Msg: "//lint:shape names " + strconvQuote(n) + " which is not a field of " + ts.Name.Name})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// shapeSite is one program point a contract must hold at.
+type shapeSite struct {
+	pos token.Pos
+	// lit is a construction site; assign a contracted-field mutation;
+	// call a contracted-function call site.
+	lit    *ast.CompositeLit
+	assign *ast.AssignStmt
+	field  string
+	call   *ast.CallExpr
+
+	named     *types.Named
+	rels      []shapeRel
+	validator *types.Func
+	callee    *types.Func
+	params    []string
+}
+
+// shapeSearchBody is the region a validator call may discharge an
+// unproven site from: the enclosing declaration's whole body, so a
+// construction mutated inside a closure (the append-built InterpTable
+// pattern) is discharged by the validator call that follows in the
+// enclosing function.
+func shapeSearchBody(file *ast.File, sc funcScope) ast.Node {
+	if sc.decl != nil {
+		return sc.body
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil &&
+			fd.Body.Pos() <= sc.body.Pos() && sc.body.End() <= fd.Body.End() {
+			return fd.Body
+		}
+	}
+	return sc.body
+}
+
+// checkShapeSites finds and checks every contract-relevant site in one
+// function scope; the value-flow build is lazy.
+func checkShapeSites(pkg *Package, file *ast.File, sc funcScope) []Finding {
+	var sites []shapeSite
+	inspectShallow(sc.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := pkg.Info.Types[x]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named, st := namedStructOf(tv.Type)
+			if named == nil || st == nil {
+				return true
+			}
+			if rels, validator := typeShapeContract(pkg, named); len(rels) > 0 {
+				sites = append(sites, shapeSite{pos: x.Pos(), lit: x, named: named, rels: rels, validator: validator})
+			}
+		case *ast.AssignStmt:
+			if x.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				selInfo, ok := pkg.Info.Selections[sel]
+				if !ok || selInfo.Kind() != types.FieldVal {
+					continue
+				}
+				named, _ := namedStructOf(selInfo.Recv())
+				if named == nil {
+					continue
+				}
+				rels, validator := typeShapeContract(pkg, named)
+				if len(rels) == 0 || !containsStr(shapeNames(rels), sel.Sel.Name) {
+					continue
+				}
+				// Only slice-header replacement endangers length
+				// relations; element writes never reach here (their LHS
+				// is an IndexExpr).
+				if !isSliceType(selInfo.Type()) {
+					continue
+				}
+				sites = append(sites, shapeSite{pos: x.Pos(), assign: x, field: sel.Sel.Name,
+					named: named, rels: rels, validator: validator})
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg, x)
+			if fn == nil || pkg.Mod == nil {
+				return true
+			}
+			decl := pkg.Mod.FuncDecl(fn)
+			if decl == nil {
+				return true
+			}
+			rels, isValidator, ok := parseShapeDirective(decl.Doc)
+			if !ok || isValidator || len(rels) == 0 {
+				return true
+			}
+			sites = append(sites, shapeSite{pos: x.Pos(), call: x, callee: fn,
+				rels: rels, params: flatParamNames(decl)})
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return nil
+	}
+	vf := buildValueFlow(pkg, sc)
+	search := shapeSearchBody(file, sc)
+	var out []Finding
+	for _, site := range sites {
+		switch {
+		case site.lit != nil:
+			out = append(out, checkShapeLit(pkg, search, vf, site)...)
+		case site.assign != nil:
+			out = append(out, checkShapeMutation(pkg, search, site)...)
+		case site.call != nil:
+			out = append(out, checkShapeCall(pkg, vf, site)...)
+		}
+	}
+	return out
+}
+
+// checkShapeLit checks a construction: every relation either proves
+// statically or is discharged by a validator call after the literal.
+func checkShapeLit(pkg *Package, search ast.Node, vf *ValueFlow, site shapeSite) []Finding {
+	fields := make(map[string]ast.Expr)
+	for _, e := range site.lit.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional struct literals are not used for contracted
+			// types in this codebase; treat as unresolvable.
+			return shapeUnprovenFinding(pkg, search, site, "positional construction")
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			fields[id.Name] = kv.Value
+		}
+	}
+	resolve := func(t shapeTerm) shapeVal {
+		switch t.atom.kind {
+		case "const":
+			return shapeConst(t.atom.c).scale(t.mul, t.add)
+		case "len":
+			return lengthOf(pkg, vf, fields[t.atom.name], 0).scale(t.mul, t.add)
+		case "name":
+			return canonValue(pkg, fields[t.atom.name]).scale(t.mul, t.add)
+		default: // index: runtime-only
+			return shapeVal{}
+		}
+	}
+	var out []Finding
+	for _, rel := range site.rels {
+		switch compareShapeVals(resolve(rel.lhs), resolve(rel.rhs)) {
+		case shapeDisproven:
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(site.pos),
+				Analyzer: "shapecheck",
+				Msg: "construction of " + site.named.Obj().Name() + " violates its declared shape contract " +
+					rel.src,
+			})
+		case shapeUnresolved:
+			out = append(out, shapeUnprovenFinding(pkg, search, site, rel.src)...)
+		}
+	}
+	return out
+}
+
+// shapeUnprovenFinding requires a validator call after the site; the
+// finding names the relation that could not be proven.
+func shapeUnprovenFinding(pkg *Package, search ast.Node, site shapeSite, what string) []Finding {
+	if site.validator != nil && calledAfter(pkg, search, site.pos, site.validator) {
+		return nil
+	}
+	name := site.named.Obj().Name()
+	remedy := "; declare a //lint:shape validator method for " + name + " to discharge it at runtime"
+	if site.validator != nil {
+		remedy = "; call its shape validator " + site.validator.Name() + " afterwards in the same function"
+	}
+	verb := "construction of " + name + " cannot be proven to satisfy " + what
+	if site.assign != nil {
+		verb = "assignment to contracted field " + name + "." + site.field + " invalidates " + what
+	}
+	return []Finding{{Pos: pkg.Fset.Position(site.pos), Analyzer: "shapecheck", Msg: verb + remedy}}
+}
+
+// checkShapeMutation requires a validator call after a slice-header
+// replacement of a contracted field.
+func checkShapeMutation(pkg *Package, search ast.Node, site shapeSite) []Finding {
+	var touches []string
+	for _, rel := range site.rels {
+		if rel.lhs.atom.name == site.field || rel.rhs.atom.name == site.field ||
+			rel.lhs.atom.index == site.field || rel.rhs.atom.index == site.field {
+			touches = append(touches, rel.src)
+		}
+	}
+	if len(touches) == 0 {
+		return nil
+	}
+	return shapeUnprovenFinding(pkg, search, site, touches[0])
+}
+
+// calledAfter reports a call to the method anywhere after pos in the
+// search region.
+func calledAfter(pkg *Package, search ast.Node, pos token.Pos, method *types.Func) bool {
+	found := false
+	ast.Inspect(search, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if fn := calleeFunc(pkg, call); fn == method {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkShapeCall verifies a contracted function's call site: relations
+// whose argument lengths resolve must hold; unresolvable ones pass.
+func checkShapeCall(pkg *Package, vf *ValueFlow, site shapeSite) []Finding {
+	argFor := func(name string) ast.Expr {
+		for i, pn := range site.params {
+			if pn == name && i < len(site.call.Args) {
+				return site.call.Args[i]
+			}
+		}
+		return nil
+	}
+	resolve := func(t shapeTerm) shapeVal {
+		switch t.atom.kind {
+		case "const":
+			return shapeConst(t.atom.c).scale(t.mul, t.add)
+		case "len":
+			a := argFor(t.atom.name)
+			if a == nil {
+				return shapeVal{}
+			}
+			return lengthOf(pkg, vf, a, 0).scale(t.mul, t.add)
+		case "name":
+			a := argFor(t.atom.name)
+			if a == nil {
+				return shapeVal{}
+			}
+			return canonValue(pkg, a).scale(t.mul, t.add)
+		default:
+			return shapeVal{}
+		}
+	}
+	var out []Finding
+	for _, rel := range site.rels {
+		if compareShapeVals(resolve(rel.lhs), resolve(rel.rhs)) == shapeDisproven {
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(site.pos),
+				Analyzer: "shapecheck",
+				Msg: "call violates the shape contract " + rel.src + " declared on " +
+					site.callee.Name(),
+			})
+		}
+	}
+	return out
+}

@@ -33,6 +33,8 @@ var knownDirectives = map[string]bool{
 	"noescape":   true, // perfgate escape-analysis contract; see cmd/perfgate
 	"phase":      true, // solver phase contracts; see phaseorder.go
 	"coordspace": true, // frame-conversion marker; see coordspace.go
+	"noalias":    true, // slice-parameter aliasing contract; see aliasguard.go
+	"shape":      true, // length-relation contract; see shapecheck.go
 }
 
 // WaiverUse records one //lint:ignore occurrence, so the baseline can
@@ -95,6 +97,10 @@ func suppressions(pkg *Package, known map[string]bool) (suppressionIndex, []Waiv
 						diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
 							Msg: "malformed directive: want //lint:coordspace conversion"})
 					}
+				case "noalias":
+					diags = append(diags, checkNoaliasSyntax(pos, arg)...)
+				case "shape":
+					diags = append(diags, checkShapeSyntax(pos, arg)...)
 				default:
 					if !knownDirectives[verb] {
 						diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
@@ -135,6 +141,56 @@ func checkPhaseSyntax(pos token.Position, arg string) []Finding {
 				diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
 					Msg: "//lint:phase name " + strconvQuote(p) + " is not lowercase kebab-case"})
 			}
+		}
+	}
+	return diags
+}
+
+// checkNoaliasSyntax validates a //lint:noalias argument list:
+// comma-separated identifiers, at least two. (Whether the names match
+// slice parameters is aliasguard's semantic check.)
+func checkNoaliasSyntax(pos token.Position, arg string) []Finding {
+	var diags []Finding
+	names := strings.Split(strings.TrimSpace(arg), ",")
+	count := 0
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		count++
+		if !identLike(n) {
+			diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
+				Msg: "//lint:noalias name " + strconvQuote(n) + " is not an identifier"})
+		}
+	}
+	if count < 2 {
+		diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
+			Msg: "malformed directive: want //lint:noalias <param>,<param>[,...]"})
+	}
+	return diags
+}
+
+// checkShapeSyntax validates a //lint:shape argument: either the single
+// word "validator" or space-separated len/value relations joined by ==.
+// (Whether the names match fields or parameters is shapecheck's
+// semantic check.)
+func checkShapeSyntax(pos token.Position, arg string) []Finding {
+	arg = strings.TrimSpace(arg)
+	if arg == "validator" {
+		return nil
+	}
+	fields := strings.Fields(arg)
+	if len(fields) == 0 {
+		return []Finding{{Pos: pos, Analyzer: "lint",
+			Msg: "malformed directive: want //lint:shape validator | <relation>..."}}
+	}
+	var diags []Finding
+	for _, field := range fields {
+		if _, ok := parseShapeRel(field); !ok {
+			diags = append(diags, Finding{Pos: pos, Analyzer: "lint",
+				Msg: "//lint:shape relation " + strconvQuote(field) +
+					" does not parse: want len(A)==len(B), len(A)==N+1, or len(A)==A[N] forms"})
 		}
 	}
 	return diags

@@ -1,0 +1,79 @@
+// Package aliasfixture exercises the aliasguard analyzer: kernels
+// declare //lint:noalias contracts on their slice parameters and every
+// call site is verified by backing-array provenance. Distinct named
+// roots are assumed distinct, so only same-root pairs are reported.
+package aliasfixture
+
+// Kernel writes y while reading x; in-place use corrupts the result.
+//
+//lint:noalias x,y
+func Kernel(x, y []float64) {
+	for i := range y {
+		y[i] = 2 * x[i]
+	}
+}
+
+// CleanDistinct passes two fresh allocations: distinct roots, no
+// finding, no waiver needed.
+func CleanDistinct(n int) {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	Kernel(a, b)
+}
+
+// Aliased passes the same slice on both sides.
+func Aliased(s []float64) {
+	Kernel(s, s) // want aliasguard "both may derive from s"
+}
+
+// SharedWindows passes two windows of one backing array; disjoint
+// index ranges do not help, the root is shared.
+func SharedWindows(buf []float64) {
+	Kernel(buf[:4], buf[4:]) // want aliasguard "both may derive from buf"
+}
+
+// pass returns its argument unchanged; the interprocedural return
+// summary must carry the provenance through it.
+func pass(s []float64) []float64 { return s }
+
+// ThroughHelper aliases via the identity helper.
+func ThroughHelper(s []float64) {
+	Kernel(pass(s), s) // want aliasguard "both may derive from s"
+}
+
+// AppendMayAlias: append may extend in place, so its result may share
+// the argument's backing array.
+func AppendMayAlias(s []float64) {
+	Kernel(append(s, 1), s) // want aliasguard "both may derive from s"
+}
+
+// Forward passes two of its own parameters into the contract pair
+// without redeclaring the obligation: callers of Forward could alias
+// them with no kernel contract in sight.
+func Forward(a, b []float64) {
+	Kernel(a, b) // want aliasguard "does not declare //lint:noalias a,b itself"
+}
+
+// ForwardDeclared carries the contract itself, so the obligation
+// surfaces in its own API documentation.
+//
+//lint:noalias a,b
+func ForwardDeclared(a, b []float64) {
+	Kernel(a, b)
+}
+
+// Waived documents a deliberately tolerated in-place call.
+func Waived(s []float64) {
+	//lint:ignore aliasguard fixture: kernel tolerates in-place use here
+	Kernel(s, s)
+}
+
+// BadParamName names a parameter that does not exist.
+//
+//lint:noalias x,q
+func BadParamName(x, y []float64) {} // want aliasguard "which is not a parameter of BadParamName"
+
+// NotSliceParam names the scalar count parameter.
+//
+//lint:noalias x,n
+func NotSliceParam(x []float64, n int) {} // want aliasguard "which is not slice-typed on NotSliceParam"

@@ -1,0 +1,85 @@
+// Package detfixture exercises the detguard analyzer. The import path
+// masquerades it into the fem scope, where the map-iteration rules
+// apply: float accumulation in map order changes round-off run to run,
+// and slices built in map order leak the iteration order to callers.
+// The purity rules key on pinned-kernel directives instead of scope.
+package detfixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SumOverMap accumulates a float in map iteration order; float
+// addition does not associate, so the sum differs run to run.
+func SumOverMap(w map[int]float64) float64 {
+	total := 0.0
+	for _, v := range w {
+		total += v // want detguard "float accumulation inside range over a map"
+	}
+	return total
+}
+
+// CountOverMap accumulates an int: integer addition associates, so
+// iteration order cannot change the result.
+func CountOverMap(w map[int]float64) int {
+	n := 0
+	for range w {
+		n += 1
+	}
+	return n
+}
+
+// CollectUnsorted emits keys in map order.
+func CollectUnsorted(w map[int]float64) []int {
+	var keys []int
+	for k := range w {
+		keys = append(keys, k) // want detguard "inside range over a map emits"
+	}
+	return keys
+}
+
+// CollectThenSort is the blessed idiom: the append runs in map order
+// but the slice is sorted before anyone reads it.
+func CollectThenSort(w map[int]float64) []int {
+	var keys []int
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// DisjointElementWrites touch distinct keyed elements; the write
+// targets are independent of visit order.
+func DisjointElementWrites(w map[int]float64, out []float64) {
+	for k, v := range w {
+		out[k] = 2 * v
+	}
+}
+
+// Kernel is pinned allocation-free; wall-clock reads and math/rand
+// calls make its output impossible to replay deterministically.
+//
+//lint:noescape
+func Kernel(xs []float64) float64 {
+	s := rand.Float64() // want detguard "math/rand call in pinned kernel"
+	if time.Now().IsZero() { // want detguard "wall-clock read"
+		return 0
+	}
+	for i := range xs {
+		s += xs[i]
+	}
+	return s
+}
+
+// Waived keeps a deliberately waived accumulation.
+func Waived(w map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range w {
+		//lint:ignore detguard fixture: waiver placement exercise
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,7 @@
+// Package gofmtfixture is deliberately not gofmt-clean: it is the
+// canary for the formatting gate's testdata exclusion, pinned by
+// formatting_test.go. Do not format this file.
+package gofmtfixture
+
+func Unformatted( a,b int ) int {
+	return a+b }

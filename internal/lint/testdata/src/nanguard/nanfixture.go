@@ -1,0 +1,109 @@
+// Package nanfixture exercises the nanguard analyzer. The import path
+// masquerades it into the solver scope, where possibly-NaN/Inf values
+// (unproven division, Sqrt/Log of unproven arguments, parsed floats,
+// NaN sentinels) must be guarded before reaching an ordering
+// comparison — NaN compares false against everything, which silently
+// disables convergence tests.
+package nanfixture
+
+import (
+	"math"
+	"strconv"
+)
+
+const tol = 1e-5
+
+// DivTainted assigns an unproven quotient and compares it later.
+func DivTainted(num, den float64) bool {
+	rel := num / den
+	return rel < tol // want nanguard "may hold a NaN/Inf value here"
+}
+
+// DivInline compares the quotient directly.
+func DivInline(num, den float64) bool {
+	return num/den < tol // want nanguard "division by unproven denominator"
+}
+
+// DivGuarded proves the denominator before dividing; both branch
+// facts carry the check.
+func DivGuarded(num, den float64) bool {
+	if den > 0 {
+		rel := num / den
+		return rel < tol
+	}
+	return false
+}
+
+// OneBranchGuard only proves the denominator on one path; the join
+// keeps the unproven path's doubt.
+func OneBranchGuard(num, den float64, fast bool) bool {
+	if fast {
+		if den < tol {
+			return false
+		}
+	}
+	rel := num / den
+	return rel < tol // want nanguard "may hold a NaN/Inf value here"
+}
+
+// SqrtTainted roots raw data; a negative round-off makes it NaN.
+func SqrtTainted(x float64) bool {
+	r := math.Sqrt(x)
+	return r > tol // want nanguard "may hold a NaN/Inf value here"
+}
+
+// SqrtInline compares the root directly.
+func SqrtInline(x float64) bool {
+	return math.Sqrt(x) > tol // want nanguard "math.Sqrt of unproven argument"
+}
+
+// SqrtOfSquare is syntactically non-negative.
+func SqrtOfSquare(x float64) bool {
+	return math.Sqrt(x*x) > tol
+}
+
+// SqrtOfAbs is non-negative through math.Abs.
+func SqrtOfAbs(x float64) bool {
+	return math.Sqrt(math.Abs(x)) > tol
+}
+
+// LogInline takes a log of an unproven argument.
+func LogInline(x float64) bool {
+	return math.Log(x) > 0 // want nanguard "math.Log of unproven argument"
+}
+
+// ParsedUnchecked feeds a parsed float straight into a comparison:
+// "NaN" and "Inf" parse without error.
+func ParsedUnchecked(s string) bool {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return false
+	}
+	return v > tol // want nanguard "may hold a NaN/Inf value here"
+}
+
+// ParsedGuarded launders the parse through the recognized guards.
+func ParsedGuarded(s string) bool {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return false
+	}
+	return v > tol
+}
+
+// NaNSentinel compares the sentinel itself.
+func NaNSentinel(x float64) bool {
+	return math.NaN() < x // want nanguard "sentinel in arithmetic"
+}
+
+// ScaleInPlace divides an accumulator in place by an unproven count.
+func ScaleInPlace(sum, w float64) bool {
+	sum /= w
+	return sum < tol // want nanguard "may hold a NaN/Inf value here"
+}
+
+// Waived keeps a deliberately unguarded comparison.
+func Waived(num, den float64) bool {
+	//lint:ignore nanguard fixture: sentinel comparison is deliberate
+	return num/den < tol
+}

@@ -1,0 +1,139 @@
+// Package shapefixture exercises the shapecheck analyzer: //lint:shape
+// length relations on struct fields and function parameters, proven
+// statically from value flow where possible and discharged by a
+// runtime validator where not.
+package shapefixture
+
+// Table pairs a statically provable relation with ones that usually
+// need the validator after append-built construction.
+//
+//lint:shape len(ptr)==n+1 len(val)==len(col)
+type Table struct {
+	n   int
+	ptr []int
+	col []int32
+	val []float64
+}
+
+// checkShape is Table's runtime validator.
+//
+//lint:shape validator
+func (t *Table) checkShape() {
+	if len(t.ptr) != t.n+1 || len(t.val) != len(t.col) {
+		panic("shapefixture: inconsistent Table shape")
+	}
+}
+
+// GoodLiteral satisfies every relation provably: no finding.
+func GoodLiteral(n int) *Table {
+	return &Table{
+		n:   n,
+		ptr: make([]int, n+1),
+		col: make([]int32, 8),
+		val: make([]float64, 8),
+	}
+}
+
+// BadPtr builds ptr one entry short of the declared n+1.
+func BadPtr(n int) *Table {
+	return &Table{ // want shapecheck "violates its declared shape contract"
+		n:   n,
+		ptr: make([]int, n),
+	}
+}
+
+// AppendValidated mutates contracted slice headers, then discharges
+// the obligation through the validator before returning.
+func AppendValidated(rows []int32) *Table {
+	t := &Table{ptr: []int{0}}
+	for _, c := range rows {
+		t.col = append(t.col, c)
+		t.val = append(t.val, 1)
+	}
+	t.checkShape()
+	return t
+}
+
+// AppendDropped mutates a contracted field without revalidating.
+func AppendDropped(t *Table, extra []int32) {
+	t.col = append(t.col, extra...) // want shapecheck "assignment to contracted field Table.col"
+}
+
+// Pair declares a relation but no validator: unresolved sites have
+// nothing to discharge them at runtime.
+//
+//lint:shape len(a)==len(b)
+type Pair struct {
+	a, b []float64
+}
+
+// ProvenPair is statically fine.
+func ProvenPair(n int) *Pair {
+	return &Pair{a: make([]float64, n), b: make([]float64, n)}
+}
+
+// UnprovenPair cannot be resolved statically and has no validator.
+func UnprovenPair(xs, ys []float64) *Pair {
+	return &Pair{a: xs, b: ys} // want shapecheck "validator method for Pair"
+}
+
+// PositionalPair cannot be checked field-by-field.
+func PositionalPair(xs, ys []float64) *Pair {
+	return &Pair{xs, ys} // want shapecheck "positional construction"
+}
+
+// Axpy requires equal-length operands.
+//
+//lint:shape len(y)==len(x)
+func Axpy(a float64, x, y []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// GoodCall passes provably equal lengths.
+func GoodCall(n int) {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	Axpy(2, x, y)
+}
+
+// BadCall passes provably unequal lengths.
+func BadCall(n int) {
+	x := make([]float64, n)
+	y := make([]float64, n+1)
+	Axpy(2, x, y) // want shapecheck "call violates the shape contract"
+}
+
+// UnknownCall is unresolvable; calls are only reported when disproven.
+func UnknownCall(x, y []float64) {
+	Axpy(2, x, y)
+}
+
+// WaivedMutation documents a caller-side revalidation.
+func WaivedMutation(t *Table) {
+	//lint:ignore shapecheck fixture: caller revalidates
+	t.val = append(t.val, 1)
+}
+
+// BadField names a field that does not exist.
+//
+//lint:shape len(ptr)==len(missing)
+type BadField struct { // want shapecheck "which is not a field of BadField"
+	ptr []int
+}
+
+// FreeValidator is not a method.
+//
+//lint:shape validator
+func FreeValidator() {} // want shapecheck "validator must be declared on a method"
+
+// NotAStruct cannot carry field relations.
+//
+//lint:shape len(a)==len(b)
+type NotAStruct []int // want shapecheck "struct types or functions"
+
+// BadParam names a parameter that does not exist.
+//
+//lint:shape len(x)==len(q)
+func BadParam(x []float64) {} // want shapecheck "which is not a parameter of BadParam"

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestValueFlowReachingDefs pins the core SSA-lite semantics on a
+// hand-countable function: a conditional reassignment must merge both
+// definitions at the join, and a straight-line redefinition must kill
+// the one it replaces.
+func TestValueFlowReachingDefs(t *testing.T) {
+	const src = `package vftest
+
+func merge(cond bool, p []float64) []float64 {
+	x := make([]float64, 4)
+	if cond {
+		x = p
+	}
+	sink(x)
+	return x
+}
+
+func kill(a float64) float64 {
+	y := a
+	y = 2 * a
+	sink2(y)
+	return y
+}
+
+func sink(s []float64)  {}
+func sink2(v float64)   {}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "vftest.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixture(t, dir, "repro/internal/vftest")
+
+	// reachingAt finds the ident named name used as the sole argument of
+	// a call to fn, and returns its reaching definitions.
+	reachingAt := func(fn, name string) []*VFDef {
+		t.Helper()
+		var defs []*VFDef
+		for _, file := range pkg.Files {
+			for _, sc := range funcScopes(file) {
+				vf := buildValueFlow(pkg, sc)
+				ast.Inspect(sc.body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee, ok := call.Fun.(*ast.Ident)
+					if !ok || callee.Name != fn || len(call.Args) != 1 {
+						return true
+					}
+					if arg, ok := call.Args[0].(*ast.Ident); ok && arg.Name == name {
+						defs = vf.ReachingDefs(arg)
+					}
+					return true
+				})
+			}
+		}
+		return defs
+	}
+
+	// At sink(x): the make-definition and the conditional x = p both
+	// reach — the if-join is a phi merging two defs.
+	defs := reachingAt("sink", "x")
+	if len(defs) != 2 {
+		t.Fatalf("sink(x): got %d reaching defs, want 2 (make and conditional reassign)", len(defs))
+	}
+	for _, d := range defs {
+		if d.Kind != VFAssign {
+			t.Errorf("sink(x): def kind = %v, want VFAssign", d.Kind)
+		}
+	}
+	sawMake, sawParam := false, false
+	for _, d := range defs {
+		switch rhs := d.RHS.(type) {
+		case *ast.CallExpr:
+			sawMake = true
+		case *ast.Ident:
+			if rhs.Name == "p" {
+				sawParam = true
+			}
+		}
+	}
+	if !sawMake || !sawParam {
+		t.Errorf("sink(x): defs = make %v, p %v; want both", sawMake, sawParam)
+	}
+
+	// At sink2(y): the second assignment kills the first, so exactly one
+	// definition reaches.
+	defs = reachingAt("sink2", "y")
+	if len(defs) != 1 {
+		t.Fatalf("sink2(y): got %d reaching defs, want 1 (redefinition kills)", len(defs))
+	}
+	if be, ok := defs[0].RHS.(*ast.BinaryExpr); !ok {
+		t.Errorf("sink2(y): reaching RHS = %T, want the 2*a BinaryExpr", defs[0].RHS)
+	} else if _, ok := be.X.(*ast.BasicLit); !ok {
+		t.Errorf("sink2(y): reaching RHS = %v, want 2 * a", be)
+	}
+
+	// IsLocal distinguishes the function's own variables from package
+	// ones; parameters are local too, with a VFParam entry definition.
+	for _, file := range pkg.Files {
+		for _, sc := range funcScopes(file) {
+			if sc.decl == nil || sc.decl.Name.Name != "merge" {
+				continue
+			}
+			vf := buildValueFlow(pkg, sc)
+			var p *types.Var
+			ast.Inspect(sc.body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "p" {
+					if obj, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						p = obj
+					}
+				}
+				return true
+			})
+			if p == nil {
+				t.Fatal("merge: did not find a use of parameter p")
+			}
+			if !vf.IsLocal(p) {
+				t.Error("merge: parameter p should be local to its scope")
+			}
+			pd := vf.DefsOf(p)
+			if len(pd) != 1 || pd[0].Kind != VFParam {
+				t.Errorf("merge: DefsOf(p) = %v, want exactly one VFParam def", pd)
+			}
+		}
+	}
+}

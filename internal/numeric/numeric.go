@@ -42,3 +42,10 @@ func Zero(x float64) bool { return x == 0 }
 
 // NonZero reports whether x is exactly nonzero; see Zero.
 func NonZero(x float64) bool { return x != 0 }
+
+// Finite reports whether x is neither NaN nor ±Inf. It is the guard the
+// simlint nanguard analyzer recognizes: a residual or norm passed
+// through Finite is proven safe to feed into a convergence comparison
+// (IEEE comparisons against NaN are silently false, so an unguarded
+// non-finite residual loops a solver to its iteration cap).
+func Finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -96,7 +96,11 @@ func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]fl
 // gmresWorkspace holds every buffer one GMRES solve reuses across
 // restart cycles, so the hot cycle kernel performs no allocation at
 // all: the Krylov basis v and Hessenberg h are carved out of flat
-// backing arrays, and hist caps at the restart length.
+// backing arrays, and hist caps at the restart length. The cycle kernel
+// indexes the rotation and basis buffers in lockstep up to the Krylov
+// dimension, per the declared shape contract.
+//
+//lint:shape len(z)==len(r) len(w)==len(r) len(zw)==len(r) len(v)==len(h) len(sn)==len(cs) len(y)==len(cs) len(g)==len(cs)+1 len(v)==len(g)
 type gmresWorkspace struct {
 	r, z, w, zw []float64
 	v, h        [][]float64
@@ -145,11 +149,22 @@ func newGMRESWorkspace(n, restart int) *gmresWorkspace {
 // so the parallel path's fan-out closure is allocated once by the
 // caller instead of being inlined — and re-allocated — here.
 //
+// b and x may not alias: the triangular-solve epilogue updates x in
+// place while the next cycle re-reads b to form the residual.
+//
+//lint:noalias b,x
 //lint:hotpath
 //lint:noescape
 func gmresCycle(matvec func(in, out []float64), b, x []float64, m Preconditioner,
 	ws *gmresWorkspace, restart, maxIter int, tol, beta0 float64, recordHistory bool,
 	stats *Stats) (converged bool, entryRel, exitRel float64) {
+	// The reference norm divides every residual below; a zero or
+	// non-finite beta0 would make both convergence tests silently false
+	// (NaN compares false) and burn maxIter without progress.
+	if !(beta0 > 0) || math.IsInf(beta0, 0) {
+		stats.Diverged = true
+		return false, math.Inf(1), math.Inf(1)
+	}
 	r, z, w, zw := ws.r, ws.z, ws.w, ws.zw
 	v, h := ws.v, ws.h
 	cs, sn, g, y := ws.cs, ws.sn, ws.g, ws.y
@@ -348,6 +363,14 @@ func gmres(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner
 		stats.Converged = true
 		emitSolveEvent(ctx, &stats)
 		return make([]float64, n), stats, nil
+	}
+	if !numeric.Finite(bNorm) {
+		// A NaN/Inf right-hand side would poison every relative residual:
+		// the convergence comparisons go silently false and the solve
+		// burns MaxIter doing nothing. Fail loudly instead.
+		stats.FinalResRel = math.NaN()
+		emitSolveEvent(ctx, &stats)
+		return nil, stats, fmt.Errorf("solver: preconditioned rhs norm is not finite (%g)", bNorm)
 	}
 
 	beta0 := bNorm

@@ -109,15 +109,33 @@ func (b *Builder) Build() *CSR {
 	}
 	m.Col = colOut
 	m.Val = valOut
+	m.checkShape()
 	return m
 }
 
-// CSR is an n x n sparse matrix in compressed sparse row format.
+// CSR is an n x n sparse matrix in compressed sparse row format. The
+// kernels index it by the declared shape invariants without bounds
+// slack: RowPtr has one entry per row plus the terminating total, and
+// Val/Col run in lockstep up to that total.
+//
+//lint:shape len(RowPtr)==N+1 len(Val)==len(Col) len(Val)==RowPtr[N]
 type CSR struct {
 	N      int
 	RowPtr []int64
 	Col    []int32
 	Val    []float64
+}
+
+// checkShape validates the CSR shape invariants at construction time;
+// simlint's shapecheck analyzer requires it after any construction or
+// slice-header mutation it cannot prove statically.
+//
+//lint:shape validator
+func (m *CSR) checkShape() {
+	if len(m.RowPtr) != m.N+1 || len(m.Val) != len(m.Col) || int64(len(m.Val)) != m.RowPtr[m.N] {
+		panic(fmt.Sprintf("sparse: inconsistent CSR shape: n=%d len(rowPtr)=%d len(col)=%d len(val)=%d",
+			m.N, len(m.RowPtr), len(m.Col), len(m.Val)))
+	}
 }
 
 // NNZ returns the number of stored entries.
@@ -135,8 +153,11 @@ func (m *CSR) At(i, j int) float64 {
 }
 
 // MulVec computes y = A x serially. y and x must have length N and may
-// not alias.
+// not alias: y is written while x is still being read, so y = A·y in
+// place would consume already-overwritten entries. Call sites are
+// verified by simlint's aliasguard via backing-array provenance.
 //
+//lint:noalias x,y
 //lint:hotpath
 //lint:noescape
 func (m *CSR) MulVec(x, y []float64) {
@@ -157,8 +178,11 @@ func (m *CSR) MulVec(x, y []float64) {
 }
 
 // MulVecRows computes y[lo:hi] = (A x)[lo:hi], the per-rank portion of a
-// distributed matrix-vector product.
+// distributed matrix-vector product. x and y may not alias (see
+// MulVec); under MulVecPar the ranks read x concurrently while writing
+// disjoint y ranges, so overlap would also be a data race.
 //
+//lint:noalias x,y
 //lint:hotpath
 //lint:noescape
 func (m *CSR) MulVecRows(x, y []float64, lo, hi int) {
@@ -176,6 +200,9 @@ func (m *CSR) MulVecRows(x, y []float64, lo, hi int) {
 }
 
 // MulVecPar computes y = A x with one goroutine per partition range.
+// x and y inherit MulVecRows' non-aliasing requirement.
+//
+//lint:noalias x,y
 func (m *CSR) MulVecPar(pt par.Partition, x, y []float64) {
 	pt.ForEachRank(func(r int) {
 		lo, hi := pt.Range(r)

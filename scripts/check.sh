@@ -8,7 +8,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "== gofmt -l"
-unformatted=$(gofmt -l .)
+# internal/lint/testdata holds analyzer fixtures that are deliberately
+# not gofmt-clean (formatting_test.go pins one); the go tool already
+# ignores testdata, so the formatting gate must too.
+unformatted=$(find . -name '*.go' -not -path '*/testdata/*' -exec gofmt -l {} +)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
 	echo "$unformatted" >&2
@@ -26,10 +29,8 @@ echo "== benchreport -check"
 go run ./cmd/benchreport -check > /dev/null
 echo "== go test ./..."
 go test ./...
-echo "== go test -fuzz (10s each: edt distance transform, sparse SpMV, GMRES vs dense)"
-go test -short -run='^$' -fuzz=FuzzDistanceTransform -fuzztime=10s ./internal/edt
-go test -short -run='^$' -fuzz=FuzzSpMVAgainstDense -fuzztime=10s ./internal/sparse
-go test -short -run='^$' -fuzz=FuzzGMRESAgainstDense -fuzztime=10s ./internal/solver
+echo "== go test -fuzz (10s per target, list derived from sources)"
+./scripts/fuzz_smoke.sh
 echo "== go test -race -short ./..."
 go test -race -short ./...
 echo "== OK"

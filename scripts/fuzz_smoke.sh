@@ -1,0 +1,13 @@
+#!/bin/sh
+# Short coverage-guided run of every fuzz target in the module against
+# its checked-in seed corpus. The target list is derived from the
+# sources by scripts/fuzz_targets.sh; FUZZTIME overrides the default
+# ten-second budget (the nightly workflow deep-fuzzes the same list).
+set -eu
+cd "$(dirname "$0")/.."
+
+fuzztime="${FUZZTIME:-10s}"
+./scripts/fuzz_targets.sh | while read -r pkg target; do
+	echo "== fuzz $target ($pkg, $fuzztime)"
+	go test -short -run='^$' -fuzz="^$target\$" -fuzztime="$fuzztime" "$pkg"
+done

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Enumerate every fuzz target in the module as "package target" pairs,
+# derived from the sources so a newly checked-in Fuzz* function is
+# picked up by the smoke run (scripts/fuzz_smoke.sh) and the nightly
+# deep-fuzz matrix without touching any script. -json emits the GitHub
+# Actions matrix object instead.
+set -eu
+cd "$(dirname "$0")/.."
+
+pairs() {
+	grep -rn '^func Fuzz' --include='*_test.go' internal cmd 2>/dev/null |
+		grep -v '/testdata/' |
+		sed 's|^\(.*\)/[^/]*_test\.go:[0-9]*:func \(Fuzz[A-Za-z0-9_]*\).*|./\1 \2|' |
+		sort -u
+}
+
+if [ "${1:-}" = "-json" ]; then
+	pairs | while read -r pkg target; do
+		printf '{"package":"%s","target":"%s"}\n' "$pkg" "$target"
+	done | paste -sd, - | sed 's|^|{"include":[|; s|$|]}|'
+else
+	pairs
+fi
