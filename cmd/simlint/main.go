@@ -19,6 +19,14 @@
 // every //lint:ignore the tree is allowed to contain; see internal/lint
 // for the matching rules. -baseline none disables it, reporting the raw
 // suite output.
+//
+// Results are cached per package under .simlint-cache (overridable with
+// -cache; "none" disables), keyed on the package's sources, its
+// module-internal import closure, the analyzer roster, and the linter's
+// own sources — so a warm run over an unchanged tree replays stored
+// findings instead of re-analyzing, byte-identical to a cold run. The
+// cache directory is disposable and gitignored; delete it to force a
+// cold run.
 package main
 
 import (
@@ -38,8 +46,10 @@ func main() {
 	format := flag.String("format", "text", "report format: text, json, or sarif")
 	baselinePath := flag.String("baseline", ".simlint-baseline.json",
 		"baseline file relative to the module root (\"none\" disables baseline filtering)")
+	cachePath := flag.String("cache", ".simlint-cache",
+		"result cache directory relative to the module root (\"none\" disables caching)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [-format text|json|sarif] [-baseline file] [pattern ...]\n\npatterns default to ./... (the whole module)\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [-format text|json|sarif] [-baseline file] [-cache dir] [pattern ...]\n\npatterns default to ./... (the whole module)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,7 +95,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := lint.RunAll(selected, analyzers)
+	var cache *lint.Cache
+	if *cachePath != "none" {
+		dir := *cachePath
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(root, dir)
+		}
+		cache, err = lint.NewCache(dir, root, analyzers)
+		if err != nil {
+			// The cache is an accelerator; a broken one must not fail
+			// the lint run.
+			fmt.Fprintln(os.Stderr, "simlint: cache disabled:", err)
+			cache = nil
+		}
+	}
+
+	res, stats := lint.RunAllCached(selected, analyzers, cache)
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "simlint: cache: %d hit(s), %d miss(es)\n", stats.Hits, stats.Misses)
+	}
 	findings := res.Findings
 	if *baselinePath != "none" {
 		path := *baselinePath
@@ -151,6 +179,7 @@ func printList(analyzers []lint.Analyzer) {
 	fmt.Println("mark frame conversions:   //lint:coordspace conversion")
 	fmt.Println("declare aliasing rules:   //lint:noalias <param>,<param> (call sites checked by slice provenance)")
 	fmt.Println("declare shape contracts:  //lint:shape len(A)==len(B) ... | //lint:shape validator")
+	fmt.Println("classify float precision: //lint:precision storage=... accum=... | //lint:precision convert (may cross classes)")
 }
 
 // matchesAny reports whether the module-relative package path matches

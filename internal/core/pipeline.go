@@ -555,8 +555,15 @@ func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLab
 			// Sessions keep the voxel→element interpolation table: it
 			// depends only on the mesh and the grid, so every incremental
 			// update rasterizes its solution through it as a dense gather.
-			cache.interp = sys.BuildInterpTable(intraop.Grid)
-			res.Forward = cache.interp.Apply(solveRes.NodeU)
+			// Mixed-precision sessions keep only the float32-weight table
+			// (same coverage, float64 gather accumulation).
+			if cfg.Solver.StoragePrecision == solver.PrecisionFloat32 {
+				cache.interp32 = sys.BuildInterpTable(intraop.Grid).Compact()
+				res.Forward = cache.interp32.Apply(solveRes.NodeU)
+			} else {
+				cache.interp = sys.BuildInterpTable(intraop.Grid)
+				res.Forward = cache.interp.Apply(solveRes.NodeU)
+			}
 		} else {
 			res.Forward = sys.DisplacementField(solveRes.NodeU, intraop.Grid)
 		}

@@ -109,23 +109,6 @@ func (s *Session) Update(ctx context.Context, intraop *volume.Scalar) (*Result, 
 // available for Update to build on.
 func (s *Session) HasBaseline() bool { return s.cache.complete() }
 
-// RegisterScan registers one intraoperative scan with a background
-// context.
-//
-// Deprecated: use Register with context.Background(). Retained as a
-// thin wrapper for one release cycle.
-func (s *Session) RegisterScan(intraop *volume.Scalar) (*Result, error) {
-	return s.Register(context.Background(), intraop)
-}
-
-// RegisterScanContext registers one intraoperative scan.
-//
-// Deprecated: use Register; it is the same operation under the
-// canonical context-first name.
-func (s *Session) RegisterScanContext(ctx context.Context, intraop *volume.Scalar) (*Result, error) {
-	return s.Register(ctx, intraop)
-}
-
 // SetObserver installs (or clears, with nil) the observer receiving
 // per-stage events of subsequent Register/Update calls. It must not be
 // called while a scan is in flight.

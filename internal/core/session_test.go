@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestSessionMultipleScans(t *testing.T) {
 	if sess.PrototypeCount() != 0 {
 		t.Error("prototypes exist before first scan")
 	}
-	r1, err := sess.RegisterScan(c1.Intraop)
+	r1, err := sess.Register(context.Background(), c1.Intraop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestSessionMultipleScans(t *testing.T) {
 	if nProto == 0 {
 		t.Fatal("first scan did not build the statistical model")
 	}
-	r2, err := sess.RegisterScan(c2.Intraop)
+	r2, err := sess.Register(context.Background(), c2.Intraop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSessionRefreshAbsorbsIntensityDrift(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.RegisterScan(c.Intraop); err != nil {
+	if _, err := sess.Register(context.Background(), c.Intraop); err != nil {
 		t.Fatal(err)
 	}
 	drifted := c.Intraop.Clone()
@@ -81,7 +82,7 @@ func TestSessionRefreshAbsorbsIntensityDrift(t *testing.T) {
 	for i := range drifted.Data {
 		drifted.Data[i] = drifted.Data[i]*1.15 + float32(rng.NormFloat64())
 	}
-	r2, err := sess.RegisterScan(drifted)
+	r2, err := sess.Register(context.Background(), drifted)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSessionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.RegisterScan(nil); err == nil {
+	if _, err := sess.Register(context.Background(), nil); err == nil {
 		t.Error("nil intraop accepted")
 	}
 	if sess.ScanCount() != 0 {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fem"
 	"repro/internal/mesh"
 	"repro/internal/obs"
+	"repro/internal/solver"
 	"repro/internal/surface"
 	"repro/internal/transform"
 	"repro/internal/volume"
@@ -63,6 +64,10 @@ type sessionCache struct {
 	// mesh on the session grid; updates rasterize their solution through
 	// it instead of re-locating every voxel.
 	interp *fem.InterpTable
+	// interp32 replaces interp for mixed-precision sessions
+	// (Config.Solver.StoragePrecision == solver.PrecisionFloat32): same
+	// coverage with float32-stored weights.
+	interp32 *fem.InterpTable32
 	// prevU seeds the next warm-started solve.
 	prevU []float64
 	// coldIterations is the baseline cold solve's iteration count, the
@@ -222,10 +227,17 @@ func (p *Pipeline) updateStages(ctx context.Context, cache *sessionCache,
 	// rasterization into a dense gather; inversion and warping match the
 	// cold path exactly.
 	if err := stage(StageResample, func(_ context.Context) error {
-		if cache.interp == nil {
-			cache.interp = sys.BuildInterpTable(intraop.Grid)
+		if cfg.Solver.StoragePrecision == solver.PrecisionFloat32 {
+			if cache.interp32 == nil {
+				cache.interp32 = sys.BuildInterpTable(intraop.Grid).Compact()
+			}
+			res.Forward = cache.interp32.Apply(solveRes.NodeU)
+		} else {
+			if cache.interp == nil {
+				cache.interp = sys.BuildInterpTable(intraop.Grid)
+			}
+			res.Forward = cache.interp.Apply(solveRes.NodeU)
 		}
-		res.Forward = cache.interp.Apply(solveRes.NodeU)
 		res.Backward = res.Forward.Invert(4)
 		res.Warped = res.Backward.WarpScalar(alignedPreop)
 		return nil

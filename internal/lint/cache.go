@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// cacheFormatVersion salts every cache key; bump it when the on-disk
+// entry schema or the keying scheme changes so stale entries from an
+// older binary can never replay.
+const cacheFormatVersion = 1
+
+// Cache is a package-level result store for RunAllCached. An entry is
+// keyed on everything that can change a package's findings: the
+// package's own non-test sources, the sources of every module-internal
+// package in its transitive import closure (the interprocedural
+// analyzers follow call chains across package boundaries), the analyzer
+// roster, the linter's own sources, and the Go toolchain version. A key
+// mismatch — any of those changed — is a miss, so the cache never needs
+// explicit invalidation; entries are one small JSON file per package
+// path, overwritten in place.
+type Cache struct {
+	dir  string
+	root string
+	salt string
+
+	mu       sync.Mutex
+	dirHash  map[string]string
+	disabled bool
+}
+
+// CacheStats reports how a RunAllCached call was served.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// NewCache opens (creating if needed) the cache directory and computes
+// the run salt for the module rooted at root. The linter's own sources
+// (internal/lint under root, when present) are folded into the salt so
+// editing an analyzer invalidates everything it might report.
+func NewCache(dir, root string, analyzers []Analyzer) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lint: cache dir: %w", err)
+	}
+	c := &Cache{dir: dir, root: root, dirHash: make(map[string]string)}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "v%d\n%s\n", cacheFormatVersion, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(&buf, "%s\n", a.Name())
+	}
+	selfDir := filepath.Join(root, "internal", "lint")
+	if st, err := os.Stat(selfDir); err == nil && st.IsDir() {
+		selfHash, err := c.hashDir(selfDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&buf, "self:%s\n", selfHash)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	c.salt = hex.EncodeToString(sum[:])
+	return c, nil
+}
+
+// cacheEntry is the on-disk form of one package's Result. Positions
+// store module-root-relative filenames so a checkout moved to another
+// path still hits; get restores the absolute form the formatters and
+// the baseline matcher expect.
+type cacheEntry struct {
+	Key      string         `json:"key"`
+	Package  string         `json:"package"`
+	Findings []cacheFinding `json:"findings"`
+	Waivers  []cacheWaiver  `json:"waivers"`
+}
+
+type cacheFinding struct {
+	File     string `json:"file"`
+	Offset   int    `json:"offset"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Msg      string `json:"msg"`
+}
+
+type cacheWaiver struct {
+	File     string `json:"file"`
+	Offset   int    `json:"offset"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// entryPath names the entry file after the import path alone, so a
+// re-run after an edit overwrites the stale entry instead of growing
+// the directory.
+func (c *Cache) entryPath(pkg *Package) string {
+	sum := sha256.Sum256([]byte(pkg.Path))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:8])+".json")
+}
+
+// key computes the content hash for pkg: the salt plus (path, source
+// hash) for pkg and every module-internal package in its transitive
+// import closure, in sorted order.
+func (c *Cache) key(pkg *Package) (string, error) {
+	closure := map[string]string{pkg.Path: pkg.Dir}
+	var walk func(p *Package)
+	walk = func(p *Package) {
+		for _, imp := range p.Types.Imports() {
+			dep, ok := p.Mod.pkgs[imp.Path()]
+			if !ok {
+				continue // stdlib: covered by the Go-version salt
+			}
+			if _, seen := closure[dep.Path]; seen {
+				continue
+			}
+			closure[dep.Path] = dep.Dir
+			walk(dep)
+		}
+	}
+	walk(pkg)
+	paths := make([]string, 0, len(closure))
+	for p := range closure {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s\n", c.salt)
+	for _, p := range paths {
+		dh, err := c.hashDir(closure[p])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&buf, "%s %s\n", p, dh)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// hashDir hashes the non-test Go sources of one directory (name,
+// length, content, in sorted order), memoized for the import-closure
+// overlap between packages.
+func (c *Cache) hashDir(dir string) (string, error) {
+	c.mu.Lock()
+	if dh, ok := c.dirHash[dir]; ok {
+		c.mu.Unlock()
+		return dh, nil
+	}
+	c.mu.Unlock()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("lint: cache hashing %s: %w", dir, err)
+	}
+	var buf bytes.Buffer
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", fmt.Errorf("lint: cache hashing %s: %w", dir, err)
+		}
+		fmt.Fprintf(&buf, "%s %d\n", name, len(data))
+		buf.Write(data)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	dh := hex.EncodeToString(sum[:])
+	c.mu.Lock()
+	c.dirHash[dir] = dh
+	c.mu.Unlock()
+	return dh, nil
+}
+
+// get loads pkg's entry and replays it when its key still matches the
+// tree. Any failure — missing file, corrupt JSON, stale key, hashing
+// error — is a miss, never an error: the caller just re-analyzes.
+func (c *Cache) get(pkg *Package) (Result, bool) {
+	if c.isDisabled() {
+		return Result{}, false
+	}
+	key, err := c.key(pkg)
+	if err != nil {
+		c.disable()
+		return Result{}, false
+	}
+	data, err := os.ReadFile(c.entryPath(pkg))
+	if err != nil {
+		return Result{}, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != key || e.Package != pkg.Path {
+		return Result{}, false
+	}
+	var res Result
+	for _, f := range e.Findings {
+		res.Findings = append(res.Findings, Finding{
+			Pos:      c.absPos(f.File, f.Offset, f.Line, f.Col),
+			Analyzer: f.Analyzer,
+			Msg:      f.Msg,
+		})
+	}
+	for _, w := range e.Waivers {
+		res.Waivers = append(res.Waivers, WaiverUse{
+			Pos:      c.absPos(w.File, w.Offset, w.Line, w.Col),
+			Analyzer: w.Analyzer,
+			Reason:   w.Reason,
+		})
+	}
+	return res, true
+}
+
+// put stores pkg's freshly computed result. Write failures are
+// silently dropped — the cache is an accelerator, not a durability
+// layer — but the entry is written atomically (temp file + rename) so
+// a crashed run can't leave a torn entry for the next one to trust.
+func (c *Cache) put(pkg *Package, res Result) {
+	if c.isDisabled() {
+		return
+	}
+	key, err := c.key(pkg)
+	if err != nil {
+		c.disable()
+		return
+	}
+	e := cacheEntry{Key: key, Package: pkg.Path}
+	for _, f := range res.Findings {
+		e.Findings = append(e.Findings, cacheFinding{
+			File: c.relFile(f.Pos.Filename), Offset: f.Pos.Offset,
+			Line: f.Pos.Line, Col: f.Pos.Column,
+			Analyzer: f.Analyzer, Msg: f.Msg,
+		})
+	}
+	for _, w := range res.Waivers {
+		e.Waivers = append(e.Waivers, cacheWaiver{
+			File: c.relFile(w.Pos.Filename), Offset: w.Pos.Offset,
+			Line: w.Pos.Line, Col: w.Pos.Column,
+			Analyzer: w.Analyzer, Reason: w.Reason,
+		})
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return
+	}
+	if err := writeFileAtomic(c.dir, c.entryPath(pkg), data); err != nil {
+		// A filesystem that rejects writes (read-only checkout, full
+		// disk) would fail once per package; stop trying.
+		c.disable()
+	}
+}
+
+// writeFileAtomic writes data to path via a temp file + rename in the
+// same directory, so a crash mid-write can never leave a torn entry.
+func writeFileAtomic(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		return errors.Join(werr, cerr, os.Remove(tmp.Name()))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	return nil
+}
+
+// disable marks the cache broken for the rest of the run (a hashing
+// error would otherwise repeat once per package).
+func (c *Cache) disable() {
+	c.mu.Lock()
+	c.disabled = true
+	c.mu.Unlock()
+}
+
+func (c *Cache) isDisabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disabled
+}
+
+// relFile relativizes a position filename against the module root for
+// storage; absolute paths outside the root are kept as-is.
+func (c *Cache) relFile(name string) string {
+	if rel, err := filepath.Rel(c.root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}
+
+// absPos rebuilds the token.Position a fresh run would have produced.
+func (c *Cache) absPos(file string, offset, line, col int) token.Position {
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(c.root, filepath.FromSlash(file))
+	}
+	return token.Position{Filename: file, Offset: offset, Line: line, Column: col}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// renderResult formats a result the way cmd/simlint would, so the
+// canary can compare cold and warm runs byte for byte.
+func renderResult(t *testing.T, root string, res Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, root, res.Findings); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestCacheColdWarmByteIdentical is the cache canary: a warm run over
+// an unchanged tree must replay exactly what the cold run computed —
+// same findings, same waivers, byte-identical text report — and must
+// actually be served from the cache.
+func TestCacheColdWarmByteIdentical(t *testing.T) {
+	// The floateq fixture carries findings AND a //lint:ignore waiver,
+	// so both halves of the Result round-trip through the entry file.
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "floateq"), "repro/internal/solver/floatfixture")
+	root := testModule(t).Root
+	uncached := RunAll([]*Package{pkg}, Analyzers())
+	if len(uncached.Findings) == 0 || len(uncached.Waivers) == 0 {
+		t.Fatalf("fixture must produce findings and waivers to exercise the cache (got %d/%d)",
+			len(uncached.Findings), len(uncached.Waivers))
+	}
+
+	dir := t.TempDir()
+	cold, err := NewCache(dir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	coldRes, coldStats := RunAllCached([]*Package{pkg}, Analyzers(), cold)
+	if coldStats.Hits != 0 || coldStats.Misses != 1 {
+		t.Fatalf("cold run stats = %+v, want 0 hits / 1 miss", coldStats)
+	}
+
+	// A fresh Cache over the same directory simulates a new process.
+	warm, err := NewCache(dir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	warmRes, warmStats := RunAllCached([]*Package{pkg}, Analyzers(), warm)
+	if warmStats.Hits != 1 || warmStats.Misses != 0 {
+		t.Fatalf("warm run stats = %+v, want 1 hit / 0 misses", warmStats)
+	}
+
+	if !reflect.DeepEqual(coldRes, uncached) {
+		t.Error("cold cached run differs from uncached RunAll")
+	}
+	if !reflect.DeepEqual(warmRes, coldRes) {
+		t.Errorf("warm run differs from cold run:\ncold: %+v\nwarm: %+v", coldRes, warmRes)
+	}
+	coldText := renderResult(t, root, coldRes)
+	warmText := renderResult(t, root, warmRes)
+	if !bytes.Equal(coldText, warmText) {
+		t.Errorf("reports not byte-identical:\ncold:\n%s\nwarm:\n%s", coldText, warmText)
+	}
+}
+
+// TestCacheCorruptEntryIsMiss: a torn or garbage entry file must fall
+// back to re-analysis, not fail or replay nonsense.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "errwrap"), "repro/internal/errfixture")
+	root := testModule(t).Root
+	dir := t.TempDir()
+	c, err := NewCache(dir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	if _, stats := RunAllCached([]*Package{pkg}, Analyzers(), c); stats.Misses != 1 {
+		t.Fatalf("priming run stats = %+v", stats)
+	}
+	if err := os.WriteFile(c.entryPath(pkg), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(dir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	res, stats := RunAllCached([]*Package{pkg}, Analyzers(), c2)
+	if stats.Misses != 1 || stats.Hits != 0 {
+		t.Fatalf("corrupt entry served as a hit: %+v", stats)
+	}
+	if !reflect.DeepEqual(res, RunAll([]*Package{pkg}, Analyzers())) {
+		t.Error("re-analysis after corrupt entry differs from RunAll")
+	}
+}
+
+// TestCacheInvalidatesOnSourceChange builds a throwaway single-package
+// module, caches its (empty) result, edits the source, and checks the
+// key rolls over — the edited package must re-analyze, and the new
+// entry must then hit again.
+func TestCacheInvalidatesOnSourceChange(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module tmpmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(root, "leaf")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(pkgDir, "leaf.go")
+	if err := os.WriteFile(src, []byte("package leaf\n\nfunc F() int { return 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load := func() *Package {
+		mod, err := NewModule(root)
+		if err != nil {
+			t.Fatalf("NewModule: %v", err)
+		}
+		pkg, err := mod.LoadDir(pkgDir, "tmpmod/leaf")
+		if err != nil {
+			t.Fatalf("LoadDir: %v", err)
+		}
+		return pkg
+	}
+
+	cacheDir := t.TempDir()
+	c1, err := NewCache(cacheDir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	if _, stats := RunAllCached([]*Package{load()}, Analyzers(), c1); stats.Misses != 1 {
+		t.Fatalf("priming run stats = %+v", stats)
+	}
+
+	if err := os.WriteFile(src, []byte("package leaf\n\nfunc F() int { return 2 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(cacheDir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	if _, stats := RunAllCached([]*Package{load()}, Analyzers(), c2); stats.Misses != 1 || stats.Hits != 0 {
+		t.Fatalf("edited source served from cache: %+v", stats)
+	}
+
+	c3, err := NewCache(cacheDir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	if _, stats := RunAllCached([]*Package{load()}, Analyzers(), c3); stats.Hits != 1 {
+		t.Fatalf("unchanged re-run missed: %+v", stats)
+	}
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// deprecated flags in-module calls to functions and methods whose doc
+// comment carries a standard "Deprecated:" paragraph. A deprecation
+// marker without enforcement just rots: the wrapper keeps accumulating
+// callers (tests especially) and can never actually be deleted. With
+// this analyzer a deprecation is a one-way door — the moment the
+// marker lands, every remaining in-module call site is a finding that
+// names the migration from the deprecation note, and the wrapper's
+// removal a release later is a no-op. A deprecated function may call
+// other deprecated functions (a compat shim is allowed to be built
+// from retired parts); everyone else must migrate.
+type deprecated struct{}
+
+func (deprecated) Name() string { return "deprecated" }
+
+func (deprecated) Doc() string {
+	return "no in-module calls to functions documented Deprecated:; the note names the migration"
+}
+
+func (deprecated) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, sc := range funcScopes(file) {
+			if note, _ := deprecationNote(deprecatedScopeDoc(file, sc)); note != "" {
+				continue // compat shims may be built from retired parts
+			}
+			inspectShallow(sc.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || pkg.Mod == nil {
+					return true
+				}
+				decl := pkg.Mod.FuncDecl(fn)
+				if decl == nil {
+					return true
+				}
+				note, ok := deprecationNote(decl.Doc)
+				if !ok {
+					return true
+				}
+				msg := "call to deprecated " + fn.Name()
+				if note != "" {
+					msg += ": " + note
+				}
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "deprecated",
+					Msg:      msg,
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// deprecatedScopeDoc resolves the doc comment governing a scope: the
+// declaration's own doc, or for a function literal the doc of the
+// enclosing declaration (a closure inside a compat shim is part of the
+// shim).
+func deprecatedScopeDoc(file *ast.File, sc funcScope) *ast.CommentGroup {
+	if sc.decl != nil {
+		return sc.decl.Doc
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil &&
+			fd.Body.Pos() <= sc.body.Pos() && sc.body.End() <= fd.Body.End() {
+			return fd.Doc
+		}
+	}
+	return nil
+}
+
+// deprecationNote extracts the first sentence of a standard
+// "Deprecated:" doc paragraph, reporting whether one exists at all.
+func deprecationNote(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	lines := strings.Split(doc.Text(), "\n")
+	for i, line := range lines {
+		rest, found := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:")
+		if !found {
+			continue
+		}
+		// The note runs to the end of the paragraph; keep the first
+		// sentence so the finding stays one line.
+		note := strings.TrimSpace(rest)
+		for _, next := range lines[i+1:] {
+			next = strings.TrimSpace(next)
+			if next == "" {
+				break
+			}
+			note += " " + next
+		}
+		if cut := strings.IndexByte(note, '.'); cut >= 0 {
+			note = note[:cut]
+		}
+		return note, true
+	}
+	return "", false
+}

@@ -82,6 +82,8 @@ func Analyzers() []Analyzer {
 		nanguard{},
 		detguard{},
 		shapecheck{},
+		precguard{},
+		deprecated{},
 	}
 }
 
@@ -118,19 +120,73 @@ func RunAll(pkgs []*Package, analyzers []Analyzer) Result {
 	for i, pkg := range pkgs {
 		go func(i int, pkg *Package) {
 			defer wg.Done()
-			sup, waivers, diags := suppressions(pkg, known)
-			r := Result{Findings: diags, Waivers: waivers}
-			for _, a := range analyzers {
-				for _, f := range a.Run(pkg) {
-					if !sup.covers(a.Name(), f.Pos) {
-						r.Findings = append(r.Findings, f)
-					}
-				}
-			}
-			results[i] = r
+			results[i] = runPackage(pkg, analyzers, known)
 		}(i, pkg)
 	}
 	wg.Wait()
+	return mergeResults(results)
+}
+
+// RunAllCached is RunAll with a package-level result cache: packages
+// whose key (own sources + module-internal import closure + analyzer
+// roster + linter sources) is already stored skip analysis entirely and
+// replay the stored findings and waivers. The merged report is
+// byte-identical to an uncached run — the cache only changes where the
+// per-package results come from, not what they contain. A nil cache
+// degrades to RunAll.
+func RunAllCached(pkgs []*Package, analyzers []Analyzer, c *Cache) (Result, CacheStats) {
+	if c == nil {
+		return RunAll(pkgs, analyzers), CacheStats{}
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	results := make([]Result, len(pkgs))
+	hits := make([]bool, len(pkgs))
+	var wg sync.WaitGroup
+	wg.Add(len(pkgs))
+	for i, pkg := range pkgs {
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			if r, ok := c.get(pkg); ok {
+				results[i], hits[i] = r, true
+				return
+			}
+			results[i] = runPackage(pkg, analyzers, known)
+			c.put(pkg, results[i])
+		}(i, pkg)
+	}
+	wg.Wait()
+	var stats CacheStats
+	for _, h := range hits {
+		if h {
+			stats.Hits++
+		} else {
+			stats.Misses++
+		}
+	}
+	return mergeResults(results), stats
+}
+
+// runPackage executes the suite over one package and applies its
+// //lint:ignore suppressions: the unit of work the cache stores.
+func runPackage(pkg *Package, analyzers []Analyzer, known map[string]bool) Result {
+	sup, waivers, diags := suppressions(pkg, known)
+	r := Result{Findings: diags, Waivers: waivers}
+	for _, a := range analyzers {
+		for _, f := range a.Run(pkg) {
+			if !sup.covers(a.Name(), f.Pos) {
+				r.Findings = append(r.Findings, f)
+			}
+		}
+	}
+	return r
+}
+
+// mergeResults concatenates per-package results into the canonical
+// sorted report.
+func mergeResults(results []Result) Result {
 	var res Result
 	for _, r := range results {
 		res.Findings = append(res.Findings, r.Findings...)

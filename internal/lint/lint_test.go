@@ -98,6 +98,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"nanguard", "repro/internal/solver/nanfixture"},
 		{"detguard", "repro/internal/fem/detfixture"},
 		{"shapecheck", "repro/internal/shapefixture"},
+		{"precguard", "repro/internal/solver/precfixture"},
+		{"deprecated", "repro/internal/deprfixture"},
 	} {
 		t.Run(tc.dir, func(t *testing.T) {
 			pkg := loadFixture(t, filepath.Join("testdata", "src", tc.dir), tc.importPath)
@@ -303,7 +305,7 @@ func TestAnalyzerNamesStable(t *testing.T) {
 	}
 	if got, want := strings.Join(names, " "),
 		"ctxprop spanend metricname errwrap floateq hotalloc hotreach concsafe lockscope phaseorder coordspace"+
-			" aliasguard nanguard detguard shapecheck"; got != want {
+			" aliasguard nanguard detguard shapecheck precguard deprecated"; got != want {
 		t.Errorf("Analyzers() = %q, want %q", got, want)
 	}
 }

@@ -1,0 +1,53 @@
+// Package deprfixture exercises the deprecated analyzer: in-module
+// calls to functions carrying a standard "Deprecated:" doc paragraph
+// are findings that quote the migration note; deprecated shims may
+// still call other retired parts.
+package deprfixture
+
+// NewAPI is the canonical entry point.
+func NewAPI(n int) int { return n * 2 }
+
+// OldAPI doubles n with the retired positional signature.
+//
+// Deprecated: use NewAPI; same semantics under the canonical name.
+// Retained for one release cycle.
+func OldAPI(n int) int { return NewAPI(n) }
+
+// Caller has not migrated yet.
+func Caller(n int) int {
+	return OldAPI(n) // want deprecated "call to deprecated OldAPI: use NewAPI; same semantics under the canonical name"
+}
+
+// ClosureCaller spawns work that still uses the retired name.
+func ClosureCaller(n int) func() int {
+	return func() int {
+		return OldAPI(n) // want deprecated "call to deprecated OldAPI"
+	}
+}
+
+// Shim is itself deprecated, so building it from retired parts is
+// allowed — the whole assembly retires together.
+//
+// Deprecated: use Caller.
+func Shim(n int) int { return OldAPI(n) }
+
+// Box carries a value with one retired accessor.
+type Box struct{ v int }
+
+// Value returns the boxed value.
+func (b Box) Value() int { return b.v }
+
+// Get returns the boxed value.
+//
+// Deprecated: use Value.
+func (b Box) Get() int { return b.v }
+
+// UseBox still reads through the retired accessor.
+func UseBox(b Box) int {
+	return b.Get() // want deprecated "call to deprecated Get: use Value"
+}
+
+// Migrated is the clean mirror: no findings.
+func Migrated(b Box, n int) int {
+	return b.Value() + NewAPI(n)
+}

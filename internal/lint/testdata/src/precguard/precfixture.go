@@ -1,0 +1,146 @@
+// Package precfixture exercises the precguard analyzer. The import
+// path masquerades it into the solver scope, where the storage/
+// accumulation precision model holds: accumulation-classified values
+// must stay float64, reductions over storage-classified data must
+// widen before the first add, and class changes are only legal inside
+// //lint:precision convert functions.
+package precfixture
+
+// Table stores demotable interpolation-style weights (float32 and a
+// float64 history stream, both storage-classified) next to a float64
+// running total.
+//
+//lint:precision storage=W,Hist accum=Total
+type Table struct {
+	W     []float32
+	Hist  []float64
+	Total float64
+}
+
+// BadTable declares an accumulation field that is not float64-based.
+//
+//lint:precision accum=S
+type BadTable struct { // want precguard "must be float64-based"
+	S []float32
+}
+
+// BadName names a field that does not exist.
+//
+//lint:precision storage=Missing
+type BadName struct { // want precguard "not a field of BadName"
+	W []float32
+}
+
+// Norm accumulates in float64 and is accumulation-classified.
+//
+//lint:precision accum=v,result
+func Norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Demote is the sanctioned narrowing boundary: rule 1 is waived here.
+//
+//lint:precision convert storage=dst accum=src
+func Demote(dst []float32, src []float64) {
+	for i, s := range src {
+		dst[i] = float32(s)
+	}
+}
+
+// TruncateNorm narrows an accumulation-classified result outside a
+// convert function: the certified mixed-precision bug class.
+func TruncateNorm(v []float64) float32 {
+	n := Norm(v)
+	return float32(n) // want precguard "truncates accumulation-classified value"
+}
+
+// TruncateField narrows an accumulation-classified struct field.
+func TruncateField(t *Table) float32 {
+	return float32(t.Total) // want precguard "truncates accumulation-classified value"
+}
+
+// UnwidenedReduction accumulates storage-classified weights in a
+// float32 accumulator: every add rounds, so the reduction loses the
+// benefit of float64 accumulation entirely.
+func UnwidenedReduction(t *Table) float32 {
+	var s float32
+	for _, w := range t.W {
+		s += w // want precguard "widen to float64 before the first add"
+	}
+	return s
+}
+
+// SpelledReduction is the written-out form of the same bug.
+func SpelledReduction(t *Table) float32 {
+	var s float32
+	for i := range t.W {
+		s = s + t.W[i] // want precguard "widen to float64 before the first add"
+	}
+	return s
+}
+
+// WidenedReduction is the certified pattern: widen each element to
+// float64 before the add, narrow nothing.
+func WidenedReduction(t *Table) float64 {
+	s := 0.0
+	for _, w := range t.W {
+		s += float64(w)
+	}
+	return s
+}
+
+// MixedCall passes an accumulation-classified slice where a storage
+// parameter is declared, without going through a convert function.
+func MixedCall(res []float64) float64 {
+	// res aliases an accumulation-classified total stream.
+	acc := residuals(res)
+	return sumW(acc) // want precguard "route the change of class through"
+}
+
+// residuals is accumulation-classified end to end.
+//
+//lint:precision accum=r,result
+func residuals(r []float64) []float64 { return r }
+
+// sumW reduces storage-classified data (declared on the parameter).
+//
+//lint:precision storage=w
+func sumW(w []float64) float64 {
+	s := 0.0
+	for _, x := range w {
+		s += x
+	}
+	return s
+}
+
+// MixedConstruction seeds a storage-classified field from an
+// accumulation-classified value; the matching Total seed is fine.
+func MixedConstruction(res []float64) *Table {
+	acc := residuals(res)
+	return &Table{
+		Hist:  acc, // want precguard "route the change of class through"
+		Total: Norm(res),
+	}
+}
+
+// MixedFieldWrite replaces a storage-classified field's slice header
+// with an accumulator stream.
+func MixedFieldWrite(t *Table, res []float64) {
+	t.Hist = residuals(res) // want precguard "route the change of class through"
+}
+
+// ConvertedRoundTrip narrows through the sanctioned boundary and
+// widens back per element: no findings.
+func ConvertedRoundTrip(t *Table, res []float64) float64 {
+	Demote(t.W, res)
+	s := 0.0
+	for _, w := range t.W {
+		s += float64(w)
+	}
+	t.Total = s
+	return t.Total
+}

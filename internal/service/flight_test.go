@@ -26,7 +26,7 @@ func TestServiceFlightDumpOnDegraded(t *testing.T) {
 	svc := New(Options{Workers: 1, FlightDumpDir: dumpDir})
 	defer svc.Close()
 	c := testCase(24, 8)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	ctx := newStageDeadline()
@@ -125,7 +125,7 @@ func TestServiceFlightDumpOnFallback(t *testing.T) {
 	svc := New(Options{Workers: 1})
 	defer svc.Close()
 	c := testCase(24, 12)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	// An update before any baseline falls back to a full registration.
@@ -157,7 +157,7 @@ func TestServiceFlightDumpOnNonConverged(t *testing.T) {
 	cfg := fastConfig()
 	cfg.Solver.MaxIter = 1
 	cfg.Solver.Tol = 1e-14
-	if err := svc.OpenSession("or", cfg, c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: cfg, Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	res, err := svc.Register(context.Background(), "or", c.Intraop)
@@ -190,7 +190,7 @@ func TestServiceFlightDumpOnShed(t *testing.T) {
 	svc := New(Options{Workers: 1, QueueDepth: 1})
 	defer svc.Close()
 	c := testCase(24, 7)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	svc.mu.Lock()
@@ -236,7 +236,7 @@ func TestSessionsAdminEndpoints(t *testing.T) {
 	svc := New(Options{Workers: 1})
 	defer svc.Close()
 	c := testCase(24, 5)
-	if err := svc.OpenSession("or-a", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or-a", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := svc.Register(context.Background(), "or-a", c.Intraop); err != nil {
@@ -306,7 +306,7 @@ func TestSessionsAdminEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	// or-a has a baseline now, so force the anomaly on a fresh session.
-	if err := svc.OpenSession("or-b", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or-b", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := svc.Update(context.Background(), "or-b", c.Intraop); err != nil {
@@ -331,7 +331,7 @@ func TestJobRetentionEviction(t *testing.T) {
 	svc := New(Options{Workers: 1, JobRetention: 2})
 	defer svc.Close()
 	c := testCase(24, 6)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	var ids []string

@@ -348,14 +348,6 @@ func (s *Service) Open(spec SessionSpec) error {
 	return nil
 }
 
-// OpenSession prepares a surgical session under the given id.
-//
-// Deprecated: use Open with a SessionSpec; the positional signature
-// cannot grow per-session policy (QoS class, retention, ...).
-func (s *Service) OpenSession(id string, cfg core.Config, preop *volume.Scalar, preopLabels *volume.Labels) error {
-	return s.Open(SessionSpec{ID: id, Config: cfg, Preop: preop, PreopLabels: preopLabels})
-}
-
 // CloseSession forgets a session. Scans already queued or in flight
 // finish normally; new Submits fail with ErrUnknownSession.
 func (s *Service) CloseSession(id string) error {
@@ -369,8 +361,8 @@ func (s *Service) CloseSession(id string) error {
 }
 
 // Session returns the underlying core.Session (e.g. to inspect
-// ScanCount or Results between scans). Do not call its RegisterScan
-// methods directly while the service is running jobs for it.
+// ScanCount or Results between scans). Do not call its Register or
+// Update methods directly while the service is running jobs for it.
 func (s *Service) Session(id string) (*core.Session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -50,7 +50,7 @@ func TestServiceShedCounter(t *testing.T) {
 	svc := New(Options{Workers: 1, QueueDepth: 1})
 	defer svc.Close()
 	c := testCase(24, 7)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	svc.mu.Lock()
@@ -105,7 +105,7 @@ func TestServiceMidDegradationCountsDegradedOnly(t *testing.T) {
 	svc := New(Options{Workers: 1})
 	defer svc.Close()
 	c := testCase(24, 8)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	ctx := newStageDeadline()
@@ -156,7 +156,7 @@ func TestServiceSolveNotConverged(t *testing.T) {
 	cfg := fastConfig()
 	cfg.Solver.MaxIter = 1
 	cfg.Solver.Tol = 1e-14
-	if err := svc.OpenSession("or", cfg, c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: cfg, Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	res, err := svc.Register(context.Background(), "or", c.Intraop)
@@ -237,7 +237,7 @@ func TestAdminEndpoints(t *testing.T) {
 	svc := New(Options{Workers: 1})
 	defer svc.Close()
 	c := testCase(24, 10)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	j, err := svc.Submit(context.Background(), "or", c.Intraop)
@@ -388,7 +388,7 @@ func TestJobStatusLifecycle(t *testing.T) {
 	svc := New(Options{Workers: 1})
 	defer svc.Close()
 	c := testCase(24, 11)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	svc.mu.Lock()

@@ -40,7 +40,7 @@ func TestServiceConcurrentSessions(t *testing.T) {
 	cases := []*phantom.Case{testCase(24, 1), testCase(24, 2)}
 	ids := []string{"or-1", "or-2"}
 	for i, id := range ids {
-		if err := svc.OpenSession(id, fastConfig(), cases[i].Preop, cases[i].PreopLabels); err != nil {
+		if err := svc.Open(SessionSpec{ID: id, Config: fastConfig(), Preop: cases[i].Preop, PreopLabels: cases[i].PreopLabels}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -110,7 +110,7 @@ func TestServiceSerializesScansOfOneSession(t *testing.T) {
 	svc := New(Options{Workers: 2})
 	defer svc.Close()
 	c := testCase(24, 3)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	j1, err := svc.Submit(context.Background(), "or", c.Intraop)
@@ -143,7 +143,7 @@ func TestServiceCancelledSubmission(t *testing.T) {
 	svc := New(Options{Workers: 1})
 	defer svc.Close()
 	c := testCase(24, 4)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -168,7 +168,7 @@ func TestServiceScanTimeout(t *testing.T) {
 	svc := New(Options{Workers: 1, ScanTimeout: time.Nanosecond})
 	defer svc.Close()
 	c := testCase(24, 5)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	j, err := svc.Submit(context.Background(), "or", c.Intraop)
@@ -190,14 +190,14 @@ func TestServiceSessionLifecycleErrors(t *testing.T) {
 
 	badCfg := fastConfig()
 	badCfg.KNN = 0
-	if err := svc.OpenSession("bad", badCfg, c.Preop, c.PreopLabels); err == nil {
-		t.Error("invalid config accepted by OpenSession")
+	if err := svc.Open(SessionSpec{ID: "bad", Config: badCfg, Preop: c.Preop, PreopLabels: c.PreopLabels}); err == nil {
+		t.Error("invalid config accepted by Open")
 	}
 
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); !errors.Is(err, ErrDuplicateSession) {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); !errors.Is(err, ErrDuplicateSession) {
 		t.Errorf("duplicate open err = %v, want ErrDuplicateSession", err)
 	}
 	if _, err := svc.Submit(context.Background(), "ghost", c.Intraop); !errors.Is(err, ErrUnknownSession) {
@@ -216,7 +216,7 @@ func TestServiceSessionLifecycleErrors(t *testing.T) {
 	if err := svc.Close(); err != nil {
 		t.Errorf("second Close: %v", err)
 	}
-	if err := svc.OpenSession("late", fastConfig(), c.Preop, c.PreopLabels); !errors.Is(err, ErrClosed) {
+	if err := svc.Open(SessionSpec{ID: "late", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); !errors.Is(err, ErrClosed) {
 		t.Errorf("open after close err = %v, want ErrClosed", err)
 	}
 }
@@ -228,7 +228,7 @@ func TestServiceQueueFull(t *testing.T) {
 	svc := New(Options{Workers: 1, QueueDepth: 1})
 	defer svc.Close()
 	c := testCase(24, 7)
-	if err := svc.OpenSession("or", fastConfig(), c.Preop, c.PreopLabels); err != nil {
+	if err := svc.Open(SessionSpec{ID: "or", Config: fastConfig(), Preop: c.Preop, PreopLabels: c.PreopLabels}); err != nil {
 		t.Fatal(err)
 	}
 	svc.mu.Lock()

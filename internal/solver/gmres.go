@@ -26,6 +26,13 @@ type Options struct {
 	// RecordHistory stores the relative residual after every iteration
 	// in Stats.History (for convergence-curve analysis).
 	RecordHistory bool
+	// StoragePrecision selects the precision of the solver's
+	// bandwidth-bound storage (matrix values, Krylov basis). The zero
+	// value is PrecisionFloat64; PrecisionFloat32 enables the
+	// mixed-precision GMRES path, which demotes storage to float32
+	// while keeping all accumulation in float64. CG ignores this
+	// setting. See Precision.
+	StoragePrecision Precision
 }
 
 // DefaultOptions mirrors the PETSc defaults the paper relies on:
@@ -72,6 +79,10 @@ func (s Stats) String() string {
 		s.Iterations, s.MatVecs, s.Converged, s.FinalResRel)
 }
 
+// norm2 returns the Euclidean norm; the sum is accumulation-class and
+// must never be demoted to float32.
+//
+//lint:precision accum=result
 func norm2(v []float64) float64 {
 	s := 0.0
 	for _, x := range v {
@@ -80,6 +91,9 @@ func norm2(v []float64) float64 {
 	return math.Sqrt(s)
 }
 
+// dot returns the inner product; accumulation-class like norm2.
+//
+//lint:precision accum=result
 func dot(a, b []float64) float64 {
 	s := 0.0
 	for i := range a {
@@ -101,6 +115,7 @@ func GMRES(a *sparse.CSR, b, x0 []float64, m Preconditioner, opts Options) ([]fl
 // dimension, per the declared shape contract.
 //
 //lint:shape len(z)==len(r) len(w)==len(r) len(zw)==len(r) len(v)==len(h) len(sn)==len(cs) len(y)==len(cs) len(g)==len(cs)+1 len(v)==len(g)
+//lint:precision accum=r,z,w,zw,h,cs,sn,g,y
 type gmresWorkspace struct {
 	r, z, w, zw []float64
 	v, h        [][]float64
@@ -339,24 +354,52 @@ func gmres(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner
 		copy(x, x0)
 	}
 
+	// The mixed-precision mode demotes the matrix values once per solve
+	// and swaps in the float32-basis cycle kernel; everything around the
+	// cycle (restart policy, convergence accounting, telemetry) is
+	// shared with the float64 path.
+	mixed := opts.StoragePrecision == PrecisionFloat32
+	var (
+		ws   *gmresWorkspace
+		ws32 *gmresWorkspace32
+		a32  *sparse.CSR32
+	)
+	if mixed {
+		ws32 = newGMRESWorkspace32(n, restart)
+		a32 = sparse.NewCSR32(a)
+	} else {
+		ws = newGMRESWorkspace(n, restart)
+	}
 	matvec := func(in, out []float64) {
-		if parallel {
+		switch {
+		case mixed && parallel:
+			a32.MulVecPar(opts.Partition, in, out)
+		case mixed:
+			a32.MulVec(in, out)
+		case parallel:
 			a.MulVecPar(opts.Partition, in, out)
-		} else {
+		default:
 			a.MulVec(in, out)
 		}
+	}
+	// rbuf/zbuf alias the active workspace's residual scratch for the
+	// shared pre- and post-loop residual evaluations.
+	rbuf, zbuf := []float64(nil), []float64(nil)
+	if mixed {
+		rbuf, zbuf = ws32.r, ws32.z
+	} else {
+		rbuf, zbuf = ws.r, ws.z
 	}
 
 	var stats Stats
 	stats.WarmStarted = warm
-	ws := newGMRESWorkspace(n, restart)
 
 	// Convergence is relative to ||M^{-1} b|| (the PETSc convention),
 	// which makes warm starts converge immediately instead of chasing a
 	// tolerance relative to an already-tiny initial residual.
-	m.Apply(b, ws.z)
+	m.Apply(b, zbuf)
 	stats.PCApplies++
-	bNorm := norm2(ws.z)
+	bNorm := norm2(zbuf)
 	stats.DotProducts++
 	if numeric.Zero(bNorm) {
 		// b = 0: solution is x = 0 regardless of x0.
@@ -395,8 +438,15 @@ func gmres(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner
 			span.SetAttr("cycle", cycle)
 			histStart := len(stats.History)
 			itersBefore := stats.Iterations
-			done, entryRel, exitRel := gmresCycle(matvec, b, x, m,
-				ws, restart, maxIter, tol, beta0, opts.RecordHistory, &stats)
+			var done bool
+			var entryRel, exitRel float64
+			if mixed {
+				done, entryRel, exitRel = gmresCycle32(matvec, b, x, m,
+					ws32, restart, maxIter, tol, beta0, opts.RecordHistory, &stats)
+			} else {
+				done, entryRel, exitRel = gmresCycle(matvec, b, x, m,
+					ws, restart, maxIter, tol, beta0, opts.RecordHistory, &stats)
+			}
 			// A restart is a cycle that iterated after a previous cycle
 			// already had; the zero-iteration pass confirming convergence
 			// of the prior cycle's iterate is not one.
@@ -404,7 +454,11 @@ func gmres(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner
 				stats.Restarts++
 			}
 			if opts.RecordHistory {
-				stats.History = append(stats.History, ws.hist...)
+				if mixed {
+					stats.History = append(stats.History, ws32.hist...)
+				} else {
+					stats.History = append(stats.History, ws.hist...)
+				}
 			}
 			span.SetAttr("entry_rel_residual", entryRel)
 			if done {
@@ -439,14 +493,14 @@ func gmres(ctx context.Context, a *sparse.CSR, b, x0 []float64, m Preconditioner
 		cycle++
 	}
 	// Final residual check.
-	matvec(x, ws.r)
+	matvec(x, rbuf)
 	stats.MatVecs++
-	for i := range ws.r {
-		ws.r[i] = b[i] - ws.r[i]
+	for i := range rbuf {
+		rbuf[i] = b[i] - rbuf[i]
 	}
-	m.Apply(ws.r, ws.z)
+	m.Apply(rbuf, zbuf)
 	stats.PCApplies++
-	rel := norm2(ws.z) / beta0
+	rel := norm2(zbuf) / beta0
 	stats.FinalResRel = rel
 	stats.Converged = rel <= tol
 	emitSolveEvent(ctx, &stats)

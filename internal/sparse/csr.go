@@ -118,7 +118,12 @@ func (b *Builder) Build() *CSR {
 // slack: RowPtr has one entry per row plus the terminating total, and
 // Val/Col run in lockstep up to that total.
 //
+// Val is storage-classified under the precision model (see precguard):
+// the matrix entries are bandwidth-bound data, demotable to float32 via
+// NewCSR32, while every kernel accumulates over them in float64.
+//
 //lint:shape len(RowPtr)==N+1 len(Val)==len(Col) len(Val)==RowPtr[N]
+//lint:precision storage=Val
 type CSR struct {
 	N      int
 	RowPtr []int64
@@ -160,6 +165,7 @@ func (m *CSR) At(i, j int) float64 {
 //lint:noalias x,y
 //lint:hotpath
 //lint:noescape
+//lint:precision accum=x,y
 func (m *CSR) MulVec(x, y []float64) {
 	rp, col, val := m.RowPtr, m.Col, m.Val
 	for i := 0; i < m.N; i++ {
@@ -185,6 +191,7 @@ func (m *CSR) MulVec(x, y []float64) {
 //lint:noalias x,y
 //lint:hotpath
 //lint:noescape
+//lint:precision accum=x,y
 func (m *CSR) MulVecRows(x, y []float64, lo, hi int) {
 	rp, col, val := m.RowPtr, m.Col, m.Val
 	for i := lo; i < hi; i++ {
@@ -203,6 +210,7 @@ func (m *CSR) MulVecRows(x, y []float64, lo, hi int) {
 // x and y inherit MulVecRows' non-aliasing requirement.
 //
 //lint:noalias x,y
+//lint:precision accum=x,y
 func (m *CSR) MulVecPar(pt par.Partition, x, y []float64) {
 	pt.ForEachRank(func(r int) {
 		lo, hi := pt.Range(r)

@@ -1,0 +1,83 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// roundedCopy builds a float64 CSR whose values are the float32
+// roundings of m's values: the float64 reference for what a CSR32
+// product must compute exactly (same storage rounding, same float64
+// accumulation order).
+func roundedCopy(m *CSR) *CSR {
+	r := &CSR{N: m.N, RowPtr: m.RowPtr, Col: m.Col, Val: make([]float64, len(m.Val))}
+	for i, v := range m.Val {
+		r.Val[i] = float64(float32(v))
+	}
+	return r
+}
+
+// TestCSR32MatchesRoundedCSR pins the mixed-precision contract
+// bit-for-bit: CSR32.MulVec over float32-stored values must equal
+// CSR.MulVec over a float64 matrix holding the same rounded values,
+// because both accumulate the identical float64 products in the same
+// order. Any drift here means the kernel accumulated at float32.
+func TestCSR32MatchesRoundedCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomCSR(rng, 64, 0.2)
+	m32 := NewCSR32(m)
+	ref := roundedCopy(m)
+
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y32 := make([]float64, m.N)
+	y64 := make([]float64, m.N)
+	m32.MulVec(x, y32)
+	ref.MulVec(x, y64)
+	for i := range y32 {
+		if y32[i] != y64[i] {
+			t.Fatalf("row %d: CSR32 %g != rounded CSR %g", i, y32[i], y64[i])
+		}
+	}
+
+	// Row-ranged and parallel products must reproduce the serial one.
+	yr := make([]float64, m.N)
+	mid := m.N / 3
+	m32.MulVecRows(x, yr, 0, mid)
+	m32.MulVecRows(x, yr, mid, m.N)
+	for i := range yr {
+		if yr[i] != y32[i] {
+			t.Fatalf("MulVecRows row %d: got %g, MulVec %g", i, yr[i], y32[i])
+		}
+	}
+	yp := make([]float64, m.N)
+	m32.MulVecPar(par.Even(m.N, 4), x, yp)
+	for i := range yp {
+		if yp[i] != y32[i] {
+			t.Fatalf("MulVecPar row %d: got %g, MulVec %g", i, yp[i], y32[i])
+		}
+	}
+}
+
+// TestNewCSR32SharesStructure verifies the demotion copies only the
+// value array; RowPtr/Col are shared with the source matrix.
+func TestNewCSR32SharesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 16, 0.3)
+	m32 := NewCSR32(m)
+	if m32.N != m.N || m32.NNZ() != m.NNZ() {
+		t.Fatalf("shape mismatch: n %d vs %d, nnz %d vs %d", m32.N, m.N, m32.NNZ(), m.NNZ())
+	}
+	if &m32.RowPtr[0] != &m.RowPtr[0] || &m32.Col[0] != &m.Col[0] {
+		t.Fatal("NewCSR32 should share RowPtr and Col backing arrays")
+	}
+	for i, v := range m.Val {
+		if m32.Val[i] != float32(v) {
+			t.Fatalf("value %d: got %g, want %g", i, m32.Val[i], float32(v))
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMixedPrecisionSpMV assembles a matrix from fuzzer-controlled COO
+// triplets, demotes it to float32 storage, and checks the
+// mixed-precision product against a float64 dense reference built from
+// the same rounded values. Because CSR32 widens every stored value
+// before the multiply and accumulates in float64, the only divergence
+// from the dense reference is float64 summation-order roundoff — a
+// float32 accumulator in the kernel fails the componentwise tolerance
+// immediately.
+func FuzzMixedPrecisionSpMV(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 0, 10, 1, 2, 200, 2, 1, 200, 3, 3, 7}, []byte{1, 2, 3, 4})
+	f.Add(uint8(3), []byte{0, 1, 255, 1, 0, 1, 2, 2, 128}, []byte{200, 10, 30})
+	f.Add(uint8(1), []byte{0, 0, 3}, []byte{255})
+	f.Add(uint8(9), []byte{}, []byte{5, 4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, nRaw uint8, triplets, xsrc []byte) {
+		n := int(nRaw%12) + 1
+
+		b := NewBuilder(n)
+		for p := 0; p+2 < len(triplets); p += 3 {
+			i := int(triplets[p]) % n
+			j := int(triplets[p+1]) % n
+			v := (float64(triplets[p+2]) - 127.5) / 16
+			b.Add(i, j, v)
+		}
+		m := b.Build()
+		m32 := NewCSR32(m)
+
+		// Dense reference over the rounded values: the storage demotion
+		// is part of the contract under test, the accumulation is not.
+		dense := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				dense[i*n+int(m.Col[p])] += float64(float32(m.Val[p]))
+			}
+		}
+
+		x := make([]float64, n)
+		for i := range x {
+			if len(xsrc) > 0 {
+				x[i] = (float64(xsrc[i%len(xsrc)]) - 127.5) / 32
+			}
+		}
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += dense[i*n+j] * x[j]
+			}
+			want[i] = s
+		}
+
+		y := make([]float64, n)
+		m32.MulVec(x, y)
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("CSR32.MulVec row %d: got %g, dense %g", i, y[i], want[i])
+			}
+		}
+
+		// The row-ranged product over a split range must reproduce the
+		// full product (the contract MulVecPar relies on).
+		yr := make([]float64, n)
+		mid := n / 2
+		m32.MulVecRows(x, yr, 0, mid)
+		m32.MulVecRows(x, yr, mid, n)
+		for i := range yr {
+			if yr[i] != y[i] {
+				t.Fatalf("CSR32.MulVecRows row %d: got %g, MulVec %g", i, yr[i], y[i])
+			}
+		}
+	})
+}
