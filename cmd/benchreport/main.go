@@ -81,6 +81,20 @@ type precReport struct {
 	MaxDivergenceMM      float64 `json:"max_divergence_mm"`
 }
 
+// cacheReport mirrors the BENCH_cache.json fields the gate consumes.
+type cacheReport struct {
+	Size            int     `json:"size"`
+	Rounds          int     `json:"rounds"`
+	CellSize        int     `json:"cell_size"`
+	ColdMeanMS      float64 `json:"cold_mean_ms"`
+	WarmMeanMS      float64 `json:"warm_mean_ms"`
+	Speedup         float64 `json:"speedup"`
+	Hits            int64   `json:"hits"`
+	Misses          int64   `json:"misses"`
+	BitIdentical    bool    `json:"bit_identical"`
+	MaxDivergenceMM float64 `json:"max_divergence_mm"`
+}
+
 // maxDivergenceMM is the hard equivalence bound on the incremental
 // path: update and cold solutions of the same scan may differ by at
 // most this much (well below voxel resolution). The mixed-precision
@@ -126,26 +140,31 @@ func main() {
 	obsPath := flag.String("obs", "BENCH_obs.json", "pipeline benchmark artifact")
 	incrPath := flag.String("incr", "BENCH_incremental.json", "incremental benchmark artifact")
 	precPath := flag.String("prec", "BENCH_precision.json", "mixed-precision benchmark artifact")
+	cachePath := flag.String("cache", "BENCH_cache.json", "artifact-cache benchmark artifact")
 	flag.Parse()
 
-	rep := trajectoryReport{BaselineRef: *baseline, Files: []string{*obsPath, *incrPath, *precPath}}
+	rep := trajectoryReport{BaselineRef: *baseline, Files: []string{*obsPath, *incrPath, *precPath, *cachePath}}
 
 	obsCur, obsViol := loadObs(readFileOrDie(*obsPath), *obsPath)
 	incrCur, incrViol := loadIncr(readFileOrDie(*incrPath), *incrPath)
 	precCur, precViol := loadPrec(readFileOrDie(*precPath), *precPath)
+	cacheCur, cacheViol := loadCache(readFileOrDie(*cachePath), *cachePath)
 	rep.Violations = append(rep.Violations, obsViol...)
 	rep.Violations = append(rep.Violations, incrViol...)
 	rep.Violations = append(rep.Violations, precViol...)
+	rep.Violations = append(rep.Violations, cacheViol...)
 
 	// The previous commit's artifacts; nil when unavailable.
-	obsBase, _ := loadObsLenient(gitShow(*baseline, *obsPath))
-	incrBase, _ := loadIncrLenient(gitShow(*baseline, *incrPath))
-	precBase, _ := loadPrecLenient(gitShow(*baseline, *precPath))
+	obsBase, _ := loadObsLenient(baselineBytes(*baseline, *obsPath))
+	incrBase, _ := loadIncrLenient(baselineBytes(*baseline, *incrPath))
+	precBase, _ := loadPrecLenient(baselineBytes(*baseline, *precPath))
+	cacheBase, _ := loadCacheLenient(baselineBytes(*baseline, *cachePath))
 
 	rep.Metrics = compare(obsCur, obsBase, incrCur, incrBase, *obsPath, *incrPath, *tolerance)
 	rep.Metrics = append(rep.Metrics, comparePrec(precCur, precBase, *precPath, *tolerance)...)
+	rep.Metrics = append(rep.Metrics, compareCache(cacheCur, cacheBase, *cachePath, *tolerance)...)
 
-	md := renderMarkdown(&rep, obsCur, incrCur, precCur)
+	md := renderMarkdown(&rep, obsCur, incrCur, precCur, cacheCur)
 	if *out != "" {
 		if err := os.WriteFile(*out+".md", []byte(md), 0o644); err != nil {
 			fatalf("write %s.md: %v", *out, err)
@@ -194,6 +213,18 @@ func gitShow(ref, path string) []byte {
 		return nil
 	}
 	return out
+}
+
+// baselineBytes reads the comparison baseline, noting the degradation
+// on stderr when it is unavailable (shallow clone, a file's first
+// landing) so a skipped comparison is visible in CI logs rather than
+// silently passing.
+func baselineBytes(ref, path string) []byte {
+	b := gitShow(ref, path)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "benchreport: no baseline %s at %s; comparison skipped\n", path, ref)
+	}
+	return b
 }
 
 // loadObs parses and validates the pipeline artifact, returning the
@@ -313,6 +344,46 @@ func loadPrecLenient(data []byte) (*precReport, []string) {
 	return loadPrec(data, "(baseline)")
 }
 
+// loadCache parses and validates the artifact-cache benchmark. Its hard
+// floors are stricter than the timing metrics: a warm session must
+// never be slower than a cold one, the warm rounds must actually hit
+// the store, and a cache hit replays bytes rather than re-deriving
+// them, so the warm result must be exactly the cold result — zero
+// divergence, not merely sub-voxel.
+func loadCache(data []byte, path string) (*cacheReport, []string) {
+	var r cacheReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, []string{fmt.Sprintf("%s: malformed JSON: %v", path, err)}
+	}
+	var viol []string
+	bad := func(format string, args ...any) {
+		viol = append(viol, path+": "+fmt.Sprintf(format, args...))
+	}
+	if r.Rounds <= 0 {
+		bad("rounds = %d, want > 0", r.Rounds)
+	}
+	if r.Hits <= 0 {
+		bad("hits = %d: warm rounds never hit the store", r.Hits)
+	}
+	if r.Speedup < 1 || math.IsNaN(r.Speedup) {
+		bad("speedup = %.3f: a warm session must not be slower than cold", r.Speedup)
+	}
+	if !r.BitIdentical {
+		bad("bit_identical = false: a cache hit must replay the cold result exactly")
+	}
+	if r.MaxDivergenceMM != 0 || math.IsNaN(r.MaxDivergenceMM) {
+		bad("max_divergence_mm = %g, want exactly 0 for replayed artifacts", r.MaxDivergenceMM)
+	}
+	return &r, viol
+}
+
+func loadCacheLenient(data []byte) (*cacheReport, []string) {
+	if data == nil {
+		return nil, nil
+	}
+	return loadCache(data, "(baseline)")
+}
+
 // compare builds the tracked-metric deltas. Timing metrics regress when
 // they worsen beyond tol relative to the baseline (hardware noise
 // absorbs below that); the speedup regresses when it shrinks beyond
@@ -387,8 +458,38 @@ func comparePrec(cur, base *precReport, path string, tol float64) []metricDelta 
 	return out
 }
 
+// compareCache builds the tracked-metric deltas of the artifact-cache
+// benchmark, with the same tolerance semantics as compare.
+func compareCache(cur, base *cacheReport, path string, tol float64) []metricDelta {
+	if cur == nil {
+		return nil
+	}
+	var out []metricDelta
+	add := func(metric string, c, b float64, hasBase bool, badWhenUp bool) {
+		d := metricDelta{File: path, Metric: metric, Current: c, HasBase: hasBase}
+		if hasBase && b != 0 {
+			d.Baseline = b
+			rel := (c - b) / math.Abs(b)
+			if !badWhenUp {
+				rel = -rel
+			}
+			d.RelChange = rel
+			d.Regression = rel > tol
+		}
+		out = append(out, d)
+	}
+	hasBase := base != nil && base.Size == cur.Size && base.CellSize == cur.CellSize
+	b := cacheReport{}
+	if hasBase {
+		b = *base
+	}
+	add("speedup", cur.Speedup, b.Speedup, hasBase, false)
+	add("warm_mean_ms", cur.WarmMeanMS, b.WarmMeanMS, hasBase, true)
+	return out
+}
+
 // renderMarkdown renders the human-facing trajectory report.
-func renderMarkdown(rep *trajectoryReport, obs *obsReport, incr *incrReport, prec *precReport) string {
+func renderMarkdown(rep *trajectoryReport, obs *obsReport, incr *incrReport, prec *precReport, cache *cacheReport) string {
 	var b strings.Builder
 	b.WriteString("# Perf trajectory\n\n")
 	fmt.Fprintf(&b, "Baseline: `%s`\n\n", rep.BaselineRef)
@@ -435,6 +536,15 @@ func renderMarkdown(rep *trajectoryReport, obs *obsReport, incr *incrReport, pre
 			prec.GMRESF64Iterations, prec.GMRESMixedIterations, prec.IterationRatio, maxIterationRatio)
 		fmt.Fprintf(&b, "- max registration divergence: %.3g mm (bound %g mm)\n\n",
 			prec.MaxDivergenceMM, maxDivergenceMM)
+	}
+
+	if cache != nil {
+		fmt.Fprintf(&b, "## Artifact cache (size %d, cell %d, %d rounds)\n\n", cache.Size, cache.CellSize, cache.Rounds)
+		fmt.Fprintf(&b, "- warm-session speedup over cold: **%.2fx** (cold %.0f ms, warm %.0f ms)\n",
+			cache.Speedup, cache.ColdMeanMS, cache.WarmMeanMS)
+		fmt.Fprintf(&b, "- store traffic: %d hits / %d misses\n", cache.Hits, cache.Misses)
+		fmt.Fprintf(&b, "- hit-vs-miss result: bit-identical = %t, max divergence %g mm (must be exactly 0)\n\n",
+			cache.BitIdentical, cache.MaxDivergenceMM)
 	}
 
 	if len(rep.Violations) > 0 {

@@ -19,6 +19,11 @@ const goodPrec = `{"size":40,"spmv_size":96,"nnz":5772987,
 "gmres_f64_iterations":468,"gmres_mixed_iterations":465,"iteration_ratio":0.994,
 "gmres_mixed_final_rel":9.9e-6,"max_divergence_mm":5.1e-6}`
 
+const goodCache = `{"size":48,"rounds":3,"ranks":1,"cell_size":1,
+"cold_mean_ms":3643,"warm_mean_ms":1493,"speedup":2.44,
+"hits":15,"misses":5,"evictions":0,
+"bit_identical":true,"max_divergence_mm":0}`
+
 func TestLoadObsInvariants(t *testing.T) {
 	if _, viol := loadObs([]byte(goodObs), "x"); len(viol) != 0 {
 		t.Fatalf("clean artifact flagged: %v", viol)
@@ -186,22 +191,145 @@ func TestRenderMarkdownShape(t *testing.T) {
 	obsCur, _ := loadObs([]byte(goodObs), "x")
 	incrCur, _ := loadIncr([]byte(goodIncr), "x")
 	precCur, _ := loadPrec([]byte(goodPrec), "x")
+	cacheCur, _ := loadCache([]byte(goodCache), "x")
 	rep := trajectoryReport{
 		BaselineRef: "HEAD",
 		Metrics:     compare(obsCur, obsCur, incrCur, incrCur, "o", "i", 0.5),
 		Violations:  []string{"x: example violation"},
 	}
 	rep.Metrics = append(rep.Metrics, comparePrec(precCur, precCur, "p", 0.5)...)
-	md := renderMarkdown(&rep, obsCur, incrCur, precCur)
+	rep.Metrics = append(rep.Metrics, compareCache(cacheCur, cacheCur, "c", 0.5)...)
+	md := renderMarkdown(&rep, obsCur, incrCur, precCur, cacheCur)
 	for _, want := range []string{
 		"# Perf trajectory", "## Tracked metrics", "total_seconds",
 		"## Pipeline stages", "resampling",
 		"## Incremental path", "3.60x",
 		"## Mixed precision", "2.02x",
+		"## Artifact cache", "2.44x", "15 hits / 5 misses",
 		"## Violations", "example violation",
 	} {
 		if !strings.Contains(md, want) {
 			t.Errorf("report missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// A missing previous-commit artifact must degrade to "no comparison",
+// never to an error: gitShow returns nil for unknown refs and paths,
+// the lenient loaders pass nil through, and compare marks every metric
+// as having no baseline instead of fabricating one.
+
+func TestGitShowUnknownRefReturnsNil(t *testing.T) {
+	if b := gitShow("no-such-ref-benchreport-test", "BENCH_obs.json"); b != nil {
+		t.Fatalf("gitShow(bogus ref) = %d bytes, want nil", len(b))
+	}
+	if b := gitShow("HEAD", "no/such/file.json"); b != nil {
+		t.Fatalf("gitShow(bogus path) = %d bytes, want nil", len(b))
+	}
+	if b := baselineBytes("no-such-ref-benchreport-test", "BENCH_obs.json"); b != nil {
+		t.Fatalf("baselineBytes(bogus ref) = %d bytes, want nil", len(b))
+	}
+}
+
+func TestLenientLoadersPassNilThrough(t *testing.T) {
+	if r, viol := loadObsLenient(nil); r != nil || viol != nil {
+		t.Errorf("loadObsLenient(nil) = (%v, %v), want (nil, nil)", r, viol)
+	}
+	if r, viol := loadIncrLenient(nil); r != nil || viol != nil {
+		t.Errorf("loadIncrLenient(nil) = (%v, %v), want (nil, nil)", r, viol)
+	}
+	if r, viol := loadPrecLenient(nil); r != nil || viol != nil {
+		t.Errorf("loadPrecLenient(nil) = (%v, %v), want (nil, nil)", r, viol)
+	}
+	if r, viol := loadCacheLenient(nil); r != nil || viol != nil {
+		t.Errorf("loadCacheLenient(nil) = (%v, %v), want (nil, nil)", r, viol)
+	}
+}
+
+func TestCompareWithoutBaselineIsNotRegression(t *testing.T) {
+	obsCur, _ := loadObs([]byte(goodObs), "x")
+	incrCur, _ := loadIncr([]byte(goodIncr), "x")
+	precCur, _ := loadPrec([]byte(goodPrec), "x")
+	cacheCur, _ := loadCache([]byte(goodCache), "x")
+	deltas := compare(obsCur, nil, incrCur, nil, "o", "i", 0.5)
+	deltas = append(deltas, comparePrec(precCur, nil, "p", 0.5)...)
+	deltas = append(deltas, compareCache(cacheCur, nil, "c", 0.5)...)
+	if len(deltas) == 0 {
+		t.Fatal("compare produced no metrics")
+	}
+	for _, d := range deltas {
+		if d.HasBase {
+			t.Errorf("%s %s: HasBase = true with nil baseline", d.File, d.Metric)
+		}
+		if d.Regression {
+			t.Errorf("%s %s: regression flagged with no baseline", d.File, d.Metric)
+		}
+	}
+}
+
+func TestLoadCacheInvariants(t *testing.T) {
+	if r, viol := loadCache([]byte(goodCache), "x"); r == nil || len(viol) != 0 {
+		t.Fatalf("clean artifact flagged: %v", viol)
+	}
+	for _, tc := range []struct {
+		name, from, to, want string
+	}{
+		{"no rounds", `"rounds":3`, `"rounds":0`, "rounds = 0"},
+		{"no hits", `"hits":15`, `"hits":0`, "never hit the store"},
+		{"slower than cold", `"speedup":2.44`, `"speedup":0.8`, "slower than cold"},
+		{"not bit-identical", `"bit_identical":true`, `"bit_identical":false`, "bit_identical"},
+		{"diverged", `"max_divergence_mm":0`, `"max_divergence_mm":0.001`, "max_divergence_mm"},
+	} {
+		_, viol := loadCache([]byte(strings.Replace(goodCache, tc.from, tc.to, 1)), "x")
+		found := false
+		for _, v := range viol {
+			if strings.Contains(v, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing %q", tc.name, viol, tc.want)
+		}
+	}
+	if _, viol := loadCache([]byte("{"), "x"); len(viol) == 0 {
+		t.Error("malformed JSON not flagged")
+	}
+}
+
+func TestCompareCacheFlagsRegressions(t *testing.T) {
+	cur, _ := loadCache([]byte(goodCache), "x")
+
+	ms := compareCache(cur, cur, "c", 0.5)
+	for _, m := range ms {
+		if m.Regression {
+			t.Errorf("identical baseline flagged %s", m.Metric)
+		}
+		if !m.HasBase {
+			t.Errorf("%s lost its baseline", m.Metric)
+		}
+	}
+
+	// A collapsed speedup and a ballooned warm latency regress.
+	base := *cur
+	base.Speedup = cur.Speedup * 2.5
+	base.WarmMeanMS = cur.WarmMeanMS / 2.1
+	got := map[string]bool{}
+	for _, m := range compareCache(cur, &base, "c", 0.5) {
+		got[m.Metric] = m.Regression
+	}
+	if !got["speedup"] {
+		t.Error("collapsed cache speedup not flagged as regression")
+	}
+	if !got["warm_mean_ms"] {
+		t.Error("ballooned warm_mean_ms not flagged as regression")
+	}
+
+	// A different workload shape is a fresh data point, not a baseline.
+	other := *cur
+	other.CellSize = 2
+	for _, m := range compareCache(cur, &other, "c", 0.5) {
+		if m.HasBase {
+			t.Errorf("%s compared against a different-workload baseline", m.Metric)
 		}
 	}
 }

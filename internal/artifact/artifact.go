@@ -1,0 +1,401 @@
+// Package artifact is a content-addressed byte store for pipeline
+// stage outputs. A Store keeps a byte-bounded in-memory LRU tier in
+// front of an optional on-disk tier; entries are addressed by the
+// caller's content key (hash of a stage's declared inputs plus its
+// declared config-key fields, see internal/core), so identical preop
+// work is computed once and replayed everywhere else.
+//
+// The store is an accelerator, never an authority: a corrupt,
+// truncated, or concurrently rewritten disk entry is detected by a
+// checksum frame and treated as a miss (the file is deleted and the
+// value recomputed), and GetOrCompute deduplicates concurrent
+// computations of the same key so N sessions sharing a preop volume
+// pay for its stages once.
+package artifact
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxMemoryBytes bounds the in-memory tier; at most this many
+	// payload bytes stay resident, evicted least-recently-used.
+	// Zero selects DefaultMaxMemoryBytes; negative disables the
+	// memory tier entirely (every hit re-reads the disk tier).
+	MaxMemoryBytes int64
+
+	// Dir, when non-empty, enables the on-disk tier rooted at that
+	// directory (created if needed). Disk entries survive process
+	// restarts and are shared between Stores pointed at the same
+	// directory; they are never evicted by the LRU bound.
+	Dir string
+
+	// Registry, when non-nil, receives the cache's hit/miss/bytes/
+	// eviction instruments under the brainsim_artifact_cache_* names.
+	Registry *obs.Registry
+}
+
+// DefaultMaxMemoryBytes bounds the memory tier when Options leaves
+// MaxMemoryBytes zero.
+const DefaultMaxMemoryBytes = 256 << 20
+
+// Stats is a point-in-time snapshot of the store's counters, exposed
+// for the admin surface and tests; the same values feed the obs
+// registry when one is configured.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	// DiskFaults counts disk-tier operations that failed (write,
+	// rename, quarantine removal). The tier is best-effort, so faults
+	// never surface as errors; a persistently climbing count means the
+	// cache directory is read-only or full.
+	DiskFaults int64 `json:"disk_faults"`
+}
+
+// Store is a two-tier content-addressed cache. All methods are safe
+// for concurrent use. Byte slices returned by GetOrCompute are shared
+// between callers and must be treated as read-only.
+type Store struct {
+	dir string
+	max int64
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key -> *memEntry element
+	lru      *list.List               // front = most recently used
+	bytes    int64
+	inflight map[string]*flight
+	stats    Stats
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	resident  *obs.Gauge
+}
+
+type memEntry struct {
+	key  string
+	data []byte
+}
+
+// flight tracks one in-progress computation; followers wait on done
+// and share the leader's outcome.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// New opens a Store. The disk directory (when configured) is created
+// if needed; a directory that cannot be created is an error because a
+// silently memory-only cache would defeat cross-process sharing.
+func New(opts Options) (*Store, error) {
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("artifact: cache dir: %w", err)
+		}
+	}
+	max := opts.MaxMemoryBytes
+	if max == 0 {
+		max = DefaultMaxMemoryBytes
+	}
+	s := &Store{
+		dir:      opts.Dir,
+		max:      max,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
+	}
+	if opts.Registry != nil {
+		s.hits = opts.Registry.Counter(obs.MetricArtifactHits,
+			"artifact-cache lookups served from the store")
+		s.misses = opts.Registry.Counter(obs.MetricArtifactMisses,
+			"artifact-cache lookups that recomputed the stage")
+		s.evictions = opts.Registry.Counter(obs.MetricArtifactEvictions,
+			"in-memory artifact entries evicted by the LRU bound")
+		s.resident = opts.Registry.Gauge(obs.MetricArtifactBytes,
+			"bytes resident in the in-memory artifact tier")
+	}
+	return s, nil
+}
+
+// GetOrCompute returns the bytes stored under key, computing and
+// storing them on a miss. hit reports whether the value was served
+// from the store (memory, disk, or a concurrent computation of the
+// same key) rather than by this call's own compute. A compute error
+// is returned to every waiter and nothing is stored.
+func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	if key == "" {
+		return nil, false, ErrEmptyKey
+	}
+	for {
+		s.mu.Lock()
+		if el, ok := s.entries[key]; ok {
+			s.lru.MoveToFront(el)
+			data = el.Value.(*memEntry).data
+			s.stats.Hits++
+			s.mu.Unlock()
+			s.count(s.hits)
+			return data, true, nil
+		}
+		if fl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				// The leader failed; each waiter retries its own
+				// compute rather than inheriting a possibly
+				// context-scoped error from another session.
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Hits++
+			s.mu.Unlock()
+			s.count(s.hits)
+			return fl.data, true, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.mu.Unlock()
+
+		data, hit, err = s.fill(key, fl, compute)
+		return data, hit, err
+	}
+}
+
+// fill resolves one flight: disk probe, then compute + store.
+func (s *Store) fill(key string, fl *flight, compute func() ([]byte, error)) ([]byte, bool, error) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(fl.done)
+	}()
+
+	if data, ok := s.readDisk(key); ok {
+		s.admit(key, data)
+		s.mu.Lock()
+		s.stats.Hits++
+		s.mu.Unlock()
+		s.count(s.hits)
+		fl.data = data
+		return data, true, nil
+	}
+
+	data, err := compute()
+	if err != nil {
+		fl.err = err
+		return nil, false, err
+	}
+	s.admit(key, data)
+	s.writeDisk(key, data)
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	s.count(s.misses)
+	fl.data = data
+	return data, false, nil
+}
+
+// admit inserts data into the memory tier and evicts down to the byte
+// bound. An entry larger than the whole bound is not admitted (it
+// would evict everything and then itself never fit).
+func (s *Store) admit(key string, data []byte) {
+	if s.max < 0 || int64(len(data)) > s.max {
+		return
+	}
+	var evicted int
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		// Another flight (or a disk promote) raced us in; keep the
+		// incumbent so every caller shares one backing array.
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&memEntry{key: key, data: data})
+	s.bytes += int64(len(data))
+	for s.bytes > s.max {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*memEntry)
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		s.bytes -= int64(len(e.data))
+		evicted++
+	}
+	s.stats.Evictions += int64(evicted)
+	s.stats.Entries = len(s.entries)
+	s.stats.Bytes = s.bytes
+	resident := s.bytes
+	s.mu.Unlock()
+	for i := 0; i < evicted; i++ {
+		s.count(s.evictions)
+	}
+	if s.resident != nil {
+		s.resident.Set(float64(resident))
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+func (s *Store) count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Disk tier. Each entry is one file framed as
+//
+//	"BART" | u32 version | u64 payload length | 32-byte sha256 | payload
+//
+// written atomically (temp + rename). readDisk verifies the frame end
+// to end; any mismatch — short file, wrong magic, bad length, bad
+// checksum — deletes the file and reports a miss, so a torn or
+// corrupted entry degrades to recomputation, never to bad data.
+
+const (
+	diskMagic   = "BART"
+	diskVersion = 1
+	headerLen   = 4 + 4 + 8 + sha256.Size
+)
+
+// entryFile names the disk entry for key; keys are hashed so
+// arbitrary key strings stay filesystem-safe.
+func (s *Store) entryFile(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".art")
+}
+
+func (s *Store) readDisk(key string) ([]byte, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	path := s.entryFile(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	data, ok := decodeFrame(raw)
+	if !ok {
+		// Quarantine the bad entry so the next reader recomputes
+		// without re-verifying a known-broken file; if the removal
+		// fails the checksum keeps rejecting the entry anyway.
+		if rerr := os.Remove(path); rerr != nil {
+			s.fault()
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+// fault records a failed best-effort disk operation.
+func (s *Store) fault() {
+	s.mu.Lock()
+	s.stats.DiskFaults++
+	s.mu.Unlock()
+}
+
+func (s *Store) writeDisk(key string, data []byte) {
+	if s.dir == "" {
+		return
+	}
+	frame := encodeFrame(data)
+	// Write failures (read-only checkout, full disk) are dropped: the
+	// disk tier is an accelerator, and the memory tier already holds
+	// the value.
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		s.fault()
+		return
+	}
+	_, werr := tmp.Write(frame)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		s.fault()
+		if rerr := os.Remove(tmp.Name()); rerr != nil {
+			s.fault()
+		}
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.entryFile(key)); err != nil {
+		s.fault()
+		if rerr := os.Remove(tmp.Name()); rerr != nil {
+			s.fault()
+		}
+	}
+}
+
+func encodeFrame(data []byte) []byte {
+	frame := make([]byte, headerLen+len(data))
+	copy(frame, diskMagic)
+	binary.LittleEndian.PutUint32(frame[4:], diskVersion)
+	binary.LittleEndian.PutUint64(frame[8:], uint64(len(data)))
+	sum := sha256.Sum256(data)
+	copy(frame[16:], sum[:])
+	copy(frame[headerLen:], data)
+	return frame
+}
+
+func decodeFrame(raw []byte) ([]byte, bool) {
+	if len(raw) < headerLen || string(raw[:4]) != diskMagic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(raw[4:]) != diskVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[8:])
+	if n != uint64(len(raw)-headerLen) {
+		return nil, false
+	}
+	data := raw[headerLen:]
+	sum := sha256.Sum256(data)
+	if !bytes.Equal(sum[:], raw[16:headerLen]) {
+		return nil, false
+	}
+	return data, true
+}
+
+// ErrEmptyKey rejects lookups with an empty key, which would collide
+// every caller that forgot to compose one.
+var ErrEmptyKey = errors.New("artifact: empty cache key")
+
+// Key composes a content key from parts: the hex sha256 over the
+// length-prefixed concatenation, so no part can alias a boundary of
+// its neighbor.
+func Key(parts ...[]byte) string {
+	size := 0
+	for _, p := range parts {
+		size += 8 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	for _, p := range parts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}

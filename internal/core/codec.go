@@ -1,0 +1,464 @@
+package core
+
+// Binary codecs for the content-addressed artifact store: deterministic
+// little-endian round-trips for the preop-pure stage outputs (scalar
+// volumes, label volumes, tetrahedral and triangle meshes). Floats are
+// stored by their IEEE-754 bit patterns, so decode(encode(x)) is
+// bit-identical to x — the property the cache's hit-vs-miss equivalence
+// rests on. The executor also decodes what it just encoded on a miss,
+// so a lossy codec would show up immediately as a test failure, not as
+// a drifted cache hit.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/fem"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/volume"
+)
+
+// dagCodecVersion is folded into every content key (see nodeKey) and
+// written at the head of every stage blob; bump it when any encoding
+// below changes so stale store entries can never decode.
+//
+// v2: added the assembled-system and interpolation-table codecs (the
+// preop-assemble and preop-interp cache stages).
+const dagCodecVersion = 2
+
+type codecWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *codecWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *codecWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *codecWriter) i64(v int)     { w.u64(uint64(int64(v))) }
+func (w *codecWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *codecWriter) f32(v float32) { w.u32(math.Float32bits(v)) }
+
+func (w *codecWriter) vec3(v geom.Vec3) {
+	w.f64(v.X)
+	w.f64(v.Y)
+	w.f64(v.Z)
+}
+
+// f64s writes a length-prefixed float64 array in one buffer append —
+// the bulk counterpart of codecReader.f64s.
+func (w *codecWriter) f64s(vs []float64) {
+	w.u64(uint64(len(vs)))
+	b := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	w.buf.Write(b)
+}
+
+// f32s writes a length-prefixed float32 array in one buffer append.
+func (w *codecWriter) f32s(vs []float32) {
+	w.u64(uint64(len(vs)))
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	w.buf.Write(b)
+}
+
+// i32s writes a length-prefixed int32 array in one buffer append.
+func (w *codecWriter) i32s(vs []int32) {
+	w.u64(uint64(len(vs)))
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	w.buf.Write(b)
+}
+
+// codecReader decodes with a sticky error: the first malformed read
+// poisons the reader, and every later accessor returns zero values, so
+// decode paths stay linear and check the error once.
+type codecReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *codecReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: artifact decode: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *codecReader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *codecReader) u32(what string) uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *codecReader) i64(what string) int     { return int(int64(r.u64(what))) }
+func (r *codecReader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+func (r *codecReader) f32(what string) float32 { return math.Float32frombits(r.u32(what)) }
+
+// take claims n bytes of the payload with a single bounds check — the
+// bulk-array fast path (the large artifacts are multi-megabyte float
+// and index arrays; per-element reads would dominate warm-run decode).
+func (r *codecReader) take(what string, n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail(what)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// f64s decodes a length-prefixed float64 array in bulk.
+func (r *codecReader) f64s(what string) []float64 {
+	n := r.sliceLen(what, 8)
+	b := r.take(what, 8*n)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// f32s decodes a length-prefixed float32 array in bulk.
+func (r *codecReader) f32s(what string) []float32 {
+	n := r.sliceLen(what, 4)
+	b := r.take(what, 4*n)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// i32s decodes a length-prefixed int32 array in bulk.
+func (r *codecReader) i32s(what string) []int32 {
+	n := r.sliceLen(what, 4)
+	b := r.take(what, 4*n)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (r *codecReader) vec3(what string) geom.Vec3 {
+	return geom.Vec3{X: r.f64(what), Y: r.f64(what), Z: r.f64(what)}
+}
+
+// sliceLen validates a decoded element count against the bytes left,
+// so a corrupted length cannot drive an enormous allocation.
+func (r *codecReader) sliceLen(what string, elemBytes int) int {
+	n := r.u64(what)
+	if r.err != nil {
+		return 0
+	}
+	if elemBytes < 1 {
+		elemBytes = 1
+	}
+	if n > uint64(len(r.data)-r.off)/uint64(elemBytes) {
+		r.fail(what + " length")
+		return 0
+	}
+	return int(n)
+}
+
+func encodeGrid(w *codecWriter, g volume.Grid) {
+	w.i64(g.NX)
+	w.i64(g.NY)
+	w.i64(g.NZ)
+	w.vec3(g.Spacing)
+	w.vec3(g.Origin)
+}
+
+func decodeGrid(r *codecReader) volume.Grid {
+	return volume.Grid{
+		NX: r.i64("grid"), NY: r.i64("grid"), NZ: r.i64("grid"),
+		Spacing: r.vec3("grid"), Origin: r.vec3("grid"),
+	}
+}
+
+func encodeScalar(w *codecWriter, s *volume.Scalar) {
+	encodeGrid(w, s.Grid)
+	w.f32s(s.Data)
+}
+
+func decodeScalar(r *codecReader) *volume.Scalar {
+	g := decodeGrid(r)
+	return &volume.Scalar{Grid: g, Data: r.f32s("scalar data")}
+}
+
+func encodeLabels(w *codecWriter, l *volume.Labels) {
+	encodeGrid(w, l.Grid)
+	w.u64(uint64(len(l.Data)))
+	for _, v := range l.Data {
+		w.buf.WriteByte(byte(v))
+	}
+}
+
+func decodeLabels(r *codecReader) *volume.Labels {
+	g := decodeGrid(r)
+	n := r.sliceLen("label data", 1)
+	data := make([]volume.Label, n)
+	if r.err == nil {
+		for i := range data {
+			data[i] = volume.Label(r.data[r.off+i])
+		}
+		r.off += n
+	}
+	return &volume.Labels{Grid: g, Data: data}
+}
+
+func encodeVec3s(w *codecWriter, vs []geom.Vec3) {
+	w.u64(uint64(len(vs)))
+	b := make([]byte, 24*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(b[24*i:], math.Float64bits(v.X))
+		binary.LittleEndian.PutUint64(b[24*i+8:], math.Float64bits(v.Y))
+		binary.LittleEndian.PutUint64(b[24*i+16:], math.Float64bits(v.Z))
+	}
+	w.buf.Write(b)
+}
+
+func decodeVec3s(r *codecReader, what string) []geom.Vec3 {
+	n := r.sliceLen(what, 24)
+	b := r.take(what, 24*n)
+	if r.err != nil {
+		return nil
+	}
+	vs := make([]geom.Vec3, n)
+	for i := range vs {
+		vs[i] = geom.Vec3{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(b[24*i:])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(b[24*i+8:])),
+			Z: math.Float64frombits(binary.LittleEndian.Uint64(b[24*i+16:])),
+		}
+	}
+	return vs
+}
+
+func encodeMesh(w *codecWriter, m *mesh.Mesh) {
+	encodeVec3s(w, m.Nodes)
+	w.u64(uint64(len(m.Tets)))
+	b := make([]byte, 16*len(m.Tets))
+	for i, t := range m.Tets {
+		for j, id := range t {
+			binary.LittleEndian.PutUint32(b[16*i+4*j:], uint32(id))
+		}
+	}
+	w.buf.Write(b)
+	w.u64(uint64(len(m.TetLabel)))
+	for _, l := range m.TetLabel {
+		w.buf.WriteByte(byte(l))
+	}
+}
+
+func decodeMesh(r *codecReader) *mesh.Mesh {
+	m := &mesh.Mesh{Nodes: decodeVec3s(r, "mesh nodes")}
+	nt := r.sliceLen("mesh tets", 16)
+	tb := r.take("mesh tets", 16*nt)
+	if r.err == nil {
+		m.Tets = make([][4]int32, nt)
+		for i := range m.Tets {
+			for j := 0; j < 4; j++ {
+				m.Tets[i][j] = int32(binary.LittleEndian.Uint32(tb[16*i+4*j:]))
+			}
+		}
+	}
+	nl := r.sliceLen("mesh tet labels", 1)
+	lb := r.take("mesh tet labels", nl)
+	if r.err == nil {
+		m.TetLabel = make([]volume.Label, nl)
+		for i := range m.TetLabel {
+			m.TetLabel[i] = volume.Label(lb[i])
+		}
+	}
+	return m
+}
+
+func encodeTriMesh(w *codecWriter, t *mesh.TriMesh) {
+	encodeVec3s(w, t.Verts)
+	w.u64(uint64(len(t.Tris)))
+	for _, tri := range t.Tris {
+		for _, id := range tri {
+			w.u32(uint32(id))
+		}
+	}
+	w.u64(uint64(len(t.NodeID)))
+	for _, id := range t.NodeID {
+		w.u32(uint32(id))
+	}
+}
+
+func decodeTriMesh(r *codecReader) *mesh.TriMesh {
+	t := &mesh.TriMesh{Verts: decodeVec3s(r, "trimesh verts")}
+	nt := r.sliceLen("trimesh tris", 12)
+	t.Tris = make([][3]int32, nt)
+	for i := range t.Tris {
+		for j := 0; j < 3; j++ {
+			t.Tris[i][j] = int32(r.u32("trimesh tris"))
+		}
+	}
+	nn := r.sliceLen("trimesh node ids", 4)
+	t.NodeID = make([]int32, nn)
+	for i := range t.NodeID {
+		t.NodeID[i] = int32(r.u32("trimesh node ids"))
+	}
+	return t
+}
+
+func encodeInts(w *codecWriter, vs []int) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.i64(v)
+	}
+}
+
+func decodeInts(r *codecReader, what string) []int {
+	n := r.sliceLen(what, 8)
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = r.i64(what)
+	}
+	return vs
+}
+
+// encodeSystem serializes an assembled pre-Dirichlet FEM system: the
+// CSR stiffness matrix, the (zero) load vector, the node partition and
+// the per-rank assembly work counters. The mesh reference is NOT
+// stored — the mesh is its own artifact and the decoder re-links it —
+// and the Dirichlet bookkeeping is deliberately absent: the cache holds
+// the system as assembly leaves it, before any intraoperative boundary
+// conditions touch it.
+func encodeSystem(w *codecWriter, s *fem.System) {
+	k := s.K
+	w.i64(k.N)
+	w.u64(uint64(len(k.RowPtr)))
+	b := make([]byte, 8*len(k.RowPtr))
+	for i, v := range k.RowPtr {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	w.buf.Write(b)
+	w.i32s(k.Col)
+	w.f64s(k.Val)
+	w.f64s(s.F)
+	w.i64(s.NumDOF)
+	w.i64(s.NodePart.N)
+	w.i64(s.NodePart.P)
+	encodeInts(w, s.NodePart.Starts)
+	w.i64(s.Assembly.P)
+	w.f64s(s.Assembly.Flops)
+	w.f64s(s.Assembly.BytesSent)
+	w.f64s(s.Assembly.Messages)
+}
+
+// decodeSystem reconstructs the assembled system with an unconstrained
+// Dirichlet state and no mesh reference (the caller links the mesh
+// artifact). The validating constructors (sparse.CSRFromParts,
+// fem.SystemFromParts) check the shape invariants with errors, not
+// panics, so a drifted blob fails the decode and the executor
+// recomputes.
+func decodeSystem(r *codecReader) (*fem.System, error) {
+	n := r.i64("csr n")
+	np := r.sliceLen("csr rowptr", 8)
+	pb := r.take("csr rowptr", 8*np)
+	rowPtr := make([]int64, np)
+	if r.err == nil {
+		for i := range rowPtr {
+			rowPtr[i] = int64(binary.LittleEndian.Uint64(pb[8*i:]))
+		}
+	}
+	col := r.i32s("csr col")
+	val := r.f64s("csr val")
+	f := r.f64s("system rhs")
+	numDOF := r.i64("system numdof")
+	pt := par.Partition{N: r.i64("partition"), P: r.i64("partition")}
+	pt.Starts = decodeInts(r, "partition starts")
+	counters := &par.Counters{P: r.i64("counters")}
+	counters.Flops = r.f64s("counters flops")
+	counters.BytesSent = r.f64s("counters bytes")
+	counters.Messages = r.f64s("counters messages")
+	if r.err != nil {
+		return nil, r.err
+	}
+	k, err := sparse.CSRFromParts(n, rowPtr, col, val)
+	if err != nil {
+		return nil, fmt.Errorf("core: artifact decode: %w", err)
+	}
+	if numDOF != k.N {
+		return nil, fmt.Errorf("core: artifact decode: system numDOF %d, matrix order %d", numDOF, k.N)
+	}
+	sys, err := fem.SystemFromParts(k, f, pt, counters)
+	if err != nil {
+		return nil, fmt.Errorf("core: artifact decode: %w", err)
+	}
+	return sys, nil
+}
+
+func encodeInterpTable(w *codecWriter, t *fem.InterpTable) {
+	g, vox, nodes, weights := t.TableParts()
+	encodeGrid(w, g)
+	w.i32s(vox)
+	w.i32s(nodes)
+	w.f64s(weights)
+}
+
+func decodeInterpTable(r *codecReader) (*fem.InterpTable, error) {
+	g := decodeGrid(r)
+	vox := r.i32s("interp vox")
+	nodes := r.i32s("interp nodes")
+	weights := r.f64s("interp weights")
+	if r.err != nil {
+		return nil, r.err
+	}
+	return fem.InterpTableFromParts(g, vox, nodes, weights)
+}

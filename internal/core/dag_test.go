@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// TestArtifactCacheHitIsBitIdentical is the cache's core correctness
+// claim: a registration served from the artifact store must produce
+// bit-identical displacements and warped volumes to one computed from
+// scratch, and the warm run must actually hit the pure stages.
+func TestArtifactCacheHitIsBitIdentical(t *testing.T) {
+	c := testCase(24)
+
+	cold := New(fastConfig())
+	coldRes, err := cold.Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := artifact.New(artifact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgWarm := fastConfig()
+	cfgWarm.ArtifactStore = store
+	if _, err := New(cfgWarm).Run(c.Preop, c.PreopLabels, c.Intraop); err != nil {
+		t.Fatalf("populate run: %v", err)
+	}
+	if st := store.Stats(); st.Misses == 0 {
+		t.Fatalf("populate run recorded no misses: %+v", st)
+	}
+
+	warmRes, err := New(cfgWarm).Run(c.Preop, c.PreopLabels, c.Intraop)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	st := store.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("warm run recorded no cache hits: %+v", st)
+	}
+
+	if len(coldRes.NodeDisplacements) != len(warmRes.NodeDisplacements) {
+		t.Fatalf("node count differs: cold %d, warm %d",
+			len(coldRes.NodeDisplacements), len(warmRes.NodeDisplacements))
+	}
+	for i, u := range coldRes.NodeDisplacements {
+		if u != warmRes.NodeDisplacements[i] {
+			t.Fatalf("node %d displacement differs hit-vs-miss: %v vs %v",
+				i, u, warmRes.NodeDisplacements[i])
+		}
+	}
+	for i, v := range coldRes.Warped.Data {
+		if v != warmRes.Warped.Data[i] {
+			t.Fatalf("warped voxel %d differs hit-vs-miss: %v vs %v",
+				i, v, warmRes.Warped.Data[i])
+		}
+	}
+}
+
+func TestValidateDAGRejectsBadWiring(t *testing.T) {
+	noop := (&Pipeline{}).stagePreopEDT
+	cases := []struct {
+		name  string
+		nodes []stageNode
+	}{
+		{"empty name", []stageNode{{name: "", run: noop}}},
+		{"nil run", []stageNode{{name: "a"}}},
+		{"duplicate", []stageNode{{name: "a", run: noop}, {name: "a", run: noop}}},
+		{"dep on later node", []stageNode{
+			{name: "a", deps: []string{"b"}, run: noop},
+			{name: "b", run: noop},
+		}},
+		{"dep on unknown node", []stageNode{{name: "a", deps: []string{"ghost"}, run: noop}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := validateDAG(tc.nodes); err == nil {
+				t.Fatal("validateDAG accepted bad wiring")
+			}
+		})
+	}
+}
+
+func TestCacheKeyFragmentRejectsUnknownField(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := cfg.cacheKeyFragment([]string{"NoSuchField"}); err == nil {
+		t.Fatal("unknown key field must disable caching, not silently under-key")
+	}
+	frag, err := cfg.cacheKeyFragment([]string{"EDTSaturation", "MeshCellSize", "UseBCCMesh", "SnapMesh", "Surface", "Seed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag == "" {
+		t.Fatal("empty key fragment for declared fields")
+	}
+}

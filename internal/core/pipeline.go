@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/classify"
 	"repro/internal/edt"
 	"repro/internal/fem"
@@ -73,6 +74,14 @@ type Config struct {
 	// counters snapshots while a registration runs (see Observer). It is
 	// ignored by Validate.
 	Observer Observer
+	// ArtifactStore, when non-nil, caches the content-addressed outputs
+	// of the pure preoperative stages (EDT localization channels, mesh
+	// generation, surface relaxation) keyed on their declared inputs
+	// and Config fields, so sessions sharing a preop volume skip those
+	// stages. The store may be shared across sessions and processes;
+	// it is read by the DAG executor only, never by stage bodies, and
+	// is ignored by Validate.
+	ArtifactStore *artifact.Store
 }
 
 // Validate reports configuration errors instead of silently patching
@@ -334,251 +343,342 @@ func newStageRunner(ctx context.Context, ob Observer, res *Result) func(name str
 	}
 }
 
-// runStages executes the six pipeline stages.
+// registerDAG declares the full-registration DAG. The literal fields
+// must mirror the //lint:stage contract on each run method — the
+// stagedag analyzer cross-checks them — and the declared order groups
+// consecutive same-bucket nodes into the six classic timed stages.
+func (p *Pipeline) registerDAG() []stageNode {
+	return []stageNode{
+		{name: "rigid-align", bucket: StageRigid,
+			inputs:  []string{"preop", "preopLabels", "intraop"},
+			outputs: []string{"alignedPreop", "alignedLabels"},
+			run:     p.stageRigidAlign},
+		{name: "preop-edt", bucket: StageClassify,
+			deps:    []string{"rigid-align"},
+			inputs:  []string{"alignedLabels"},
+			outputs: []string{"edtChannels"},
+			keys:    []string{"EDTSaturation"},
+			pure:    true,
+			run:     p.stagePreopEDT},
+		{name: "classify", bucket: StageClassify,
+			deps:    []string{"rigid-align", "preop-edt"},
+			inputs:  []string{"intraop", "alignedPreop", "alignedLabels", "edtChannels"},
+			outputs: []string{"intraLabels"},
+			run:     p.stageClassify},
+		{name: "preop-mesh", bucket: StageMesh,
+			deps:    []string{"rigid-align"},
+			inputs:  []string{"alignedLabels"},
+			outputs: []string{"mesh", "brainSurf"},
+			keys:    []string{"MeshCellSize", "UseBCCMesh", "SnapMesh"},
+			pure:    true,
+			run:     p.stagePreopMesh},
+		{name: "preop-relax", bucket: StageSurface,
+			deps:    []string{"rigid-align", "preop-mesh"},
+			inputs:  []string{"alignedLabels", "brainSurf"},
+			outputs: []string{"relaxedSurf"},
+			keys:    []string{"Surface"},
+			pure:    true,
+			run:     p.stagePreopRelax},
+		{name: "surface-displace", bucket: StageSurface,
+			deps:    []string{"preop-relax", "classify"},
+			inputs:  []string{"relaxedSurf", "intraLabels"},
+			outputs: []string{"surfRes"},
+			run:     p.stageSurfaceDisplace},
+		{name: "preop-assemble", bucket: StageSolve,
+			deps:    []string{"preop-mesh"},
+			inputs:  []string{"mesh"},
+			outputs: []string{"sys"},
+			keys:    []string{"Materials", "Ranks"},
+			pure:    true,
+			run:     p.stagePreopAssemble},
+		{name: "solve", bucket: StageSolve,
+			deps:    []string{"preop-assemble", "surface-displace"},
+			inputs:  []string{"sys", "surfRes"},
+			outputs: []string{"solveRes"},
+			run:     p.stageSolve},
+		{name: "preop-interp", bucket: StageResample,
+			deps:    []string{"preop-assemble"},
+			inputs:  []string{"sys", "intraop"},
+			outputs: []string{"interp"},
+			pure:    true,
+			run:     p.stagePreopInterp},
+		{name: "resample", bucket: StageResample,
+			deps:   []string{"rigid-align", "preop-interp", "solve"},
+			inputs: []string{"alignedPreop", "interp", "solveRes"},
+			run:    p.stageResample},
+	}
+}
+
+// runStages executes the registration DAG (the six reporting stages of
+// the paper's Figure 6 timeline).
 func (p *Pipeline) runStages(ctx context.Context, preop *volume.Scalar, preopLabels *volume.Labels,
 	intraop *volume.Scalar, cl *classify.Classifier, cache *sessionCache) (*Result, *classify.Classifier, error) {
-	cfg := p.cfg
-	ob := cfg.observer()
-	res := &Result{}
-	stage := newStageRunner(ctx, ob, res)
-
-	// Stage 1: rigid registration. The preoperative data is aligned to
-	// the intraoperative frame by MI maximization.
-	alignedPreop := preop
-	alignedLabels := preopLabels
-	if err := stage(StageRigid, func(ctx context.Context) error {
-		if cfg.SkipRigid {
-			res.Rigid = transform.Identity(intraop.Grid.Center())
-			return nil
-		}
-		init := register.CenterOfMassInit(intraop, preop, cfg.Register.Threshold)
-		diag, err := register.AlignContext(ctx, intraop, preop, init, cfg.Register)
-		if err != nil {
-			return err
-		}
-		res.Rigid = diag.Transform
-		res.RigidDiag = diag
-		alignedPreop = transform.ResampleScalar(preop, diag.Transform, intraop.Grid)
-		alignedLabels = transform.ResampleLabels(preopLabels, diag.Transform, intraop.Grid)
-		return nil
-	}); err != nil {
-		return nil, nil, err
-	}
-	if cfg.SkipRigid {
+	if p.cfg.SkipRigid && !preop.Grid.SameShape(intraop.Grid) {
 		// Even without rigid alignment the downstream stages need the
 		// preop data on the intraop grid.
-		if !preop.Grid.SameShape(intraop.Grid) {
-			return nil, nil, fmt.Errorf("core: SkipRigid requires matching grids, got %v vs %v",
-				preop.Grid, intraop.Grid)
-		}
+		return nil, nil, fmt.Errorf("core: SkipRigid requires matching grids, got %v vs %v",
+			preop.Grid, intraop.Grid)
 	}
-	res.AlignedPreop = alignedPreop
+	res := &Result{}
+	ps := &pipeState{
+		preop: preop, preopLabels: preopLabels, intraop: intraop,
+		cl: cl, cache: cache, res: res,
+	}
+	err := p.runDAG(ctx, p.registerDAG(), ps, newStageRunner(ctx, p.cfg.observer(), res))
+	return p.finishDAG(ctx, err, ps)
+}
 
-	// Stage 2: tissue classification of the intraoperative scan: k-NN
-	// over intensity + spatial localization channels derived from the
-	// aligned preoperative segmentation.
-	var intraLabels *volume.Labels
-	if err := stage(StageClassify, func(ctx context.Context) error {
-		channels := []*volume.Scalar{
-			intraop,
-			edt.Saturated(alignedLabels, volume.LabelBrain, cfg.EDTSaturation),
-			edt.Saturated(alignedLabels, volume.LabelVentricle, cfg.EDTSaturation),
-			edt.Saturated(alignedLabels, volume.LabelCSF, cfg.EDTSaturation),
-		}
-		if cache != nil {
-			// The localization channels derive from the preoperative
-			// segmentation only; updates reuse them as-is.
-			cache.edtChannels = channels[1:]
-		}
-		if cl == nil {
-			// First scan: build the statistical model. Prototype
-			// features must come from the same modality as the scan
-			// being classified: read intensity from the aligned preop
-			// scan at the prototype voxels, localization channels as-is.
-			protoChannels := []*volume.Scalar{alignedPreop, channels[1], channels[2], channels[3]}
-			protos, err := classify.SamplePrototypesContext(ctx, alignedLabels, protoChannels,
-				cfg.PrototypesPerClass, cfg.Seed)
-			if err != nil {
-				return err
-			}
-			cl = &classify.Classifier{
-				K:          cfg.KNN,
-				Prototypes: protos,
-				Weights:    []float64{1, 8, 8, 8},
-				Workers:    cfg.Ranks,
-			}
-		} else {
-			// Subsequent scan: the recorded prototype locations update
-			// the statistical model automatically from the new image
-			// (the paper's model-refresh mechanism). Prototypes whose
-			// tissue changed between scans (resection, shift gap) are
-			// rejected as per-class outliers.
-			if err := cl.RefreshFeaturesRobustContext(ctx, channels, 4, 5); err != nil {
-				return err
-			}
-			cl.Workers = cfg.Ranks
-		}
-		var err error
-		// The k-d tree wins once the prototype set is large; below that
-		// the brute-force scan's cache behaviour is better.
-		if len(cl.Prototypes) >= 128 {
-			intraLabels, err = cl.ClassifyKDContext(ctx, channels)
-		} else {
-			intraLabels, err = cl.ClassifyContext(ctx, channels)
-		}
-		return err
-	}); err != nil {
-		return nil, nil, err
-	}
-	res.IntraopLabels = intraLabels
-
-	// Stage 3: mesh the aligned preoperative anatomy (this could be
-	// precomputed preoperatively; it is timed here for completeness).
-	var m *mesh.Mesh
-	var brainSurf *mesh.TriMesh
-	if err := stage(StageMesh, func(ctx context.Context) error {
-		var err error
-		mesher := mesh.FromLabels
-		if cfg.UseBCCMesh {
-			mesher = mesh.FromLabelsBCC
-		}
-		m, err = mesher(alignedLabels, mesh.Options{
-			CellSize: cfg.MeshCellSize,
-			Include:  brainSet,
-		})
-		if err != nil {
-			return err
-		}
-		brainSurf, err = m.ExtractSurface(brainSet)
-		if err != nil {
-			return err
-		}
-		if cfg.SnapMesh {
-			// Conform the FEM geometry to the smooth preoperative brain
-			// boundary, then relax the interior lattice.
-			phiPre := edt.SignedOfSet(alignedLabels, brainSet, 0)
-			m.SnapToLevelSet(brainSurf.NodeID, phiPre, float64(cfg.MeshCellSize))
-			m.Smooth(3, 0.5)
-			// Re-extract so the surface carries the snapped positions.
-			brainSurf, err = m.ExtractSurface(brainSet)
-		}
-		return err
-	}); err != nil {
-		return nil, nil, err
-	}
-	res.Mesh = m
-
-	// Stage 4: surface displacement: deform the preoperative brain
-	// surface onto the intraoperative brain surface.
-	var surfRes *surface.Result
-	if err := stage(StageSurface, func(ctx context.Context) error {
-		// The marching-tetrahedra surface is a voxel staircase; relax it
-		// onto the smooth preoperative brain boundary first so that this
-		// sub-voxel discretization correction does not contaminate the
-		// measured intraoperative motion. Both distance fields are
-		// lightly smoothed so their level sets do not inherit the voxel
-		// (or thick-slice) staircase of the label maps, which would
-		// otherwise make the evolution oscillate on anisotropic grids.
-		phiPre := edt.SignedOfSet(alignedLabels, brainSet, 0).SmoothGaussian(1.0)
-		relaxed, err := surface.EvolveContext(ctx, brainSurf, surface.SignedDistanceForce{Phi: phiPre}, cfg.Surface)
-		if err != nil {
-			return err
-		}
-		if cache != nil {
-			// Updates re-evolve this relaxed preoperative surface onto
-			// each new intraoperative boundary, so their node set (and
-			// with it the Dirichlet row set) matches the baseline's.
-			cache.relaxedSurf = relaxed.Final
-		}
-		// Now deform the relaxed preoperative surface onto the
-		// classified intraoperative brain: these displacements are the
-		// physical surface correspondences.
-		phiIntra := edt.SignedOfSet(intraLabels, brainSet, 0).SmoothGaussian(1.0)
-		surfRes, err = surface.EvolveContext(ctx, relaxed.Final, surface.SignedDistanceForce{Phi: phiIntra}, cfg.Surface)
-		return err
-	}); err != nil {
-		return nil, nil, err
-	}
-	res.Surface = surfRes
-
-	// Stage 5: biomechanical simulation: solve for the volumetric
-	// deformation with the surface displacements as boundary conditions.
-	var sys *fem.System
-	var solveRes *fem.SolveResult
-	if err := stage(StageSolve, func(ctx context.Context) error {
-		var err error
-		sys, err = fem.AssembleContext(ctx, m, cfg.Materials, par.Even(m.NumNodes(), cfg.Ranks))
-		if err != nil {
-			return err
-		}
-		snap := sys.Assembly.Snapshot()
-		ob.StageCounters(StageSolve, snap)
-		sp := obs.SpanFromContext(ctx)
-		sp.SetAttr("assembly_flops", snap.TotalFlops)
-		sp.SetAttr("assembly_imbalance", snap.Imbalance)
-		if err := sys.ApplyDirichlet(surfRes.BoundaryConditions()); err != nil {
-			return err
-		}
-		sopts := cfg.Solver
-		if cfg.RecordSolveHistory {
-			sopts.RecordHistory = true
-		}
-		solveRes, err = sys.SolveContext(ctx, sopts)
-		if solveRes != nil {
-			sp.SetAttr("solver_iterations", solveRes.Stats.Iterations)
-			sp.SetAttr("solver_converged", solveRes.Stats.Converged)
-			sp.SetAttr("solver_final_rel_residual", solveRes.Stats.FinalResRel)
-		}
-		return err
-	}); err != nil {
-		if degraded := p.degrade(ctx, err, res, intraop, alignedPreop, intraLabels); degraded {
-			return res, cl, nil
-		}
-		return nil, nil, err
-	}
-	res.SolveStats = solveRes.Stats
-	res.NodeDisplacements = solveRes.NodeU
-	if cache != nil {
-		cache.rigid = res.Rigid
-		cache.alignedPreop = alignedPreop
-		cache.mesh = m
-		cache.sys = sys
-		cache.prevU = solveRes.U
-		cache.coldIterations = solveRes.Stats.Iterations
-	}
-	stressSummary(sys, solveRes.NodeU, cfg.Materials, res)
-
-	// Stage 6: resample the preoperative data through the computed
-	// volumetric deformation (the paper's ~0.5 s display step).
-	if err := stage(StageResample, func(_ context.Context) error {
-		if cache != nil {
-			// Sessions keep the voxel→element interpolation table: it
-			// depends only on the mesh and the grid, so every incremental
-			// update rasterizes its solution through it as a dense gather.
-			// Mixed-precision sessions keep only the float32-weight table
-			// (same coverage, float64 gather accumulation).
-			if cfg.Solver.StoragePrecision == solver.PrecisionFloat32 {
-				cache.interp32 = sys.BuildInterpTable(intraop.Grid).Compact()
-				res.Forward = cache.interp32.Apply(solveRes.NodeU)
-			} else {
-				cache.interp = sys.BuildInterpTable(intraop.Grid)
-				res.Forward = cache.interp.Apply(solveRes.NodeU)
-			}
-		} else {
-			res.Forward = sys.DisplacementField(solveRes.NodeU, intraop.Grid)
-		}
-		res.Backward = res.Forward.Invert(4)
-		res.Warped = res.Backward.WarpScalar(alignedPreop)
+// stageRigidAlign aligns the preoperative data to the intraoperative
+// frame by MI maximization (or passes it through under SkipRigid).
+//
+//lint:stage name=rigid-align inputs=preop,preopLabels,intraop outputs=alignedPreop,alignedLabels
+func (p *Pipeline) stageRigidAlign(ctx context.Context, ps *pipeState) error {
+	if p.cfg.SkipRigid {
+		ps.res.Rigid = transform.Identity(ps.intraop.Grid.Center())
+		ps.alignedPreop = ps.preop
+		ps.alignedLabels = ps.preopLabels
 		return nil
-	}); err != nil {
-		if degraded := p.degrade(ctx, err, res, intraop, alignedPreop, intraLabels); degraded {
-			return res, cl, nil
-		}
-		return nil, nil, err
 	}
+	init := register.CenterOfMassInit(ps.intraop, ps.preop, p.cfg.Register.Threshold)
+	diag, err := register.AlignContext(ctx, ps.intraop, ps.preop, init, p.cfg.Register)
+	if err != nil {
+		return err
+	}
+	ps.res.Rigid = diag.Transform
+	ps.res.RigidDiag = diag
+	ps.alignedPreop = transform.ResampleScalar(ps.preop, diag.Transform, ps.intraop.Grid)
+	ps.alignedLabels = transform.ResampleLabels(ps.preopLabels, diag.Transform, ps.intraop.Grid)
+	return nil
+}
 
-	matchMetrics(res, intraop, alignedPreop, intraLabels)
-	return res, cl, nil
+// stagePreopEDT computes the classifier's spatial localization
+// channels — saturated distance maps of the brain, ventricle and CSF
+// compartments — from the aligned preoperative segmentation alone, so
+// the node is preop-pure and content-addressable.
+//
+//lint:stage name=preop-edt deps=rigid-align inputs=alignedLabels outputs=edtChannels key=EDTSaturation pure
+func (p *Pipeline) stagePreopEDT(_ context.Context, ps *pipeState) error {
+	ps.edtChannels = []*volume.Scalar{
+		edt.Saturated(ps.alignedLabels, volume.LabelBrain, p.cfg.EDTSaturation),
+		edt.Saturated(ps.alignedLabels, volume.LabelVentricle, p.cfg.EDTSaturation),
+		edt.Saturated(ps.alignedLabels, volume.LabelCSF, p.cfg.EDTSaturation),
+	}
+	return nil
+}
+
+// stageClassify labels the intraoperative scan: k-NN over intensity
+// plus the localization channels. The first scan samples the
+// statistical model's prototypes; later scans refresh the recorded
+// prototypes from the new image (the paper's automatic model update).
+//
+//lint:stage name=classify deps=rigid-align,preop-edt inputs=intraop,alignedPreop,alignedLabels,edtChannels outputs=intraLabels
+func (p *Pipeline) stageClassify(ctx context.Context, ps *pipeState) error {
+	cfg := p.cfg
+	channels := make([]*volume.Scalar, 0, 1+len(ps.edtChannels))
+	channels = append(channels, ps.intraop)
+	channels = append(channels, ps.edtChannels...)
+	if ps.cl == nil {
+		// First scan: build the statistical model. Prototype features
+		// must come from the same modality as the scan being
+		// classified: read intensity from the aligned preop scan at the
+		// prototype voxels, localization channels as-is.
+		protoChannels := append([]*volume.Scalar{ps.alignedPreop}, ps.edtChannels...)
+		protos, err := classify.SamplePrototypesContext(ctx, ps.alignedLabels, protoChannels,
+			cfg.PrototypesPerClass, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		ps.cl = &classify.Classifier{
+			K:          cfg.KNN,
+			Prototypes: protos,
+			Weights:    []float64{1, 8, 8, 8},
+			Workers:    cfg.Ranks,
+		}
+	} else {
+		// Subsequent scan: the recorded prototype locations update the
+		// statistical model automatically from the new image. Prototypes
+		// whose tissue changed between scans (resection, shift gap) are
+		// rejected as per-class outliers.
+		if err := ps.cl.RefreshFeaturesRobustContext(ctx, channels, 4, 5); err != nil {
+			return err
+		}
+		ps.cl.Workers = cfg.Ranks
+	}
+	var err error
+	// The k-d tree wins once the prototype set is large; below that the
+	// brute-force scan's cache behaviour is better.
+	if len(ps.cl.Prototypes) >= 128 {
+		ps.intraLabels, err = ps.cl.ClassifyKDContext(ctx, channels)
+	} else {
+		ps.intraLabels, err = ps.cl.ClassifyContext(ctx, channels)
+	}
+	return err
+}
+
+// stagePreopMesh meshes the aligned preoperative anatomy and extracts
+// its brain surface; under SnapMesh the surface nodes conform to the
+// smooth segmentation boundary first. Preop-pure: the mesh depends on
+// the aligned segmentation and the meshing config only.
+//
+//lint:stage name=preop-mesh deps=rigid-align inputs=alignedLabels outputs=mesh,brainSurf key=MeshCellSize,UseBCCMesh,SnapMesh pure
+func (p *Pipeline) stagePreopMesh(_ context.Context, ps *pipeState) error {
+	mesher := mesh.FromLabels
+	if p.cfg.UseBCCMesh {
+		mesher = mesh.FromLabelsBCC
+	}
+	m, err := mesher(ps.alignedLabels, mesh.Options{
+		CellSize: p.cfg.MeshCellSize,
+		Include:  brainSet,
+	})
+	if err != nil {
+		return err
+	}
+	surf, err := m.ExtractSurface(brainSet)
+	if err != nil {
+		return err
+	}
+	if p.cfg.SnapMesh {
+		// Conform the FEM geometry to the smooth preoperative brain
+		// boundary, then relax the interior lattice.
+		phiPre := edt.SignedOfSet(ps.alignedLabels, brainSet, 0)
+		m.SnapToLevelSet(surf.NodeID, phiPre, float64(p.cfg.MeshCellSize))
+		m.Smooth(3, 0.5)
+		// Re-extract so the surface carries the snapped positions.
+		if surf, err = m.ExtractSurface(brainSet); err != nil {
+			return err
+		}
+	}
+	ps.mesh = m
+	ps.brainSurf = surf
+	return nil
+}
+
+// stagePreopRelax relaxes the marching-tetrahedra brain surface onto
+// the smooth preoperative boundary, so the sub-voxel discretization
+// correction does not contaminate the measured intraoperative motion.
+// Preop-pure: updates re-evolve this relaxed surface onto each new
+// intraoperative boundary, keeping the Dirichlet row set stable.
+//
+//lint:stage name=preop-relax deps=rigid-align,preop-mesh inputs=alignedLabels,brainSurf outputs=relaxedSurf key=Surface pure
+func (p *Pipeline) stagePreopRelax(ctx context.Context, ps *pipeState) error {
+	// The distance field is lightly smoothed so its level set does not
+	// inherit the voxel (or thick-slice) staircase of the label map,
+	// which would otherwise make the evolution oscillate.
+	phiPre := edt.SignedOfSet(ps.alignedLabels, brainSet, 0).SmoothGaussian(1.0)
+	relaxed, err := surface.EvolveContext(ctx, ps.brainSurf, surface.SignedDistanceForce{Phi: phiPre}, p.cfg.Surface)
+	if err != nil {
+		return err
+	}
+	ps.relaxedSurf = relaxed.Final
+	return nil
+}
+
+// stageSurfaceDisplace deforms the relaxed preoperative brain surface
+// onto the classified intraoperative brain: these displacements are
+// the physical surface correspondences driving the FEM solve.
+//
+//lint:stage name=surface-displace deps=preop-relax,classify inputs=relaxedSurf,intraLabels outputs=surfRes
+func (p *Pipeline) stageSurfaceDisplace(ctx context.Context, ps *pipeState) error {
+	phiIntra := edt.SignedOfSet(ps.intraLabels, brainSet, 0).SmoothGaussian(1.0)
+	sr, err := surface.EvolveContext(ctx, ps.relaxedSurf, surface.SignedDistanceForce{Phi: phiIntra}, p.cfg.Surface)
+	if err != nil {
+		return err
+	}
+	ps.surfRes = sr
+	return nil
+}
+
+// stagePreopAssemble assembles the FEM stiffness system on the
+// preoperative mesh. Preop-pure — and by far the most expensive pure
+// stage: the matrix is a deterministic function of the mesh geometry
+// and the constitutive model alone. The intraoperative boundary
+// conditions are eliminated later (stageSolve applies Dirichlet rows in
+// place on this run's private System, which on a cache hit is a freshly
+// decoded copy), so the assembled pre-Dirichlet system is
+// content-addressable.
+//
+//lint:stage name=preop-assemble deps=preop-mesh inputs=mesh outputs=sys key=Materials,Ranks pure
+func (p *Pipeline) stagePreopAssemble(ctx context.Context, ps *pipeState) error {
+	sys, err := fem.AssembleContext(ctx, ps.mesh, p.cfg.Materials, par.Even(ps.mesh.NumNodes(), p.cfg.Ranks))
+	if err != nil {
+		return err
+	}
+	ps.sys = sys
+	return nil
+}
+
+// stageSolve eliminates the surface-displacement boundary conditions
+// into the assembled system and solves for the volumetric deformation.
+// The assembly work counters travel with the cached System, so the
+// observer and trace attributes report them identically on hit and miss
+// runs.
+//
+//lint:stage name=solve deps=preop-assemble,surface-displace inputs=sys,surfRes outputs=solveRes
+func (p *Pipeline) stageSolve(ctx context.Context, ps *pipeState) error {
+	cfg := p.cfg
+	sys := ps.sys
+	snap := sys.Assembly.Snapshot()
+	cfg.observer().StageCounters(StageSolve, snap)
+	sp := obs.SpanFromContext(ctx)
+	sp.SetAttr("assembly_flops", snap.TotalFlops)
+	sp.SetAttr("assembly_imbalance", snap.Imbalance)
+	if err := sys.ApplyDirichlet(ps.surfRes.BoundaryConditions()); err != nil {
+		return err
+	}
+	sopts := cfg.Solver
+	if cfg.RecordSolveHistory {
+		sopts.RecordHistory = true
+	}
+	sr, err := sys.SolveContext(ctx, sopts)
+	if sr != nil {
+		sp.SetAttr("solver_iterations", sr.Stats.Iterations)
+		sp.SetAttr("solver_converged", sr.Stats.Converged)
+		sp.SetAttr("solver_final_rel_residual", sr.Stats.FinalResRel)
+	}
+	if err != nil {
+		return err
+	}
+	ps.solveRes = sr
+	return nil
+}
+
+// stagePreopInterp builds the voxel→element interpolation table of the
+// assembled mesh on the intraoperative grid. Preop-pure: the table
+// depends on the mesh geometry (via the assembled system) and the grid
+// alone — applying it reproduces System.DisplacementField bit-exactly —
+// so the rasterization cost is content-addressable alongside the other
+// preoperative stages.
+//
+//lint:stage name=preop-interp deps=preop-assemble inputs=sys,intraop outputs=interp pure
+func (p *Pipeline) stagePreopInterp(_ context.Context, ps *pipeState) error {
+	ps.interp = ps.sys.BuildInterpTable(ps.intraop.Grid)
+	return nil
+}
+
+// stageResample resamples the preoperative data through the computed
+// volumetric deformation (the paper's ~0.5 s display step). Sessions
+// keep the voxel→element interpolation table built by preop-interp, so
+// every incremental update rasterizes its solution through it as a
+// dense gather.
+//
+//lint:stage name=resample deps=rigid-align,preop-interp,solve inputs=alignedPreop,interp,solveRes
+func (p *Pipeline) stageResample(_ context.Context, ps *pipeState) error {
+	res, cache := ps.res, ps.cache
+	nodeU := ps.solveRes.NodeU
+	if cache != nil && p.cfg.Solver.StoragePrecision == solver.PrecisionFloat32 {
+		// Mixed-precision sessions keep only the float32-weight table
+		// (same coverage, float64 gather accumulation).
+		cache.interp32 = ps.interp.Compact()
+		res.Forward = cache.interp32.Apply(nodeU)
+	} else {
+		if cache != nil {
+			cache.interp = ps.interp
+		}
+		res.Forward = ps.interp.Apply(nodeU)
+	}
+	res.Backward = res.Forward.Invert(4)
+	res.Warped = res.Backward.WarpScalar(ps.alignedPreop)
+	return nil
 }
 
 // stressSummary fills the Von Mises stress summary of res from the

@@ -124,96 +124,135 @@ func (p *Pipeline) updateContext(ctx context.Context, cache *sessionCache,
 	return res, cl, err
 }
 
+// updateDAG declares the incremental-update DAG: the intraoperative
+// stage subset, seeded with the session baseline's preop artifacts.
+// Like registerDAG, every literal must mirror the //lint:stage contract
+// on its run method (stagedag cross-checks them). None of these nodes
+// is pure — each depends on the streaming scan or mutates session
+// state (prototype refresh, RHS patch, warm-start seed) — so the
+// artifact store never serves them.
+func (p *Pipeline) updateDAG() []stageNode {
+	return []stageNode{
+		{name: "update-classify", bucket: StageClassify,
+			inputs:  []string{"intraop", "edtChannels"},
+			outputs: []string{"intraLabels"},
+			run:     p.stageUpdateClassify},
+		{name: "update-surface", bucket: StageSurface,
+			deps:    []string{"update-classify"},
+			inputs:  []string{"relaxedSurf", "intraLabels"},
+			outputs: []string{"surfRes"},
+			run:     p.stageUpdateSurface},
+		{name: "update-solve", bucket: StageSolve,
+			deps:    []string{"update-surface"},
+			inputs:  []string{"sys", "surfRes"},
+			outputs: []string{"solveRes"},
+			run:     p.stageUpdateSolve},
+		{name: "update-resample", bucket: StageResample,
+			deps:   []string{"update-solve"},
+			inputs: []string{"intraop", "alignedPreop", "sys", "solveRes"},
+			run:    p.stageUpdateResample},
+	}
+}
+
 // updateStages executes the intraoperative stage subset of an
 // incremental update.
 func (p *Pipeline) updateStages(ctx context.Context, cache *sessionCache,
 	intraop *volume.Scalar, cl *classify.Classifier) (*Result, *classify.Classifier, error) {
-	cfg := p.cfg
-	ob := cfg.observer()
 	res := &Result{
 		Rigid:        cache.rigid,
 		AlignedPreop: cache.alignedPreop,
 		Mesh:         cache.mesh,
 		Incremental:  true,
+		Update:       &IncrementalStats{},
 	}
-	stage := newStageRunner(ctx, ob, res)
-	alignedPreop := cache.alignedPreop
+	ps := &pipeState{
+		intraop: intraop,
+		cl:      cl,
+		cache:   cache,
+		res:     res,
+		// Baseline preop artifacts, reused verbatim: rigid alignment,
+		// localization channels, mesh, relaxed surface and the
+		// assembled/constrained system (the head is fixed in the scanner
+		// frame for the duration of the case).
+		alignedPreop: cache.alignedPreop,
+		edtChannels:  cache.edtChannels,
+		mesh:         cache.mesh,
+		relaxedSurf:  cache.relaxedSurf,
+		sys:          cache.sys,
+	}
+	err := p.runDAG(ctx, p.updateDAG(), ps, newStageRunner(ctx, p.cfg.observer(), res))
+	return p.finishDAG(ctx, err, ps)
+}
 
-	// Classification: the statistical model refreshes from the new image
-	// at the recorded prototype locations (never re-sampled — the
-	// baseline owns the prototype geometry); the preop-derived
-	// localization channels are reused verbatim.
-	var intraLabels *volume.Labels
-	if err := stage(StageClassify, func(ctx context.Context) error {
-		channels := make([]*volume.Scalar, 0, 1+len(cache.edtChannels))
-		channels = append(channels, intraop)
-		channels = append(channels, cache.edtChannels...)
-		if err := cl.RefreshFeaturesRobustContext(ctx, channels, 4, 5); err != nil {
-			return err
-		}
-		cl.Workers = cfg.Ranks
-		var err error
-		if len(cl.Prototypes) >= 128 {
-			intraLabels, err = cl.ClassifyKDContext(ctx, channels)
-		} else {
-			intraLabels, err = cl.ClassifyContext(ctx, channels)
-		}
+// stageUpdateClassify refreshes the statistical model from the new
+// image at the recorded prototype locations (never re-sampled — the
+// baseline owns the prototype geometry) and classifies the scan; the
+// preop-derived localization channels are reused verbatim.
+//
+//lint:stage name=update-classify inputs=intraop,edtChannels outputs=intraLabels
+func (p *Pipeline) stageUpdateClassify(ctx context.Context, ps *pipeState) error {
+	channels := make([]*volume.Scalar, 0, 1+len(ps.edtChannels))
+	channels = append(channels, ps.intraop)
+	channels = append(channels, ps.edtChannels...)
+	if err := ps.cl.RefreshFeaturesRobustContext(ctx, channels, 4, 5); err != nil {
 		return err
-	}); err != nil {
-		return nil, nil, err
 	}
-	res.IntraopLabels = intraLabels
+	ps.cl.Workers = p.cfg.Ranks
+	var err error
+	if len(ps.cl.Prototypes) >= 128 {
+		ps.intraLabels, err = ps.cl.ClassifyKDContext(ctx, channels)
+	} else {
+		ps.intraLabels, err = ps.cl.ClassifyContext(ctx, channels)
+	}
+	return err
+}
 
-	// Surface displacement: one evolution, from the cached relaxed
-	// preoperative surface onto the new intraoperative boundary. Using
-	// the same starting surface as the baseline keeps the vertex-to-node
-	// map — and therefore the Dirichlet row set — identical.
-	var surfRes *surface.Result
-	if err := stage(StageSurface, func(ctx context.Context) error {
-		phiIntra := edt.SignedOfSet(intraLabels, brainSet, 0).SmoothGaussian(1.0)
-		var err error
-		surfRes, err = surface.EvolveContext(ctx, cache.relaxedSurf,
-			surface.SignedDistanceForce{Phi: phiIntra}, cfg.Surface)
+// stageUpdateSurface runs one surface evolution, from the cached
+// relaxed preoperative surface onto the new intraoperative boundary.
+// Using the same starting surface as the baseline keeps the
+// vertex-to-node map — and therefore the Dirichlet row set — identical.
+//
+//lint:stage name=update-surface deps=update-classify inputs=relaxedSurf,intraLabels outputs=surfRes
+func (p *Pipeline) stageUpdateSurface(ctx context.Context, ps *pipeState) error {
+	phiIntra := edt.SignedOfSet(ps.intraLabels, brainSet, 0).SmoothGaussian(1.0)
+	sr, err := surface.EvolveContext(ctx, ps.relaxedSurf,
+		surface.SignedDistanceForce{Phi: phiIntra}, p.cfg.Surface)
+	if err != nil {
 		return err
-	}); err != nil {
-		return nil, nil, err
 	}
-	res.Surface = surfRes
+	ps.surfRes = sr
+	return nil
+}
 
-	// Biomechanical simulation, incrementally: patch the right-hand side
-	// for the boundary displacements that changed, keep the stiffness
-	// matrix and its preconditioner factors, and warm-start GMRES from
-	// the previous displacement field.
-	sys := cache.sys
-	upd := &IncrementalStats{}
-	res.Update = upd
-	var solveRes *fem.SolveResult
-	if err := stage(StageSolve, func(ctx context.Context) error {
-		changed, err := sys.PatchDirichlet(ctx, surfRes.BoundaryConditions())
-		if err != nil {
-			return err
-		}
-		upd.DOFsPatched = changed
-		sopts := cfg.Solver
-		if cfg.RecordSolveHistory {
-			sopts.RecordHistory = true
-		}
-		solveRes, err = sys.SolveWarmContext(ctx, cache.prevU, sopts)
-		if solveRes != nil {
-			sp := obs.SpanFromContext(ctx)
-			sp.SetAttr("solver_iterations", solveRes.Stats.Iterations)
-			sp.SetAttr("solver_converged", solveRes.Stats.Converged)
-			sp.SetAttr("solver_final_rel_residual", solveRes.Stats.FinalResRel)
-		}
+// stageUpdateSolve runs the biomechanical simulation incrementally:
+// patch the right-hand side for the boundary displacements that
+// changed, keep the stiffness matrix and its preconditioner factors,
+// and warm-start GMRES from the previous displacement field.
+//
+//lint:stage name=update-solve deps=update-surface inputs=sys,surfRes outputs=solveRes
+func (p *Pipeline) stageUpdateSolve(ctx context.Context, ps *pipeState) error {
+	cfg := p.cfg
+	cache, sys, upd := ps.cache, ps.sys, ps.res.Update
+	changed, err := sys.PatchDirichlet(ctx, ps.surfRes.BoundaryConditions())
+	if err != nil {
 		return err
-	}); err != nil {
-		if p.degrade(ctx, err, res, intraop, alignedPreop, intraLabels) {
-			return res, cl, nil
-		}
-		return nil, nil, err
 	}
-	res.SolveStats = solveRes.Stats
-	res.NodeDisplacements = solveRes.NodeU
+	upd.DOFsPatched = changed
+	sopts := cfg.Solver
+	if cfg.RecordSolveHistory {
+		sopts.RecordHistory = true
+	}
+	solveRes, err := sys.SolveWarmContext(ctx, cache.prevU, sopts)
+	if solveRes != nil {
+		sp := obs.SpanFromContext(ctx)
+		sp.SetAttr("solver_iterations", solveRes.Stats.Iterations)
+		sp.SetAttr("solver_converged", solveRes.Stats.Converged)
+		sp.SetAttr("solver_final_rel_residual", solveRes.Stats.FinalResRel)
+	}
+	if err != nil {
+		return err
+	}
+	ps.solveRes = solveRes
 	upd.PCCacheHit = solveRes.PCCacheHit
 	upd.WarmStarted = solveRes.Stats.WarmStarted
 	upd.EntryResRel = solveRes.Stats.EntryResRel
@@ -221,32 +260,29 @@ func (p *Pipeline) updateStages(ctx context.Context, cache *sessionCache,
 		upd.IterationsSaved = cache.coldIterations - solveRes.Stats.Iterations
 	}
 	cache.prevU = solveRes.U
-	stressSummary(sys, solveRes.NodeU, cfg.Materials, res)
+	return nil
+}
 
-	// Resampling: the cached interpolation table turns the forward-field
-	// rasterization into a dense gather; inversion and warping match the
-	// cold path exactly.
-	if err := stage(StageResample, func(_ context.Context) error {
-		if cfg.Solver.StoragePrecision == solver.PrecisionFloat32 {
-			if cache.interp32 == nil {
-				cache.interp32 = sys.BuildInterpTable(intraop.Grid).Compact()
-			}
-			res.Forward = cache.interp32.Apply(solveRes.NodeU)
-		} else {
-			if cache.interp == nil {
-				cache.interp = sys.BuildInterpTable(intraop.Grid)
-			}
-			res.Forward = cache.interp.Apply(solveRes.NodeU)
+// stageUpdateResample rasterizes the solution through the cached
+// interpolation table as a dense gather; inversion and warping match
+// the cold path exactly.
+//
+//lint:stage name=update-resample deps=update-solve inputs=intraop,alignedPreop,sys,solveRes
+func (p *Pipeline) stageUpdateResample(_ context.Context, ps *pipeState) error {
+	res, cache, sys := ps.res, ps.cache, ps.sys
+	nodeU := ps.solveRes.NodeU
+	if p.cfg.Solver.StoragePrecision == solver.PrecisionFloat32 {
+		if cache.interp32 == nil {
+			cache.interp32 = sys.BuildInterpTable(ps.intraop.Grid).Compact()
 		}
-		res.Backward = res.Forward.Invert(4)
-		res.Warped = res.Backward.WarpScalar(alignedPreop)
-		return nil
-	}); err != nil {
-		if p.degrade(ctx, err, res, intraop, alignedPreop, intraLabels) {
-			return res, cl, nil
+		res.Forward = cache.interp32.Apply(nodeU)
+	} else {
+		if cache.interp == nil {
+			cache.interp = sys.BuildInterpTable(ps.intraop.Grid)
 		}
-		return nil, nil, err
+		res.Forward = cache.interp.Apply(nodeU)
 	}
-	matchMetrics(res, intraop, alignedPreop, intraLabels)
-	return res, cl, nil
+	res.Backward = res.Forward.Invert(4)
+	res.Warped = res.Backward.WarpScalar(ps.alignedPreop)
+	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"repro/internal/geom"
 	"repro/internal/mesh"
@@ -75,10 +74,12 @@ type System struct {
 	// NodePart is the node partition used for assembly; the DOF
 	// partition used by the solver is its 3x expansion.
 	NodePart par.Partition
-	// Assembly holds per-rank assembly work counters.
+	// Assembly holds per-rank assembly work counters. Wall-clock
+	// assembly time is observability, not state: the fem.assemble trace
+	// span measures it, keeping the assembled System a deterministic
+	// function of (mesh, materials, partition) — the property the
+	// content-addressed preop-assemble cache stage rests on.
 	Assembly *par.Counters
-	// AssemblyTime is the measured wall-clock assembly time.
-	AssemblyTime time.Duration
 	// Constrained marks DOFs fixed by Dirichlet conditions.
 	Constrained []bool
 
@@ -96,6 +97,53 @@ type System struct {
 	// across solves of the same stiffness matrix (keyed on CSR identity,
 	// so any rebuild of K misses automatically).
 	pcCache solver.PCCache
+}
+
+// checkShape validates the DOF-indexed array invariants; simlint's
+// shapecheck analyzer requires it after any construction it cannot
+// prove statically (SystemFromParts below; assemble's own construction
+// is provable).
+//
+//lint:shape validator
+func (s *System) checkShape() {
+	if len(s.F) != s.NumDOF || len(s.Constrained) != s.NumDOF {
+		panic(fmt.Sprintf("fem: inconsistent System shape: numDOF=%d len(F)=%d len(Constrained)=%d",
+			s.NumDOF, len(s.F), len(s.Constrained)))
+	}
+}
+
+// SystemFromParts reconstructs an assembled, unconstrained system from
+// serialized parts (the core artifact codec's decode path): the
+// stiffness matrix, load vector, node partition and assembly counters
+// as assembly produced them, before any Dirichlet elimination. The mesh
+// reference is left nil for the caller to re-link from its own
+// artifact. Shape violations are reported as errors so a drifted blob
+// fails decode instead of panicking.
+func SystemFromParts(k *sparse.CSR, f []float64, pt par.Partition, counters *par.Counters) (*System, error) {
+	if k == nil || counters == nil {
+		return nil, errors.New("fem: system parts: nil matrix or counters")
+	}
+	if len(f) != k.N {
+		return nil, fmt.Errorf("fem: system parts: load vector length %d, matrix order %d", len(f), k.N)
+	}
+	if 3*pt.N != k.N || len(pt.Starts) != pt.P+1 {
+		return nil, fmt.Errorf("fem: system parts: node partition (N=%d, P=%d, starts=%d) does not cover %d DOFs",
+			pt.N, pt.P, len(pt.Starts), k.N)
+	}
+	if counters.P != pt.P || len(counters.Flops) != pt.P ||
+		len(counters.BytesSent) != pt.P || len(counters.Messages) != pt.P {
+		return nil, fmt.Errorf("fem: system parts: counters for %d ranks, partition has %d", counters.P, pt.P)
+	}
+	s := &System{
+		K:           k,
+		F:           f,
+		NumDOF:      k.N,
+		NodePart:    pt,
+		Assembly:    counters,
+		Constrained: make([]bool, k.N),
+	}
+	s.checkShape()
+	return s, nil
 }
 
 // dirichletCoupling records the original column entries K0[i][j] of one
@@ -202,7 +250,6 @@ func assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 	builders := make([]*sparse.Builder, pt.P)
 	rhs := make([]float64, nDOF)
 	errs := make([]error, pt.P)
-	start := time.Now()
 	pt.ForEachRank(func(r int) {
 		lo, hi := pt.Range(r)
 		b := sparse.NewBuilder(nDOF)
@@ -250,14 +297,13 @@ func assemble(m *mesh.Mesh, mats Table, pt par.Partition) (*System, error) {
 	}
 	k := global.Build()
 	sys := &System{
-		Mesh:         m,
-		K:            k,
-		F:            rhs,
-		NumDOF:       nDOF,
-		NodePart:     pt,
-		Assembly:     counters,
-		AssemblyTime: time.Since(start),
-		Constrained:  make([]bool, nDOF),
+		Mesh:        m,
+		K:           k,
+		F:           rhs,
+		NumDOF:      nDOF,
+		NodePart:    pt,
+		Assembly:    counters,
+		Constrained: make([]bool, nDOF),
 	}
 	return sys, nil
 }

@@ -1,6 +1,8 @@
 package fem
 
 import (
+	"fmt"
+
 	"repro/internal/geom"
 	"repro/internal/volume"
 )
@@ -120,6 +122,27 @@ func (s *System) BuildInterpTable(g volume.Grid) *InterpTable {
 	})
 	t.checkShape()
 	return t
+}
+
+// TableParts exposes the table's grid and backing arrays for
+// serialization (the core artifact codec). Callers must treat the
+// returned slices as read-only: they are the live gather arrays.
+func (t *InterpTable) TableParts() (g volume.Grid, vox, nodes []int32, w []float64) {
+	return t.grid, t.vox, t.nodes, t.w
+}
+
+// InterpTableFromParts reconstructs a table from serialized parts,
+// validating the four-entries-per-voxel shape contract with an error
+// (rather than checkShape's panic) so a corrupt artifact blob fails
+// decode instead of crashing the pipeline.
+func InterpTableFromParts(g volume.Grid, vox, nodes []int32, w []float64) (*InterpTable, error) {
+	if len(nodes) != 4*len(vox) || len(w) != 4*len(vox) {
+		return nil, fmt.Errorf("fem: interp table parts: %d voxels need %d nodes and weights, got %d and %d",
+			len(vox), 4*len(vox), len(nodes), len(w))
+	}
+	t := &InterpTable{grid: g, vox: vox, nodes: nodes, w: w}
+	t.checkShape()
+	return t, nil
 }
 
 // Covered returns how many voxels the table interpolates.

@@ -19,7 +19,20 @@ import (
 // cacheFormatVersion salts every cache key; bump it when the on-disk
 // entry schema or the keying scheme changes so stale entries from an
 // older binary can never replay.
-const cacheFormatVersion = 1
+//
+// v2: the salt gained GOOS/GOARCH — analyzers that consult build
+// context (sizes, build tags) can report differently per platform, so
+// a cache directory shared across platforms must not replay entries
+// across them.
+const cacheFormatVersion = 2
+
+// saltPreamble renders the toolchain-and-format prefix of the cache
+// salt: the entry format version, the Go toolchain version, and the
+// target platform. Factored out so the key-drift canary test can pin
+// its exact composition.
+func saltPreamble(goVersion, goos, goarch string) string {
+	return fmt.Sprintf("v%d\n%s\n%s/%s\n", cacheFormatVersion, goVersion, goos, goarch)
+}
 
 // Cache is a package-level result store for RunAllCached. An entry is
 // keyed on everything that can change a package's findings: the
@@ -56,7 +69,7 @@ func NewCache(dir, root string, analyzers []Analyzer) (*Cache, error) {
 	}
 	c := &Cache{dir: dir, root: root, dirHash: make(map[string]string)}
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "v%d\n%s\n", cacheFormatVersion, runtime.Version())
+	buf.WriteString(saltPreamble(runtime.Version(), runtime.GOOS, runtime.GOARCH))
 	for _, a := range analyzers {
 		fmt.Fprintf(&buf, "%s\n", a.Name())
 	}

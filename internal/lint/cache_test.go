@@ -67,6 +67,62 @@ func TestCacheColdWarmByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCacheKeyDriftOnPlatformOrVersion is the key-drift canary: the
+// salt preamble must contain the entry format version, the toolchain
+// version, and the target platform, each moving the salt independently,
+// and an entry written under one platform salt must be a miss — never a
+// replay — under another.
+func TestCacheKeyDriftOnPlatformOrVersion(t *testing.T) {
+	// Pin the exact preamble composition: an accidental reordering or a
+	// dropped component silently changes every key, so the canary spells
+	// the format out.
+	if got, want := saltPreamble("go1.99", "plan9", "riscv64"), "v2\ngo1.99\nplan9/riscv64\n"; got != want {
+		t.Fatalf("saltPreamble = %q, want %q", got, want)
+	}
+	base := saltPreamble("go1.99", "linux", "amd64")
+	for name, other := range map[string]string{
+		"go version": saltPreamble("go1.100", "linux", "amd64"),
+		"GOOS":       saltPreamble("go1.99", "darwin", "amd64"),
+		"GOARCH":     saltPreamble("go1.99", "linux", "arm64"),
+	} {
+		if other == base {
+			t.Errorf("changing the %s does not change the salt preamble", name)
+		}
+	}
+
+	// End to end: populate a cache directory, then open it with a
+	// perturbed salt — exactly what the same directory seen from a
+	// different platform or toolchain computes — and require a miss.
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "floateq"), "repro/internal/solver/floatfixture")
+	root := testModule(t).Root
+	dir := t.TempDir()
+	c1, err := NewCache(dir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	if _, stats := RunAllCached([]*Package{pkg}, Analyzers(), c1); stats.Misses != 1 {
+		t.Fatalf("populate stats = %+v, want 1 miss", stats)
+	}
+	// Unperturbed, a fresh process over the same directory hits.
+	c2, err := NewCache(dir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	if _, stats := RunAllCached([]*Package{pkg}, Analyzers(), c2); stats.Hits != 1 {
+		t.Errorf("same-platform stats = %+v, want 1 hit", stats)
+	}
+	// Perturbed, the stored key no longer matches and the entry must
+	// not replay.
+	c3, err := NewCache(dir, root, Analyzers())
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	c3.salt += "/other-platform"
+	if _, stats := RunAllCached([]*Package{pkg}, Analyzers(), c3); stats.Hits != 0 || stats.Misses != 1 {
+		t.Errorf("drifted-salt stats = %+v, want 0 hits / 1 miss", stats)
+	}
+}
+
 // TestCacheCorruptEntryIsMiss: a torn or garbage entry file must fall
 // back to re-analysis, not fail or replay nonsense.
 func TestCacheCorruptEntryIsMiss(t *testing.T) {

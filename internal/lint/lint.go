@@ -83,6 +83,7 @@ func Analyzers() []Analyzer {
 		detguard{},
 		shapecheck{},
 		precguard{},
+		stagedag{},
 		deprecated{},
 	}
 }

@@ -1,0 +1,847 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// stagedag certifies the pipeline's stage contracts — the invariants
+// the content-addressed artifact cache in internal/core rests on. A
+// pipeline stage declares its dataflow in a doc-comment directive:
+//
+//	//lint:stage name=preop-mesh deps=rigid-align inputs=alignedLabels outputs=mesh,brainSurf key=MeshCellSize,SnapMesh pure
+//
+// naming the stage, the earlier stages it consumes, the pipeline-state
+// fields it reads and writes, the Config fields folded into its cache
+// key, and (for content-addressed stages) the "pure" marker.
+//
+// For a pure stage the analyzer proves the body is a function of
+// exactly what the cache key hashes:
+//
+//   - state-field reads must be declared inputs (and writes declared
+//     outputs) — an undeclared read is a stale cache entry, not a style
+//     issue;
+//   - Config-field reads must be inside the declared key(...) set,
+//     field-sensitively; calling a Config method or passing the whole
+//     Config (or the state, or the receiver) to a callee loses that
+//     sensitivity and is reported;
+//   - no reads of package-level mutable state (a package var some
+//     module function reassigns), and no math/rand or wall-clock calls
+//     reachable through any call chain (internal/obs is exempt:
+//     telemetry timestamps are pinned by detguard and spanend and are
+//     not cache inputs);
+//   - outputs must be freshly computed, not aliases of declared inputs:
+//     on a cache hit the executor replaces outputs with decoded copies,
+//     so an aliased output would give hit and miss runs different
+//     sharing structure.
+//
+// Impure stages keep a lighter honesty obligation: every declared
+// output is assigned and every declared input is read. Independently,
+// every []stageNode DAG literal is cross-checked against the contracts
+// of the run functions it wires: the literal's name/deps/inputs/
+// outputs/keys/pure must match the contract exactly, deps must name
+// earlier stages of the same literal, and any input produced inside the
+// literal must come from a declared dep (the phaseorder-style proof
+// that declared edges are the wired edges).
+type stagedag struct{}
+
+func (stagedag) Name() string { return "stagedag" }
+
+func (stagedag) Doc() string {
+	return "stage purity and cache-key completeness for //lint:stage contracts, plus DAG-literal honesty"
+}
+
+// stageContract is one parsed //lint:stage directive.
+type stageContract struct {
+	name    string
+	deps    []string
+	inputs  []string
+	outputs []string
+	keys    []string
+	pure    bool
+}
+
+// parseStageDirective parses a //lint:stage doc directive. The bool
+// reports presence; syntax diagnostics are suppressions()' job, so a
+// malformed directive returns whatever parsed.
+func parseStageDirective(doc *ast.CommentGroup) (stageContract, bool) {
+	if doc == nil {
+		return stageContract{}, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//lint:stage")
+		if !ok {
+			continue
+		}
+		var sd stageContract
+		for _, field := range strings.Fields(rest) {
+			if field == "pure" {
+				sd.pure = true
+				continue
+			}
+			key, val, _ := strings.Cut(field, "=")
+			list := splitPhases(val)
+			switch key {
+			case "name":
+				if len(list) > 0 {
+					sd.name = list[0]
+				}
+			case "deps":
+				sd.deps = append(sd.deps, list...)
+			case "inputs":
+				sd.inputs = append(sd.inputs, list...)
+			case "outputs":
+				sd.outputs = append(sd.outputs, list...)
+			case "key":
+				sd.keys = append(sd.keys, list...)
+			}
+		}
+		return sd, true
+	}
+	return stageContract{}, false
+}
+
+func (stagedag) Run(pkg *Package) []Finding {
+	var out []Finding
+	seen := make(map[string]token.Position)
+	for _, file := range pkg.Files {
+		for _, sc := range funcScopes(file) {
+			if sc.decl == nil {
+				continue
+			}
+			sd, ok := parseStageDirective(sc.decl.Doc)
+			if !ok || sd.name == "" { // malformed syntax is reported by suppressions()
+				continue
+			}
+			pos := pkg.Fset.Position(sc.decl.Pos())
+			if prev, dup := seen[sd.name]; dup {
+				out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+					Msg: "duplicate stage contract " + strconvQuote(sd.name) +
+						" (also declared at " + prev.String() + ")"})
+			} else {
+				seen[sd.name] = pos
+			}
+			out = append(out, checkStageBody(pkg, sc, sd)...)
+		}
+		out = append(out, checkDAGLiterals(pkg, file)...)
+	}
+	return out
+}
+
+// stageStateParam identifies the pipeline-state parameter: by
+// convention the stage function's final parameter, a pointer to a
+// struct whose fields are the contract's input/output vocabulary.
+func stageStateParam(pkg *Package, decl *ast.FuncDecl) *types.Var {
+	params := decl.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	last := params.List[len(params.List)-1]
+	if len(last.Names) != 1 {
+		return nil
+	}
+	v, _ := pkg.Info.Defs[last.Names[0]].(*types.Var)
+	if v == nil {
+		return nil
+	}
+	ptr, ok := v.Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	if !isStruct {
+		return nil
+	}
+	return v
+}
+
+func stageRecvVar(pkg *Package, decl *ast.FuncDecl) *types.Var {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pkg.Info.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// isConfigType reports whether t is the analyzed package's pipeline
+// configuration type (named "Config"), whose field reads the key(...)
+// check tracks.
+func isConfigType(pkg *Package, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Config" && named.Obj().Pkg() == pkg.Types
+}
+
+func stringSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// checkStageBody verifies one contract-carrying stage function against
+// its declaration.
+func checkStageBody(pkg *Package, sc funcScope, sd stageContract) []Finding {
+	var out []Finding
+	declPos := pkg.Fset.Position(sc.decl.Pos())
+	state := stageStateParam(pkg, sc.decl)
+	if state == nil {
+		return []Finding{{Pos: declPos, Analyzer: "stagedag",
+			Msg: "stage " + strconvQuote(sd.name) +
+				" must take the pipeline state as its final pointer-to-struct parameter"}}
+	}
+	recv := stageRecvVar(pkg, sc.decl)
+	inSet := stringSet(sd.inputs)
+	outSet := stringSet(sd.outputs)
+	keySet := stringSet(sd.keys)
+
+	// Direct assignment targets, so state-field selectors classify as
+	// reads or writes.
+	writeTargets := make(map[ast.Expr]bool)
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				writeTargets[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writeTargets[ast.Unparen(st.X)] = true
+		}
+		return true
+	})
+
+	readFields := make(map[string]bool)
+	writtenFields := make(map[string]bool)
+	varOf := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := pkg.Info.Uses[id].(*types.Var)
+		return v
+	}
+
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pos := pkg.Fset.Position(sel.Pos())
+		base := varOf(sel.X)
+		switch {
+		case base != nil && base == state:
+			f := sel.Sel.Name
+			if writeTargets[sel] {
+				writtenFields[f] = true
+				if sd.pure && !outSet[f] {
+					out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+						Msg: "pure stage " + strconvQuote(sd.name) + " writes state field " +
+							strconvQuote(f) + ", which is not a declared output"})
+				}
+			} else {
+				readFields[f] = true
+				if sd.pure && !inSet[f] && !outSet[f] {
+					out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+						Msg: "pure stage " + strconvQuote(sd.name) + " reads state field " +
+							strconvQuote(f) + ", an undeclared input (the cache key cannot see it)"})
+				}
+			}
+		case base != nil && recv != nil && base == recv && sd.pure:
+			// Receiver access: the Config field is the blessed root for
+			// key-checked reads; anything else is hidden state.
+			tv := pkg.Info.Types[sel]
+			if _, isFn := pkg.Info.Uses[sel.Sel].(*types.Func); isFn {
+				out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+					Msg: "pure stage " + strconvQuote(sd.name) + " calls receiver method " +
+						sel.Sel.Name + "; the cache key cannot see what it reads"})
+			} else if !isConfigType(pkg, tv.Type) {
+				out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+					Msg: "pure stage " + strconvQuote(sd.name) + " reads receiver field " +
+						strconvQuote(sel.Sel.Name) + ", an undeclared input (the cache key cannot see it)"})
+			}
+		}
+		// Config field sensitivity, on any Config-typed base expression
+		// (p.cfg.X, or a local Config copy).
+		if tv, ok := pkg.Info.Types[sel.X]; ok && isConfigType(pkg, tv.Type) && sd.pure {
+			switch pkg.Info.Uses[sel.Sel].(type) {
+			case *types.Func:
+				out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+					Msg: "pure stage " + strconvQuote(sd.name) + " calls Config method " +
+						sel.Sel.Name + "; the key(...) check is field-sensitive and cannot follow it"})
+			case *types.Var:
+				if !keySet[sel.Sel.Name] {
+					out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+						Msg: "pure stage " + strconvQuote(sd.name) + " reads Config." + sel.Sel.Name +
+							" outside its declared key set (a stale cache hit would ignore it)"})
+				}
+			}
+		}
+		return true
+	})
+
+	if sd.pure {
+		out = append(out, checkStageEscapes(pkg, sc, sd, state, recv)...)
+		out = append(out, checkStageGlobals(pkg, sc, sd)...)
+		out = append(out, checkStageDeterminism(pkg, sc, sd)...)
+		out = append(out, checkOutputFreshness(pkg, sc, sd, state)...)
+	}
+	for _, o := range sd.outputs {
+		if !writtenFields[o] {
+			out = append(out, Finding{Pos: declPos, Analyzer: "stagedag",
+				Msg: "stage " + strconvQuote(sd.name) + " declares output " + strconvQuote(o) +
+					" which is never assigned"})
+		}
+	}
+	for _, in := range sd.inputs {
+		if !readFields[in] {
+			out = append(out, Finding{Pos: declPos, Analyzer: "stagedag",
+				Msg: "stage " + strconvQuote(sd.name) + " declares input " + strconvQuote(in) +
+					" which is never read"})
+		}
+	}
+	return out
+}
+
+// checkStageEscapes flags argument positions that defeat the
+// field-sensitive analysis of a pure stage: handing the whole Config,
+// the state, or the receiver to a callee.
+func checkStageEscapes(pkg *Package, sc funcScope, sd stageContract, state, recv *types.Var) []Finding {
+	var out []Finding
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, a := range call.Args {
+			pos := pkg.Fset.Position(a.Pos())
+			if tv, ok := pkg.Info.Types[a]; ok && isConfigType(pkg, tv.Type) {
+				out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+					Msg: "pure stage " + strconvQuote(sd.name) +
+						" passes the entire Config to a callee; pass the declared key fields instead"})
+				continue
+			}
+			id, ok := ast.Unparen(a).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, _ := pkg.Info.Uses[id].(*types.Var)
+			if obj != nil && (obj == state || (recv != nil && obj == recv)) {
+				out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+					Msg: "pure stage " + strconvQuote(sd.name) + " passes " + id.Name +
+						" to a callee; field-sensitive input tracking cannot follow it"})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutatedGlobalsMemo caches the module-wide mutated-package-var scan
+// per call graph (Run executes per package, in parallel).
+var mutatedGlobalsMemo struct {
+	mu  sync.Mutex
+	g   *CallGraph
+	set map[*types.Var]bool
+}
+
+// mutatedGlobals returns the set of package-level variables some
+// declared module function reassigns (direct assignment or ++/--).
+// Element and field mutations through an index or selector are not
+// tracked — the check is a heuristic for the common "tuning knob"
+// global, not an alias analysis.
+func mutatedGlobals(g *CallGraph) map[*types.Var]bool {
+	mutatedGlobalsMemo.mu.Lock()
+	defer mutatedGlobalsMemo.mu.Unlock()
+	if mutatedGlobalsMemo.g == g {
+		return mutatedGlobalsMemo.set
+	}
+	set := make(map[*types.Var]bool)
+	mark := func(pkg *Package, e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj, _ := pkg.Info.Uses[id].(*types.Var)
+		if obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			set[obj] = true
+		}
+	}
+	for _, node := range g.funcs {
+		if node.Decl == nil || node.Decl.Body == nil || node.Pkg == nil {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					mark(node.Pkg, lhs)
+				}
+			case *ast.IncDecStmt:
+				mark(node.Pkg, st.X)
+			}
+			return true
+		})
+	}
+	mutatedGlobalsMemo.g = g
+	mutatedGlobalsMemo.set = set
+	return set
+}
+
+// checkStageGlobals reports pure-stage reads of package-level vars
+// that some module function mutates.
+func checkStageGlobals(pkg *Package, sc funcScope, sd stageContract) []Finding {
+	if pkg.Mod == nil {
+		return nil
+	}
+	mutated := mutatedGlobals(pkg.Mod.Graph())
+	var out []Finding
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := pkg.Info.Uses[id].(*types.Var)
+		if obj == nil || !mutated[obj] {
+			return true
+		}
+		out = append(out, Finding{Pos: pkg.Fset.Position(id.Pos()), Analyzer: "stagedag",
+			Msg: "pure stage " + strconvQuote(sd.name) + " touches package-level mutable state " +
+				strconvQuote(id.Name) + "; its value is invisible to the cache key"})
+		return true
+	})
+	return out
+}
+
+// checkStageDeterminism walks the call graph from a pure stage and
+// reports math/rand and wall-clock calls reachable outside
+// internal/obs (the same sinks detguard pins in kernels — telemetry
+// timestamps do not feed cached artifacts and stay exempt).
+func checkStageDeterminism(pkg *Package, sc funcScope, sd stageContract) []Finding {
+	if pkg.Mod == nil {
+		return nil
+	}
+	g := pkg.Mod.Graph()
+	fnObj, _ := pkg.Info.Defs[sc.decl.Name].(*types.Func)
+	start := g.Node(fnObj)
+	if start == nil {
+		return nil
+	}
+	declPos := pkg.Fset.Position(sc.decl.Pos())
+	var out []Finding
+	seen := make(map[*CGNode]bool)
+	var visit func(n *CGNode)
+	visit = func(n *CGNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Pkg == nil || n.Decl == nil || n.Decl.Body == nil {
+			return
+		}
+		if inScope(n.Pkg.RelPath, []string{"internal/obs"}) {
+			return
+		}
+		inspectShallow(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(n.Pkg, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			var what string
+			switch p := fn.Pkg().Path(); {
+			case p == "math/rand" || p == "math/rand/v2":
+				what = "math/rand call"
+			case p == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+				what = "wall-clock read (time." + fn.Name() + ")"
+			default:
+				return true
+			}
+			pos := declPos
+			suffix := " via " + cgName(n.Fn)
+			if n == start {
+				pos = pkg.Fset.Position(call.Pos())
+				suffix = ""
+			}
+			out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+				Msg: "pure stage " + strconvQuote(sd.name) + " reaches " + what + suffix +
+					"; cached replays would not reproduce it"})
+			return true
+		})
+		for _, e := range n.Out {
+			visit(e.Callee)
+		}
+	}
+	visit(start)
+	return out
+}
+
+// checkOutputFreshness verifies a pure stage's output assignments are
+// freshly computed values (call results, composite literals, or locals
+// holding them), never aliases of state fields: on a cache hit the
+// executor overwrites outputs with decoded copies, so an output that
+// aliased an input would make hit and miss runs structurally different.
+func checkOutputFreshness(pkg *Package, sc funcScope, sd stageContract, state *types.Var) []Finding {
+	vf := buildValueFlow(pkg, sc)
+	var out []Finding
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range st.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj, _ := pkg.Info.Uses[id].(*types.Var); obj != state {
+				continue
+			}
+			rhs := st.Rhs[0]
+			if len(st.Rhs) == len(st.Lhs) {
+				rhs = st.Rhs[i]
+			}
+			if src := stateAliasSource(pkg, vf, state, rhs, 4); src != nil {
+				out = append(out, Finding{Pos: pkg.Fset.Position(st.Pos()), Analyzer: "stagedag",
+					Msg: "pure stage " + strconvQuote(sd.name) + " output " + strconvQuote(sel.Sel.Name) +
+						" aliases state field " + strconvQuote(src.Sel.Name) +
+						"; outputs must be freshly computed (cache hits replace them with decoded copies)"}) //
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// stateAliasSource reports a state-field selector the expression's
+// value may alias, following local definitions through the value-flow
+// layer up to the given depth. Call results and their projections are
+// treated as fresh — the callee builds them from (by-value) arguments.
+func stateAliasSource(pkg *Package, vf *ValueFlow, state *types.Var, e ast.Expr, depth int) *ast.SelectorExpr {
+	if depth == 0 || e == nil {
+		return nil
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return nil
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if s := stateAliasSource(pkg, vf, state, el, depth-1); s != nil {
+				return s
+			}
+		}
+		return nil
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return stateAliasSource(pkg, vf, state, x.X, depth-1)
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if obj, _ := pkg.Info.Uses[id].(*types.Var); obj == state {
+				return x
+			}
+		}
+		return stateAliasSource(pkg, vf, state, x.X, depth-1)
+	case *ast.IndexExpr:
+		return stateAliasSource(pkg, vf, state, x.X, depth-1)
+	case *ast.SliceExpr:
+		return stateAliasSource(pkg, vf, state, x.X, depth-1)
+	case *ast.Ident:
+		for _, d := range vf.ReachingDefs(x) {
+			if d.Kind != VFAssign && d.Kind != VFRange {
+				continue
+			}
+			if s := stateAliasSource(pkg, vf, state, d.RHS, depth-1); s != nil {
+				return s
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// dagLitNode is one parsed stageNode composite literal.
+type dagLitNode struct {
+	lit     *ast.CompositeLit
+	name    string
+	deps    []string
+	inputs  []string
+	outputs []string
+	keys    []string
+	pure    bool
+	run     *types.Func
+	hasRun  bool
+}
+
+// checkDAGLiterals finds []stageNode composite literals and checks each
+// against the //lint:stage contracts of the functions it wires.
+func checkDAGLiterals(pkg *Package, file *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[lit]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		sl, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			return true
+		}
+		named, ok := sl.Elem().(*types.Named)
+		if !ok || named.Obj().Name() != "stageNode" {
+			return true
+		}
+		out = append(out, checkOneDAGLiteral(pkg, lit)...)
+		return false
+	})
+	return out
+}
+
+func checkOneDAGLiteral(pkg *Package, lit *ast.CompositeLit) []Finding {
+	var out []Finding
+	var nodes []dagLitNode
+	for _, el := range lit.Elts {
+		nl, ok := el.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		node, findings := parseDAGLitNode(pkg, nl)
+		out = append(out, findings...)
+		nodes = append(nodes, node)
+	}
+
+	// Contract cross-check: the literal must restate the run function's
+	// //lint:stage contract exactly.
+	for _, nd := range nodes {
+		pos := pkg.Fset.Position(nd.lit.Pos())
+		if !nd.hasRun {
+			continue // validateDAG rejects the node at runtime
+		}
+		if nd.run == nil {
+			out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+				Msg: "stage literal " + strconvQuote(nd.name) +
+					" wires a run value stagedag cannot resolve to a declared function"})
+			continue
+		}
+		decl := pkg.Mod.FuncDecl(nd.run)
+		if decl == nil {
+			out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+				Msg: "stage literal " + strconvQuote(nd.name) + " wires " + cgName(nd.run) +
+					", which is not declared in this module"})
+			continue
+		}
+		sd, ok := parseStageDirective(decl.Doc)
+		if !ok {
+			out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+				Msg: "stage literal " + strconvQuote(nd.name) + " wires " + cgName(nd.run) +
+					", which has no //lint:stage contract"})
+			continue
+		}
+		var diffs []string
+		if nd.name != sd.name {
+			diffs = append(diffs, "name")
+		}
+		if !equalNames(nd.deps, sd.deps) {
+			diffs = append(diffs, "deps")
+		}
+		if !equalNames(nd.inputs, sd.inputs) {
+			diffs = append(diffs, "inputs")
+		}
+		if !equalNames(nd.outputs, sd.outputs) {
+			diffs = append(diffs, "outputs")
+		}
+		if !equalNames(nd.keys, sd.keys) {
+			diffs = append(diffs, "keys")
+		}
+		if nd.pure != sd.pure {
+			diffs = append(diffs, "pure")
+		}
+		if len(diffs) > 0 {
+			out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+				Msg: "stage literal " + strconvQuote(nd.name) + " does not match the //lint:stage contract of " +
+					cgName(nd.run) + " (differs in " + strings.Join(diffs, ", ") + ")"})
+		}
+	}
+
+	// Wiring check: deps name earlier stages; an input produced inside
+	// this DAG must come from a declared dep.
+	producers := make(map[string][]int)
+	for i, nd := range nodes {
+		for _, o := range nd.outputs {
+			producers[o] = append(producers[o], i)
+		}
+	}
+	earlier := make(map[string]int)
+	for i, nd := range nodes {
+		pos := pkg.Fset.Position(nd.lit.Pos())
+		if prev, dup := earlier[nd.name]; dup && nd.name != "" {
+			out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+				Msg: "stage literal " + strconvQuote(nd.name) + " duplicates stage " +
+					strconvQuote(nodes[prev].name) + " in the same DAG"})
+		}
+		depSet := stringSet(nd.deps)
+		for _, d := range nd.deps {
+			if _, ok := earlier[d]; !ok {
+				out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+					Msg: "stage literal " + strconvQuote(nd.name) + " depends on " + strconvQuote(d) +
+						", which is not an earlier stage in this DAG"})
+			}
+		}
+		for _, in := range nd.inputs {
+			prod := producers[in]
+			if len(prod) == 0 {
+				continue // external root (pipeline input or session baseline)
+			}
+			fed := false
+			for _, pi := range prod {
+				if pi < i && depSet[nodes[pi].name] {
+					fed = true
+					break
+				}
+			}
+			if !fed {
+				out = append(out, Finding{Pos: pos, Analyzer: "stagedag",
+					Msg: "stage literal " + strconvQuote(nd.name) + " consumes " + strconvQuote(in) +
+						", produced by stage " + strconvQuote(nodes[prod[0]].name) +
+						", which is not among its declared deps"})
+			}
+		}
+		earlier[nd.name] = i
+	}
+	return out
+}
+
+// parseDAGLitNode reads one stageNode composite literal. Fields must be
+// literals (string/list/bool) for the cross-check to see them; a
+// computed field defeats the certification and is reported.
+func parseDAGLitNode(pkg *Package, nl *ast.CompositeLit) (dagLitNode, []Finding) {
+	node := dagLitNode{lit: nl}
+	var out []Finding
+	opaque := func(field string, pos token.Pos) {
+		out = append(out, Finding{Pos: pkg.Fset.Position(pos), Analyzer: "stagedag",
+			Msg: "stage literal field " + strconvQuote(field) +
+				" is not a literal value; stagedag cannot certify this DAG"})
+	}
+	for _, el := range nl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "name":
+			s, ok := stringLit(kv.Value)
+			if !ok {
+				opaque("name", kv.Value.Pos())
+				continue
+			}
+			node.name = s
+		case "deps", "inputs", "outputs", "keys":
+			list, ok := stringListLit(kv.Value)
+			if !ok {
+				opaque(key.Name, kv.Value.Pos())
+				continue
+			}
+			switch key.Name {
+			case "deps":
+				node.deps = list
+			case "inputs":
+				node.inputs = list
+			case "outputs":
+				node.outputs = list
+			case "keys":
+				node.keys = list
+			}
+		case "pure":
+			id, ok := ast.Unparen(kv.Value).(*ast.Ident)
+			if !ok || (id.Name != "true" && id.Name != "false") {
+				opaque("pure", kv.Value.Pos())
+				continue
+			}
+			node.pure = id.Name == "true"
+		case "run":
+			node.hasRun = true
+			switch e := ast.Unparen(kv.Value).(type) {
+			case *ast.SelectorExpr:
+				node.run, _ = pkg.Info.Uses[e.Sel].(*types.Func)
+			case *ast.Ident:
+				node.run, _ = pkg.Info.Uses[e].(*types.Func)
+			}
+		}
+	}
+	return node, out
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	// The token is a valid Go string literal (it type-checked); the
+	// contract vocabulary never needs escapes, so trim the quotes.
+	s := bl.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1], true
+	}
+	return "", false
+}
+
+func stringListLit(e ast.Expr) ([]string, bool) {
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	list := make([]string, 0, len(cl.Elts))
+	for _, el := range cl.Elts {
+		s, ok := stringLit(el)
+		if !ok {
+			return nil, false
+		}
+		list = append(list, s)
+	}
+	return list, true
+}
+
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

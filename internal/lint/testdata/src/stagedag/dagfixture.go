@@ -1,0 +1,311 @@
+// Package dagfixture exercises the stagedag analyzer: stage purity
+// against declared inputs/outputs, Config key-set completeness,
+// hidden-state and determinism leaks, output freshness, and the
+// honesty of []stageNode DAG literals against the contracts they wire.
+package dagfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config stands in for the pipeline configuration; stage cache keys
+// declare which of its fields they fold in.
+type Config struct {
+	CellSize int
+	Tol      float64
+	Extra    bool
+}
+
+// scale is a Config method the field-sensitive key check cannot see
+// through.
+func (c Config) scale() int { return c.CellSize * 2 }
+
+// state is the pipeline state stages read and write.
+type state struct {
+	labels  []int
+	mesh    []int
+	surf    []float64
+	scratch int
+}
+
+// pipe carries the configuration, plus a hidden field no cache key can
+// see.
+type pipe struct {
+	cfg    Config
+	hidden int
+}
+
+// stageNode mirrors the executor's DAG node: the literal restates each
+// run function's contract so stagedag can cross-check them.
+type stageNode struct {
+	name    string
+	deps    []string
+	inputs  []string
+	outputs []string
+	keys    []string
+	pure    bool
+	run     func(*state) error
+}
+
+// tuning is package-level mutable state: retune reassigns it, so pure
+// stages may not read it.
+var tuning = 3
+
+func retune() { tuning++ }
+
+// buildMesh derives a fresh mesh from labels.
+func buildMesh(labels []int) []int { return append([]int(nil), labels...) }
+
+// stamp reads the wall clock.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// meshWith consumes the whole configuration.
+func meshWith(labels []int, cfg Config) []int { return buildMesh(labels[:cfg.CellSize]) }
+
+// consume swallows the pipeline state wholesale.
+func consume(st *state) int { return st.scratch }
+
+// GoodMesh is a clean pure stage: declared input read, declared output
+// freshly computed, Config reads inside the key set.
+//
+//lint:stage name=good-mesh inputs=labels outputs=mesh key=CellSize pure
+func (p *pipe) GoodMesh(st *state) error {
+	if p.cfg.CellSize > 0 {
+		st.mesh = buildMesh(st.labels)
+	}
+	return nil
+}
+
+// ReadsUndeclared reads a state field missing from inputs(...).
+//
+//lint:stage name=reads-undeclared inputs=labels outputs=mesh pure
+func (p *pipe) ReadsUndeclared(st *state) error {
+	st.mesh = buildMesh(st.labels)
+	_ = st.surf // want stagedag "undeclared input"
+	return nil
+}
+
+// WritesUndeclared writes a state field missing from outputs(...).
+//
+//lint:stage name=writes-undeclared inputs=labels outputs=mesh pure
+func (p *pipe) WritesUndeclared(st *state) error {
+	st.mesh = buildMesh(st.labels)
+	st.scratch = 1 // want stagedag "not a declared output"
+	return nil
+}
+
+// KeyIncomplete reads a Config field outside its declared key set: a
+// cache hit would silently ignore a changed Extra.
+//
+//lint:stage name=key-incomplete inputs=labels outputs=mesh key=CellSize pure
+func (p *pipe) KeyIncomplete(st *state) error {
+	st.mesh = buildMesh(st.labels)
+	if p.cfg.Extra { // want stagedag "outside its declared key set"
+		st.mesh = buildMesh(st.mesh)
+	}
+	return nil
+}
+
+// Suppressed shows the same undeclared Config read under an accepted
+// waiver.
+//
+//lint:stage name=suppressed inputs=labels outputs=mesh key=CellSize pure
+func (p *pipe) Suppressed(st *state) error {
+	st.mesh = buildMesh(st.labels)
+	//lint:ignore stagedag fixture demonstrates an accepted suppression
+	if p.cfg.Extra {
+		st.mesh = buildMesh(st.mesh)
+	}
+	return nil
+}
+
+// Clocked reaches the wall clock through a helper.
+//
+//lint:stage name=clocked inputs=labels outputs=mesh pure
+func (p *pipe) Clocked(st *state) error { // want stagedag "wall-clock"
+	st.mesh = buildMesh(st.labels)
+	_ = stamp()
+	return nil
+}
+
+// Randomized calls math/rand directly.
+//
+//lint:stage name=randomized inputs=labels outputs=mesh pure
+func (p *pipe) Randomized(st *state) error {
+	st.mesh = buildMesh(st.labels)
+	_ = rand.Intn(3) // want stagedag "math/rand"
+	return nil
+}
+
+// GlobalReader reads a package-level var some function mutates.
+//
+//lint:stage name=global-reader inputs=labels outputs=mesh pure
+func (p *pipe) GlobalReader(st *state) error {
+	st.mesh = buildMesh(st.labels)
+	_ = tuning // want stagedag "package-level mutable state"
+	return nil
+}
+
+// Aliaser hands an input back as an output instead of computing a
+// fresh value.
+//
+//lint:stage name=aliaser inputs=labels outputs=mesh pure
+func (p *pipe) Aliaser(st *state) error {
+	st.mesh = st.labels // want stagedag "aliases state field"
+	return nil
+}
+
+// Unproductive declares an output it never assigns.
+//
+//lint:stage name=unproductive inputs=labels outputs=mesh pure
+func (p *pipe) Unproductive(st *state) error { // want stagedag "never assigned"
+	_ = st.labels
+	return nil
+}
+
+// UnreadInput declares an input it never reads.
+//
+//lint:stage name=unread-input inputs=labels,surf outputs=mesh pure
+func (p *pipe) UnreadInput(st *state) error { // want stagedag "never read"
+	st.mesh = buildMesh(st.labels)
+	return nil
+}
+
+// MethodCaller loses field sensitivity through a Config method.
+//
+//lint:stage name=method-caller inputs=labels outputs=mesh key=CellSize pure
+func (p *pipe) MethodCaller(st *state) error {
+	if p.cfg.scale() > 0 { // want stagedag "Config method"
+		st.mesh = buildMesh(st.labels)
+	}
+	return nil
+}
+
+// Escaper passes the entire Config to a callee.
+//
+//lint:stage name=escaper inputs=labels outputs=mesh key=CellSize pure
+func (p *pipe) Escaper(st *state) error {
+	st.mesh = meshWith(st.labels, p.cfg) // want stagedag "entire Config"
+	return nil
+}
+
+// StateEscaper passes the whole pipeline state to a callee.
+//
+//lint:stage name=state-escaper inputs=labels outputs=mesh pure
+func (p *pipe) StateEscaper(st *state) error {
+	st.mesh = buildMesh(st.labels)
+	_ = consume(st) // want stagedag "cannot follow it"
+	return nil
+}
+
+// HiddenState reads a receiver field other than the configuration.
+//
+//lint:stage name=hidden-state inputs=labels outputs=mesh pure
+func (p *pipe) HiddenState(st *state) error {
+	st.mesh = buildMesh(st.labels)
+	_ = p.hidden // want stagedag "receiver field"
+	return nil
+}
+
+// NoState lacks the pipeline-state parameter entirely.
+//
+//lint:stage name=no-state pure
+func (p *pipe) NoState() error { // want stagedag "final pointer-to-struct parameter"
+	return nil
+}
+
+// DupMesh reuses an already-declared stage name.
+//
+//lint:stage name=good-mesh inputs=labels outputs=mesh
+func (p *pipe) DupMesh(st *state) error { // want stagedag "duplicate stage contract"
+	st.mesh = buildMesh(st.labels)
+	return nil
+}
+
+// Warp is a clean impure stage: it may update surf in place.
+//
+//lint:stage name=warp deps=good-mesh inputs=mesh outputs=surf
+func (p *pipe) Warp(st *state) error {
+	st.surf = make([]float64, len(st.mesh))
+	return nil
+}
+
+// UndeclaredDep consumes mesh but declares no deps; the WiringDAG
+// literal below exposes the missing edge.
+//
+//lint:stage name=undeclared-dep inputs=mesh outputs=surf
+func (p *pipe) UndeclaredDep(st *state) error {
+	st.surf = make([]float64, len(st.mesh))
+	return nil
+}
+
+// GhostDep declares a dep on a stage that precedes it nowhere.
+//
+//lint:stage name=ghost-dep deps=ghost inputs=mesh outputs=surf
+func (p *pipe) GhostDep(st *state) error {
+	st.surf = make([]float64, len(st.mesh))
+	return nil
+}
+
+// Uncontracted carries no //lint:stage directive at all.
+func (p *pipe) Uncontracted(st *state) error {
+	st.surf = make([]float64, len(st.labels))
+	return nil
+}
+
+// GoodDAG wires contracts honestly: names, lists and purity match, and
+// every in-DAG producer is a declared dep.
+func (p *pipe) GoodDAG() []stageNode {
+	return []stageNode{
+		{name: "good-mesh", inputs: []string{"labels"}, outputs: []string{"mesh"},
+			keys: []string{"CellSize"}, pure: true, run: p.GoodMesh},
+		{name: "warp", deps: []string{"good-mesh"}, inputs: []string{"mesh"},
+			outputs: []string{"surf"}, run: p.Warp},
+	}
+}
+
+// MismatchedDAG renames a stage relative to its contract.
+func (p *pipe) MismatchedDAG() []stageNode {
+	return []stageNode{
+		{name: "other-name", inputs: []string{"labels"}, outputs: []string{"mesh"}, // want stagedag "does not match"
+			keys: []string{"CellSize"}, pure: true, run: p.GoodMesh},
+	}
+}
+
+// WiringDAG consumes an in-DAG product without declaring the edge.
+func (p *pipe) WiringDAG() []stageNode {
+	return []stageNode{
+		{name: "good-mesh", inputs: []string{"labels"}, outputs: []string{"mesh"},
+			keys: []string{"CellSize"}, pure: true, run: p.GoodMesh},
+		{name: "undeclared-dep", inputs: []string{"mesh"}, outputs: []string{"surf"}, // want stagedag "not among its declared deps"
+			run: p.UndeclaredDep},
+	}
+}
+
+// GhostDAG depends on a stage absent from the literal.
+func (p *pipe) GhostDAG() []stageNode {
+	return []stageNode{
+		{name: "ghost-dep", deps: []string{"ghost"}, inputs: []string{"mesh"}, // want stagedag "not an earlier stage"
+			outputs: []string{"surf"}, run: p.GhostDep},
+	}
+}
+
+// MysteryDAG wires a run function that never declared a contract.
+func (p *pipe) MysteryDAG() []stageNode {
+	return []stageNode{
+		{name: "mystery", inputs: []string{"labels"}, run: p.Uncontracted}, // want stagedag "no //lint:stage contract"
+	}
+}
+
+// use keeps every fixture symbol referenced.
+func use() {
+	p := &pipe{}
+	retune()
+	_ = p.GoodDAG()
+	_ = p.MismatchedDAG()
+	_ = p.WiringDAG()
+	_ = p.GhostDAG()
+	_ = p.MysteryDAG()
+	_, _ = meshWith(nil, Config{Tol: 1}), p.cfg.scale()
+}

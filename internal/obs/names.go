@@ -148,6 +148,19 @@ const (
 	MetricRuntimeGCPauseSeconds = "brainsim_runtime_gc_pause_seconds"
 	// MetricRuntimeGCCycles counts completed GC cycles.
 	MetricRuntimeGCCycles = "brainsim_runtime_gc_cycles_total"
+
+	// MetricArtifactHits counts artifact-cache lookups served from the
+	// store (memory or disk), i.e. pipeline stages skipped entirely.
+	MetricArtifactHits = "brainsim_artifact_cache_hits_total"
+	// MetricArtifactMisses counts artifact-cache lookups that had to
+	// compute the stage and populate the store.
+	MetricArtifactMisses = "brainsim_artifact_cache_misses_total"
+	// MetricArtifactBytes gauges the bytes currently resident in the
+	// in-memory tier of the artifact cache.
+	MetricArtifactBytes = "brainsim_artifact_cache_bytes"
+	// MetricArtifactEvictions counts in-memory entries evicted by the
+	// LRU byte bound.
+	MetricArtifactEvictions = "brainsim_artifact_cache_evictions_total"
 )
 
 // MetricNames maps each vocabulary metric name to a one-line
@@ -183,6 +196,10 @@ var MetricNames = map[string]string{
 	MetricRuntimeGoroutines:     "goroutine count",
 	MetricRuntimeGCPauseSeconds: "individual GC stop-the-world pauses",
 	MetricRuntimeGCCycles:       "completed GC cycles",
+	MetricArtifactHits:          "artifact-cache lookups served from the store",
+	MetricArtifactMisses:        "artifact-cache lookups that recomputed the stage",
+	MetricArtifactBytes:         "bytes resident in the in-memory artifact tier",
+	MetricArtifactEvictions:     "in-memory artifact entries evicted by the LRU bound",
 }
 
 // KnownMetricName reports whether name belongs to the metric

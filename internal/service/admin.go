@@ -18,6 +18,7 @@ import (
 //	/readyz                       readiness: is there queue headroom to accept scans
 //	/jobs                         JSON list of retained jobs (oldest first)
 //	/jobs/{id}                    JSON status of one job, live stage timeline included
+//	/artifacts                    JSON stats of the shared artifact cache (404 when none configured)
 //	/sessions                     JSON list of open sessions with flight-recorder state
 //	/sessions/{id}/flightrecorder JSONL of the session's live flight-recorder ring;
 //	                              ?dump=last serves the last automatic anomaly dump instead
@@ -95,6 +96,14 @@ func AdminHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("/artifacts", func(w http.ResponseWriter, r *http.Request) {
+		store := s.ArtifactStore()
+		if store == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "no artifact store configured"})
+			return
+		}
+		writeJSON(w, http.StatusOK, store.Stats())
 	})
 	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Sessions())

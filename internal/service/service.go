@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/volume"
@@ -94,6 +95,14 @@ type Options struct {
 	// obs.ContextHandler, so records carry session/job/span identity).
 	// Nil discards them.
 	Logger *slog.Logger
+	// ArtifactStore, when non-nil, is injected into every opened
+	// session whose Config does not already carry one: sessions sharing
+	// a preoperative volume then share the content-addressed stage
+	// cache (and deduplicate in-flight preop computation), so the
+	// second registration of the same preop skips straight to the
+	// intraoperative stages. Its stats are served at /artifacts on the
+	// admin surface.
+	ArtifactStore *artifact.Store
 }
 
 // Service is a concurrent registration service. Create it with New,
@@ -262,6 +271,12 @@ func (s *Service) Registry() *obs.Registry {
 	return s.opts.Registry
 }
 
+// ArtifactStore returns the shared stage cache configured at
+// construction, or nil when the service runs uncached.
+func (s *Service) ArtifactStore() *artifact.Store {
+	return s.opts.ArtifactStore
+}
+
 // logger returns the configured logger, or the nop logger for a
 // zero-value Service built without New (white-box tests).
 func (s *Service) logger() *slog.Logger {
@@ -331,6 +346,9 @@ func (s *Service) Open(spec SessionSpec) error {
 	qos := spec.QoS
 	if qos == "" {
 		qos = QoSUrgent
+	}
+	if spec.Config.ArtifactStore == nil {
+		spec.Config.ArtifactStore = s.opts.ArtifactStore
 	}
 	sess, err := core.NewSession(spec.Config, spec.Preop, spec.PreopLabels)
 	if err != nil {

@@ -131,6 +131,20 @@ type CSR struct {
 	Val    []float64
 }
 
+// CSRFromParts reconstructs a CSR matrix from its raw arrays (a
+// deserialized artifact blob), validating the shape invariants with an
+// error instead of checkShape's panic so corrupt input fails the decode
+// rather than crashing the process.
+func CSRFromParts(n int, rowPtr []int64, col []int32, val []float64) (*CSR, error) {
+	if n < 0 || len(rowPtr) != n+1 || len(col) != len(val) || int64(len(val)) != rowPtr[n] {
+		return nil, fmt.Errorf("sparse: inconsistent CSR parts: n=%d len(rowPtr)=%d len(col)=%d len(val)=%d",
+			n, len(rowPtr), len(col), len(val))
+	}
+	m := &CSR{N: n, RowPtr: rowPtr, Col: col, Val: val}
+	m.checkShape()
+	return m, nil
+}
+
 // checkShape validates the CSR shape invariants at construction time;
 // simlint's shapecheck analyzer requires it after any construction or
 // slice-header mutation it cannot prove statically.
